@@ -1,0 +1,288 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// IPC ablation (paper Secs. 4.2, 6, 7): cost of communicating with / among
+// protected modules under the three architectures. All numbers are
+// simulated cycles measured by running guest code.
+//
+//  * TrustLite untrusted IPC: an RPC-style jump into a trustlet entry
+//    vector with register arguments and a plain return (Sec. 4.2.1).
+//  * TrustLite trusted IPC: the one-round syn/ack handshake with local
+//    attestation (one-time session setup), then cheap per-message
+//    authentication under the session token (Sec. 4.2.2). SMART-style
+//    architectures must instead pay a full attestation pass per
+//    interaction ("interaction between multiple protected modules is very
+//    slow", Sec. 1).
+//  * Sancus: hardware-MAC authentication per interaction (engine cycles).
+//  * SMART: a full HMAC attestation pass through the ROM routine.
+
+#include <cstdio>
+#include <functional>
+
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/sancus/sancus.h"
+#include "src/services/trusted_ipc.h"
+#include "src/smart/smart.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+// Steps until `pred` holds; returns the cycle counter at that point.
+uint64_t RunUntil(Platform& platform, const std::function<bool()>& pred,
+                  uint64_t max_steps) {
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    if (pred()) {
+      return platform.cpu().cycles();
+    }
+    if (platform.cpu().Step() == StepEvent::kHalted) {
+      break;
+    }
+  }
+  if (!pred()) {
+    std::fprintf(stderr, "bench scenario did not converge: %s\n",
+                 platform.cpu().trap().reason);
+    std::exit(1);
+  }
+  return platform.cpu().cycles();
+}
+
+uint32_t ReadWord(Platform& platform, uint32_t addr) {
+  uint32_t value = 0;
+  platform.bus().HostReadWord(addr, &value);
+  return value;
+}
+
+// --- TrustLite untrusted RPC ---------------------------------------------
+
+uint64_t MeasureUntrustedRpc() {
+  Platform platform;
+  SystemImage image;
+  TrustletBuildSpec spec;
+  spec.name = "ECHO";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = "tl_main:\n    swi 0\n    jmp tl_main\n";  // Default call echo.
+  Result<TrustletMeta> tl = BuildTrustlet(spec);
+  if (!tl.ok()) {
+    std::exit(1);
+  }
+  image.Add(*tl);
+  if (!platform.InstallImage(image).ok() || !platform.Boot().ok()) {
+    std::exit(1);
+  }
+  // Untrusted caller in open memory.
+  Result<AsmOutput> caller = Assemble(R"(
+.org 0x30000
+start:
+    movi r0, 9             ; call type
+    movi r1, 0x123         ; msg
+call_site:
+    call 0x11000           ; jump to the entry vector, lr = return
+ret_site:
+    halt
+)");
+  if (!caller.ok()) {
+    std::exit(1);
+  }
+  uint32_t base = 0;
+  platform.bus().HostWriteBytes(0x30000, caller->Flatten(&base));
+  const uint32_t call_site = caller->SymbolOrDie("call_site");
+  const uint32_t ret_site = caller->SymbolOrDie("ret_site");
+  platform.cpu().Reset(0x30000);
+  platform.cpu().set_reg(kRegSp, 0x38000);
+  const uint64_t t0 = RunUntil(
+      platform, [&] { return platform.cpu().ip() == call_site; }, 1000);
+  const uint64_t t1 = RunUntil(
+      platform, [&] { return platform.cpu().ip() == ret_site; }, 1000);
+  return t1 - t0;
+}
+
+// --- TrustLite trusted IPC -------------------------------------------------
+
+struct TrustedIpcCycles {
+  uint64_t handshake = 0;  // tl_main to token established (incl. local
+                           // attestation of the responder).
+  uint64_t per_message = 0;  // Token established to authenticated delivery.
+};
+
+TrustedIpcCycles MeasureTrustedIpc(bool with_measurement) {
+  TrustedIpcSpec ipc;
+  ipc.initiator_code = 0x11000;
+  ipc.initiator_data = 0x12000;
+  ipc.responder_code = 0x13000;
+  ipc.responder_data = 0x14000;
+  ipc.skip_measurement_check = !with_measurement;
+  Platform platform;
+  SystemImage image;
+  Result<TrustletMeta> initiator = BuildIpcInitiator(ipc);
+  Result<TrustletMeta> responder = BuildIpcResponder(ipc);
+  if (!initiator.ok() || !responder.ok()) {
+    std::exit(1);
+  }
+  const uint32_t main_addr = initiator->code_addr + initiator->start_offset;
+  image.Add(*responder);
+  image.Add(*initiator);
+  NanosConfig os_config;
+  os_config.enable_timer = false;  // Cooperative: no preemption noise.
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  if (!os.ok()) {
+    std::exit(1);
+  }
+  image.Add(*os);
+  if (!platform.InstallImage(image).ok()) {
+    std::exit(1);
+  }
+  Result<LoadReport> report = platform.BootAndLaunch();
+  if (!report.ok()) {
+    std::exit(1);
+  }
+
+  const uint64_t t_start = RunUntil(
+      platform, [&] { return platform.cpu().ip() == main_addr; }, 1000000);
+  const uint64_t t_token = RunUntil(
+      platform,
+      [&] { return ReadWord(platform, ipc.initiator_data + kIpcInitState) == 2; },
+      1000000);
+  const uint64_t t_accept = RunUntil(
+      platform,
+      [&] {
+        return ReadWord(platform, ipc.responder_data + kIpcRespAccepted) ==
+               ipc.message;
+      },
+      1000000);
+  return {t_token - t_start, t_accept - t_token};
+}
+
+// --- Sancus -----------------------------------------------------------------
+
+uint64_t MeasureSancusAuthenticatedCall() {
+  PlatformConfig pc;
+  pc.with_mpu = false;
+  Platform platform(pc);
+  SancusUnit unit(8, std::vector<uint8_t>(16, 0x42));
+  unit.Install(&platform.cpu(), &platform.bus());
+  // Module A authenticates module B (hardware MAC over B's 256-byte text)
+  // before calling it — the per-interaction pattern of Sancus IPC.
+  Result<AsmOutput> out = Assemble(R"(
+.org 0x30000
+start:
+    la  r1, da
+    protect r1
+    la  r1, db
+    protect r1
+    li  r2, 0x11000
+    jr  r2                 ; enter module A
+da: .word 0x11000, 0x11100, 0x18000, 0x18100
+db: .word 0x13000, 0x13100, 0x19000, 0x19100
+
+.org 0x11000
+module_a:
+a_start:
+    ; build the attest descriptor in A's data section
+    li  r6, 0x18000
+    li  r7, 0x18040
+    stw r7, [r6 + 0]       ; out_ptr
+    li  r7, 0x13000
+    stw r7, [r6 + 4]       ; target = B's text
+    li  r7, 0x13100
+    stw r7, [r6 + 8]
+    li  r7, 0x77
+    stw r7, [r6 + 12]      ; nonce
+    attest r8, r6          ; hardware MAC over B's text
+    ; (a real caller compares the tag against a stored value here)
+    li  r2, 0x13000
+    jr  r2
+.org 0x13000
+module_b:
+    halt
+)");
+  if (!out.ok()) {
+    std::exit(1);
+  }
+  for (const AsmChunk& chunk : out->chunks) {
+    platform.bus().HostWriteBytes(chunk.base, chunk.bytes);
+  }
+  platform.cpu().Reset(0x30000);
+  const uint64_t t0 = RunUntil(
+      platform, [&] { return platform.cpu().ip() == 0x11000; }, 100000);
+  platform.Run(100000);
+  if (!platform.cpu().halted() || unit.violation()) {
+    std::exit(1);
+  }
+  return platform.cpu().cycles() - t0;
+}
+
+// --- SMART ------------------------------------------------------------------
+
+uint64_t MeasureSmartAttestation(bool software_hash) {
+  std::array<uint8_t, 32> key;
+  key.fill(0x21);
+  SmartSystem smart(software_hash ? SoftwareSmartConfig() : SmartConfig{},
+                    key);
+  std::vector<uint8_t> firmware(256, 0x5A);
+  smart.platform().bus().HostWriteBytes(0x31000, firmware);
+  Sha256Digest tag;
+  uint64_t cycles = 0;
+  if (!smart.InvokeAttestation(0x77, 0x31000, 0x31000 + 256, &tag, &cycles)) {
+    std::exit(1);
+  }
+  return cycles;
+}
+
+}  // namespace
+}  // namespace trustlite
+
+int main() {
+  using namespace trustlite;
+  std::printf("IPC latency across architectures (simulated cycles)\n\n");
+
+  const uint64_t rpc = MeasureUntrustedRpc();
+  const TrustedIpcCycles trusted = MeasureTrustedIpc(true);
+  const TrustedIpcCycles trusted_nomeas = MeasureTrustedIpc(false);
+  const uint64_t sancus = MeasureSancusAuthenticatedCall();
+  const uint64_t smart = MeasureSmartAttestation(false);
+  const uint64_t smart_soft = MeasureSmartAttestation(true);
+
+  std::printf("%-52s %14s\n", "mechanism", "cycles");
+  std::printf("%-52s %14llu\n",
+              "TrustLite untrusted RPC (jump + return)",
+              static_cast<unsigned long long>(rpc));
+  std::printf("%-52s %14llu\n",
+              "TrustLite trusted-IPC handshake (one-time,",
+              static_cast<unsigned long long>(trusted.handshake));
+  std::printf("%-52s\n", "  incl. hashing the responder's code)");
+  std::printf("%-52s %14llu\n",
+              "TrustLite trusted-IPC handshake (no code hash)",
+              static_cast<unsigned long long>(trusted_nomeas.handshake));
+  std::printf("%-52s %14llu\n",
+              "TrustLite authenticated message (per message)",
+              static_cast<unsigned long long>(trusted.per_message));
+  std::printf("%-52s %14llu\n",
+              "Sancus authenticated call (MAC per interaction)",
+              static_cast<unsigned long long>(sancus));
+  std::printf("%-52s %14llu\n",
+              "SMART attestation pass (per interaction)",
+              static_cast<unsigned long long>(smart));
+  std::printf("%-52s %14llu\n",
+              "SMART pass, software SHA-256 (original profile)",
+              static_cast<unsigned long long>(smart_soft));
+
+  std::printf(
+      "\nShape (paper Secs. 4.2.2, 6, 7):\n"
+      "  * Untrusted IPC is a plain jump: ~%llu cycles.\n"
+      "  * Trusted IPC pays its inspection cost once; afterwards each\n"
+      "    authenticated message costs %llu cycles (%.1fx cheaper than a\n"
+      "    SMART-style per-interaction attestation at %llu cycles).\n"
+      "  * Sancus pays the MAC engine on every authentication (%llu).\n",
+      static_cast<unsigned long long>(rpc),
+      static_cast<unsigned long long>(trusted.per_message),
+      static_cast<double>(smart) / static_cast<double>(trusted.per_message),
+      static_cast<unsigned long long>(smart),
+      static_cast<unsigned long long>(sancus));
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Reproduces **Sec. 5.3** of the paper: runtime overhead of memory
+// protection.
+//
+//  1. Memory access latency with and without the EA-MPU: the range checks
+//     run in parallel to the access and add zero cycles (measured by
+//     running the same guest workload on both configurations).
+//  2. The fault-aggregation logic grows logarithmically in depth with the
+//     region count (the paper reports timing closure up to 32 regions).
+//  3. Secure Loader cost: 3 MPU register writes per protection region
+//     (start, end, permission), +1 SP-slot write per code region with the
+//     exceptions engine, and 1 write per rule — measured from the MPU's
+//     own MMIO write counter across boots with increasing trustlet counts.
+//  4. The SMART-like minimal instantiation (Sec. 5.3's closing point).
+
+#include <cstdio>
+#include <string>
+
+#include "src/cost/hw_cost.h"
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+// A memory-heavy guest workload (load/store sweep over open RAM).
+uint64_t RunMemoryWorkload(bool with_mpu) {
+  PlatformConfig config;
+  config.with_mpu = with_mpu;
+  Platform platform(config);
+  if (with_mpu) {
+    // Arm the MPU with a fully populated region/rule file so every access
+    // is checked against all 16 regions (worst case for a serial design).
+    Bus& bus = platform.bus();
+    for (int i = 0; i < 16; ++i) {
+      const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                           static_cast<uint32_t>(i) * kMpuRegionStride;
+      bus.HostWriteWord(reg + 0, 0x40000 + static_cast<uint32_t>(i) * 0x100);
+      bus.HostWriteWord(reg + 4, 0x40000 + static_cast<uint32_t>(i) * 0x100 + 0x80);
+      bus.HostWriteWord(reg + 8, kMpuAttrEnable);
+    }
+    bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+  }
+  Result<AsmOutput> out = Assemble(R"(
+.org 0x30000
+start:
+    li  r1, 0x32000
+    movi r2, 0
+    movi r3, 1024
+loop:
+    stw r2, [r1]
+    ldw r4, [r1]
+    addi r1, r1, 4
+    addi r2, r2, 1
+    bne r2, r3, loop
+    halt
+)");
+  if (!out.ok()) {
+    std::exit(1);
+  }
+  uint32_t base = 0;
+  platform.bus().HostWriteBytes(0x30000, out->Flatten(&base));
+  platform.cpu().Reset(0x30000);
+  platform.Run(100000);
+  return platform.cpu().cycles();
+}
+
+TrustletBuildSpec CounterSpec(int index) {
+  TrustletBuildSpec spec;
+  spec.name = "T" + std::to_string(index);
+  spec.code_addr = 0x11000 + static_cast<uint32_t>(index) * 0x1000;
+  spec.data_addr = 0x11800 + static_cast<uint32_t>(index) * 0x1000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = "tl_main:\n    swi 0\n    jmp tl_main\n";
+  return spec;
+}
+
+void LoaderCostSweep() {
+  std::printf(
+      "Secure Loader MPU programming cost (measured via the MPU's MMIO\n"
+      "write counter; 3 writes per region + 1 SP slot per code region + 1\n"
+      "per rule + 2 CTRL writes):\n\n");
+  std::printf("%10s %9s %7s %12s %14s %12s\n", "trustlets", "regions",
+              "rules", "MPU writes", "words moved", "boot cycles");
+  for (int n = 1; n <= 6; ++n) {
+    PlatformConfig pc;
+    pc.mpu_regions = 32;
+    Platform platform(pc);
+    SystemImage image;
+    for (int i = 0; i < n; ++i) {
+      Result<TrustletMeta> tl = BuildTrustlet(CounterSpec(i));
+      if (!tl.ok()) {
+        std::exit(1);
+      }
+      image.Add(*tl);
+    }
+    NanosConfig os_config;
+    Result<TrustletMeta> os = BuildNanos(os_config);
+    if (!os.ok()) {
+      std::exit(1);
+    }
+    image.Add(*os);
+    if (!platform.InstallImage(image).ok()) {
+      std::exit(1);
+    }
+    Result<LoadReport> report = platform.Boot();
+    if (!report.ok()) {
+      std::fprintf(stderr, "boot failed: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%10d %9d %7d %12llu %14llu %12llu\n", n,
+                report->regions_used, report->rules_used,
+                static_cast<unsigned long long>(report->mpu_register_writes),
+                static_cast<unsigned long long>(report->words_moved),
+                static_cast<unsigned long long>(report->boot_cycles));
+  }
+}
+
+}  // namespace
+}  // namespace trustlite
+
+int main() {
+  using namespace trustlite;
+  std::printf("Sec. 5.3: runtime overhead of memory protection\n\n");
+
+  // 1. Access latency.
+  const uint64_t without = RunMemoryWorkload(false);
+  const uint64_t with = RunMemoryWorkload(true);
+  std::printf(
+      "1) Memory access latency (1024-iteration load/store sweep):\n"
+      "   without MPU: %llu cycles\n"
+      "   with EA-MPU (16 regions populated): %llu cycles\n"
+      "   overhead: %lld cycles (paper: range checks are parallelized and\n"
+      "   \"do not increase memory access time\")\n\n",
+      static_cast<unsigned long long>(without),
+      static_cast<unsigned long long>(with),
+      static_cast<long long>(with) - static_cast<long long>(without));
+
+  // 2. Fault-tree depth.
+  std::printf(
+      "2) Fault-aggregation tree depth (gate levels, grows with log2 of\n"
+      "   the region count; paper: timing closure up to 32 regions):\n   ");
+  for (const int regions : {2, 4, 8, 12, 16, 24, 32, 64}) {
+    std::printf("%d->%d  ", regions, EaMpu::FaultTreeDepth(regions));
+  }
+  std::printf("\n\n");
+
+  // 3. Loader cost sweep.
+  LoaderCostSweep();
+
+  // 4. SMART-like instantiation.
+  const HwCost smart_like = SmartLikeInstantiationCost();
+  std::printf(
+      "\n4) SMART-like instantiation (Secure Loader merged with the\n"
+      "   attestation service, one protected module): %d slice registers\n"
+      "   and %d slice LUTs (paper: 394 / 599), vs original SMART's extra\n"
+      "   4 kB ROM with no software-update path.\n",
+      smart_like.regs, smart_like.luts);
+  return 0;
+}

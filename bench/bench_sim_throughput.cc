@@ -1,0 +1,118 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Engineering benchmark (google-benchmark): host-side throughput of the
+// TL32 simulator with and without EA-MPU checks, exception-entry cost, and
+// assembler throughput. Not a paper experiment — this tracks the
+// simulation substrate itself.
+
+#include <benchmark/benchmark.h>
+
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+std::vector<uint8_t> WorkloadImage(uint32_t* entry) {
+  Result<AsmOutput> out = Assemble(R"(
+.org 0x30000
+start:
+    li  r1, 0x32000
+    movi r2, 0
+loop:
+    stw r2, [r1]
+    ldw r3, [r1]
+    add r4, r3, r2
+    mul r5, r4, r3
+    addi r2, r2, 1
+    jmp loop
+)");
+  uint32_t base = 0;
+  std::vector<uint8_t> image = out->Flatten(&base);
+  *entry = base;
+  return image;
+}
+
+void BM_InterpreterNoMpu(benchmark::State& state) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  uint32_t entry = 0;
+  platform.bus().HostWriteBytes(0x30000, WorkloadImage(&entry));
+  platform.cpu().Reset(entry);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_InterpreterNoMpu);
+
+void BM_InterpreterWithMpu(benchmark::State& state) {
+  Platform platform;
+  Bus& bus = platform.bus();
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                         static_cast<uint32_t>(i) * kMpuRegionStride;
+    bus.HostWriteWord(reg + 0, 0x40000 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 4, 0x40080 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 8, kMpuAttrEnable);
+  }
+  bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+  uint32_t entry = 0;
+  bus.HostWriteBytes(0x30000, WorkloadImage(&entry));
+  platform.cpu().Reset(entry);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_InterpreterWithMpu);
+
+void BM_PreemptiveSystem(benchmark::State& state) {
+  // Full system: nanOS + 2 trustlets under a fast scheduler tick.
+  Platform platform;
+  SystemImage image;
+  for (int i = 0; i < 2; ++i) {
+    TrustletBuildSpec spec;
+    spec.name = "T" + std::to_string(i);
+    spec.code_addr = 0x11000 + static_cast<uint32_t>(i) * 0x2000;
+    spec.data_addr = 0x12000 + static_cast<uint32_t>(i) * 0x2000;
+    spec.data_size = 0x400;
+    spec.stack_size = 0x100;
+    spec.body = "tl_main:\nloop:\n    addi r1, r1, 1\n    jmp loop\n";
+    image.Add(*BuildTrustlet(spec));
+  }
+  NanosConfig os_config;
+  os_config.timer_period = 500;
+  image.Add(*BuildNanos(os_config));
+  (void)platform.InstallImage(image);
+  (void)platform.BootAndLaunch();
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_PreemptiveSystem);
+
+void BM_Assembler(benchmark::State& state) {
+  NanosConfig config;
+  const std::string source = NanosSource(config);
+  for (auto _ : state) {
+    Result<AsmOutput> out = Assemble(source, config.code_addr);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace
+}  // namespace trustlite
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+; fibonacci.s — compute fib(20) iteratively and print it in decimal.
+;   tlsim run examples/guest/fibonacci.s
+start:
+    movi r1, 0             ; fib(0)
+    movi r2, 1             ; fib(1)
+    movi r3, 20            ; n
+fib_loop:
+    movi r4, 0
+    beq  r3, r4, print
+    add  r5, r1, r2
+    mov  r1, r2
+    mov  r2, r5
+    addi r3, r3, -1
+    jmp  fib_loop
+
+; Print r1 (fib(20) = 6765) in decimal over the UART.
+print:
+    li   r9, 0xF0003000
+    li   r6, 0x32000       ; digit scratch buffer
+    movi r7, 0             ; digit count
+digits:
+    movi r8, 10
+    ; r10 = r1 / 10 via repeated subtraction (no div instruction)
+    movi r10, 0
+div_loop:
+    bltu r1, r8, div_done
+    sub  r1, r1, r8
+    addi r10, r10, 1
+    jmp  div_loop
+div_done:
+    ; r1 is now the remainder digit
+    addi r1, r1, '0'
+    add  r11, r6, r7
+    stb  r1, [r11]
+    addi r7, r7, 1
+    mov  r1, r10
+    movi r4, 0
+    bne  r1, r4, digits
+emit:
+    movi r4, 0
+    beq  r7, r4, newline
+    addi r7, r7, -1
+    add  r11, r6, r7
+    ldb  r5, [r11]
+    stw  r5, [r9]
+    jmp  emit
+newline:
+    movi r5, '\n'
+    stw  r5, [r9]
+    halt

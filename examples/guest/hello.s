@@ -1,0 +1,16 @@
+; hello.s — minimal TL32 program for tlsim.
+;   tlsim run examples/guest/hello.s
+start:
+    li   r1, 0xF0003000    ; UART MMIO base
+    la   r2, msg
+loop:
+    ldb  r3, [r2]
+    movi r4, 0
+    beq  r3, r4, done
+    stw  r3, [r1]          ; TXDATA
+    addi r2, r2, 1
+    jmp  loop
+done:
+    halt
+msg:
+    .asciiz "Hello, TrustLite!\n"

@@ -1,0 +1,134 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Quickstart: build a TrustLite platform, load one trustlet and the nanOS
+// kernel through the Secure Loader, run the system, and watch the EA-MPU
+// stop the (untrusted) OS from touching the trustlet.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole paper pipeline: trustlet authoring (TL32
+// assembly) -> PROM image -> Secure Loader (Fig. 5) -> EA-MPU rules
+// (Figs. 2/3) -> preemptive scheduling with the secure exception engine
+// (Fig. 4).
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+#include "src/trustlet/trustlet_table.h"
+
+using namespace trustlite;
+
+int main() {
+  std::printf("== TrustLite quickstart ==\n\n");
+
+  // 1. Author a trustlet. The builder wraps the body with the standard
+  //    scaffold: a 4-byte entry vector, the loader-patched Trustlet-Table
+  //    slot pointer, and the continue() restore sequence.
+  TrustletBuildSpec spec;
+  spec.name = "HELO";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = R"(
+tl_main:
+    li   r4, TL_DATA
+    movi r1, 0
+work:
+    addi r1, r1, 1
+    stw  r1, [r4 + 16]     ; private progress counter
+    li   r5, 0x30000
+    stw  r1, [r5]          ; public progress counter (open memory)
+    jmp  work
+)";
+  Result<TrustletMeta> trustlet = BuildTrustlet(spec);
+  if (!trustlet.ok()) {
+    std::fprintf(stderr, "trustlet build failed: %s\n",
+                 trustlet.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built trustlet '%s': %zu bytes of code at %s\n",
+              spec.name.c_str(), trustlet->code.size(),
+              Hex32(spec.code_addr).c_str());
+
+  // 2. Assemble the system image: the trustlet plus the nanOS kernel.
+  SystemImage image;
+  image.Add(*trustlet);
+  NanosConfig os_config;
+  os_config.timer_period = 1000;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  if (!os.ok()) {
+    std::fprintf(stderr, "nanOS build failed: %s\n",
+                 os.status().ToString().c_str());
+    return 1;
+  }
+  image.Add(*os);
+
+  // 3. Flash PROM and run the Secure Loader.
+  Platform platform;
+  if (Status s = platform.InstallImage(image); !s.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<LoadReport> report = platform.BootAndLaunch();
+  if (!report.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Secure Loader: %d MPU regions, %d rules, %llu MPU register writes,\n"
+      "boot cost %llu cycles; MPU enabled=%d locked=%d\n",
+      report->regions_used, report->rules_used,
+      static_cast<unsigned long long>(report->mpu_register_writes),
+      static_cast<unsigned long long>(report->boot_cycles),
+      platform.mpu()->enabled(), platform.mpu()->locked());
+
+  TrustletTableView table(&platform.bus(), kTrustletTableBase);
+  const auto row = table.ReadRow(*table.FindById(MakeTrustletId("HELO")));
+  std::printf("Trustlet Table row: code [%s,%s) entry %s measurement %s...\n",
+              Hex32(row->code_base).c_str(), Hex32(row->code_end).c_str(),
+              Hex32(row->entry).c_str(),
+              HexEncode(row->measurement.data(), 8).c_str());
+
+  // 4. Run the system: nanOS discovers the trustlet and schedules it
+  //    preemptively; the secure exception engine saves/restores its state.
+  platform.Run(100000);
+  uint32_t progress = 0;
+  platform.bus().HostReadWord(0x30000, &progress);
+  std::printf(
+      "\nafter 100k instructions: trustlet made %u loop iterations across\n"
+      "%llu hardware-saved preemptions\n",
+      progress,
+      static_cast<unsigned long long>(
+          platform.cpu().stats().trustlet_interrupts));
+
+  // 5. Demonstrate isolation: run hostile code in open memory that tries to
+  //    read the trustlet's private counter.
+  std::printf("\nhostile code reads the trustlet's private data at %s...\n",
+              Hex32(spec.data_addr + 16).c_str());
+  Result<AsmOutput> attacker = Assemble(R"(
+.org 0x31000
+    li  r1, 0x12010
+    ldw r2, [r1]
+    halt
+)");
+  uint32_t base = 0;
+  platform.bus().HostWriteBytes(0x31000, attacker->Flatten(&base));
+  platform.cpu().Reset(0x31000);
+  platform.cpu().set_reg(kRegSp, 0x38000);
+  platform.Run(1000);
+  uint32_t fault_addr = 0;
+  platform.bus().HostReadWord(kMpuMmioBase + kMpuRegFaultAddr, &fault_addr);
+  std::printf(
+      "-> platform halted=%d, MPU latched faulting address %s (r2 = %u,\n"
+      "   the secret never left the trustlet)\n",
+      platform.cpu().halted(), Hex32(fault_addr).c_str(),
+      platform.cpu().reg(2));
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Secure peripheral demo (paper Sec. 3.3): a "trusted display" trustlet is
+// given exclusive MMIO access to the GPIO/LED block and the UART. The OS
+// can neither spoof the display nor snoop the console — any attempt faults.
+// This is the paper's trusted-path pattern (secure user I/O [53]) built
+// purely from EA-MPU rules over MMIO addresses, with no privileged driver
+// layer.
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+
+using namespace trustlite;
+
+int main() {
+  std::printf("== TrustLite secure peripheral (trusted display) demo ==\n\n");
+
+  // Display trustlet: owns GPIO (the \"LED display\") and the UART.
+  TrustletBuildSpec display;
+  display.name = "DISP";
+  display.code_addr = 0x11000;
+  display.data_addr = 0x12000;
+  display.data_size = 0x400;
+  display.stack_size = 0x100;
+  display.grants.push_back(
+      {kGpioBase, kGpioBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  display.grants.push_back(
+      {kUartBase, kUartBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  display.body = R"(
+tl_main:
+    ; Show a security indicator on the LED block and print the trusted
+    ; banner. Only we can do either.
+    li   r4, MMIO_GPIO
+    li   r5, 0x5AFE
+    stw  r5, [r4 + GPIO_OUT]
+    li   r4, MMIO_UART
+    la   r6, banner
+print:
+    ldb  r7, [r6]
+    movi r8, 0
+    beq  r7, r8, done
+    stw  r7, [r4 + UART_TXDATA]
+    addi r6, r6, 1
+    jmp  print
+done:
+    swi  0
+    jmp  done
+banner:
+    .asciiz "[trusted display] state: SAFE\n"
+)";
+
+  SystemImage image;
+  Result<TrustletMeta> display_meta = BuildTrustlet(display);
+  if (!display_meta.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 display_meta.status().ToString().c_str());
+    return 1;
+  }
+  image.Add(*display_meta);
+
+  // nanOS *without* UART/GPIO grants: the peripherals belong to the
+  // trustlet alone.
+  NanosConfig os_config;
+  os_config.grant_uart = false;
+  os_config.grant_gpio = false;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  image.Add(*os);
+
+  Platform platform;
+  (void)platform.InstallImage(image);
+  Result<LoadReport> report = platform.BootAndLaunch();
+  if (!report.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  platform.Run(100000);
+  std::printf("LED register after trustlet ran: %s\n",
+              Hex32(platform.gpio().out()).c_str());
+  std::printf("UART output:\n  %s\n", platform.uart().output().c_str());
+
+  // A compromised OS / malicious app tries to overwrite the LED state and
+  // spoof the console.
+  std::printf("hostile code tries to set the LED to 0xBAD and print a fake "
+              "banner...\n");
+  Result<AsmOutput> attacker = Assemble(R"(
+.org 0x31000
+    li  r1, 0xF0006000     ; GPIO
+    li  r2, 0xBAD
+    stw r2, [r1]           ; -> MPU fault
+    li  r1, 0xF0003000     ; UART (never reached)
+    movi r2, 'X'
+    stw r2, [r1]
+    halt
+)");
+  uint32_t base = 0;
+  platform.bus().HostWriteBytes(0x31000, attacker->Flatten(&base));
+  platform.cpu().Reset(0x31000);
+  platform.cpu().set_reg(kRegSp, 0x38000);
+  platform.Run(1000);
+
+  uint32_t fault_addr = 0;
+  platform.bus().HostReadWord(kMpuMmioBase + kMpuRegFaultAddr, &fault_addr);
+  std::printf(
+      "-> halted=%d at the first poke; MPU fault address %s;\n"
+      "   LED still reads %s and the console still shows only the trusted\n"
+      "   banner (%zu bytes of output, unchanged).\n",
+      platform.cpu().halted(), Hex32(fault_addr).c_str(),
+      Hex32(platform.gpio().out()).c_str(), platform.uart().output().size());
+  return 0;
+}

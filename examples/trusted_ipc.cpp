@@ -1,0 +1,110 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Trusted IPC demo (paper Sec. 4.2.2 / Fig. 6): two trustlets establish a
+// mutually authenticated local channel with a one-round syn/ack handshake —
+// no security kernel or hypervisor involved. The initiator first performs a
+// *local attestation* of the responder (Trustlet Table lookup + live code
+// hash against the Secure Loader's measurement), then both sides derive the
+// session token hash(A, B, NA, NB) and exchange an authenticated message.
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/services/trusted_ipc.h"
+
+using namespace trustlite;
+
+namespace {
+
+uint32_t Word(Platform& platform, uint32_t addr) {
+  uint32_t value = 0;
+  platform.bus().HostReadWord(addr, &value);
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== TrustLite trusted IPC demo ==\n\n");
+
+  TrustedIpcSpec ipc;
+  ipc.initiator_code = 0x11000;
+  ipc.initiator_data = 0x12000;
+  ipc.responder_code = 0x13000;
+  ipc.responder_data = 0x14000;
+  ipc.message = 0x0C0FFEE0;
+
+  SystemImage image;
+  Result<TrustletMeta> initiator = BuildIpcInitiator(ipc);
+  Result<TrustletMeta> responder = BuildIpcResponder(ipc);
+  if (!initiator.ok() || !responder.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  image.Add(*responder);
+  image.Add(*initiator);
+  NanosConfig os_config;
+  os_config.timer_period = 5000;
+  image.Add(*BuildNanos(os_config));
+
+  Platform platform;
+  (void)platform.InstallImage(image);
+  Result<LoadReport> report = platform.BootAndLaunch();
+  if (!report.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("booted: TLA (initiator) and TLB (responder) loaded and\n"
+              "measured by the Secure Loader; nanOS schedules both.\n\n");
+
+  platform.Run(500000);
+  if (platform.cpu().trap().valid) {
+    std::fprintf(stderr, "trap: %s\n", platform.cpu().trap().reason);
+    return 1;
+  }
+
+  const uint32_t state = Word(platform, ipc.initiator_data + kIpcInitState);
+  const uint32_t na = Word(platform, ipc.initiator_data + kIpcInitNa);
+  const uint32_t nb = Word(platform, ipc.responder_data + kIpcRespNb);
+  std::printf("initiator state: %u (%s)\n", state,
+              state == 2 ? "token established" : "handshake incomplete");
+  std::printf("nonces: NA=%s NB=%s\n", Hex32(na).c_str(), Hex32(nb).c_str());
+
+  Sha256Digest token_a;
+  Sha256Digest token_b;
+  ReadGuestToken(&platform.bus(), ipc.initiator_data + kIpcInitToken, &token_a);
+  ReadGuestToken(&platform.bus(), ipc.responder_data + kIpcRespToken, &token_b);
+  std::printf("session token (initiator): %s...\n",
+              HexEncode(token_a.data(), 12).c_str());
+  std::printf("session token (responder): %s...\n",
+              HexEncode(token_b.data(), 12).c_str());
+  const Sha256Digest expected = ComputeSessionToken(
+      MakeTrustletId("TLA"), MakeTrustletId("TLB"), na, nb);
+  std::printf("host model of hash(A,B,NA,NB): %s...\n",
+              HexEncode(expected.data(), 12).c_str());
+  std::printf("tokens match: %s\n\n",
+              (token_a == token_b && token_a == expected) ? "YES" : "NO");
+
+  std::printf("responder resolved peer id: '%s'\n",
+              TrustletIdName(Word(platform, ipc.responder_data + kIpcRespPeerId))
+                  .c_str());
+  std::printf("authenticated message accepted: %s (payload %s, %u rejects)\n",
+              Word(platform, ipc.responder_data + kIpcRespAccepted) ==
+                      ipc.message
+                  ? "YES"
+                  : "NO",
+              Hex32(Word(platform, ipc.responder_data + kIpcRespAccepted))
+                  .c_str(),
+              Word(platform, ipc.responder_data + kIpcRespRejects));
+
+  std::printf(
+      "\nNote: receiver identity needs no cryptography — a jump to TLB's\n"
+      "entry vector can only land in TLB (EA-MPU entry rule), and the\n"
+      "secure exception engine keeps the token out of the OS's sight\n"
+      "even under preemption.\n");
+  return 0;
+}

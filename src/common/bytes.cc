@@ -1,0 +1,30 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/common/bytes.h"
+
+#include <cstdio>
+
+namespace trustlite {
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string HexEncode(const std::vector<uint8_t>& data) {
+  return HexEncode(data.data(), data.size());
+}
+
+std::string Hex32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,76 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Byte-order helpers and hex formatting. TL32 is little-endian; all guest
+// memory images and MMIO registers use these helpers so host endianness
+// never leaks into guest state.
+
+#ifndef TRUSTLITE_SRC_COMMON_BYTES_H_
+#define TRUSTLITE_SRC_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trustlite {
+
+// Reads a little-endian 32-bit word from `p`. Caller guarantees 4 readable
+// bytes.
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint16_t LoadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               (static_cast<uint16_t>(p[1]) << 8));
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void StoreLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+// Appends a little-endian word to a byte vector (image building).
+inline void AppendLe32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+// Sign-extends the low `bits` bits of `v`.
+inline int32_t SignExtend(uint32_t v, int bits) {
+  const uint32_t m = 1u << (bits - 1);
+  v &= (bits == 32) ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+  return static_cast<int32_t>((v ^ m) - m);
+}
+
+// True if `v` fits in a signed `bits`-bit immediate.
+inline bool FitsSigned(int64_t v, int bits) {
+  const int64_t lo = -(int64_t{1} << (bits - 1));
+  const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+// True if `v` fits in an unsigned `bits`-bit field.
+inline bool FitsUnsigned(uint64_t v, int bits) {
+  return bits >= 64 || v < (uint64_t{1} << bits);
+}
+
+// "deadbeef"-style lowercase hex of a byte buffer.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+// "0x0000beef" style formatting of a 32-bit value.
+std::string Hex32(uint32_t v);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_COMMON_BYTES_H_

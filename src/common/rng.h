@@ -1,0 +1,35 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Deterministic PRNG (xoshiro256**). Backs the TRNG peripheral model and the
+// randomized property tests; seeded explicitly so every run is reproducible.
+
+#ifndef TRUSTLITE_SRC_COMMON_RNG_H_
+#define TRUSTLITE_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace trustlite {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next64();
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform in [0, bound). `bound` must be non-zero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  bool NextBool() { return (Next64() & 1) != 0; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_COMMON_RNG_H_

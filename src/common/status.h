@@ -1,0 +1,130 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Lightweight status / result types used across the simulator. The hot
+// simulation paths use plain enums; Status/Result are for setup-time APIs
+// (assembler, loader, image building) where rich errors help.
+
+#ifndef TRUSTLITE_SRC_COMMON_STATUS_H_
+#define TRUSTLITE_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace trustlite {
+
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kPermissionDenied,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional message. Copyable, cheap when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "INVALID_ARGUMENT: bad register name" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+// Result<T> carries either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : value_(std::move(status)) {}    // NOLINT
+  Result(StatusCode code, std::string msg) : value_(Status(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkSingleton;
+    if (ok()) {
+      return kOkSingleton;
+    }
+    return std::get<Status>(value_);
+  }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate a non-OK status out of the enclosing function.
+#define TL_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::trustlite::Status tl_status_ = (expr); \
+    if (!tl_status_.ok()) {                 \
+      return tl_status_;                    \
+    }                                       \
+  } while (0)
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_COMMON_STATUS_H_

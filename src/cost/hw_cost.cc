@@ -1,0 +1,112 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/cost/hw_cost.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace trustlite {
+
+HwCost TrustLiteExtensionCost(int modules, bool with_exceptions) {
+  HwCost cost = kTrustLiteExtensionBase + kTrustLitePerModule * modules;
+  if (with_exceptions) {
+    cost = cost + kTrustLiteExceptionsBase +
+           kTrustLiteExceptionsPerModule * modules;
+  }
+  return cost;
+}
+
+HwCost SancusExtensionCost(int modules) {
+  return kSancusExtensionBase + kSancusPerModule * modules;
+}
+
+HwCost SancusExtensionCostNoKeyCache(int modules) {
+  const HwCost per_module = {kSancusPerModule.regs - kSancusKeyCacheRegsPerModule,
+                             kSancusPerModule.luts};
+  return kSancusExtensionBase + per_module * modules;
+}
+
+HwCost SmartLikeInstantiationCost() {
+  // One protected module holding loader + attestation code; no additional
+  // entry-point regions. Sec. 5.3: "394 slice registers and 599 slice LUTs".
+  return kTrustLiteExtensionBase + kTrustLitePerModule * 1;
+}
+
+int MaxModulesWithinBudget(int budget_slices, bool sancus,
+                           bool with_exceptions) {
+  int modules = 0;
+  for (;;) {
+    const HwCost next = sancus
+                            ? SancusExtensionCost(modules + 1)
+                            : TrustLiteExtensionCost(modules + 1, with_exceptions);
+    if (next.slices() > budget_slices) {
+      return modules;
+    }
+    ++modules;
+    if (modules > 10000) {
+      return modules;  // Defensive: budget is effectively unbounded.
+    }
+  }
+}
+
+std::vector<Fig7Row> Fig7Series(int max_modules) {
+  std::vector<Fig7Row> series;
+  const int base = OpenMsp430BaseSlices();
+  for (int n = 0; n <= max_modules; ++n) {
+    Fig7Row row;
+    row.modules = n;
+    row.trustlite = TrustLiteExtensionCost(n, false).slices();
+    row.trustlite_exc = TrustLiteExtensionCost(n, true).slices();
+    row.sancus = SancusExtensionCost(n).slices();
+    row.msp430_base = base;
+    row.msp430_200 = 2 * base;
+    row.msp430_400 = 4 * base;
+    series.push_back(row);
+  }
+  return series;
+}
+
+EaMpuEstimate EstimateEaMpu(int address_bits, bool with_sp_slot) {
+  EaMpuEstimate est;
+  // Per region: BASE + END registers plus ~8 attribute bits; the SP-slot
+  // register (exceptions engine) adds another address-width register.
+  est.per_region.regs = 2 * address_bits + 8 + (with_sp_slot ? address_bits : 0);
+  // Two magnitude comparators (~1 LUT/2 bits on 6-input LUTs) plus hit/
+  // priority logic.
+  est.per_region.luts = 2 * (address_bits / 2) + 12;
+  // A rule word (subject, object, perms, enable) and its match logic.
+  est.per_rule.regs = 22;
+  est.per_rule.luts = 10;
+  // Control/fault registers and the fault aggregation tree root.
+  est.base.regs = 3 * address_bits + 16;
+  est.base.luts = 2 * address_bits + 60;
+  return est;
+}
+
+std::string RenderTable1() {
+  std::ostringstream out;
+  char line[128];
+  out << "Table 1: FPGA resource utilization of execution-aware memory\n"
+         "protection per security module, TrustLite vs Sancus.\n\n";
+  std::snprintf(line, sizeof(line), "%-28s %10s %10s %10s %10s\n", "",
+                "TL Regs", "TL LUTs", "San Regs", "San LUTs");
+  out << line;
+  auto row = [&](const char* name, const HwCost& tl, const HwCost* sancus) {
+    if (sancus != nullptr) {
+      std::snprintf(line, sizeof(line), "%-28s %10d %10d %10d %10d\n", name,
+                    tl.regs, tl.luts, sancus->regs, sancus->luts);
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %10d %10d %10s %10s\n", name,
+                    tl.regs, tl.luts, "-", "-");
+    }
+    out << line;
+  };
+  row("Base Core Size", kTrustLiteBaseCore, &kSancusBaseCore);
+  row("Extension Base Cost", kTrustLiteExtensionBase, &kSancusExtensionBase);
+  row("Cost per Module", kTrustLitePerModule, &kSancusPerModule);
+  row("Exceptions Base Cost", kTrustLiteExceptionsBase, nullptr);
+  row("Except. per Module (est.)", kTrustLiteExceptionsPerModule, nullptr);
+  return out.str();
+}
+
+}  // namespace trustlite

@@ -1,0 +1,590 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/cpu/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trustlite {
+
+Cpu::Cpu(Bus* bus, SysCtl* sysctl, const CpuConfig& config)
+    : bus_(bus), sysctl_(sysctl), config_(config) {
+  assert(bus_ != nullptr);
+  assert(sysctl_ != nullptr);
+}
+
+void Cpu::AddIrqSource(Device* device) {
+  assert(device->irq_line() >= 0);
+  irq_sources_.push_back(device);
+  std::sort(irq_sources_.begin(), irq_sources_.end(),
+            [](const Device* a, const Device* b) {
+              return a->irq_line() < b->irq_line();
+            });
+}
+
+void Cpu::Reset(uint32_t reset_vector) {
+  for (uint32_t& reg : regs_) {
+    reg = 0;
+  }
+  ip_ = reset_vector;
+  prev_ip_ = reset_vector;
+  flags_ = 0;
+  halted_ = false;
+  trap_ = TrapInfo{};
+  // Cycle counter and stats persist across reset so boot-cost benches can
+  // measure the re-initialization itself.
+}
+
+AccessContext Cpu::DataContext(AccessKind kind) const {
+  AccessContext ctx;
+  ctx.curr_ip = ip_;
+  ctx.kind = kind;
+  ctx.privileged = (flags_ & kFlagUser) == 0;
+  return ctx;
+}
+
+void Cpu::HaltWithTrap(uint32_t exception_class, uint32_t addr,
+                       const char* why) {
+  halted_ = true;
+  trap_.valid = true;
+  trap_.exception_class = exception_class;
+  trap_.ip = ip_;
+  trap_.addr = addr;
+  trap_.reason = why;
+}
+
+bool Cpu::PendingIrq(Device** source) const {
+  for (Device* device : irq_sources_) {
+    if (device->IrqPending()) {
+      *source = device;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cpu::SaveTrustletState(int region_index, uint32_t resume_ip,
+                            uint32_t subject_ip) {
+  // All writes are attributed to the interrupted trustlet: the engine reuses
+  // the trustlet's own store path, so a bogus stack pointer faults exactly
+  // like a trustlet store would (paper footnote 1).
+  AccessContext ctx = DataContext(AccessKind::kWrite);
+  ctx.curr_ip = subject_ip;
+  uint32_t sp = regs_[kRegSp];
+  auto push = [&](uint32_t value) {
+    sp -= 4;
+    return bus_->Write(ctx, sp, 4, value) == AccessResult::kOk;
+  };
+  if (!push(flags_) || !push(resume_ip) || !push(regs_[15]) ||
+      !push(regs_[kRegLr])) {
+    return false;
+  }
+  for (int i = 12; i >= 0; --i) {
+    if (!push(regs_[i])) {
+      return false;
+    }
+  }
+  // Store the saved SP into the Trustlet Table row via the engine port.
+  const MpuRegion& region = mpu_->region(region_index);
+  AccessContext engine_ctx;
+  engine_ctx.engine = true;
+  engine_ctx.kind = AccessKind::kWrite;
+  if (bus_->Write(engine_ctx, region.sp_slot, 4, sp) != AccessResult::kOk) {
+    return false;
+  }
+  return true;
+}
+
+bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
+                         uint32_t fault_addr, uint32_t resume_ip,
+                         uint32_t subject_ip) {
+  ++stats_.exceptions;
+  uint32_t entry_cycles = config_.cycles.exception_base;
+
+  // Determine whether the secure engine must perform a full state save.
+  bool trustlet_path = false;
+  int region_index = -1;
+  if (config_.secure_exceptions && mpu_ != nullptr && mpu_->enabled()) {
+    entry_cycles += config_.cycles.secure_detect;
+    const std::optional<int> region = mpu_->FindCodeRegion(subject_ip);
+    if (region.has_value()) {
+      const MpuRegion& r = mpu_->region(*region);
+      if ((r.attr & kMpuAttrOs) == 0 && r.sp_slot != 0) {
+        trustlet_path = true;
+        region_index = *region;
+      }
+    }
+  }
+
+  if (handler == 0) {
+    cycles_ += entry_cycles;
+    last_exception_entry_cycles_ = entry_cycles;
+    HaltWithTrap(exception_class, fault_addr, "unhandled exception");
+    return false;
+  }
+
+  if (!trustlet_path) {
+    // Regular path: [FLAGS][resume IP][error] on the current stack. The ISR
+    // saves any registers it clobbers — nothing is cleared.
+    AccessContext ctx = DataContext(AccessKind::kWrite);
+    ctx.curr_ip = subject_ip;
+    uint32_t sp = regs_[kRegSp];
+    auto push = [&](uint32_t value) {
+      sp -= 4;
+      return bus_->Write(ctx, sp, 4, value) == AccessResult::kOk;
+    };
+    if (!push(flags_) || !push(resume_ip) || !push(exception_class)) {
+      cycles_ += entry_cycles;
+      last_exception_entry_cycles_ = entry_cycles;
+      HaltWithTrap(exception_class, sp, "double fault (exception frame)");
+      return false;
+    }
+    regs_[kRegSp] = sp;
+    flags_ &= ~(kFlagIf | kFlagUser);
+    ip_ = handler;
+    prev_ip_ = handler;  // Hardware vectoring: the handler fetch is trusted.
+    cycles_ += entry_cycles;
+    last_exception_entry_cycles_ = entry_cycles;
+    return true;
+  }
+
+  // Secure path.
+  entry_cycles += config_.cycles.secure_state_save;
+  entry_cycles += config_.cycles.secure_clear_and_sp;
+  ++stats_.trustlet_interrupts;
+
+  const bool saved = SaveTrustletState(region_index, resume_ip, subject_ip);
+  const uint32_t trustlet_entry = mpu_->region(region_index).base;
+  // Registers are cleared unconditionally: even when the save failed (the
+  // trustlet is terminated, footnote 1), nothing may leak into the ISR.
+  for (uint32_t& reg : regs_) {
+    reg = 0;
+  }
+
+  // Locate the OS region and restore its stack pointer from the Trustlet
+  // Table (step 3 of Fig. 4).
+  uint32_t os_sp = 0;
+  bool have_os = false;
+  for (int i = 0; i < mpu_->num_regions(); ++i) {
+    const MpuRegion& r = mpu_->region(i);
+    if (r.enabled() && (r.attr & kMpuAttrOs) != 0 && r.sp_slot != 0) {
+      AccessContext engine_ctx;
+      engine_ctx.engine = true;
+      engine_ctx.kind = AccessKind::kRead;
+      if (bus_->Read(engine_ctx, r.sp_slot, 4, &os_sp) == AccessResult::kOk) {
+        have_os = true;
+      }
+      break;
+    }
+  }
+  if (!have_os) {
+    cycles_ += entry_cycles;
+    last_exception_entry_cycles_ = entry_cycles;
+    HaltWithTrap(exception_class, fault_addr, "no OS stack configured");
+    return false;
+  }
+
+  // A failed save means the trustlet's stack was unusable; the event is
+  // reported as a memory protection fault (paper footnote 1) through the
+  // MPU-fault handler.
+  uint32_t effective_handler = handler;
+  if (!saved) {
+    effective_handler = sysctl_->HandlerFor(ExceptionClass::kMpuFault);
+    if (effective_handler == 0) {
+      cycles_ += entry_cycles;
+      last_exception_entry_cycles_ = entry_cycles;
+      HaltWithTrap(kExcMpuFault, fault_addr,
+                   "trustlet terminated, no MPU fault handler");
+      return false;
+    }
+  }
+
+  // Push [faulting IP][error] onto the OS stack. These stores execute with
+  // the handler's authority (the engine is completing the switch into the
+  // ISR context).
+  const uint32_t reported_ip =
+      (config_.sanitize_faulting_ip || !saved) ? trustlet_entry : subject_ip;
+  AccessContext os_ctx;
+  os_ctx.curr_ip = effective_handler;
+  os_ctx.kind = AccessKind::kWrite;
+  os_ctx.privileged = true;
+  uint32_t sp = os_sp;
+  auto push_os = [&](uint32_t value) {
+    sp -= 4;
+    return bus_->Write(os_ctx, sp, 4, value) == AccessResult::kOk;
+  };
+  uint32_t error = exception_class | kErrorFromTrustlet;
+  if (!saved) {
+    error = kExcMpuFault | kErrorFromTrustlet;
+  }
+  if (!push_os(reported_ip) || !push_os(error)) {
+    cycles_ += entry_cycles;
+    last_exception_entry_cycles_ = entry_cycles;
+    HaltWithTrap(exception_class, sp, "double fault (OS stack)");
+    return false;
+  }
+  regs_[kRegSp] = sp;
+  flags_ &= ~(kFlagIf | kFlagUser);
+  ip_ = effective_handler;
+  prev_ip_ = effective_handler;
+  cycles_ += entry_cycles;
+  last_exception_entry_cycles_ = entry_cycles;
+  return true;
+}
+
+Cpu::ExecOutcome Cpu::Execute(const Instruction& insn) {
+  ExecOutcome out;
+  out.cycles = config_.cycles.alu;
+  const auto& c = config_.cycles;
+
+  auto rs1 = [&]() { return regs_[insn.rs1]; };
+  auto rs2 = [&]() { return regs_[insn.rs2]; };
+
+  switch (insn.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      out.halted = true;
+      break;
+    case Opcode::kAdd:
+      regs_[insn.rd] = rs1() + rs2();
+      break;
+    case Opcode::kSub:
+      regs_[insn.rd] = rs1() - rs2();
+      break;
+    case Opcode::kAnd:
+      regs_[insn.rd] = rs1() & rs2();
+      break;
+    case Opcode::kOr:
+      regs_[insn.rd] = rs1() | rs2();
+      break;
+    case Opcode::kXor:
+      regs_[insn.rd] = rs1() ^ rs2();
+      break;
+    case Opcode::kShl:
+      regs_[insn.rd] = rs1() << (rs2() & 31);
+      break;
+    case Opcode::kShr:
+      regs_[insn.rd] = rs1() >> (rs2() & 31);
+      break;
+    case Opcode::kSra:
+      regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >>
+                                             (rs2() & 31));
+      break;
+    case Opcode::kMul:
+      regs_[insn.rd] = rs1() * rs2();
+      out.cycles = c.mul;
+      break;
+    case Opcode::kSltu:
+      regs_[insn.rd] = rs1() < rs2() ? 1 : 0;
+      break;
+    case Opcode::kSlt:
+      regs_[insn.rd] =
+          static_cast<int32_t>(rs1()) < static_cast<int32_t>(rs2()) ? 1 : 0;
+      break;
+    case Opcode::kAddi:
+      regs_[insn.rd] = rs1() + static_cast<uint32_t>(insn.imm);
+      break;
+    case Opcode::kAndi:
+      regs_[insn.rd] = rs1() & static_cast<uint32_t>(insn.imm);
+      break;
+    case Opcode::kOri:
+      regs_[insn.rd] = rs1() | static_cast<uint32_t>(insn.imm);
+      break;
+    case Opcode::kXori:
+      regs_[insn.rd] = rs1() ^ static_cast<uint32_t>(insn.imm);
+      break;
+    case Opcode::kShli:
+      regs_[insn.rd] = rs1() << (insn.imm & 31);
+      break;
+    case Opcode::kShri:
+      regs_[insn.rd] = rs1() >> (insn.imm & 31);
+      break;
+    case Opcode::kSrai:
+      regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >>
+                                             (insn.imm & 31));
+      break;
+    case Opcode::kMovi:
+      regs_[insn.rd] = static_cast<uint32_t>(insn.imm);
+      break;
+    case Opcode::kLui:
+      regs_[insn.rd] = static_cast<uint32_t>(insn.imm) << 10;
+      break;
+    case Opcode::kLdw:
+    case Opcode::kLdb: {
+      const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);
+      const uint32_t width = insn.opcode == Opcode::kLdw ? 4 : 1;
+      uint32_t value = 0;
+      uint32_t wait = 0;
+      const AccessResult r =
+          bus_->Read(DataContext(AccessKind::kRead), addr, width, &value, &wait);
+      if (r != AccessResult::kOk) {
+        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
+                          : r == AccessResult::kAlignFault ? kExcAlign
+                          : r == AccessResult::kReset     ? kExcReset
+                                                          : kExcBusError;
+        out.fault_addr = addr;
+        break;
+      }
+      regs_[insn.rd] = value;
+      out.cycles = c.memory + wait;
+      break;
+    }
+    case Opcode::kStw:
+    case Opcode::kStb: {
+      const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);
+      const uint32_t width = insn.opcode == Opcode::kStw ? 4 : 1;
+      uint32_t wait = 0;
+      const AccessResult r = bus_->Write(DataContext(AccessKind::kWrite), addr,
+                                         width, regs_[insn.rd], &wait);
+      if (r != AccessResult::kOk) {
+        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
+                          : r == AccessResult::kAlignFault ? kExcAlign
+                          : r == AccessResult::kReset     ? kExcReset
+                                                          : kExcBusError;
+        out.fault_addr = addr;
+        break;
+      }
+      out.cycles = c.memory + wait;
+      break;
+    }
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      // Branch operands travel in the rd/rs1 fields (see decoder).
+      const uint32_t a = regs_[insn.rd];
+      const uint32_t b = regs_[insn.rs1];
+      bool taken = false;
+      switch (insn.opcode) {
+        case Opcode::kBeq: taken = a == b; break;
+        case Opcode::kBne: taken = a != b; break;
+        case Opcode::kBlt:
+          taken = static_cast<int32_t>(a) < static_cast<int32_t>(b);
+          break;
+        case Opcode::kBge:
+          taken = static_cast<int32_t>(a) >= static_cast<int32_t>(b);
+          break;
+        case Opcode::kBltu: taken = a < b; break;
+        case Opcode::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      if (taken) {
+        ip_ += static_cast<uint32_t>(insn.imm);
+        out.control_transfer = true;
+        out.cycles = c.control_taken;
+      } else {
+        out.cycles = c.control_not_taken;
+      }
+      break;
+    }
+    case Opcode::kJmp:
+      ip_ += static_cast<uint32_t>(insn.imm);
+      out.control_transfer = true;
+      out.cycles = c.control_taken;
+      break;
+    case Opcode::kJal:
+      regs_[kRegLr] = ip_ + 4;
+      ip_ += static_cast<uint32_t>(insn.imm);
+      out.control_transfer = true;
+      out.cycles = c.control_taken;
+      break;
+    case Opcode::kJr:
+      ip_ = rs1();
+      out.control_transfer = true;
+      out.cycles = c.control_taken;
+      break;
+    case Opcode::kJalr: {
+      const uint32_t target = rs1();
+      regs_[kRegLr] = ip_ + 4;
+      ip_ = target;
+      out.control_transfer = true;
+      out.cycles = c.control_taken;
+      break;
+    }
+    case Opcode::kSwi:
+      out.fault_class = kExcSwiBase + (static_cast<uint32_t>(insn.imm) & 7);
+      break;
+    case Opcode::kIret: {
+      uint32_t new_ip = 0;
+      uint32_t new_flags = 0;
+      const uint32_t sp = regs_[kRegSp];
+      const AccessContext ctx = DataContext(AccessKind::kRead);
+      AccessResult r = bus_->Read(ctx, sp, 4, &new_ip);
+      if (r == AccessResult::kOk) {
+        r = bus_->Read(ctx, sp + 4, 4, &new_flags);
+      }
+      if (r != AccessResult::kOk) {
+        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
+                          : r == AccessResult::kAlignFault ? kExcAlign
+                          : r == AccessResult::kReset     ? kExcReset
+                                                          : kExcBusError;
+        out.fault_addr = sp;
+        break;
+      }
+      regs_[kRegSp] = sp + 8;
+      ip_ = new_ip;
+      flags_ = new_flags;
+      out.control_transfer = true;
+      out.cycles = c.iret;
+      break;
+    }
+    case Opcode::kCli:
+      flags_ &= ~kFlagIf;
+      break;
+    case Opcode::kSti:
+      flags_ |= kFlagIf;
+      break;
+    case Opcode::kProtect:
+    case Opcode::kUnprotect:
+    case Opcode::kAttest:
+      if (sancus_hook_ && sancus_hook_(insn, this)) {
+        break;
+      }
+      out.fault_class = kExcIllegal;
+      out.fault_addr = ip_;
+      break;
+  }
+  return out;
+}
+
+StepEvent Cpu::Step() {
+  if (halted_) {
+    return StepEvent::kHalted;
+  }
+  const uint64_t cycles_before = cycles_;
+
+  // Interrupt recognition happens between instructions.
+  if ((flags_ & kFlagIf) != 0) {
+    Device* source = nullptr;
+    if (PendingIrq(&source)) {
+      if (interrupt_guard_ && !interrupt_guard_(ip_)) {
+        // The architecture cannot interrupt protected code: force a reset.
+        source->IrqAck();
+        HaltWithTrap(kExcReset, ip_, "interrupt in protected module");
+        bus_->TickDevices(cycles_ - cycles_before);
+        return StepEvent::kHalted;
+      }
+      const uint32_t handler = source->IrqHandler();
+      source->IrqAck();
+      if (handler != 0) {
+        ++stats_.interrupts;
+        const uint32_t cls =
+            kExcIrqBase + static_cast<uint32_t>(source->irq_line());
+        EnterException(cls, handler, 0, ip_, ip_);
+        bus_->TickDevices(cycles_ - cycles_before);
+        return halted_ ? StepEvent::kHalted : StepEvent::kInterrupt;
+      }
+      // Spurious interrupt (no handler programmed): acknowledged and dropped.
+    }
+  }
+
+  // Fetch. The access subject is the instruction that transferred control
+  // here (prev_ip_), not the target itself — this is the execution-aware
+  // check that confines cross-region entry to entry vectors.
+  AccessContext fetch_ctx;
+  fetch_ctx.curr_ip = prev_ip_;
+  fetch_ctx.kind = AccessKind::kFetch;
+  fetch_ctx.privileged = (flags_ & kFlagUser) == 0;
+  uint32_t word = 0;
+  const AccessResult fetch = bus_->Read(fetch_ctx, ip_, 4, &word);
+  if (fetch != AccessResult::kOk) {
+    const uint32_t cls = fetch == AccessResult::kProtFault ? kExcMpuFault
+                         : fetch == AccessResult::kAlignFault ? kExcAlign
+                         : fetch == AccessResult::kReset     ? kExcReset
+                                                             : kExcBusError;
+    if (cls == kExcReset) {
+      HaltWithTrap(kExcReset, ip_, "protection unit reset");
+      bus_->TickDevices(cycles_ - cycles_before);
+      return StepEvent::kHalted;
+    }
+    const uint32_t handler = sysctl_->HandlerFor(
+        static_cast<ExceptionClass>(cls == kExcMpuFault
+                                        ? ExceptionClass::kMpuFault
+                                    : cls == kExcAlign
+                                        ? ExceptionClass::kAlignmentFault
+                                        : ExceptionClass::kBusError));
+    // A fetch fault: the target never began executing, so the interrupted
+    // subject is the instruction that attempted the transfer (prev_ip_).
+    EnterException(cls, handler, ip_, ip_, prev_ip_);
+    bus_->TickDevices(cycles_ - cycles_before);
+    return halted_ ? StepEvent::kHalted : StepEvent::kException;
+  }
+
+  const std::optional<Instruction> insn = Decode(word);
+  if (!insn.has_value()) {
+    const uint32_t handler =
+        sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
+    EnterException(kExcIllegal, handler, ip_, ip_, ip_);
+    bus_->TickDevices(cycles_ - cycles_before);
+    return halted_ ? StepEvent::kHalted : StepEvent::kException;
+  }
+
+  const uint32_t insn_addr = ip_;
+  if (trace_hook_) {
+    trace_hook_(insn_addr, *insn);
+  }
+  const ExecOutcome out = Execute(*insn);
+  cycles_ += out.cycles;
+  prev_ip_ = insn_addr;
+
+  if (out.fault_class.has_value()) {
+    const uint32_t cls = *out.fault_class;
+    uint32_t handler = 0;
+    uint32_t resume = ip_;
+    if (cls == kExcReset) {
+      HaltWithTrap(kExcReset, out.fault_addr, "protection unit reset");
+      bus_->TickDevices(cycles_ - cycles_before);
+      return StepEvent::kHalted;
+    } else if (cls >= kExcSwiBase) {
+      handler = sysctl_->HandlerFor(ExceptionClass::kSwiBase, cls - kExcSwiBase);
+      resume = ip_ + 4;  // SWIs resume after the trapping instruction.
+      ++stats_.instructions;
+    } else if (cls == kExcMpuFault) {
+      handler = sysctl_->HandlerFor(ExceptionClass::kMpuFault);
+    } else if (cls == kExcIllegal) {
+      handler = sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
+    } else if (cls == kExcAlign) {
+      handler = sysctl_->HandlerFor(ExceptionClass::kAlignmentFault);
+    } else {
+      handler = sysctl_->HandlerFor(ExceptionClass::kBusError);
+    }
+    EnterException(cls, handler, out.fault_addr, resume, insn_addr);
+    bus_->TickDevices(cycles_ - cycles_before);
+    return halted_ ? StepEvent::kHalted : StepEvent::kException;
+  }
+
+  ++stats_.instructions;
+  if (out.halted) {
+    halted_ = true;
+    bus_->TickDevices(cycles_ - cycles_before);
+    return StepEvent::kHalted;
+  }
+  if (!out.control_transfer) {
+    ip_ += 4;
+  }
+  bus_->TickDevices(cycles_ - cycles_before);
+  return StepEvent::kExecuted;
+}
+
+StepEvent Cpu::Run(uint64_t max_instructions) {
+  const uint64_t start = stats_.instructions;
+  uint64_t safety = 0;
+  StepEvent event = StepEvent::kExecuted;
+  while (!halted_ && stats_.instructions - start < max_instructions) {
+    event = Step();
+    if (event == StepEvent::kHalted) {
+      break;
+    }
+    // Exception storms do not retire instructions; bound them separately.
+    if (++safety > max_instructions * 8 + 1024) {
+      HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+      return StepEvent::kHalted;
+    }
+  }
+  return event;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,239 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// TL32 CPU core: interpreter, interrupt handling, and the two exception
+// engines.
+//
+// The *regular* engine models a conventional low-cost core: on an exception
+// it pushes FLAGS, the resume IP and an error code onto the current stack
+// and jumps to the handler; the ISR is responsible for saving any registers
+// it uses — which is precisely the information-leak the paper attacks
+// (Sec. 3.4.1: registers of an interrupted task are exposed to the ISR/OS).
+//
+// The *secure* engine (TrustLite's modified exception engine, Fig. 4) adds,
+// when the interrupted instruction lies inside an EA-MPU code region that is
+// not the OS region:
+//   (1) the full CPU state (FLAGS, IP, r0-r12, lr) is pushed onto the
+//       *interrupted trustlet's* stack, attributed to the trustlet subject —
+//       so a corrupted stack pointer simply faults, terminating the trustlet
+//       (paper footnote 1);
+//   (2) the resulting stack pointer is stored into the trustlet's Trustlet
+//       Table row through a dedicated engine port (the per-region SP_SLOT
+//       register of the EA-MPU);
+//   (3) all general-purpose registers are cleared;
+//   (4) the OS stack pointer is loaded from the OS region's SP_SLOT and the
+//       (optionally sanitized) faulting IP plus an error code are pushed
+//       onto the OS stack; the ISR starts with a clean register file.
+//
+// Stack frame written by the secure engine on the trustlet stack (offsets
+// from the final saved SP):
+//   +0 .. +48   r0 .. r12
+//   +52         lr (r14)
+//   +56         r15
+//   +60         resume IP
+//   +64         FLAGS
+// A trustlet's continue() entry restores r0..r12/lr/r15 from this frame,
+// adds 60 to SP and executes IRET (pops IP then FLAGS).
+//
+// Frame on the OS/current stack:
+//   regular path: [FLAGS][resume IP][error]   (error on top; ISR pops error
+//                                              and IRETs)
+//   trustlet path: [faulting IP][error]       (ISR must not IRET; it defers
+//                                              to the scheduler / continue())
+// Error code: low 8 bits = exception class / vector; bit 31 set when a
+// trustlet was interrupted (the ISR could equally look the faulting IP up in
+// the Trustlet Table, Sec. 3.4.2 — the bit is a convenience).
+
+#ifndef TRUSTLITE_SRC_CPU_CPU_H_
+#define TRUSTLITE_SRC_CPU_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/cpu/cycle_model.h"
+#include "src/dev/sysctl.h"
+#include "src/isa/isa.h"
+#include "src/mem/bus.h"
+#include "src/mpu/ea_mpu.h"
+
+namespace trustlite {
+
+// FLAGS register bits.
+inline constexpr uint32_t kFlagIf = 1u << 0;    // Interrupts enabled.
+inline constexpr uint32_t kFlagUser = 1u << 1;  // User mode (compat MPU).
+
+// Error-code fields pushed by the exception engine.
+inline constexpr uint32_t kErrorFromTrustlet = 1u << 31;
+inline constexpr uint32_t kErrorClassMask = 0xFF;
+
+// Exception classes as they appear in error codes.
+inline constexpr uint32_t kExcMpuFault = 0;
+inline constexpr uint32_t kExcIllegal = 1;
+inline constexpr uint32_t kExcBusError = 2;
+inline constexpr uint32_t kExcAlign = 3;
+// A protection unit demanded a platform reset (SMART/Sancus semantics).
+// Never dispatched to software: the CPU halts with this trap class and the
+// platform model performs the reset + memory sanitization.
+inline constexpr uint32_t kExcReset = 4;
+inline constexpr uint32_t kExcIrqBase = 8;   // + IRQ line
+inline constexpr uint32_t kExcSwiBase = 16;  // + SWI vector
+
+enum class StepEvent : uint8_t {
+  kExecuted,    // One instruction retired.
+  kException,   // Exception entry performed (fault or SWI).
+  kInterrupt,   // Hardware IRQ entry performed.
+  kHalted,      // CPU is halted (HALT executed or unrecoverable trap).
+};
+
+// Details of the trap that halted the CPU (unhandled exception / double
+// fault); for post-mortem inspection by tests and examples.
+struct TrapInfo {
+  bool valid = false;
+  uint32_t exception_class = 0;
+  uint32_t ip = 0;
+  uint32_t addr = 0;
+  const char* reason = "";
+};
+
+struct CpuConfig {
+  // Enables the TrustLite secure exception engine. Requires an EA-MPU to be
+  // attached; without one every exception takes the regular path.
+  bool secure_exceptions = false;
+  // Report the interrupted trustlet's entry address instead of the precise
+  // faulting IP to the ISR (Sec. 3.4.2: "the reported faulting IP of
+  // trustlets can be sanitized to always point to the trustlet's entry
+  // vector").
+  bool sanitize_faulting_ip = false;
+  CycleModel cycles;
+};
+
+struct CpuStats {
+  uint64_t instructions = 0;
+  uint64_t exceptions = 0;
+  uint64_t interrupts = 0;
+  uint64_t trustlet_interrupts = 0;  // Secure-engine full-save entries.
+};
+
+class Cpu {
+ public:
+  Cpu(Bus* bus, SysCtl* sysctl, const CpuConfig& config);
+
+  // Wires the EA-MPU used by the secure exception engine (may be null).
+  void AttachMpu(EaMpu* mpu) { mpu_ = mpu; }
+
+  // Registers an IRQ source (typically every bus device with irq_line >= 0).
+  void AddIrqSource(Device* device);
+
+  // Handler invoked for Sancus pseudo-instructions (protect/unprotect/
+  // attest); returns true if handled, false -> illegal instruction.
+  using SancusHook = std::function<bool(const Instruction&, Cpu*)>;
+  void SetSancusHook(SancusHook hook) { sancus_hook_ = std::move(hook); }
+
+  // Optional interrupt admission hook: returning false for the interrupted
+  // IP models architectures that cannot take interrupts in protected code
+  // (Sancus resets the platform instead, paper Sec. 1/7).
+  using InterruptGuard = std::function<bool(uint32_t ip)>;
+  void SetInterruptGuard(InterruptGuard guard) {
+    interrupt_guard_ = std::move(guard);
+  }
+
+  // Charges extra cycles (used by instruction hooks modelling hardware
+  // engines, e.g. the Sancus MAC unit).
+  void AddCycles(uint64_t cycles) { cycles_ += cycles; }
+
+  // Optional per-instruction trace hook, invoked before execution with the
+  // instruction's address and decoded form (debugger/CLI tooling).
+  using TraceHook = std::function<void(uint32_t ip, const Instruction&)>;
+  void SetTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // Power-on / platform reset: registers cleared, IP at the PROM reset
+  // vector, interrupts disabled. Memory is untouched.
+  void Reset(uint32_t reset_vector);
+
+  // Executes one instruction or exception transition.
+  StepEvent Step();
+
+  // Runs until HALT, trap, or `max_instructions` retired. Returns the final
+  // event.
+  StepEvent Run(uint64_t max_instructions);
+
+  // --- State access ---
+  uint32_t reg(int index) const { return regs_[index]; }
+  void set_reg(int index, uint32_t value) { regs_[index] = value; }
+  uint32_t ip() const { return ip_; }
+  void set_ip(uint32_t value) { ip_ = value; }
+  uint32_t flags() const { return flags_; }
+  void set_flags(uint32_t value) { flags_ = value; }
+  bool halted() const { return halted_; }
+  uint64_t cycles() const { return cycles_; }
+  const CpuStats& stats() const { return stats_; }
+  const TrapInfo& trap() const { return trap_; }
+  const CpuConfig& config() const { return config_; }
+  Bus* bus() const { return bus_; }
+
+  // Last exception-entry cost in cycles (from recognition to the first ISR
+  // instruction) — the quantity measured in Sec. 5.4.
+  uint32_t last_exception_entry_cycles() const {
+    return last_exception_entry_cycles_;
+  }
+
+ private:
+  struct ExecOutcome {
+    bool control_transfer = false;
+    bool halted = false;
+    uint32_t cycles = 0;
+    // Fault raised by the instruction (memory/illegal); nullopt otherwise.
+    std::optional<uint32_t> fault_class;
+    uint32_t fault_addr = 0;
+  };
+
+  AccessContext DataContext(AccessKind kind) const;
+
+  ExecOutcome Execute(const Instruction& insn);
+
+  // Takes an exception or interrupt. `resume_ip` is where execution should
+  // continue (the faulting instruction for faults, the next instruction for
+  // IRQs/SWIs); `subject_ip` identifies the interrupted code (for fetch
+  // faults this is the jumper, not the never-executed target). Returns
+  // false if the CPU halted (unhandled trap).
+  bool EnterException(uint32_t exception_class, uint32_t handler,
+                      uint32_t fault_addr, uint32_t resume_ip,
+                      uint32_t subject_ip);
+
+  // Secure-engine helper: full state save to the trustlet stack. Returns
+  // false if a save access faulted (trustlet is terminated per footnote 1).
+  bool SaveTrustletState(int region_index, uint32_t resume_ip,
+                         uint32_t subject_ip);
+
+  void HaltWithTrap(uint32_t exception_class, uint32_t addr, const char* why);
+
+  bool PendingIrq(Device** source) const;
+
+  Bus* bus_;
+  SysCtl* sysctl_;
+  EaMpu* mpu_ = nullptr;
+  CpuConfig config_;
+  SancusHook sancus_hook_;
+  InterruptGuard interrupt_guard_;
+  TraceHook trace_hook_;
+  std::vector<Device*> irq_sources_;
+
+  uint32_t regs_[kNumRegisters] = {};
+  uint32_t ip_ = 0;
+  // Address of the most recently executed instruction: the *subject* of the
+  // next fetch (paper Fig. 2 checks next_IP against rules with curr_IP as
+  // the subject — this is what confines foreign execution to entry vectors).
+  // Exception entry re-bases it to the handler (hardware vectoring).
+  uint32_t prev_ip_ = 0;
+  uint32_t flags_ = 0;
+  bool halted_ = false;
+  uint64_t cycles_ = 0;
+  uint32_t last_exception_entry_cycles_ = 0;
+  CpuStats stats_;
+  TrapInfo trap_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_CPU_CPU_H_

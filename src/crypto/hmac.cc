@@ -1,0 +1,55 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace trustlite {
+
+Sha256Digest HmacSha256(const uint8_t* key, size_t key_len,
+                        const uint8_t* data, size_t data_len) {
+  uint8_t key_block[kSha256BlockSize];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key_len > kSha256BlockSize) {
+    const Sha256Digest key_digest = Sha256Hash(key, key_len);
+    std::memcpy(key_block, key_digest.data(), key_digest.size());
+  } else {
+    std::memcpy(key_block, key, key_len);
+  }
+
+  uint8_t ipad[kSha256BlockSize];
+  uint8_t opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(data, data_len);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key,
+                        const std::vector<uint8_t>& data) {
+  return HmacSha256(key.data(), key.size(), data.data(), data.size());
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < len; ++i) {
+    acc = static_cast<uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+bool ConstantTimeEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  return ConstantTimeEqual(a.data(), b.data(), a.size());
+}
+
+}  // namespace trustlite

@@ -1,0 +1,29 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// HMAC-SHA256 (RFC 2104) and constant-time comparison. Used for attestation
+// reports (SMART-style MAC over measurements) and secure-boot signatures
+// (symmetric scheme, matching the device-key model of low-cost platforms).
+
+#ifndef TRUSTLITE_SRC_CRYPTO_HMAC_H_
+#define TRUSTLITE_SRC_CRYPTO_HMAC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace trustlite {
+
+// HMAC-SHA256 of `data` under `key`.
+Sha256Digest HmacSha256(const uint8_t* key, size_t key_len,
+                        const uint8_t* data, size_t data_len);
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key,
+                        const std::vector<uint8_t>& data);
+
+// Timing-safe equality of two equal-length buffers.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len);
+bool ConstantTimeEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,143 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/crypto/spongent.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace trustlite {
+namespace {
+
+constexpr int kStateBits = static_cast<int>(kSpongentStateBytes) * 8;  // 176
+
+// PRESENT 4-bit S-box, as used by SPONGENT.
+constexpr uint8_t kSbox[16] = {0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF,
+                               0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6};
+
+// 7-bit LFSR producing the round counters (x^7 + x^6 + 1, SPONGENT-style).
+uint8_t NextLfsr(uint8_t v) {
+  const uint8_t bit = static_cast<uint8_t>(((v >> 6) ^ (v >> 5)) & 1);
+  return static_cast<uint8_t>(((v << 1) | bit) & 0x7F);
+}
+
+uint8_t ReverseBits7(uint8_t v) {
+  uint8_t out = 0;
+  for (int i = 0; i < 7; ++i) {
+    out = static_cast<uint8_t>((out << 1) | ((v >> i) & 1));
+  }
+  return out;
+}
+
+int GetBit(const std::array<uint8_t, kSpongentStateBytes>& s, int i) {
+  return (s[static_cast<size_t>(i) / 8] >> (i % 8)) & 1;
+}
+
+void SetBit(std::array<uint8_t, kSpongentStateBytes>& s, int i, int v) {
+  if (v != 0) {
+    s[static_cast<size_t>(i) / 8] =
+        static_cast<uint8_t>(s[static_cast<size_t>(i) / 8] | (1u << (i % 8)));
+  } else {
+    s[static_cast<size_t>(i) / 8] =
+        static_cast<uint8_t>(s[static_cast<size_t>(i) / 8] & ~(1u << (i % 8)));
+  }
+}
+
+}  // namespace
+
+void Spongent::Permute(std::array<uint8_t, kSpongentStateBytes>& state) {
+  uint8_t lfsr = 0x45;
+  for (int round = 0; round < kSpongentRounds; ++round) {
+    // Round counter XORed at the low end; bit-reversed counter at the high
+    // end (SPONGENT's lCounter / retnuoCl).
+    state[0] ^= lfsr;
+    state[kSpongentStateBytes - 1] ^=
+        static_cast<uint8_t>(ReverseBits7(lfsr) << 1);
+    lfsr = NextLfsr(lfsr);
+
+    // sBoxLayer: apply the 4-bit S-box to every nibble.
+    for (auto& byte : state) {
+      byte = static_cast<uint8_t>(kSbox[byte & 0xF] | (kSbox[byte >> 4] << 4));
+    }
+
+    // pLayer: bit j moves to (j * b/4) mod (b - 1); bit b-1 is fixed.
+    std::array<uint8_t, kSpongentStateBytes> out{};
+    for (int j = 0; j < kStateBits - 1; ++j) {
+      const int dst = (j * (kStateBits / 4)) % (kStateBits - 1);
+      SetBit(out, dst, GetBit(state, j));
+    }
+    SetBit(out, kStateBits - 1, GetBit(state, kStateBits - 1));
+    state = out;
+  }
+}
+
+void Spongent::Reset() {
+  state_.fill(0);
+  buffer_len_ = 0;
+}
+
+void Spongent::AbsorbBlock(const uint8_t* block) {
+  for (size_t i = 0; i < kSpongentRateBytes; ++i) {
+    state_[i] ^= block[i];
+  }
+  Permute(state_);
+}
+
+void Spongent::Update(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    const size_t take = std::min(len, kSpongentRateBytes - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kSpongentRateBytes) {
+      AbsorbBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+SpongentDigest Spongent::Finish() {
+  // 10*1 padding to a full rate block.
+  uint8_t final_block[kSpongentRateBytes];
+  std::memcpy(final_block, buffer_, buffer_len_);
+  final_block[buffer_len_] = 0x80;
+  for (size_t i = buffer_len_ + 1; i < kSpongentRateBytes; ++i) {
+    final_block[i] = 0;
+  }
+  final_block[kSpongentRateBytes - 1] |= 0x01;
+  AbsorbBlock(final_block);
+
+  // Squeeze r bits at a time.
+  SpongentDigest digest;
+  size_t produced = 0;
+  while (produced < digest.size()) {
+    const size_t take = std::min(kSpongentRateBytes, digest.size() - produced);
+    std::memcpy(digest.data() + produced, state_.data(), take);
+    produced += take;
+    if (produced < digest.size()) {
+      Permute(state_);
+    }
+  }
+  Reset();
+  return digest;
+}
+
+SpongentDigest SpongentHash(const uint8_t* data, size_t len) {
+  Spongent hasher;
+  hasher.Update(data, len);
+  return hasher.Finish();
+}
+
+SpongentDigest SpongentHash(const std::vector<uint8_t>& data) {
+  return SpongentHash(data.data(), data.size());
+}
+
+SpongentDigest SpongentMac(const std::vector<uint8_t>& key,
+                           const std::vector<uint8_t>& data) {
+  Spongent hasher;
+  hasher.Update(key);
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+}  // namespace trustlite

@@ -1,0 +1,48 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/dev/gpio.h"
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+Gpio::Gpio(uint32_t mmio_base) : Device("gpio", mmio_base, kMmioBlockSize) {}
+
+void Gpio::Reset() {
+  out_ = 0;
+  in_ = 0;
+}
+
+AccessResult Gpio::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kGpioRegOut:
+      *value = out_;
+      return AccessResult::kOk;
+    case kGpioRegIn:
+      *value = in_;
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+AccessResult Gpio::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kGpioRegOut:
+      out_ = value;
+      out_history_.push_back(value);
+      return AccessResult::kOk;
+    case kGpioRegIn:
+      return AccessResult::kOk;  // Read-only from the guest.
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+}  // namespace trustlite

@@ -1,0 +1,79 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/dev/sysctl.h"
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+SysCtl::SysCtl(uint32_t mmio_base)
+    : Device("sysctl", mmio_base, kMmioBlockSize) {}
+
+void SysCtl::Reset() {
+  handlers_.fill(0);
+  scratch_ = 0;
+  reset_requested_ = false;
+  // The cycle counter keeps running across reset (free-running hardware
+  // counter), which lets benches measure reset cost itself.
+}
+
+AccessResult SysCtl::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  if (offset < kSysCtlRegHandlerBase + kSysCtlNumHandlers * 4) {
+    *value = handlers_[offset / 4];
+    return AccessResult::kOk;
+  }
+  switch (offset) {
+    case kSysCtlRegReset:
+      *value = 0;
+      return AccessResult::kOk;
+    case kSysCtlRegCyclesLo:
+      *value = static_cast<uint32_t>(cycle_counter_);
+      return AccessResult::kOk;
+    case kSysCtlRegCyclesHi:
+      *value = static_cast<uint32_t>(cycle_counter_ >> 32);
+      return AccessResult::kOk;
+    case kSysCtlRegScratch:
+      *value = scratch_;
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+AccessResult SysCtl::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  if (offset < kSysCtlRegHandlerBase + kSysCtlNumHandlers * 4) {
+    handlers_[offset / 4] = value;
+    return AccessResult::kOk;
+  }
+  switch (offset) {
+    case kSysCtlRegReset:
+      if ((value & 1) != 0) {
+        reset_requested_ = true;
+      }
+      return AccessResult::kOk;
+    case kSysCtlRegCyclesLo:
+    case kSysCtlRegCyclesHi:
+      return AccessResult::kOk;  // Read-only.
+    case kSysCtlRegScratch:
+      scratch_ = value;
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+uint32_t SysCtl::HandlerFor(ExceptionClass cls, uint32_t swi_vector) const {
+  uint32_t index = static_cast<uint32_t>(cls);
+  if (cls == ExceptionClass::kSwiBase) {
+    index += swi_vector & 7;
+  }
+  return handlers_[index];
+}
+
+}  // namespace trustlite

@@ -1,0 +1,96 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/dev/timer.h"
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+Timer::Timer(uint32_t mmio_base, int irq)
+    : Device("timer", mmio_base, kMmioBlockSize), irq_line_(irq) {}
+
+void Timer::Reset() {
+  ctrl_ = 0;
+  period_ = 0;
+  count_ = 0;
+  handler_ = 0;
+  pending_ = false;
+  fire_count_ = 0;
+}
+
+void Timer::Tick(uint64_t cycles) {
+  if ((ctrl_ & kTimerCtrlEnable) == 0) {
+    return;
+  }
+  while (cycles > 0) {
+    if (count_ > cycles) {
+      count_ -= cycles;
+      return;
+    }
+    cycles -= count_;
+    // Expired.
+    pending_ = true;
+    ++fire_count_;
+    if ((ctrl_ & kTimerCtrlAutoReload) != 0 && period_ > 0) {
+      count_ = period_;
+    } else {
+      ctrl_ &= ~kTimerCtrlEnable;
+      count_ = 0;
+      return;
+    }
+  }
+}
+
+AccessResult Timer::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kTimerRegCtrl:
+      *value = ctrl_;
+      return AccessResult::kOk;
+    case kTimerRegPeriod:
+      *value = period_;
+      return AccessResult::kOk;
+    case kTimerRegCount:
+      *value = static_cast<uint32_t>(count_);
+      return AccessResult::kOk;
+    case kTimerRegHandler:
+      *value = handler_;
+      return AccessResult::kOk;
+    case kTimerRegStatus:
+      *value = pending_ ? 1 : 0;
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+AccessResult Timer::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kTimerRegCtrl:
+      ctrl_ = value & (kTimerCtrlEnable | kTimerCtrlIrqEnable | kTimerCtrlAutoReload);
+      if ((ctrl_ & kTimerCtrlEnable) != 0 && count_ == 0) {
+        count_ = period_;
+      }
+      return AccessResult::kOk;
+    case kTimerRegPeriod:
+      period_ = value;
+      return AccessResult::kOk;
+    case kTimerRegCount:
+      return AccessResult::kOk;  // Read-only.
+    case kTimerRegHandler:
+      handler_ = value;
+      return AccessResult::kOk;
+    case kTimerRegStatus:
+      pending_ = false;
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+}  // namespace trustlite

@@ -1,0 +1,27 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/dev/trng.h"
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+Trng::Trng(uint32_t mmio_base, uint64_t seed)
+    : Device("trng", mmio_base, kMmioBlockSize), rng_(seed) {}
+
+AccessResult Trng::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4 || offset != kTrngRegValue) {
+    return AccessResult::kBusError;
+  }
+  *value = rng_.Next32();
+  return AccessResult::kOk;
+}
+
+AccessResult Trng::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  (void)offset;
+  (void)width;
+  (void)value;
+  return AccessResult::kBusError;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,67 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/dev/uart.h"
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+Uart::Uart(uint32_t mmio_base) : Device("uart", mmio_base, kMmioBlockSize) {}
+
+void Uart::Reset() {
+  // Output is host-side capture; keep it across reset so tests can observe
+  // pre-reset prints. Input queue is hardware state and clears.
+  input_.clear();
+}
+
+void Uart::PushInput(const std::string& data) {
+  for (const char c : data) {
+    input_.push_back(static_cast<uint8_t>(c));
+  }
+}
+
+AccessResult Uart::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kUartRegTxData:
+      *value = 0;
+      return AccessResult::kOk;
+    case kUartRegStatus:
+      *value = 1u | (input_.empty() ? 0u : 2u);
+      return AccessResult::kOk;
+    case kUartRegRxData:
+      if (input_.empty()) {
+        *value = 0;
+      } else {
+        *value = input_.front();
+        input_.pop_front();
+      }
+      return AccessResult::kOk;
+    case kUartRegRxCount:
+      *value = static_cast<uint32_t>(input_.size());
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+AccessResult Uart::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  switch (offset) {
+    case kUartRegTxData:
+      output_.push_back(static_cast<char>(value & 0xFF));
+      return AccessResult::kOk;
+    case kUartRegStatus:
+    case kUartRegRxData:
+    case kUartRegRxCount:
+      return AccessResult::kOk;
+    default:
+      return AccessResult::kBusError;
+  }
+}
+
+}  // namespace trustlite

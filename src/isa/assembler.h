@@ -1,0 +1,69 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Two-pass text assembler for TL32. All guest software in this repository —
+// the nanOS kernel, trustlets, ISRs, baseline routines — is written in this
+// assembly dialect and assembled at test/example setup time.
+//
+// Syntax overview:
+//
+//   ; comment        (also '#' and '//')
+//   label:
+//       movi  r0, 42
+//       ldw   r1, [r2 + 8]
+//       stw   r1, [sp]
+//       beq   r0, r1, done
+//       jal   subroutine
+//   value: .word 0x1234, label + 4
+//          .byte 1, 2, 3
+//          .asciiz "hello"
+//          .space 64
+//          .align 4
+//          .org  0x10000
+//          .equ  kMagic, 0xT...
+//
+// Pseudo-instructions: mov, li (load 32-bit immediate, 1 or 2 words),
+// la (load address, always 2 words), ret, call, b, push, pop, and the
+// reversed-compare branches bgt/ble/bgtu/bleu.
+//
+// Expressions support + and -, numeric literals (decimal, 0x, 0b, 'c'),
+// previously defined .equ constants, labels, and '.' (current location).
+
+#ifndef TRUSTLITE_SRC_ISA_ASSEMBLER_H_
+#define TRUSTLITE_SRC_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace trustlite {
+
+// A contiguous span of assembled bytes placed at `base`.
+struct AsmChunk {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct AsmOutput {
+  std::vector<AsmChunk> chunks;
+  std::map<std::string, uint32_t> symbols;
+
+  // Flattens all chunks into a single image covering [ImageBase, ImageEnd).
+  // Gaps are zero-filled. Returns empty image if there are no chunks.
+  std::vector<uint8_t> Flatten(uint32_t* image_base) const;
+
+  // Looks up a symbol; dies (assert) if missing — intended for tests and
+  // builders that just defined the symbol themselves.
+  uint32_t SymbolOrDie(const std::string& name) const;
+};
+
+// Assembles `source` with an initial location counter of `origin` (used until
+// the first .org). Returns chunks + symbol table, or a status naming the
+// offending line.
+Result<AsmOutput> Assemble(const std::string& source, uint32_t origin = 0);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_ISA_ASSEMBLER_H_

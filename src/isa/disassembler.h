@@ -1,0 +1,23 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Disassembler for TL32, used by traces, fault reports and tests.
+
+#ifndef TRUSTLITE_SRC_ISA_DISASSEMBLER_H_
+#define TRUSTLITE_SRC_ISA_DISASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/isa.h"
+
+namespace trustlite {
+
+// Renders one instruction. `addr` is the instruction's address, used to
+// print absolute targets for branches and jumps.
+std::string Disassemble(const Instruction& insn, uint32_t addr);
+
+// Decodes and renders a raw word; undefined encodings render as ".word 0x...".
+std::string DisassembleWord(uint32_t word, uint32_t addr);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_ISA_DISASSEMBLER_H_

@@ -1,0 +1,446 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/loader/secure_loader.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/loader/system_image.h"
+#include "src/trustlet/frame.h"
+
+namespace trustlite {
+
+namespace {
+
+// Upper bound on a single record we are willing to parse (sanity check
+// against corrupted PROM contents).
+constexpr uint32_t kMaxRecordSize = 1u << 20;
+
+}  // namespace
+
+const LoadedTrustlet* LoadReport::FindById(uint32_t id) const {
+  for (const LoadedTrustlet& t : trustlets) {
+    if (t.meta.id == id && !t.meta.unprotected) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+SecureLoader::SecureLoader(Bus* bus, EaMpu* mpu, const LoaderConfig& config)
+    : bus_(bus), mpu_(mpu), config_(config) {}
+
+Status SecureLoader::WriteMpu(uint32_t offset, uint32_t value) {
+  if (!bus_->HostWriteWord(mpu_->base() + offset, value)) {
+    return Internal("MPU register write failed at offset " + Hex32(offset));
+  }
+  ++words_moved_;
+  return OkStatus();
+}
+
+Result<int> SecureLoader::AllocRegion(uint32_t base, uint32_t end,
+                                      uint32_t attr, uint32_t sp_slot,
+                                      LoadReport* report) {
+  if (next_region_ >= mpu_->num_regions()) {
+    return ResourceExhausted("out of MPU protection regions (" +
+                             std::to_string(mpu_->num_regions()) + ")");
+  }
+  const int index = next_region_++;
+  const uint32_t reg_base =
+      kMpuRegionBank + static_cast<uint32_t>(index) * kMpuRegionStride;
+  // The 3 writes per region of Sec. 5.3: start, end, permission/attributes.
+  TL_RETURN_IF_ERROR(WriteMpu(reg_base + 0, base));
+  TL_RETURN_IF_ERROR(WriteMpu(reg_base + 4, end));
+  TL_RETURN_IF_ERROR(WriteMpu(reg_base + 8, attr));
+  // The secure exception engine adds one SP-slot register per code region.
+  if (config_.secure_exceptions && sp_slot != 0) {
+    TL_RETURN_IF_ERROR(WriteMpu(reg_base + 12, sp_slot));
+  }
+  report->regions_used = next_region_;
+  return index;
+}
+
+Status SecureLoader::AddRule(uint32_t subject, uint32_t object, bool r, bool w,
+                             bool x, LoadReport* report) {
+  if (next_rule_ >= mpu_->num_rules()) {
+    return ResourceExhausted("out of MPU rule slots (" +
+                             std::to_string(mpu_->num_rules()) + ")");
+  }
+  const int index = next_rule_++;
+  TL_RETURN_IF_ERROR(WriteMpu(kMpuRuleBank + static_cast<uint32_t>(index) * 4,
+                              EncodeMpuRule(subject, object, r, w, x)));
+  report->rules_used = next_rule_;
+  return OkStatus();
+}
+
+Status SecureLoader::LoadRecord(const TrustletMeta& meta, LoadReport* report) {
+  // Secure Boot verification (optional instantiation, Sec. 3.6).
+  if (config_.secure_boot) {
+    if (meta.is_signed) {
+      const Sha256Digest expected =
+          SystemImage::ComputeSignature(meta, config_.device_key);
+      if (!ConstantTimeEqual(expected.data(), meta.signature.data(),
+                             expected.size())) {
+        return PermissionDenied("secure boot: bad signature for trustlet '" +
+                                TrustletIdName(meta.id) + "'");
+      }
+    } else if (config_.require_signatures && !meta.unprotected) {
+      return PermissionDenied("secure boot: unsigned trustlet '" +
+                              TrustletIdName(meta.id) + "'");
+    }
+  }
+
+  // Copy code from PROM into its RAM home.
+  if (!bus_->HostWriteBytes(meta.code_addr, meta.code)) {
+    return Internal("failed to place code for '" + TrustletIdName(meta.id) +
+                    "' at " + Hex32(meta.code_addr));
+  }
+  words_moved_ += (meta.code.size() + 3) / 4;
+
+  // Zero the data region (clearing only memory that is being re-allocated —
+  // the fast-startup property of Sec. 6).
+  if (meta.data_size > 0) {
+    const std::vector<uint8_t> zeros(meta.data_size, 0);
+    if (!bus_->HostWriteBytes(meta.data_addr, zeros)) {
+      return Internal("failed to clear data region for '" +
+                      TrustletIdName(meta.id) + "'");
+    }
+    words_moved_ += (meta.data_size + 3) / 4;
+  }
+
+  LoadedTrustlet loaded;
+  loaded.meta = meta;
+  if (meta.unprotected) {
+    report->trustlets.push_back(std::move(loaded));
+    return OkStatus();
+  }
+
+  // Assign the Trustlet Table row and patch the slot pointer into the code.
+  TrustletTableView table(bus_, config_.table_addr);
+  loaded.tt_index = static_cast<int>(
+      std::count_if(report->trustlets.begin(), report->trustlets.end(),
+                    [](const LoadedTrustlet& t) { return !t.meta.unprotected; }));
+  loaded.tt_row_addr = table.RowAddress(loaded.tt_index);
+  loaded.sp_slot_addr = table.SavedSpAddress(loaded.tt_index);
+  if (meta.sp_slot_patch_offset != kNoSpSlotPatch) {
+    if (!bus_->HostWriteWord(meta.code_addr + meta.sp_slot_patch_offset,
+                             loaded.sp_slot_addr)) {
+      return Internal("failed to patch SP slot pointer");
+    }
+    ++words_moved_;
+  }
+
+  // Fabricate the initial saved-state frame so the first continue() resumes
+  // at tl_main (static initialization, Fig. 5 step 2b). The OS is launched
+  // directly, so its row stores the handler-stack base instead.
+  TrustletTableRow row;
+  row.id = meta.id;
+  row.code_base = meta.code_addr;
+  row.code_end = meta.code_end();
+  row.data_base = meta.data_addr;
+  row.data_end = meta.data_end();
+  row.entry = meta.code_addr;
+  row.flags = meta.is_os ? kTtFlagOs : 0;
+  if (meta.is_os) {
+    row.saved_sp = meta.initial_sp();
+  } else {
+    const uint32_t frame_base = meta.initial_sp() - kFrameSize;
+    for (uint32_t off = 0; off < kFrameSize; off += 4) {
+      uint32_t value = 0;
+      if (off == kFrameOffsetIp) {
+        value = meta.code_addr + meta.start_offset;
+      } else if (off == kFrameOffsetFlags) {
+        value = kInitialTrustletFlags;
+      }
+      if (!bus_->HostWriteWord(frame_base + off, value)) {
+        return Internal("failed to write initial frame");
+      }
+      ++words_moved_;
+    }
+    row.saved_sp = frame_base;
+  }
+
+  // Measurement (root of trust for attestation, Sec. 3.6). Reading the code
+  // back from RAM measures what will actually run.
+  if (meta.measure || config_.measure_all) {
+    std::vector<uint8_t> placed;
+    if (!bus_->HostReadBytes(meta.code_addr,
+                             static_cast<uint32_t>(meta.code.size()),
+                             &placed)) {
+      return Internal("failed to read back code for measurement");
+    }
+    row.measurement = Sha256Hash(placed);
+    words_moved_ += (placed.size() + 3) / 4 + 16;  // Hash engine cost.
+  }
+
+  if (!table.WriteRow(loaded.tt_index, row)) {
+    return Internal("failed to write Trustlet Table row");
+  }
+  words_moved_ += kTrustletTableRowSize / 4;
+
+  if (meta.is_os) {
+    report->os_id = meta.id;
+    report->os_entry = meta.code_addr + meta.start_offset;
+    report->os_sp = meta.initial_sp();
+  }
+  report->trustlets.push_back(std::move(loaded));
+  return OkStatus();
+}
+
+Status SecureLoader::ProgramMpu(LoadReport* report) {
+  TrustletTableView table(bus_, config_.table_addr);
+
+  // Pass A: region descriptors.
+  for (LoadedTrustlet& t : report->trustlets) {
+    if (t.meta.unprotected) {
+      continue;
+    }
+    uint32_t code_attr = kMpuAttrEnable | kMpuAttrCode;
+    if (t.meta.is_os) {
+      code_attr |= kMpuAttrOs;
+    }
+    Result<int> code_region = AllocRegion(t.meta.code_addr, t.meta.code_end(),
+                                          code_attr, t.sp_slot_addr, report);
+    if (!code_region.ok()) {
+      return code_region.status();
+    }
+    t.code_region = *code_region;
+
+    Result<int> data_region = AllocRegion(t.meta.data_addr, t.meta.data_end(),
+                                          kMpuAttrEnable, 0, report);
+    if (!data_region.ok()) {
+      return data_region.status();
+    }
+    t.data_region = *data_region;
+  }
+
+  // Shared/peripheral grant regions (deduplicated across trustlets: one
+  // region register can serve all parties, Sec. 4.2.1).
+  auto grant_region = [&](const RegionGrant& grant) -> Result<int> {
+    const auto key = std::make_pair(grant.base, grant.end);
+    auto it = shared_regions_.find(key);
+    if (it != shared_regions_.end()) {
+      return it->second;
+    }
+    // A grant window covering another trustlet's region reuses that region.
+    for (const LoadedTrustlet& t : report->trustlets) {
+      if (t.meta.unprotected) {
+        continue;
+      }
+      if (t.code_region >= 0 && grant.base == t.meta.code_addr &&
+          grant.end == t.meta.code_end()) {
+        return t.code_region;
+      }
+      if (t.data_region >= 0 && grant.base == t.meta.data_addr &&
+          grant.end == t.meta.data_end()) {
+        return t.data_region;
+      }
+    }
+    Result<int> region =
+        AllocRegion(grant.base, grant.end, kMpuAttrEnable, 0, report);
+    if (region.ok()) {
+      shared_regions_.emplace(key, *region);
+    }
+    return region;
+  };
+
+  struct PendingGrantRule {
+    int subject;
+    int object;
+    uint32_t perms;
+  };
+  std::vector<PendingGrantRule> grant_rules;
+  for (LoadedTrustlet& t : report->trustlets) {
+    if (t.meta.unprotected) {
+      continue;
+    }
+    for (const RegionGrant& grant : t.meta.grants) {
+      Result<int> region = grant_region(grant);
+      if (!region.ok()) {
+        return region.status();
+      }
+      grant_rules.push_back({t.code_region, *region, grant.perms});
+    }
+  }
+
+  // Platform regions: Trustlet Table, the MPU's own register file, SysCtl.
+  Result<int> tt_region =
+      AllocRegion(config_.table_addr,
+                  config_.table_addr + table.SizeFor(static_cast<int>(
+                                           report->trustlets.size())),
+                  kMpuAttrEnable, 0, report);
+  if (!tt_region.ok()) {
+    return tt_region.status();
+  }
+  int mpu_region = -1;
+  int sysctl_region = -1;
+  if (config_.grant_introspection || config_.protect_platform_control) {
+    Result<int> r = AllocRegion(mpu_->base(), mpu_->base() + mpu_->size(),
+                                kMpuAttrEnable, 0, report);
+    if (!r.ok()) {
+      return r.status();
+    }
+    mpu_region = *r;
+  }
+  if (config_.protect_platform_control) {
+    Result<int> r = AllocRegion(kSysCtlBase, kSysCtlBase + kMmioBlockSize,
+                                kMpuAttrEnable, 0, report);
+    if (!r.ok()) {
+      return r.status();
+    }
+    sysctl_region = *r;
+  }
+
+  // Pass B: rules.
+  int os_code_region = -1;
+  for (const LoadedTrustlet& t : report->trustlets) {
+    if (!t.meta.unprotected && t.meta.is_os) {
+      os_code_region = t.code_region;
+    }
+  }
+  for (const LoadedTrustlet& t : report->trustlets) {
+    if (t.meta.unprotected) {
+      continue;
+    }
+    const uint32_t code = static_cast<uint32_t>(t.code_region);
+    const uint32_t data = static_cast<uint32_t>(t.data_region);
+    // Own code: execute + read (constants live in the code region).
+    TL_RETURN_IF_ERROR(AddRule(code, code, true, false, true, report));
+    // Own data: read/write.
+    TL_RETURN_IF_ERROR(AddRule(code, data, true, true, false, report));
+    // Entry-vector callability.
+    if (t.meta.callable_any) {
+      TL_RETURN_IF_ERROR(
+          AddRule(kMpuSubjectAny, code, false, false, true, report));
+    } else {
+      for (const uint32_t caller_id : t.meta.callers) {
+        const LoadedTrustlet* caller = report->FindById(caller_id);
+        if (caller == nullptr || caller->code_region < 0) {
+          return NotFound("caller id " + TrustletIdName(caller_id) +
+                          " for trustlet '" + TrustletIdName(t.meta.id) +
+                          "' is not loaded");
+        }
+        TL_RETURN_IF_ERROR(AddRule(static_cast<uint32_t>(caller->code_region),
+                                   code, false, false, true, report));
+      }
+    }
+    // Public code: anyone may read (mutual inspection, Sec. 4.2.2).
+    if (!t.meta.code_private) {
+      TL_RETURN_IF_ERROR(
+          AddRule(kMpuSubjectAny, code, true, false, false, report));
+    }
+  }
+  for (const PendingGrantRule& g : grant_rules) {
+    TL_RETURN_IF_ERROR(AddRule(static_cast<uint32_t>(g.subject),
+                               static_cast<uint32_t>(g.object),
+                               (g.perms & kGrantRead) != 0,
+                               (g.perms & kGrantWrite) != 0,
+                               (g.perms & kGrantExec) != 0, report));
+  }
+
+  // Trustlet Table: world-readable, writable by nobody (the exception
+  // engine uses its dedicated port).
+  TL_RETURN_IF_ERROR(AddRule(kMpuSubjectAny,
+                             static_cast<uint32_t>(*tt_region), true, false,
+                             false, report));
+  if (mpu_region >= 0 && config_.grant_introspection) {
+    TL_RETURN_IF_ERROR(AddRule(kMpuSubjectAny,
+                               static_cast<uint32_t>(mpu_region), true, false,
+                               false, report));
+  }
+  if (config_.protect_platform_control && os_code_region >= 0) {
+    if (mpu_region >= 0) {
+      // Lets the OS acknowledge faults (FAULT_INFO stays writable under the
+      // hardware lock); every other register is frozen by CTRL.lock.
+      TL_RETURN_IF_ERROR(AddRule(static_cast<uint32_t>(os_code_region),
+                                 static_cast<uint32_t>(mpu_region), true, true,
+                                 false, report));
+    }
+    if (sysctl_region >= 0) {
+      TL_RETURN_IF_ERROR(AddRule(kMpuSubjectAny,
+                                 static_cast<uint32_t>(sysctl_region), true,
+                                 false, false, report));
+      TL_RETURN_IF_ERROR(AddRule(static_cast<uint32_t>(os_code_region),
+                                 static_cast<uint32_t>(sysctl_region), true,
+                                 true, false, report));
+    }
+  }
+
+  // Step 3 completes: arm and lock the unit.
+  uint32_t ctrl = 0;
+  if (config_.enable_mpu) {
+    ctrl |= kMpuCtrlEnable;
+  }
+  if (config_.lock_mpu) {
+    ctrl |= kMpuCtrlLock;
+  }
+  TL_RETURN_IF_ERROR(WriteMpu(kMpuRegCtrl, ctrl));
+  return OkStatus();
+}
+
+Result<LoadReport> SecureLoader::Boot() {
+  LoadReport report;
+  next_region_ = 0;
+  next_rule_ = 0;
+  words_moved_ = 0;
+  shared_regions_.clear();
+  mpu_->ResetStats();
+
+  // Step 1: platform init — clear MPU control state.
+  TL_RETURN_IF_ERROR(WriteMpu(kMpuRegCtrl, 0));
+
+  // Step 2: discover and load trustlets from PROM.
+  uint32_t cursor = config_.prom_directory;
+  for (;;) {
+    uint32_t magic = 0;
+    if (!bus_->HostReadWord(cursor, &magic) || magic != kTrustletMagic) {
+      break;  // Terminator or end of PROM.
+    }
+    uint32_t record_size = 0;
+    if (!bus_->HostReadWord(cursor + 4, &record_size) ||
+        record_size < kTrustletHeaderSize || record_size > kMaxRecordSize) {
+      return InvalidArgument("corrupt trustlet record at " + Hex32(cursor));
+    }
+    std::vector<uint8_t> record;
+    if (!bus_->HostReadBytes(cursor, record_size, &record)) {
+      return InvalidArgument("trustlet record extends past PROM at " +
+                             Hex32(cursor));
+    }
+    words_moved_ += (record_size + 3) / 4;
+    Result<TrustletMeta> meta = TrustletMeta::Parse(record.data(), record.size());
+    if (!meta.ok()) {
+      return meta.status();
+    }
+    // Scenario selection (Sec. 8 second boot phase): skip records that
+    // belong to a different deployment profile.
+    if (meta->profile != 0 && meta->profile != config_.profile) {
+      ++report.records_skipped;
+      cursor += record_size;
+      continue;
+    }
+    TL_RETURN_IF_ERROR(LoadRecord(*meta, &report));
+    cursor += record_size;
+  }
+
+  // Table header (even with zero trustlets, so FindById works).
+  TrustletTableView table(bus_, config_.table_addr);
+  const uint32_t protected_count = static_cast<uint32_t>(
+      std::count_if(report.trustlets.begin(), report.trustlets.end(),
+                    [](const LoadedTrustlet& t) { return !t.meta.unprotected; }));
+  if (!table.WriteHeader(protected_count)) {
+    return Internal("failed to write Trustlet Table header");
+  }
+  words_moved_ += kTrustletTableHeaderSize / 4;
+
+  // Step 3: program and lock the MPU.
+  TL_RETURN_IF_ERROR(ProgramMpu(&report));
+
+  report.mpu_register_writes = mpu_->stats().mmio_writes;
+  report.words_moved = words_moved_;
+  report.boot_cycles = words_moved_ * kLoaderCyclesPerWordOp;
+  return report;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,127 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// The Secure Loader (Sec. 3.5, Fig. 5): the first code to run after platform
+// reset. It
+//   (1) initializes the platform (clears the MPU control state),
+//   (2) discovers trustlet records in PROM, loads their code into RAM,
+//       zeroes their data regions, patches the Trustlet-Table slot pointer
+//       into the code, fabricates the initial saved-state frame and
+//       populates the Trustlet Table (optionally measuring each code region
+//       as a root of trust, and verifying secure-boot signatures),
+//   (3) programs the EA-MPU region descriptors and rules requested by the
+//       trustlet metadata and write-protects the Trustlet Table and the
+//       MPU's own MMIO range, then enables and locks the unit,
+//   (4) reports the OS entry point for the platform to launch.
+//
+// The loader models boot *firmware*: it executes before the MPU is armed,
+// so its accesses use the host (pre-protection) bus path; every word it
+// moves is counted, and a cycle cost is derived for the boot benches. The
+// MPU programming itself goes through the MMIO register file, so the
+// "3 writes per region (+1 SP slot) and 1 per rule" cost of Sec. 5.3 is
+// measured, not assumed.
+
+#ifndef TRUSTLITE_SRC_LOADER_SECURE_LOADER_H_
+#define TRUSTLITE_SRC_LOADER_SECURE_LOADER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mem/bus.h"
+#include "src/mem/layout.h"
+#include "src/mpu/ea_mpu.h"
+#include "src/trustlet/metadata.h"
+#include "src/trustlet/trustlet_table.h"
+
+namespace trustlite {
+
+// Modeled firmware cost per word-sized bus operation (load+store pair with
+// loop overhead on the 5-stage core).
+inline constexpr uint32_t kLoaderCyclesPerWordOp = 4;
+
+struct LoaderConfig {
+  uint32_t prom_directory = kPromDirectoryBase;
+  uint32_t table_addr = kTrustletTableBase;
+  // Program the per-region SP_SLOT registers (secure exception engine).
+  bool secure_exceptions = true;
+  // Measure every trustlet even if its metadata doesn't ask for it.
+  bool measure_all = false;
+  // Secure Boot: verify HMAC signatures. Unsigned records are rejected when
+  // `require_signatures` is also set.
+  bool secure_boot = false;
+  bool require_signatures = false;
+  std::vector<uint8_t> device_key;
+  // Deployment profile to establish (paper Sec. 8 second boot phase):
+  // records tagged with a non-zero profile are loaded only when it matches.
+  uint32_t profile = 0;
+  // Enable + lock the MPU when done (Fig. 5 step 3).
+  bool enable_mpu = true;
+  bool lock_mpu = true;
+  // Grant everyone read access to the MPU register file and Trustlet Table
+  // (needed for local attestation, Sec. 4.2.2).
+  bool grant_introspection = true;
+  // Give the OS region write access to SysCtl (exception handler table) and
+  // to the MPU MMIO range (only the hardware-lock-exempt FAULT_INFO register
+  // is actually writable once locked).
+  bool protect_platform_control = true;
+};
+
+struct LoadedTrustlet {
+  TrustletMeta meta;
+  int tt_index = -1;
+  int code_region = -1;
+  int data_region = -1;
+  uint32_t tt_row_addr = 0;
+  uint32_t sp_slot_addr = 0;
+};
+
+struct LoadReport {
+  std::vector<LoadedTrustlet> trustlets;
+  int records_skipped = 0;  // Records excluded by profile selection.
+  int regions_used = 0;
+  int rules_used = 0;
+  uint64_t mpu_register_writes = 0;  // From the MPU's own counter.
+  uint64_t words_moved = 0;          // Code copy + data clear + table writes.
+  uint64_t boot_cycles = 0;          // Modeled firmware cost.
+  uint32_t os_id = 0;
+  uint32_t os_entry = 0;  // Launch address (start offset applied).
+  uint32_t os_sp = 0;
+
+  const LoadedTrustlet* FindById(uint32_t id) const;
+};
+
+class SecureLoader {
+ public:
+  SecureLoader(Bus* bus, EaMpu* mpu, const LoaderConfig& config);
+
+  // Runs the full boot flow. On success the MPU is armed (per config) and
+  // the report names the OS entry point.
+  Result<LoadReport> Boot();
+
+  const LoaderConfig& config() const { return config_; }
+
+ private:
+  Status LoadRecord(const TrustletMeta& meta, LoadReport* report);
+  Status ProgramMpu(LoadReport* report);
+
+  // MPU programming helpers; every write goes through the MMIO register
+  // file so that costs are observable.
+  Status WriteMpu(uint32_t offset, uint32_t value);
+  Result<int> AllocRegion(uint32_t base, uint32_t end, uint32_t attr,
+                          uint32_t sp_slot, LoadReport* report);
+  Status AddRule(uint32_t subject, uint32_t object, bool r, bool w, bool x,
+                 LoadReport* report);
+
+  Bus* bus_;
+  EaMpu* mpu_;
+  LoaderConfig config_;
+  int next_region_ = 0;
+  int next_rule_ = 0;
+  uint64_t words_moved_ = 0;
+  std::map<std::pair<uint32_t, uint32_t>, int> shared_regions_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_LOADER_SECURE_LOADER_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/loader/system_image.h"
+
+#include <algorithm>
+
+#include "src/crypto/hmac.h"
+
+namespace trustlite {
+
+void SystemImage::AddProgram(uint32_t code_addr, std::vector<uint8_t> code,
+                             uint32_t data_addr, uint32_t data_size) {
+  TrustletMeta meta;
+  meta.id = 0;
+  meta.unprotected = true;
+  meta.measure = false;
+  meta.code_addr = code_addr;
+  meta.data_addr = data_addr;
+  meta.data_size = data_size;
+  meta.code = std::move(code);
+  records_.push_back(std::move(meta));
+}
+
+Result<std::vector<uint8_t>> SystemImage::Build() const {
+  int os_count = 0;
+  for (const TrustletMeta& meta : records_) {
+    if (meta.is_os) {
+      ++os_count;
+    }
+  }
+  if (os_count > 1) {
+    return InvalidArgument("system image declares more than one OS record");
+  }
+  std::vector<uint8_t> image;
+  for (const TrustletMeta& meta : records_) {
+    const std::vector<uint8_t> record = meta.Serialize();
+    image.insert(image.end(), record.begin(), record.end());
+  }
+  // Terminator: a zero word (fails the magic check).
+  image.insert(image.end(), {0, 0, 0, 0});
+  return image;
+}
+
+Sha256Digest SystemImage::ComputeSignature(
+    const TrustletMeta& meta, const std::vector<uint8_t>& device_key) {
+  TrustletMeta unsigned_meta = meta;
+  unsigned_meta.signature.fill(0);
+  const std::vector<uint8_t> record = unsigned_meta.Serialize();
+  return HmacSha256(device_key.data(), device_key.size(), record.data(),
+                    record.size());
+}
+
+void SystemImage::SignAll(const std::vector<uint8_t>& device_key) {
+  for (TrustletMeta& meta : records_) {
+    if (!meta.is_signed) {
+      continue;
+    }
+    const Sha256Digest sig = ComputeSignature(meta, device_key);
+    std::copy(sig.begin(), sig.end(), meta.signature.begin());
+  }
+}
+
+}  // namespace trustlite

@@ -1,0 +1,50 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// PROM system image: the concatenation of trustlet records that the Secure
+// Loader scans at boot (Fig. 5, "PROM" column). The image builder is the
+// host-side stand-in for the paper's linker-script + flashing step.
+
+#ifndef TRUSTLITE_SRC_LOADER_SYSTEM_IMAGE_H_
+#define TRUSTLITE_SRC_LOADER_SYSTEM_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+#include "src/trustlet/metadata.h"
+
+namespace trustlite {
+
+class SystemImage {
+ public:
+  // Records are loaded in insertion order; exactly one record may carry
+  // is_os (verified by Build).
+  void Add(TrustletMeta meta) { records_.push_back(std::move(meta)); }
+
+  // Convenience: a raw unprotected program (plain OS application).
+  void AddProgram(uint32_t code_addr, std::vector<uint8_t> code,
+                  uint32_t data_addr = 0, uint32_t data_size = 0);
+
+  const std::vector<TrustletMeta>& records() const { return records_; }
+  std::vector<TrustletMeta>& mutable_records() { return records_; }
+
+  // Serializes all records (terminated by a zero word). The loader stops at
+  // the first non-magic word.
+  Result<std::vector<uint8_t>> Build() const;
+
+  // Computes and stores the secure-boot signature of every record marked
+  // is_signed: HMAC-SHA256(device_key, record-with-zeroed-signature).
+  void SignAll(const std::vector<uint8_t>& device_key);
+
+  // Signature as the loader recomputes it for verification.
+  static Sha256Digest ComputeSignature(const TrustletMeta& meta,
+                                       const std::vector<uint8_t>& device_key);
+
+ private:
+  std::vector<TrustletMeta> records_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_LOADER_SYSTEM_IMAGE_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/mem/access.h"
+
+namespace trustlite {
+
+const char* AccessKindName(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kFetch:
+      return "fetch";
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+const char* AccessResultName(AccessResult result) {
+  switch (result) {
+    case AccessResult::kOk:
+      return "ok";
+    case AccessResult::kProtFault:
+      return "protection-fault";
+    case AccessResult::kBusError:
+      return "bus-error";
+    case AccessResult::kAlignFault:
+      return "alignment-fault";
+    case AccessResult::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
+}  // namespace trustlite

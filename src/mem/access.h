@@ -1,0 +1,52 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Access descriptors shared by the bus, protection units and CPU. The
+// central TrustLite idea — execution-aware access control — lives in the
+// AccessContext: every bus transaction carries the address of the currently
+// executing instruction (`curr_ip`), which the EA-MPU uses as the access
+// *subject* (cf. paper Fig. 2).
+
+#ifndef TRUSTLITE_SRC_MEM_ACCESS_H_
+#define TRUSTLITE_SRC_MEM_ACCESS_H_
+
+#include <cstdint>
+
+namespace trustlite {
+
+enum class AccessKind : uint8_t {
+  kFetch,  // Instruction fetch (execute permission).
+  kRead,   // Data read.
+  kWrite,  // Data write.
+};
+
+const char* AccessKindName(AccessKind kind);
+
+// Context of a bus transaction.
+struct AccessContext {
+  // Address of the instruction performing the access; for fetches this is
+  // the address of the *previous* instruction (curr_IP in Fig. 2), i.e. the
+  // subject attempting to execute the fetched location.
+  uint32_t curr_ip = 0;
+  AccessKind kind = AccessKind::kRead;
+  // Set only for the hardware exception engine's Trustlet-Table stack-pointer
+  // update, which uses a dedicated port that is not subject to MPU rules
+  // (the table itself is write-protected from all software).
+  bool engine = false;
+  // Supervisor privilege; only consulted by the conventional-MPU
+  // compatibility mode (TrustLite itself does not use privilege levels).
+  bool privileged = false;
+};
+
+enum class AccessResult : uint8_t {
+  kOk = 0,
+  kProtFault,   // Denied by the protection unit (MPU/Sancus/SMART overlay).
+  kBusError,    // No device at the address, or device rejected the access.
+  kAlignFault,  // Misaligned word access.
+  kReset,       // Protection unit demands a platform reset (SMART/Sancus).
+};
+
+const char* AccessResultName(AccessResult result);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_MEM_ACCESS_H_

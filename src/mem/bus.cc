@@ -1,0 +1,140 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/mem/bus.h"
+
+#include <cassert>
+
+namespace trustlite {
+
+void Bus::Attach(Device* device) {
+  assert(device != nullptr);
+  for (const Device* existing : devices_) {
+    const bool overlaps = device->base() < existing->end() &&
+                          existing->base() < device->end();
+    assert(!overlaps && "overlapping device ranges");
+    (void)overlaps;
+  }
+  devices_.push_back(device);
+}
+
+Device* Bus::FindDevice(uint32_t addr) const {
+  for (Device* device : devices_) {
+    if (device->Contains(addr)) {
+      return device;
+    }
+  }
+  return nullptr;
+}
+
+AccessResult Bus::Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
+                       uint32_t* value, uint32_t* wait_states) {
+  if (wait_states != nullptr) {
+    *wait_states = 0;
+  }
+  if (width == 4 && (addr & 3) != 0) {
+    return AccessResult::kAlignFault;
+  }
+  if (protection_ != nullptr && !ctx.engine) {
+    const AccessResult check = protection_->Check(ctx, addr, width);
+    if (check != AccessResult::kOk) {
+      return check;
+    }
+  }
+  Device* device = FindDevice(addr);
+  if (device == nullptr) {
+    return AccessResult::kBusError;
+  }
+  if (wait_states != nullptr) {
+    *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
+  }
+  return device->Read(addr - device->base(), width, value);
+}
+
+AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
+                        uint32_t value, uint32_t* wait_states) {
+  if (wait_states != nullptr) {
+    *wait_states = 0;
+  }
+  if (width == 4 && (addr & 3) != 0) {
+    return AccessResult::kAlignFault;
+  }
+  if (protection_ != nullptr && !ctx.engine) {
+    const AccessResult check = protection_->Check(ctx, addr, width);
+    if (check != AccessResult::kOk) {
+      return check;
+    }
+  }
+  Device* device = FindDevice(addr);
+  if (device == nullptr) {
+    return AccessResult::kBusError;
+  }
+  if (wait_states != nullptr) {
+    *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
+  }
+  return device->Write(addr - device->base(), width, value);
+}
+
+bool Bus::HostReadWord(uint32_t addr, uint32_t* value) {
+  Device* device = FindDevice(addr);
+  if (device == nullptr || (addr & 3) != 0) {
+    return false;
+  }
+  return device->Read(addr - device->base(), 4, value) == AccessResult::kOk;
+}
+
+bool Bus::HostWriteWord(uint32_t addr, uint32_t value) {
+  Device* device = FindDevice(addr);
+  if (device == nullptr || (addr & 3) != 0) {
+    return false;
+  }
+  return device->Write(addr - device->base(), 4, value) == AccessResult::kOk;
+}
+
+bool Bus::HostReadBytes(uint32_t addr, uint32_t count,
+                        std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Device* device = FindDevice(addr + i);
+    if (device == nullptr) {
+      return false;
+    }
+    uint32_t value = 0;
+    if (device->Read(addr + i - device->base(), 1, &value) != AccessResult::kOk) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>(value));
+  }
+  return true;
+}
+
+bool Bus::HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
+  for (uint32_t i = 0; i < bytes.size(); ++i) {
+    Device* device = FindDevice(addr + i);
+    if (device == nullptr) {
+      return false;
+    }
+    if (device->Write(addr + i - device->base(), 1, bytes[i]) !=
+        AccessResult::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Bus::TickDevices(uint64_t cycles) {
+  for (Device* device : devices_) {
+    device->Tick(cycles);
+  }
+}
+
+void Bus::ResetDevices() {
+  for (Device* device : devices_) {
+    device->Reset();
+  }
+  if (protection_ != nullptr) {
+    protection_->Reset();
+  }
+}
+
+}  // namespace trustlite

@@ -1,0 +1,71 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// System bus: routes CPU accesses to devices, with an optional protection
+// unit checked *before* the access proceeds (the MPU sits on the path of
+// every memory and MMIO access, paper Fig. 1/2).
+
+#ifndef TRUSTLITE_SRC_MEM_BUS_H_
+#define TRUSTLITE_SRC_MEM_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/access.h"
+#include "src/mem/device.h"
+
+namespace trustlite {
+
+// Access-control hook. Implemented by the EA-MPU and by the SMART/Sancus
+// baseline overlays. Called for every guest access; may latch fault state.
+class ProtectionUnit {
+ public:
+  virtual ~ProtectionUnit() = default;
+  virtual AccessResult Check(const AccessContext& ctx, uint32_t addr,
+                             uint32_t width) = 0;
+  virtual void Reset() {}
+};
+
+class Bus {
+ public:
+  Bus() = default;
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  // Devices are owned by the Platform; the bus only routes. Overlapping
+  // ranges are a configuration bug (asserted).
+  void Attach(Device* device);
+
+  void SetProtectionUnit(ProtectionUnit* unit) { protection_ = unit; }
+  ProtectionUnit* protection_unit() const { return protection_; }
+
+  // Guest accesses (protection-checked). `width` is 1 or 4. When
+  // `wait_states` is non-null it receives the device-inserted wait states
+  // for a successful access (0 on fault).
+  AccessResult Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
+                    uint32_t* value, uint32_t* wait_states = nullptr);
+  AccessResult Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
+                     uint32_t value, uint32_t* wait_states = nullptr);
+
+  // Host/debug accesses: no protection check, no side effects on fault
+  // registers. Used by loaders operating before the MPU is armed, tests and
+  // trace tooling.
+  bool HostReadWord(uint32_t addr, uint32_t* value);
+  bool HostWriteWord(uint32_t addr, uint32_t value);
+  bool HostReadBytes(uint32_t addr, uint32_t count, std::vector<uint8_t>* out);
+  bool HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+
+  Device* FindDevice(uint32_t addr) const;
+  const std::vector<Device*>& devices() const { return devices_; }
+
+  // Ticks every device and resets them all (platform reset).
+  void TickDevices(uint64_t cycles);
+  void ResetDevices();
+
+ private:
+  std::vector<Device*> devices_;
+  ProtectionUnit* protection_ = nullptr;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_MEM_BUS_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Bus device interface. Everything addressable — RAM, PROM, DRAM and every
+// MMIO peripheral — implements Device. Matching the paper's platform model,
+// peripheral access *is* memory access; the EA-MPU protects MMIO ranges
+// exactly like RAM (paper Sec. 3.3).
+
+#ifndef TRUSTLITE_SRC_MEM_DEVICE_H_
+#define TRUSTLITE_SRC_MEM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/access.h"
+
+namespace trustlite {
+
+class Device {
+ public:
+  Device(std::string name, uint32_t base, uint32_t size)
+      : name_(std::move(name)), base_(base), size_(size) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint32_t base() const { return base_; }
+  uint32_t size() const { return size_; }
+  uint32_t end() const { return base_ + size_; }
+  bool Contains(uint32_t addr) const { return addr >= base_ && addr < end(); }
+
+  // Guest-visible access at `offset` from base(). `width` is 1 or 4; word
+  // accesses are already alignment-checked by the bus.
+  virtual AccessResult Read(uint32_t offset, uint32_t width, uint32_t* value) = 0;
+  virtual AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) = 0;
+
+  // Wait states the access inserts on top of the CPU's base memory-access
+  // cost. Models off-chip memory latency (external DRAM) and busy hardware
+  // engines (e.g. a hash engine digesting a block). Queried by the bus for
+  // the access *about to be performed*.
+  virtual uint32_t WaitStates(uint32_t offset, uint32_t width,
+                              AccessKind kind) const {
+    (void)offset;
+    (void)width;
+    (void)kind;
+    return 0;
+  }
+
+  // Advances device-local time by `cycles` CPU cycles (timers etc.).
+  virtual void Tick(uint64_t cycles) { (void)cycles; }
+
+  // Interrupt interface. A device on an IRQ line reports pending state and
+  // its programmed handler address (device-provided vectoring: the paper's
+  // timer exposes a `handler(ISR)` MMIO register, Fig. 3).
+  virtual int irq_line() const { return -1; }
+  virtual bool IrqPending() const { return false; }
+  virtual uint32_t IrqHandler() const { return 0; }
+  // Called by the CPU when it takes the interrupt.
+  virtual void IrqAck() {}
+
+  // Restores power-on state. Backing memory contents are preserved
+  // (TrustLite does *not* require volatile memory to be purged on reset —
+  // the Secure Loader re-establishes protection instead; Sec. 3.5).
+  virtual void Reset() {}
+
+ private:
+  std::string name_;
+  uint32_t base_;
+  uint32_t size_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_MEM_DEVICE_H_

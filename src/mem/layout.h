@@ -1,0 +1,46 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Default physical memory map of the reference TrustLite platform
+// (paper Fig. 1: SoC with PROM, SRAM, timer, crypto, I/O, plus external
+// DRAM outside the trust boundary).
+
+#ifndef TRUSTLITE_SRC_MEM_LAYOUT_H_
+#define TRUSTLITE_SRC_MEM_LAYOUT_H_
+
+#include <cstdint>
+
+namespace trustlite {
+
+// Boot memory. The CPU starts executing at kPromBase after reset
+// ("the CPU boots from a hardwired, well-known location in non-volatile
+// memory", Sec. 2).
+inline constexpr uint32_t kPromBase = 0x0000'0000;
+inline constexpr uint32_t kPromSize = 0x0001'0000;  // 64 KiB
+
+// On-chip SRAM: trustlet code/data, Trustlet Table, OS.
+inline constexpr uint32_t kSramBase = 0x0001'0000;
+inline constexpr uint32_t kSramSize = 0x0004'0000;  // 256 KiB
+
+// External DRAM: untrusted bulk memory (integrity-only or public data).
+inline constexpr uint32_t kDramBase = 0x0010'0000;
+inline constexpr uint32_t kDramSize = 0x0010'0000;  // 1 MiB
+
+// Default placement of loader-managed structures.
+inline constexpr uint32_t kPromDirectoryBase = kPromBase + 0x1000;
+inline constexpr uint32_t kTrustletTableBase = kSramBase + kSramSize - 0x1000;
+
+// MMIO window.
+inline constexpr uint32_t kMmioBase = 0xF000'0000;
+inline constexpr uint32_t kSysCtlBase = 0xF000'0000;
+inline constexpr uint32_t kMpuMmioBase = 0xF000'1000;
+inline constexpr uint32_t kTimerBase = 0xF000'2000;
+inline constexpr uint32_t kUartBase = 0xF000'3000;
+inline constexpr uint32_t kShaBase = 0xF000'4000;
+inline constexpr uint32_t kTrngBase = 0xF000'5000;
+inline constexpr uint32_t kGpioBase = 0xF000'6000;
+inline constexpr uint32_t kSancusMmioBase = 0xF000'7000;
+inline constexpr uint32_t kDmaBase = 0xF000'8000;
+inline constexpr uint32_t kMmioBlockSize = 0x1000;
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_MEM_LAYOUT_H_

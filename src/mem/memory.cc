@@ -1,0 +1,58 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/mem/memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/bytes.h"
+
+namespace trustlite {
+
+AccessResult Ram::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (offset + width > size()) {
+    return AccessResult::kBusError;
+  }
+  if (width == 4) {
+    *value = LoadLe32(&data_[offset]);
+  } else {
+    *value = data_[offset];
+  }
+  return AccessResult::kOk;
+}
+
+AccessResult Ram::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (offset + width > size()) {
+    return AccessResult::kBusError;
+  }
+  if (width == 4) {
+    StoreLe32(&data_[offset], value);
+  } else {
+    data_[offset] = static_cast<uint8_t>(value);
+  }
+  return AccessResult::kOk;
+}
+
+void Ram::LoadBytes(uint32_t offset, const std::vector<uint8_t>& bytes) {
+  assert(offset + bytes.size() <= data_.size());
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + offset);
+}
+
+std::vector<uint8_t> Ram::ReadBytes(uint32_t offset, uint32_t count) const {
+  assert(offset + count <= data_.size());
+  return std::vector<uint8_t>(data_.begin() + offset,
+                              data_.begin() + offset + count);
+}
+
+void Ram::Fill(uint8_t value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+AccessResult Prom::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  (void)offset;
+  (void)width;
+  (void)value;
+  return AccessResult::kBusError;
+}
+
+}  // namespace trustlite

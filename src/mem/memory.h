@@ -1,0 +1,62 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Memory devices: on-chip SRAM, PROM (guest-read-only boot memory) and the
+// external-DRAM model (identical to RAM functionally; separated so layouts
+// and benches can distinguish on-chip vs off-chip placement).
+
+#ifndef TRUSTLITE_SRC_MEM_MEMORY_H_
+#define TRUSTLITE_SRC_MEM_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/device.h"
+
+namespace trustlite {
+
+// Plain byte-addressable RAM. `wait_states` models access latency beyond
+// the CPU's base memory cost (0 for on-chip SRAM, >0 for external DRAM).
+class Ram : public Device {
+ public:
+  Ram(std::string name, uint32_t base, uint32_t size, uint32_t wait_states = 0)
+      : Device(std::move(name), base, size),
+        wait_states_(wait_states),
+        data_(size, 0) {}
+
+  AccessResult Read(uint32_t offset, uint32_t width, uint32_t* value) override;
+  AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
+  uint32_t WaitStates(uint32_t offset, uint32_t width,
+                      AccessKind kind) const override {
+    (void)offset;
+    (void)width;
+    (void)kind;
+    return wait_states_;
+  }
+
+  // Host-side (non-guest) raw access for loaders and tests.
+  void LoadBytes(uint32_t offset, const std::vector<uint8_t>& bytes);
+  std::vector<uint8_t> ReadBytes(uint32_t offset, uint32_t count) const;
+  void Fill(uint8_t value);
+
+  const std::vector<uint8_t>& data() const { return data_; }
+
+ protected:
+  std::vector<uint8_t>& mutable_data() { return data_; }
+
+ private:
+  uint32_t wait_states_;
+  std::vector<uint8_t> data_;
+};
+
+// Programmable ROM: readable and executable by guest code, but guest writes
+// are bus errors. Programmed from the host (models factory/field flashing).
+class Prom : public Ram {
+ public:
+  Prom(std::string name, uint32_t base, uint32_t size)
+      : Ram(std::move(name), base, size) {}
+
+  AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_MEM_MEMORY_H_

@@ -1,0 +1,358 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/mpu/ea_mpu.h"
+
+#include <cassert>
+
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+EaMpu::EaMpu(uint32_t mmio_base, int num_regions, int num_rules)
+    : Device("ea-mpu", mmio_base, kMmioBlockSize) {
+  assert(num_regions > 0 && num_regions < 0xFF);
+  assert(num_rules > 0);
+  assert(kMpuRegionBank + static_cast<uint32_t>(num_regions) * kMpuRegionStride
+             <= kMpuRuleBank);
+  regions_.resize(static_cast<size_t>(num_regions));
+  rules_.resize(static_cast<size_t>(num_rules), 0);
+  region_hardwired_.resize(static_cast<size_t>(num_regions), false);
+  rule_hardwired_.resize(static_cast<size_t>(num_rules), false);
+}
+
+void EaMpu::HardwireRegion(int index, const MpuRegion& region) {
+  regions_[static_cast<size_t>(index)] = region;
+  region_hardwired_[static_cast<size_t>(index)] = true;
+}
+
+void EaMpu::HardwireRule(int index, uint32_t rule) {
+  rules_[static_cast<size_t>(index)] = rule;
+  rule_hardwired_[static_cast<size_t>(index)] = true;
+}
+
+void EaMpu::HardwireEnable() {
+  hardwired_enable_ = true;
+  ctrl_ |= kMpuCtrlEnable;
+}
+
+bool EaMpu::IsHardwiredRegion(int index) const {
+  return region_hardwired_[static_cast<size_t>(index)];
+}
+
+bool EaMpu::IsHardwiredRule(int index) const {
+  return rule_hardwired_[static_cast<size_t>(index)];
+}
+
+void EaMpu::Reset() {
+  // Platform reset clears the *programmable* protection configuration;
+  // hardwired entries (Sec. 3.6 hardware trustlets) persist by definition.
+  // Memory contents are preserved and the Secure Loader re-establishes the
+  // programmable rules (Sec. 3.5).
+  ctrl_ = hardwired_enable_ ? kMpuCtrlEnable : 0;
+  fault_ip_ = 0;
+  fault_addr_ = 0;
+  fault_info_ = 0;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (!region_hardwired_[i]) {
+      regions_[i] = MpuRegion{};
+    }
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (!rule_hardwired_[i]) {
+      rules_[i] = 0;
+    }
+  }
+}
+
+AccessResult EaMpu::Read(uint32_t offset, uint32_t width, uint32_t* value) {
+  if (width != 4) {
+    return AccessResult::kBusError;  // Register file is word-addressed.
+  }
+  switch (offset) {
+    case kMpuRegCtrl:
+      *value = ctrl_;
+      return AccessResult::kOk;
+    case kMpuRegFaultIp:
+      *value = fault_ip_;
+      return AccessResult::kOk;
+    case kMpuRegFaultAddr:
+      *value = fault_addr_;
+      return AccessResult::kOk;
+    case kMpuRegFaultInfo:
+      *value = fault_info_;
+      return AccessResult::kOk;
+    case kMpuRegRegionCount:
+      *value = static_cast<uint32_t>(regions_.size());
+      return AccessResult::kOk;
+    case kMpuRegRuleCount:
+      *value = static_cast<uint32_t>(rules_.size());
+      return AccessResult::kOk;
+    default:
+      break;
+  }
+  if (offset >= kMpuRegionBank &&
+      offset < kMpuRegionBank + regions_.size() * kMpuRegionStride) {
+    const uint32_t index = (offset - kMpuRegionBank) / kMpuRegionStride;
+    const MpuRegion& region = regions_[index];
+    switch ((offset - kMpuRegionBank) % kMpuRegionStride) {
+      case 0:
+        *value = region.base;
+        return AccessResult::kOk;
+      case 4:
+        *value = region.end;
+        return AccessResult::kOk;
+      case 8:
+        *value = region.attr;
+        return AccessResult::kOk;
+      case 12:
+        *value = region.sp_slot;
+        return AccessResult::kOk;
+    }
+    return AccessResult::kBusError;
+  }
+  if (offset >= kMpuRuleBank &&
+      offset < kMpuRuleBank + rules_.size() * 4) {
+    *value = rules_[(offset - kMpuRuleBank) / 4];
+    return AccessResult::kOk;
+  }
+  return AccessResult::kBusError;
+}
+
+bool EaMpu::RegisterWriteAllowed(uint32_t offset) const {
+  // FAULT_INFO may be cleared even when the unit is locked (ISRs must be
+  // able to acknowledge faults); everything else is frozen by CTRL.lock.
+  if (offset == kMpuRegFaultInfo) {
+    return true;
+  }
+  if (locked()) {
+    return false;
+  }
+  // Per-region lock freezes that region's four registers; hardwired
+  // entries are immutable by construction.
+  if (offset >= kMpuRegionBank &&
+      offset < kMpuRegionBank + regions_.size() * kMpuRegionStride) {
+    const uint32_t index = (offset - kMpuRegionBank) / kMpuRegionStride;
+    if ((regions_[index].attr & kMpuAttrLock) != 0 ||
+        region_hardwired_[index]) {
+      return false;
+    }
+  }
+  if (offset >= kMpuRuleBank && offset < kMpuRuleBank + rules_.size() * 4 &&
+      rule_hardwired_[(offset - kMpuRuleBank) / 4]) {
+    return false;
+  }
+  return true;
+}
+
+AccessResult EaMpu::Write(uint32_t offset, uint32_t width, uint32_t value) {
+  if (width != 4) {
+    return AccessResult::kBusError;
+  }
+  if (!RegisterWriteAllowed(offset)) {
+    // Locked registers ignore writes silently, like write-protected hardware
+    // config registers; the write is *not* a bus error so that probing
+    // software cannot use faults to distinguish lock state changes.
+    return AccessResult::kOk;
+  }
+  ++stats_.mmio_writes;
+  switch (offset) {
+    case kMpuRegCtrl:
+      ctrl_ = value & (kMpuCtrlEnable | kMpuCtrlLock | kMpuCtrlCompatMode);
+      if (hardwired_enable_) {
+        ctrl_ |= kMpuCtrlEnable;
+      }
+      return AccessResult::kOk;
+    case kMpuRegFaultInfo:
+      fault_info_ = 0;  // Any write acknowledges/clears the latched fault.
+      return AccessResult::kOk;
+    case kMpuRegFaultIp:
+    case kMpuRegFaultAddr:
+    case kMpuRegRegionCount:
+    case kMpuRegRuleCount:
+      return AccessResult::kOk;  // Read-only; writes ignored.
+    default:
+      break;
+  }
+  if (offset >= kMpuRegionBank &&
+      offset < kMpuRegionBank + regions_.size() * kMpuRegionStride) {
+    const uint32_t index = (offset - kMpuRegionBank) / kMpuRegionStride;
+    MpuRegion& region = regions_[index];
+    switch ((offset - kMpuRegionBank) % kMpuRegionStride) {
+      case 0:
+        region.base = value;
+        return AccessResult::kOk;
+      case 4:
+        region.end = value;
+        return AccessResult::kOk;
+      case 8:
+        region.attr = value;
+        return AccessResult::kOk;
+      case 12:
+        region.sp_slot = value;
+        return AccessResult::kOk;
+    }
+    return AccessResult::kBusError;
+  }
+  if (offset >= kMpuRuleBank && offset < kMpuRuleBank + rules_.size() * 4) {
+    rules_[(offset - kMpuRuleBank) / 4] = value;
+    return AccessResult::kOk;
+  }
+  return AccessResult::kBusError;
+}
+
+std::optional<int> EaMpu::FindCodeRegion(uint32_t ip) const {
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].Contains(ip) && (regions_[i].attr & kMpuAttrCode) != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool EaMpu::RuleAllows(const AccessContext& ctx, std::optional<int> subject,
+                       int object, uint32_t addr) const {
+  const bool compat = (ctrl_ & kMpuCtrlCompatMode) != 0;
+  for (const uint32_t rule : rules_) {
+    if ((rule & kMpuRuleEnable) == 0) {
+      continue;
+    }
+    const uint32_t rule_object = (rule >> kMpuRuleObjectShift) & 0xFF;
+    if (rule_object != static_cast<uint32_t>(object)) {
+      continue;
+    }
+    const uint32_t rule_subject = (rule >> kMpuRuleSubjectShift) & 0xFF;
+    bool subject_match;
+    if (rule_subject == kMpuSubjectAny) {
+      // Wildcard subject; in compat mode additionally apply the privilege
+      // filter (this is what a conventional MPU can express).
+      const uint32_t priv = (rule >> kMpuRulePrivShift) & 0x3;
+      subject_match = true;
+      if (compat && priv == kMpuPrivUserOnly && ctx.privileged) {
+        subject_match = false;
+      }
+      if (compat && priv == kMpuPrivSupervisorOnly && !ctx.privileged) {
+        subject_match = false;
+      }
+    } else {
+      subject_match = subject.has_value() &&
+                      rule_subject == static_cast<uint32_t>(*subject);
+    }
+    if (!subject_match) {
+      continue;
+    }
+    switch (ctx.kind) {
+      case AccessKind::kRead:
+        if ((rule & kMpuRuleRead) != 0) {
+          return true;
+        }
+        break;
+      case AccessKind::kWrite:
+        if ((rule & kMpuRuleWrite) != 0) {
+          return true;
+        }
+        break;
+      case AccessKind::kFetch: {
+        if ((rule & kMpuRuleExec) == 0) {
+          break;
+        }
+        // Entry-vector convention: executing *into* a foreign region is only
+        // permitted at its first word; execution within the subject's own
+        // region (self-rule) covers the full region. (Sec. 5.1: "the first
+        // four bytes of each code region as its respective entry vector".)
+        const bool self_rule =
+            subject.has_value() &&
+            rule_subject == static_cast<uint32_t>(*subject) &&
+            static_cast<uint32_t>(object) == rule_subject;
+        if (self_rule || compat) {
+          return true;
+        }
+        if (addr == regions_[static_cast<size_t>(object)].base) {
+          return true;
+        }
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
+                          uint32_t width) {
+  if (!enabled()) {
+    return AccessResult::kOk;
+  }
+  ++stats_.checks;
+  const std::optional<int> subject = FindCodeRegion(ctx.curr_ip);
+
+  // Evaluate all bytes of the access (a word straddling a region boundary
+  // must be allowed on both sides). Fetches are always word-aligned and are
+  // judged at the fetch address itself so the entry-vector comparison sees
+  // the instruction address, not its tail bytes.
+  const uint32_t granularity = (ctx.kind == AccessKind::kFetch) ? 1 : width;
+  bool any_covered = false;
+  bool all_allowed = true;
+  for (uint32_t i = 0; i < granularity; ++i) {
+    const uint32_t byte_addr = addr + i;
+    bool covered = false;
+    bool allowed = false;
+    for (size_t r = 0; r < regions_.size(); ++r) {
+      if (!regions_[r].Contains(byte_addr)) {
+        continue;
+      }
+      covered = true;
+      if (RuleAllows(ctx, subject, static_cast<int>(r), byte_addr)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (covered) {
+      any_covered = true;
+      if (!allowed) {
+        all_allowed = false;
+        break;
+      }
+    }
+  }
+  if (!any_covered || all_allowed) {
+    return AccessResult::kOk;
+  }
+
+  // Latch the first fault only (matching typical fault-status registers).
+  ++stats_.faults;
+  if ((fault_info_ & kMpuFaultValid) == 0) {
+    fault_ip_ = ctx.curr_ip;
+    fault_addr_ = addr;
+    fault_info_ = kMpuFaultValid | static_cast<uint32_t>(ctx.kind);
+  }
+  return AccessResult::kProtFault;
+}
+
+int EaMpu::FaultTreeDepth(int num_regions) {
+  int depth = 0;
+  int n = 1;
+  while (n < num_regions) {
+    n *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+uint32_t EncodeMpuRule(uint32_t subject, uint32_t object, bool r, bool w,
+                       bool x, uint32_t priv_filter) {
+  uint32_t rule = kMpuRuleEnable;
+  rule |= (subject & 0xFF) << kMpuRuleSubjectShift;
+  rule |= (object & 0xFF) << kMpuRuleObjectShift;
+  if (r) {
+    rule |= kMpuRuleRead;
+  }
+  if (w) {
+    rule |= kMpuRuleWrite;
+  }
+  if (x) {
+    rule |= kMpuRuleExec;
+  }
+  rule |= (priv_filter & 0x3) << kMpuRulePrivShift;
+  return rule;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,386 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/os/nanos.h"
+
+#include <sstream>
+
+#include "src/dev/timer.h"
+#include "src/isa/assembler.h"
+#include "src/mem/layout.h"
+#include "src/trustlet/guest_defs.h"
+
+namespace trustlite {
+
+std::string NanosSource(const NanosConfig& config) {
+  std::ostringstream out;
+  out << GuestDefs();
+  out << std::hex;
+  out << ".equ OS_CODE, 0x" << config.code_addr << "\n";
+  out << ".equ OS_DATA, 0x" << config.data_addr << "\n";
+  out << ".equ OS_DATA_END, 0x" << (config.data_addr + config.data_size) << "\n";
+  out << ".equ OS_STACK_TOP, 0x" << (config.data_addr + config.data_size) << "\n";
+  out << ".equ TT_BASE, 0x" << config.table_addr << "\n";
+  out << std::dec;
+  out << ".equ OS_CUR, " << kOsDataCur << "\n";
+  out << ".equ OS_NUM, " << kOsDataNumTasks << "\n";
+  out << ".equ OS_Q_HEAD, " << kOsDataQueueHead << "\n";
+  out << ".equ OS_Q_COUNT, " << kOsDataQueueCount << "\n";
+  out << ".equ OS_QUEUE, " << kOsDataQueue << "\n";
+  out << ".equ OS_TASKS, " << kOsDataTasks << "\n";
+  out << ".equ TCB_VALID, " << kOsDataTcbValid << "\n";
+  out << ".equ TCB_IP, " << kOsDataTcbIp << "\n";
+  out << ".equ TCB_FLAGS, " << kOsDataTcbFlags << "\n";
+  out << ".equ TCB_SP, " << kOsDataTcbSp << "\n";
+  out << ".equ TCB_REGS, " << kOsDataTcbRegs << "\n";
+  out << ".equ TIMER_PERIOD_VALUE, " << config.timer_period << "\n";
+  out << ".org 0x" << std::hex << config.code_addr << std::dec << "\n";
+
+  // ---- Entry vector & service dispatch --------------------------------
+  out << R"(
+os_entry:
+    cli                         ; entry vector (first word of the region):
+                                ; services run on the caller's stack, so
+                                ; preemption is masked until the caller's ACK
+                                ; continuation re-enables it (an interrupt
+                                ; here would push OS-attributed state onto a
+                                ; stack the OS has no rights to)
+
+; call(type = r0, msg = r1, sender = r2). Services clobber r10..r15.
+os_entry_dispatch:
+    movi r15, 0
+    beq  r0, r15, os_sched_entry
+    movi r15, 1
+    beq  r0, r15, os_svc_enqueue
+    movi r15, 2
+    beq  r0, r15, os_svc_dequeue
+    movi r15, 4
+    beq  r0, r15, os_svc_putc
+    jmp  os_svc_done            ; unknown service: ACK without effect
+
+os_svc_enqueue:
+    la   r15, OS_DATA
+    ldw  r14, [r15 + OS_Q_COUNT]
+    movi r12, 16
+    beq  r14, r12, os_svc_done  ; queue full: drop
+    ldw  r12, [r15 + OS_Q_HEAD]
+    add  r11, r12, r14          ; tail = head + count
+    andi r11, r11, 15
+    shli r11, r11, 2
+    add  r11, r11, r15
+    stw  r1, [r11 + OS_QUEUE]
+    addi r14, r14, 1
+    stw  r14, [r15 + OS_Q_COUNT]
+    movi r1, 0                  ; result: 0 = queued
+    jmp  os_svc_done
+
+os_svc_dequeue:
+    la   r15, OS_DATA
+    ldw  r14, [r15 + OS_Q_COUNT]
+    movi r12, 0
+    beq  r14, r12, os_svc_dq_empty
+    ldw  r12, [r15 + OS_Q_HEAD]
+    shli r11, r12, 2
+    add  r11, r11, r15
+    ldw  r1, [r11 + OS_QUEUE]
+    addi r12, r12, 1
+    andi r12, r12, 15
+    stw  r12, [r15 + OS_Q_HEAD]
+    addi r14, r14, -1
+    stw  r14, [r15 + OS_Q_COUNT]
+    jmp  os_svc_done
+os_svc_dq_empty:
+    movi r1, -1                 ; empty marker
+    jmp  os_svc_done
+
+os_svc_putc:
+    la   r15, MMIO_UART
+    stw  r1, [r15 + UART_TXDATA]
+    movi r1, 0
+    jmp  os_svc_done
+
+os_svc_done:
+    movi r15, 0
+    beq  r2, r15, os_sched_entry
+    movi r0, 3                  ; ACK
+    jr   r2                     ; return to the sender continuation
+
+os_sched_entry:
+    la   sp, OS_STACK_TOP
+    jmp  os_schedule
+)";
+
+  // ---- Timer ISR / scheduler ------------------------------------------
+  out << R"(
+; Entered by the exception engine for timer IRQs (regular or secure path)
+; and reused by the SWI-0 yield handler.
+os_timer_isr:
+os_swi_isr:
+    push r15
+    push r14
+    ldw  r15, [sp + 8]          ; error code
+    shri r15, r15, 31
+    movi r14, 1
+    beq  r15, r14, os_isr_from_trustlet
+    ; Regular path: decide whether the OS itself or the app was interrupted.
+    ldw  r15, [sp + 12]         ; interrupted IP
+    la   r14, os_entry
+    bltu r15, r14, os_isr_from_app
+    la   r14, os_code_end
+    bgeu r15, r14, os_isr_from_app
+    ; The OS idle loop was interrupted: its context is disposable.
+    la   sp, OS_STACK_TOP
+    jmp  os_schedule
+
+os_isr_from_trustlet:
+    ; Hardware already saved and cleared everything (secure engine);
+    ; the frame on the OS stack is informational only.
+    la   sp, OS_STACK_TOP
+    jmp  os_schedule
+
+os_isr_from_app:
+    ; Save the app context into the TCB (the OS does in software what the
+    ; secure engine does in hardware for trustlets).
+    la   r15, OS_DATA
+    stw  r0,  [r15 + TCB_REGS + 0]
+    stw  r1,  [r15 + TCB_REGS + 4]
+    stw  r2,  [r15 + TCB_REGS + 8]
+    stw  r3,  [r15 + TCB_REGS + 12]
+    stw  r4,  [r15 + TCB_REGS + 16]
+    stw  r5,  [r15 + TCB_REGS + 20]
+    stw  r6,  [r15 + TCB_REGS + 24]
+    stw  r7,  [r15 + TCB_REGS + 28]
+    stw  r8,  [r15 + TCB_REGS + 32]
+    stw  r9,  [r15 + TCB_REGS + 36]
+    stw  r10, [r15 + TCB_REGS + 40]
+    stw  r11, [r15 + TCB_REGS + 44]
+    stw  r12, [r15 + TCB_REGS + 48]
+    ldw  r0, [sp + 0]           ; pushed r14
+    stw  r0, [r15 + TCB_REGS + 56]
+    ldw  r0, [sp + 4]           ; pushed r15
+    stw  r0, [r15 + TCB_REGS + 60]
+    ldw  r0, [sp + 12]          ; interrupted IP
+    stw  r0, [r15 + TCB_IP]
+    ldw  r0, [sp + 16]          ; FLAGS
+    stw  r0, [r15 + TCB_FLAGS]
+    addi r0, sp, 20             ; app SP with the frame popped
+    stw  r0, [r15 + TCB_SP]
+    movi r0, 1
+    stw  r0, [r15 + TCB_VALID]
+    la   sp, OS_STACK_TOP
+    jmp  os_schedule
+
+; Round-robin over trustlet slots [0, num) and the app slot [num].
+os_schedule:
+    la   r15, OS_DATA
+    ldw  r14, [r15 + OS_NUM]
+    ldw  r12, [r15 + TCB_VALID]
+    add  r11, r14, r12          ; total runnable slots
+    movi r10, 0
+    beq  r11, r10, os_idle
+    ldw  r10, [r15 + OS_CUR]
+    addi r10, r10, 1
+    bltu r10, r11, os_sched_store
+    movi r10, 0
+os_sched_store:
+    stw  r10, [r15 + OS_CUR]
+    bltu r10, r14, os_run_trustlet
+    jmp  os_resume_app
+os_run_trustlet:
+    shli r9, r10, 2
+    add  r9, r9, r15
+    ldw  r9, [r9 + OS_TASKS]
+    movi r0, 0                  ; continue() command
+    jr   r9                     ; IF stays off; the trustlet IRET restores it
+
+os_resume_app:
+    la   r15, OS_DATA
+    ldw  sp, [r15 + TCB_SP]
+    addi sp, sp, -8
+    ldw  r14, [r15 + TCB_IP]
+    stw  r14, [sp + 0]
+    ldw  r14, [r15 + TCB_FLAGS]
+    stw  r14, [sp + 4]
+    ldw  r0,  [r15 + TCB_REGS + 0]
+    ldw  r1,  [r15 + TCB_REGS + 4]
+    ldw  r2,  [r15 + TCB_REGS + 8]
+    ldw  r3,  [r15 + TCB_REGS + 12]
+    ldw  r4,  [r15 + TCB_REGS + 16]
+    ldw  r5,  [r15 + TCB_REGS + 20]
+    ldw  r6,  [r15 + TCB_REGS + 24]
+    ldw  r7,  [r15 + TCB_REGS + 28]
+    ldw  r8,  [r15 + TCB_REGS + 32]
+    ldw  r9,  [r15 + TCB_REGS + 36]
+    ldw  r10, [r15 + TCB_REGS + 40]
+    ldw  r11, [r15 + TCB_REGS + 44]
+    ldw  r12, [r15 + TCB_REGS + 48]
+    ldw  lr,  [r15 + TCB_REGS + 56]
+    ldw  r15, [r15 + TCB_REGS + 60]
+    iret
+
+os_idle:
+    la   sp, OS_STACK_TOP
+    sti
+os_idle_loop:
+    jmp  os_idle_loop
+)";
+
+  // ---- Fault handler ----------------------------------------------------
+  out << R"(
+os_fault_isr:
+    ; Acknowledge the MPU fault latch (allowed: the hardware lock exempts
+    ; FAULT_INFO, and the loader grants the OS r/w on the MPU range).
+    la   r15, MMIO_MPU
+    movi r14, 0
+    stw  r14, [r15 + MPU_FAULT_INFO]
+    ldw  r14, [sp + 0]          ; error code
+    shri r14, r14, 31
+    movi r15, 1
+    beq  r14, r15, os_kill_current
+    halt                        ; fault in the OS or app: stop the platform
+
+os_kill_current:
+    ; Remove the faulting trustlet from the schedule (fault tolerance,
+    ; Sec. 2.3: trustlets can be interrupted/terminated on errors).
+    la   r15, OS_DATA
+    ldw  r14, [r15 + OS_CUR]
+    ldw  r12, [r15 + OS_NUM]
+    bltu r14, r12, os_kill_slot
+    la   sp, OS_STACK_TOP      ; stale index: just reschedule
+    jmp  os_schedule
+os_kill_slot:
+    addi r12, r12, -1
+    stw  r12, [r15 + OS_NUM]
+    shli r11, r12, 2
+    add  r11, r11, r15
+    ldw  r11, [r11 + OS_TASKS]  ; last entry
+    shli r10, r14, 2
+    add  r10, r10, r15
+    stw  r11, [r10 + OS_TASKS]  ; overwrite the dead slot
+    addi r14, r14, -1
+    stw  r14, [r15 + OS_CUR]
+    la   sp, OS_STACK_TOP
+    jmp  os_schedule
+)";
+
+  // ---- Boot -------------------------------------------------------------
+  out << R"(
+os_start:
+    la   sp, OS_STACK_TOP
+    ; Install exception handlers in SysCtl.
+    la   r1, MMIO_SYSCTL
+    la   r2, os_fault_isr
+    stw  r2, [r1 + 0]           ; MPU fault
+    stw  r2, [r1 + 4]           ; illegal instruction
+    stw  r2, [r1 + 8]           ; bus error
+    stw  r2, [r1 + 12]          ; alignment
+    la   r2, os_swi_isr
+    stw  r2, [r1 + 32]          ; SWI 0 (yield)
+    ; Discover trustlets: scan the Trustlet Table (Sec. 3.5, trustlet-aware
+    ; OS registers trustlets like regular tasks).
+    la   r3, TT_BASE
+    ldw  r4, [r3 + 4]           ; row count
+    movi r5, 0
+    movi r6, 0
+    la   r7, OS_DATA
+os_scan_loop:
+    beq  r5, r4, os_scan_done
+    shli r8, r5, 6
+    add  r8, r8, r3
+    addi r8, r8, TT_HEADER_SIZE
+    ldw  r9, [r8 + TT_ROW_FLAGS]
+    andi r9, r9, 1
+    movi r10, 1
+    beq  r9, r10, os_scan_next  ; skip our own (OS) row
+    ldw  r9, [r8 + TT_ROW_ENTRY]
+    shli r10, r6, 2
+    add  r10, r10, r7
+    stw  r9, [r10 + OS_TASKS]
+    addi r6, r6, 1
+os_scan_next:
+    addi r5, r5, 1
+    jmp  os_scan_loop
+os_scan_done:
+    stw  r6, [r7 + OS_NUM]
+    movi r9, -1
+    stw  r9, [r7 + OS_CUR]
+    movi r9, 0
+    stw  r9, [r7 + OS_Q_HEAD]
+    stw  r9, [r7 + OS_Q_COUNT]
+    stw  r9, [r7 + TCB_VALID]
+)";
+
+  if (config.app_entry != 0) {
+    out << "    ; Register the untrusted app task.\n";
+    out << "    movi r9, 1\n";
+    out << "    stw  r9, [r7 + TCB_VALID]\n";
+    out << "    li   r9, 0x" << std::hex << config.app_entry << std::dec << "\n";
+    out << "    stw  r9, [r7 + TCB_IP]\n";
+    out << "    li   r9, 0x" << std::hex << config.app_sp << std::dec << "\n";
+    out << "    stw  r9, [r7 + TCB_SP]\n";
+    out << "    movi r9, 1\n";  // FLAGS: IF set
+    out << "    stw  r9, [r7 + TCB_FLAGS]\n";
+  }
+  if (!config.init_hook.empty()) {
+    out << "; ---- init hook ----\n" << config.init_hook << "\n";
+  }
+  if (config.enable_timer && config.timer_period > 0) {
+    out << R"(
+    ; Program the scheduler tick (Fig. 3: period + handler registers).
+    la   r1, MMIO_TIMER
+    li   r2, TIMER_PERIOD_VALUE
+    stw  r2, [r1 + TIMER_PERIOD]
+    la   r2, os_timer_isr
+    stw  r2, [r1 + TIMER_HANDLER]
+    movi r2, 7                  ; enable | irq enable | auto reload
+    stw  r2, [r1 + TIMER_CTRL]
+)";
+  }
+  out << "    jmp  os_schedule\n";
+
+  if (!config.extra_body.empty()) {
+    out << "; ---- extra body ----\n" << config.extra_body << "\n";
+  }
+  out << "os_code_end:\n";
+  return out.str();
+}
+
+Result<TrustletMeta> BuildNanos(const NanosConfig& config) {
+  const std::string source = NanosSource(config);
+  Result<AsmOutput> assembled = Assemble(source, config.code_addr);
+  if (!assembled.ok()) {
+    return Status(assembled.status().code(),
+                  "nanOS: " + assembled.status().message());
+  }
+  uint32_t image_base = 0;
+  std::vector<uint8_t> code = assembled->Flatten(&image_base);
+  if (image_base != config.code_addr) {
+    return Internal("nanOS code not based at code_addr");
+  }
+
+  TrustletMeta meta;
+  meta.id = MakeTrustletId(config.name);
+  meta.is_os = true;
+  meta.measure = true;
+  meta.callable_any = true;
+  meta.code_addr = config.code_addr;
+  meta.data_addr = config.data_addr;
+  meta.data_size = config.data_size;
+  meta.stack_size = config.stack_size;
+  meta.start_offset = assembled->SymbolOrDie("os_start") - config.code_addr;
+  meta.code = std::move(code);
+  if (config.grant_timer) {
+    meta.grants.push_back(
+        {kTimerBase, kTimerBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  }
+  if (config.grant_uart) {
+    meta.grants.push_back(
+        {kUartBase, kUartBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  }
+  if (config.grant_gpio) {
+    meta.grants.push_back(
+        {kGpioBase, kGpioBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  }
+  return meta;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,104 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// nanOS: the untrusted embedded operating system used throughout the
+// reproduction — the counterpart of the paper's "homegrown OS" (Sec. 5.1).
+// It is generated as TL32 assembly and loaded by the Secure Loader like any
+// other record (with the is_os flag, so the secure exception engine knows
+// its region and handler stack).
+//
+// Capabilities (all exercised by tests/examples):
+//  * Boot: installs fault/SWI handlers in SysCtl, discovers trustlets by
+//    scanning the Trustlet Table (a "trustlet-aware OS", Sec. 3.5), programs
+//    the timer for preemptive scheduling.
+//  * Scheduler: timer-driven round robin across trustlets (resumed through
+//    their continue() entry — r0 = 0) and one optional untrusted app task
+//    whose context nanOS saves/restores itself (contrast: trustlet state is
+//    saved by the *hardware* secure exception engine).
+//  * Syscall (SWI 0): yield.
+//  * IPC services via the OS entry vector, call(type, msg, sender):
+//      type 1: enqueue msg into the OS message queue (Sec. 4.2.1)
+//      type 2: dequeue -> ACK result r1 (0xFFFFFFFF when empty)
+//      type 4: putc(msg) to the UART
+//    The service returns to `sender` (r2) with r0 = 3 (ACK), r1 = result,
+//    or falls into the scheduler when r2 == 0. Registers r10-r15 are
+//    service-clobbered by convention.
+//  * Fault policy: a faulting trustlet is removed from the schedule and the
+//    MPU fault is acknowledged; a fault in the OS or app halts the platform
+//    (visible to tests).
+//
+// OS data layout (offsets from its data region base) is published as .equ
+// constants for tests; see kNanosDataLayout in nanos.cc.
+
+#ifndef TRUSTLITE_SRC_OS_NANOS_H_
+#define TRUSTLITE_SRC_OS_NANOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/mem/layout.h"
+#include "src/trustlet/metadata.h"
+
+namespace trustlite {
+
+// Call types understood by the OS entry vector.
+inline constexpr uint32_t kOsCallSchedule = 0;
+inline constexpr uint32_t kOsCallEnqueue = 1;
+inline constexpr uint32_t kOsCallDequeue = 2;  // ACK carries the value in
+                                               // r1 (0xFFFFFFFF = empty).
+inline constexpr uint32_t kOsCallAck = 3;
+inline constexpr uint32_t kOsCallPutc = 4;
+
+// OS data-region layout (word offsets in bytes).
+inline constexpr uint32_t kOsDataCur = 0;
+inline constexpr uint32_t kOsDataNumTasks = 4;
+inline constexpr uint32_t kOsDataQueueHead = 8;
+inline constexpr uint32_t kOsDataQueueCount = 12;
+inline constexpr uint32_t kOsDataQueue = 16;  // 16 words
+inline constexpr uint32_t kOsDataTasks = 80;  // 16 words
+inline constexpr uint32_t kOsDataTcbValid = 144;
+inline constexpr uint32_t kOsDataTcbIp = 148;
+inline constexpr uint32_t kOsDataTcbFlags = 152;
+inline constexpr uint32_t kOsDataTcbSp = 156;
+inline constexpr uint32_t kOsDataTcbRegs = 160;  // r0..r15, 16 words
+inline constexpr uint32_t kOsDataReserved = 224;
+inline constexpr uint32_t kOsQueueCapacity = 16;
+inline constexpr uint32_t kOsMaxTasks = 16;
+
+struct NanosConfig {
+  std::string name = "OS";
+  uint32_t code_addr = 0x0002'0000;
+  uint32_t data_addr = 0x0002'4000;
+  uint32_t data_size = 0x1000;
+  uint32_t stack_size = 0x400;
+  uint32_t table_addr = kTrustletTableBase;
+
+  // Preemption. Period is in CPU cycles; 0 leaves the timer off
+  // (cooperative mode: trustlets yield via SWI 0).
+  bool enable_timer = true;
+  uint32_t timer_period = 4000;
+
+  // Peripheral grants requested in the OS metadata.
+  bool grant_timer = true;
+  bool grant_uart = true;
+  bool grant_gpio = false;
+
+  // Optional single untrusted app task (runs from unprotected memory).
+  uint32_t app_entry = 0;
+  uint32_t app_sp = 0;
+
+  // Extra assembly appended to the OS (service extensions for tests) and an
+  // init hook run at boot before interrupts are enabled.
+  std::string extra_body;
+  std::string init_hook;
+};
+
+// Generates + assembles nanOS, returning the loader-ready record.
+Result<TrustletMeta> BuildNanos(const NanosConfig& config);
+
+// The generated assembly source (for inspection and tests).
+std::string NanosSource(const NanosConfig& config);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_OS_NANOS_H_

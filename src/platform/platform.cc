@@ -1,0 +1,106 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/platform/platform.h"
+
+namespace trustlite {
+
+Platform::Platform(const PlatformConfig& config) : config_(config) {
+  prom_ = std::make_unique<Prom>("prom", kPromBase, kPromSize);
+  sram_ = std::make_unique<Ram>("sram", kSramBase, kSramSize);
+  dram_ = std::make_unique<Ram>("dram", kDramBase, kDramSize,
+                                config.dram_wait_states);
+  sysctl_ = std::make_unique<SysCtl>(kSysCtlBase);
+  timer_ = std::make_unique<Timer>(kTimerBase, /*irq=*/0);
+  uart_ = std::make_unique<Uart>(kUartBase);
+  sha_ = std::make_unique<ShaAccel>(kShaBase, config.sha_cycles_per_block);
+  trng_ = std::make_unique<Trng>(kTrngBase, config.trng_seed);
+  gpio_ = std::make_unique<Gpio>(kGpioBase);
+
+  bus_.Attach(prom_.get());
+  bus_.Attach(sram_.get());
+  bus_.Attach(dram_.get());
+  bus_.Attach(sysctl_.get());
+  bus_.Attach(timer_.get());
+  bus_.Attach(uart_.get());
+  bus_.Attach(sha_.get());
+  bus_.Attach(trng_.get());
+  bus_.Attach(gpio_.get());
+
+  if (config.with_dma) {
+    dma_ = std::make_unique<DmaEngine>(kDmaBase, &bus_, config.dma_mode);
+    bus_.Attach(dma_.get());
+  }
+
+  if (config.with_mpu) {
+    mpu_ = std::make_unique<EaMpu>(kMpuMmioBase, config.mpu_regions,
+                                   config.mpu_rules);
+    bus_.Attach(mpu_.get());
+    bus_.SetProtectionUnit(mpu_.get());
+  }
+
+  CpuConfig cpu_config;
+  cpu_config.secure_exceptions = config.secure_exceptions;
+  cpu_config.sanitize_faulting_ip = config.sanitize_faulting_ip;
+  cpu_config.cycles = config.cycles;
+  cpu_ = std::make_unique<Cpu>(&bus_, sysctl_.get(), cpu_config);
+  cpu_->AttachMpu(mpu_.get());
+  cpu_->AddIrqSource(timer_.get());
+  cpu_->Reset(kPromBase);
+}
+
+Status Platform::InstallImage(const SystemImage& image, uint32_t directory) {
+  Result<std::vector<uint8_t>> bytes = image.Build();
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  if (directory < kPromBase ||
+      directory + bytes->size() > kPromBase + kPromSize) {
+    return OutOfRange("system image does not fit in PROM");
+  }
+  prom_->LoadBytes(directory - kPromBase, *bytes);
+  return OkStatus();
+}
+
+Result<LoadReport> Platform::Boot(const LoaderConfig& loader_config) {
+  if (mpu_ == nullptr) {
+    return FailedPrecondition("platform built without an MPU");
+  }
+  SecureLoader loader(&bus_, mpu_.get(), loader_config);
+  return loader.Boot();
+}
+
+Result<LoadReport> Platform::BootAndLaunch(const LoaderConfig& loader_config) {
+  Result<LoadReport> report = Boot(loader_config);
+  if (report.ok()) {
+    LaunchOs(*report);
+  }
+  return report;
+}
+
+void Platform::LaunchOs(const LoadReport& report) {
+  cpu_->Reset(report.os_entry);
+  cpu_->set_reg(kRegSp, report.os_sp);
+}
+
+void Platform::HardReset() {
+  bus_.ResetDevices();
+  cpu_->Reset(kPromBase);
+}
+
+StepEvent Platform::Run(uint64_t max_instructions) {
+  return cpu_->Run(max_instructions);
+}
+
+bool Platform::RunUntilIp(uint32_t target_ip, uint64_t max_steps) {
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    if (cpu_->ip() == target_ip) {
+      return true;
+    }
+    if (cpu_->Step() == StepEvent::kHalted) {
+      return cpu_->ip() == target_ip;
+    }
+  }
+  return false;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,126 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/platform/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/isa/disassembler.h"
+
+namespace trustlite {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kInstruction:
+      return "insn";
+    case TraceEventType::kException:
+      return "exc ";
+    case TraceEventType::kInterrupt:
+      return "irq ";
+    case TraceEventType::kHalt:
+      return "halt";
+    case TraceEventType::kUartTx:
+      return "uart";
+  }
+  return "?";
+}
+
+void ExecutionTracer::Record(const TraceEvent& event) {
+  events_.push_back(event);
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+StepEvent ExecutionTracer::Run(Platform* platform, uint64_t max_instructions) {
+  Cpu& cpu = platform->cpu();
+  size_t uart_seen = platform->uart().output().size();
+  StepEvent last = StepEvent::kExecuted;
+  for (uint64_t i = 0; i < max_instructions; ++i) {
+    const uint32_t ip_before = cpu.ip();
+    uint32_t word = 0;
+    if (record_instructions_) {
+      platform->bus().HostReadWord(ip_before, &word);
+    }
+    last = cpu.Step();
+    switch (last) {
+      case StepEvent::kExecuted:
+        ++counts_.instructions;
+        if (record_instructions_) {
+          Record({cpu.cycles(), TraceEventType::kInstruction, ip_before, word});
+        }
+        break;
+      case StepEvent::kException:
+        ++counts_.exceptions;
+        Record({cpu.cycles(), TraceEventType::kException, ip_before, cpu.ip()});
+        break;
+      case StepEvent::kInterrupt:
+        ++counts_.interrupts;
+        Record({cpu.cycles(), TraceEventType::kInterrupt, ip_before, cpu.ip()});
+        break;
+      case StepEvent::kHalted:
+        Record({cpu.cycles(), TraceEventType::kHalt, cpu.ip(),
+                cpu.trap().valid ? cpu.trap().exception_class : 0xFFFFFFFFu});
+        break;
+    }
+    // Surface UART transmissions as events.
+    const std::string& uart = platform->uart().output();
+    while (uart_seen < uart.size()) {
+      ++counts_.uart_bytes;
+      Record({cpu.cycles(), TraceEventType::kUartTx, ip_before,
+              static_cast<uint8_t>(uart[uart_seen++])});
+    }
+    if (last == StepEvent::kHalted) {
+      break;
+    }
+  }
+  return last;
+}
+
+std::string ExecutionTracer::Dump(size_t last) const {
+  std::ostringstream out;
+  size_t start = 0;
+  if (last != 0 && events_.size() > last) {
+    start = events_.size() - last;
+  }
+  char line[160];
+  for (size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& event = events_[i];
+    switch (event.type) {
+      case TraceEventType::kInstruction:
+        std::snprintf(line, sizeof(line), "%10llu  insn  %08x  %s\n",
+                      static_cast<unsigned long long>(event.cycle), event.ip,
+                      DisassembleWord(event.detail, event.ip).c_str());
+        break;
+      case TraceEventType::kException:
+        std::snprintf(line, sizeof(line),
+                      "%10llu  exc   %08x  -> handler %08x\n",
+                      static_cast<unsigned long long>(event.cycle), event.ip,
+                      event.detail);
+        break;
+      case TraceEventType::kInterrupt:
+        std::snprintf(line, sizeof(line),
+                      "%10llu  irq   %08x  -> handler %08x\n",
+                      static_cast<unsigned long long>(event.cycle), event.ip,
+                      event.detail);
+        break;
+      case TraceEventType::kHalt:
+        std::snprintf(line, sizeof(line), "%10llu  halt  %08x  %s\n",
+                      static_cast<unsigned long long>(event.cycle), event.ip,
+                      event.detail == 0xFFFFFFFFu ? "(clean)" : "(trap)");
+        break;
+      case TraceEventType::kUartTx: {
+        const char c = static_cast<char>(event.detail);
+        std::snprintf(line, sizeof(line), "%10llu  uart  %08x  0x%02x '%c'\n",
+                      static_cast<unsigned long long>(event.cycle), event.ip,
+                      event.detail,
+                      (c >= 0x20 && c < 0x7F) ? c : '.');
+        break;
+      }
+    }
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace trustlite

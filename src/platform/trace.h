@@ -1,0 +1,79 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Execution tracer: records notable platform events (optionally every
+// retired instruction) into a bounded ring while driving the CPU. Used for
+// debugging guest software, post-mortem analysis in tests, and by tooling.
+//
+//   ExecutionTracer tracer(/*capacity=*/512, /*record_instructions=*/false);
+//   tracer.Run(&platform, 100000);
+//   std::puts(tracer.Dump().c_str());
+
+#ifndef TRUSTLITE_SRC_PLATFORM_TRACE_H_
+#define TRUSTLITE_SRC_PLATFORM_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/platform/platform.h"
+
+namespace trustlite {
+
+enum class TraceEventType : uint8_t {
+  kInstruction,  // detail = encoded instruction word
+  kException,    // detail = handler address
+  kInterrupt,    // detail = handler address
+  kHalt,         // detail = trap class (0xFFFFFFFF when a clean HALT)
+  kUartTx,       // detail = transmitted byte
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  uint64_t cycle = 0;
+  TraceEventType type = TraceEventType::kInstruction;
+  uint32_t ip = 0;
+  uint32_t detail = 0;
+};
+
+struct TraceCounts {
+  uint64_t instructions = 0;
+  uint64_t exceptions = 0;
+  uint64_t interrupts = 0;
+  uint64_t uart_bytes = 0;
+};
+
+class ExecutionTracer {
+ public:
+  explicit ExecutionTracer(size_t capacity = 4096,
+                           bool record_instructions = false)
+      : capacity_(capacity), record_instructions_(record_instructions) {}
+
+  // Steps the platform until halt or `max_instructions`, recording events.
+  // May be called repeatedly; events accumulate (oldest dropped beyond
+  // capacity), counts are cumulative.
+  StepEvent Run(Platform* platform, uint64_t max_instructions);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  const TraceCounts& counts() const { return counts_; }
+  void Clear() {
+    events_.clear();
+    counts_ = TraceCounts{};
+  }
+
+  // Text rendering (instructions are disassembled). `last` limits output to
+  // the most recent N events (0 = all retained).
+  std::string Dump(size_t last = 0) const;
+
+ private:
+  void Record(const TraceEvent& event);
+
+  size_t capacity_;
+  bool record_instructions_;
+  std::deque<TraceEvent> events_;
+  TraceCounts counts_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_PLATFORM_TRACE_H_

@@ -1,0 +1,356 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/services/soft_sha.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace trustlite {
+namespace {
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+constexpr uint32_t kInitialState[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                       0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                       0x1f83d9ab, 0x5be0cd19};
+
+}  // namespace
+
+std::string SoftSha256Source(uint32_t scratch_addr) {
+  std::ostringstream out;
+  out << "; ---- software SHA-256 (generated; see soft_sha.h) ----\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ".equ SHA_S, 0x%x\n", scratch_addr);
+  out << buf;
+  // Scratch layout: +0 H[8], +32 W[64], +288 tail buffer (64B),
+  // +352 saved lr, +356 src, +360 remaining, +364 out, +368 total len.
+  out << R"(
+; sha256_compute(r0 = src [4-aligned], r1 = len bytes, r2 = out[32])
+sha256_compute:
+    la   r3, SHA_S
+    stw  lr, [r3 + 352]
+    stw  r0, [r3 + 356]
+    stw  r1, [r3 + 360]
+    stw  r2, [r3 + 364]
+    stw  r1, [r3 + 368]
+    ; H = initial state
+    la   r4, sha256_h_init
+    movi r5, 0
+sha_h_init_loop:
+    shli r6, r5, 2
+    add  r7, r6, r4
+    ldw  r7, [r7]
+    add  r8, r6, r3
+    stw  r7, [r8]
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, sha_h_init_loop
+
+sha_full_blocks:
+    la   r3, SHA_S
+    ldw  r1, [r3 + 360]
+    movi r2, 64
+    bltu r1, r2, sha_do_tail
+    ldw  r9, [r3 + 356]
+    call sha256_block
+    la   r3, SHA_S
+    ldw  r0, [r3 + 356]
+    addi r0, r0, 64
+    stw  r0, [r3 + 356]
+    ldw  r1, [r3 + 360]
+    addi r1, r1, -64
+    stw  r1, [r3 + 360]
+    jmp  sha_full_blocks
+
+sha_do_tail:
+    la   r3, SHA_S
+    ldw  r0, [r3 + 356]
+    ldw  r1, [r3 + 360]
+    addi r4, r3, 288
+    movi r5, 0
+sha_tail_copy:
+    beq  r5, r1, sha_tail_copied
+    add  r6, r0, r5
+    ldb  r6, [r6]
+    add  r7, r4, r5
+    stb  r6, [r7]
+    addi r5, r5, 1
+    jmp  sha_tail_copy
+sha_tail_copied:
+    add  r6, r4, r5
+    movi r7, 0x80
+    stb  r7, [r6]
+    addi r5, r5, 1
+    ; If the 8-byte length still fits (cursor <= 56), pad this block;
+    ; otherwise fill to 64, process, and pad a fresh block.
+    movi r8, 57
+    bltu r5, r8, sha_pad_short
+    movi r8, 64
+sha_fill64:
+    beq  r5, r8, sha_fill64_done
+    add  r6, r4, r5
+    movi r7, 0
+    stb  r7, [r6]
+    addi r5, r5, 1
+    jmp  sha_fill64
+sha_fill64_done:
+    mov  r9, r4
+    call sha256_block
+    la   r3, SHA_S
+    addi r4, r3, 288
+    movi r5, 0
+sha_pad_short:
+    movi r8, 56
+sha_pad_zero:
+    beq  r5, r8, sha_write_len
+    add  r6, r4, r5
+    movi r7, 0
+    stb  r7, [r6]
+    addi r5, r5, 1
+    jmp  sha_pad_zero
+sha_write_len:
+    la   r3, SHA_S
+    movi r7, 0
+    stw  r7, [r4 + 56]
+    ldw  r7, [r3 + 368]
+    shli r7, r7, 3             ; bit length (inputs < 512 MiB)
+    ; byte-swap r7 -> r8
+    shli r8, r7, 24
+    li   r10, 0xFF00
+    and  r11, r7, r10
+    shli r11, r11, 8
+    or   r8, r8, r11
+    shri r11, r7, 8
+    and  r11, r11, r10
+    or   r8, r8, r11
+    shri r11, r7, 24
+    or   r8, r8, r11
+    stw  r8, [r4 + 60]
+    mov  r9, r4
+    call sha256_block
+    ; write the digest (big-endian byte order) to out
+    la   r3, SHA_S
+    ldw  r2, [r3 + 364]
+    movi r5, 0
+sha_out_loop:
+    shli r6, r5, 2
+    add  r7, r6, r3
+    ldw  r7, [r7]
+    shli r8, r7, 24
+    li   r10, 0xFF00
+    and  r11, r7, r10
+    shli r11, r11, 8
+    or   r8, r8, r11
+    shri r11, r7, 8
+    and  r11, r11, r10
+    or   r8, r8, r11
+    shri r11, r7, 24
+    or   r8, r8, r11
+    add  r10, r6, r2
+    stw  r8, [r10]
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, sha_out_loop
+    ldw  lr, [r3 + 352]
+    ret
+
+; Processes the 64-byte block at r9. Expects r3 == SHA_S on entry of the
+; hot loops (re-established internally). Clobbers r0-r12, r15.
+sha256_block:
+    la   r3, SHA_S
+    ; W[0..15] = big-endian loads
+    movi r5, 0
+sha_w_load:
+    shli r6, r5, 2
+    add  r7, r6, r9
+    ldw  r7, [r7]
+    shli r8, r7, 24
+    li   r10, 0xFF00
+    and  r11, r7, r10
+    shli r11, r11, 8
+    or   r8, r8, r11
+    shri r11, r7, 8
+    and  r11, r11, r10
+    or   r8, r8, r11
+    shri r11, r7, 24
+    or   r8, r8, r11
+    add  r7, r6, r3
+    stw  r8, [r7 + 32]
+    addi r5, r5, 1
+    movi r6, 16
+    bne  r5, r6, sha_w_load
+    ; W[16..63]
+    movi r5, 16
+sha_w_ext:
+    movi r6, 64
+    beq  r5, r6, sha_w_done
+    addi r6, r5, -15
+    shli r6, r6, 2
+    add  r6, r6, r3
+    ldw  r7, [r6 + 32]
+    shri r8, r7, 7
+    shli r10, r7, 25
+    or   r8, r8, r10
+    shri r10, r7, 18
+    shli r11, r7, 14
+    or   r10, r10, r11
+    xor  r8, r8, r10
+    shri r10, r7, 3
+    xor  r8, r8, r10           ; s0
+    addi r6, r5, -2
+    shli r6, r6, 2
+    add  r6, r6, r3
+    ldw  r7, [r6 + 32]
+    shri r10, r7, 17
+    shli r11, r7, 15
+    or   r10, r10, r11
+    shri r11, r7, 19
+    shli r12, r7, 13
+    or   r11, r11, r12
+    xor  r10, r10, r11
+    shri r11, r7, 10
+    xor  r10, r10, r11         ; s1
+    addi r6, r5, -16
+    shli r6, r6, 2
+    add  r6, r6, r3
+    ldw  r7, [r6 + 32]
+    add  r8, r8, r7
+    addi r6, r5, -7
+    shli r6, r6, 2
+    add  r6, r6, r3
+    ldw  r7, [r6 + 32]
+    add  r8, r8, r7
+    add  r8, r8, r10
+    shli r6, r5, 2
+    add  r6, r6, r3
+    stw  r8, [r6 + 32]
+    addi r5, r5, 1
+    jmp  sha_w_ext
+sha_w_done:
+    ; working variables a..h = r0,r1,r2,r4,r5,r6,r7,r8
+    ldw  r0, [r3 + 0]
+    ldw  r1, [r3 + 4]
+    ldw  r2, [r3 + 8]
+    ldw  r4, [r3 + 12]
+    ldw  r5, [r3 + 16]
+    ldw  r6, [r3 + 20]
+    ldw  r7, [r3 + 24]
+    ldw  r8, [r3 + 28]
+    movi r9, 0
+sha_rounds:
+    ; S1(e)
+    shri r10, r5, 6
+    shli r11, r5, 26
+    or   r10, r10, r11
+    shri r11, r5, 11
+    shli r12, r5, 21
+    or   r11, r11, r12
+    xor  r10, r10, r11
+    shri r11, r5, 25
+    shli r12, r5, 7
+    or   r11, r11, r12
+    xor  r10, r10, r11
+    ; ch(e,f,g)
+    and  r11, r5, r6
+    xori r12, r5, -1
+    and  r12, r12, r7
+    xor  r11, r11, r12
+    add  r10, r10, r11
+    add  r10, r10, r8
+    ; + K[t] + W[t]
+    la   r11, sha256_k
+    shli r12, r9, 2
+    add  r11, r11, r12
+    ldw  r11, [r11]
+    add  r10, r10, r11
+    shli r12, r9, 2
+    add  r12, r12, r3
+    ldw  r12, [r12 + 32]
+    add  r10, r10, r12         ; temp1
+    ; S0(a)
+    shri r11, r0, 2
+    shli r12, r0, 30
+    or   r11, r11, r12
+    shri r12, r0, 13
+    shli r15, r0, 19
+    or   r12, r12, r15
+    xor  r11, r11, r12
+    shri r12, r0, 22
+    shli r15, r0, 10
+    or   r12, r12, r15
+    xor  r11, r11, r12
+    ; maj(a,b,c)
+    and  r12, r0, r1
+    and  r15, r0, r2
+    xor  r12, r12, r15
+    and  r15, r1, r2
+    xor  r12, r12, r15
+    add  r11, r11, r12         ; temp2
+    ; rotate working variables
+    mov  r8, r7
+    mov  r7, r6
+    mov  r6, r5
+    add  r5, r4, r10
+    mov  r4, r2
+    mov  r2, r1
+    mov  r1, r0
+    add  r0, r10, r11
+    addi r9, r9, 1
+    movi r10, 64
+    bne  r9, r10, sha_rounds
+    ; H += working variables
+    ldw  r10, [r3 + 0]
+    add  r10, r10, r0
+    stw  r10, [r3 + 0]
+    ldw  r10, [r3 + 4]
+    add  r10, r10, r1
+    stw  r10, [r3 + 4]
+    ldw  r10, [r3 + 8]
+    add  r10, r10, r2
+    stw  r10, [r3 + 8]
+    ldw  r10, [r3 + 12]
+    add  r10, r10, r4
+    stw  r10, [r3 + 12]
+    ldw  r10, [r3 + 16]
+    add  r10, r10, r5
+    stw  r10, [r3 + 16]
+    ldw  r10, [r3 + 20]
+    add  r10, r10, r6
+    stw  r10, [r3 + 20]
+    ldw  r10, [r3 + 24]
+    add  r10, r10, r7
+    stw  r10, [r3 + 24]
+    ldw  r10, [r3 + 28]
+    add  r10, r10, r8
+    stw  r10, [r3 + 28]
+    ret
+
+.align 4
+sha256_h_init:
+)";
+  for (const uint32_t h : kInitialState) {
+    std::snprintf(buf, sizeof(buf), "    .word 0x%08x\n", h);
+    out << buf;
+  }
+  out << "sha256_k:\n";
+  for (const uint32_t k : kRoundConstants) {
+    std::snprintf(buf, sizeof(buf), "    .word 0x%08x\n", k);
+    out << buf;
+  }
+  out << "; ---- end software SHA-256 ----\n";
+  return out.str();
+}
+
+}  // namespace trustlite

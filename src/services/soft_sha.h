@@ -1,0 +1,36 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Software SHA-256 for TL32 guests — a full FIPS 180-4 implementation in
+// assembly (message schedule, 64-round compression, padding, big-endian
+// handling). The paper notes that "a hash implementation (hardware or
+// software) is not strictly required by TrustLite" (Sec. 5.2); this routine
+// is the software option, used to quantify the hardware engine's benefit
+// (bench_crypto_accel) and as a heavyweight correctness workload for the
+// TL32 toolchain.
+//
+// Calling convention:
+//   r0 = source address (4-byte aligned), r1 = length in bytes (any),
+//   r2 = output address (32 digest bytes, standard byte order)
+//   call sha256_compute   (clobbers r0-r12, r15)
+//
+// The routine needs a 384-byte scratch area (message schedule + buffers),
+// typically inside the caller's data region.
+
+#ifndef TRUSTLITE_SRC_SERVICES_SOFT_SHA_H_
+#define TRUSTLITE_SRC_SERVICES_SOFT_SHA_H_
+
+#include <cstdint>
+#include <string>
+
+namespace trustlite {
+
+inline constexpr uint32_t kSoftShaScratchSize = 384;
+
+// Assembly source defining `sha256_compute` (plus its constant tables).
+// Append to a program and reserve kSoftShaScratchSize bytes at
+// `scratch_addr`.
+std::string SoftSha256Source(uint32_t scratch_addr);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_SERVICES_SOFT_SHA_H_

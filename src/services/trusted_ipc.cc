@@ -1,0 +1,409 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/services/trusted_ipc.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/bytes.h"
+
+namespace trustlite {
+namespace {
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<TrustletMeta> BuildIpcInitiator(const TrustedIpcSpec& spec) {
+  const uint32_t init_id = MakeTrustletId(spec.initiator_name);
+  const uint32_t resp_id = MakeTrustletId(spec.responder_name);
+  std::ostringstream body;
+  body << ".equ TTBASE, " << Hex(spec.table_addr) << "\n";
+  body << ".equ INIT_ID, " << Hex(init_id) << "\n";
+  body << ".equ RESP_ID, " << Hex(resp_id) << "\n";
+  body << ".equ MESSAGE, " << Hex(spec.message) << "\n";
+  body << R"(
+; Data layout: +0 NA, +8 token[8 words], +40 state, +44 fail, +48 peer entry.
+tl_main:
+    ; A voluntary call-out does not refresh our saved-state frame, so a
+    ; later continue() restarts here (the paper's save-state pattern,
+    ; Fig. 6): consult the persistent state word and park once the channel
+    ; is established.
+    li   r6, TL_DATA
+    ldw  r5, [r6 + 40]
+    movi r7, 2
+    beq  r5, r7, a_park
+    ; The whole handshake runs with interrupts masked: entry-vector
+    ; transitions run briefly on the peer's stack, so preemption is deferred
+    ; until each side has parked (see trusted_ipc.h).
+    cli
+    ; --- look the responder up in the Trustlet Table ---
+    li   r4, TTBASE
+    ldw  r5, [r4 + 4]
+    movi r6, 0
+a_find:
+    beq  r6, r5, a_fail
+    shli r7, r6, 6
+    add  r7, r7, r4
+    addi r7, r7, TT_HEADER_SIZE
+    ldw  r8, [r7 + TT_ROW_ID]
+    li   r9, RESP_ID
+    beq  r8, r9, a_found
+    addi r6, r6, 1
+    jmp  a_find
+a_fail:
+    movi r5, 1
+    li   r6, TL_DATA
+    stw  r5, [r6 + 44]
+    sti
+a_fail_park:
+    swi  0
+    jmp  a_fail_park
+
+a_found:
+    ; remember the peer's entry point
+    li   r6, TL_DATA
+    ldw  r8, [r7 + TT_ROW_ENTRY]
+    stw  r8, [r6 + 48]
+
+    ; --- verifyMPU (Fig. 6): confirm the EA-MPU actually has an enabled
+    ;     code region matching B's Trustlet-Table entry. MPU register reads
+    ;     are world-readable and tamper-proof (Sec. 4.2.2: "memory reads of
+    ;     the MPU registers ... are secure from manipulation"). ---
+    ldw  r10, [r7 + TT_ROW_CODE_BASE]
+    ldw  r11, [r7 + TT_ROW_CODE_END]
+    li   r2, MMIO_MPU
+    ldw  r5, [r2 + 0x10]        ; REGION_COUNT
+    movi r6, 0
+a_mpu_scan:
+    beq  r6, r5, a_fail         ; no matching region: B is unprotected!
+    shli r8, r6, 4              ; region stride = 16 bytes
+    add  r8, r8, r2
+    ldw  r9, [r8 + MPU_REGION_BANK]       ; BASE
+    bne  r9, r10, a_mpu_next
+    ldw  r9, [r8 + MPU_REGION_BANK + 4]   ; END
+    bne  r9, r11, a_mpu_next
+    ldw  r9, [r8 + MPU_REGION_BANK + 8]   ; ATTR
+    andi r9, r9, 5              ; enable | code
+    movi r12, 5
+    beq  r9, r12, a_mpu_ok
+a_mpu_next:
+    addi r6, r6, 1
+    jmp  a_mpu_scan
+a_mpu_ok:
+)";
+  if (!spec.skip_measurement_check) {
+    body << R"(
+    ; --- local attestation: hash B's live code, compare against the
+    ;     Secure Loader's measurement in the Trustlet Table ---
+    li   r2, MMIO_SHA
+    movi r3, SHA_INIT
+    stw  r3, [r2 + SHA_CTRL]
+    ldw  r5, [r7 + TT_ROW_CODE_BASE]
+    ldw  r6, [r7 + TT_ROW_CODE_END]
+a_hash_loop:
+    bgeu r5, r6, a_hash_done
+    ldw  r8, [r5]
+    stw  r8, [r2 + SHA_DATA_IN]
+    addi r5, r5, 4
+    jmp  a_hash_loop
+a_hash_done:
+    movi r8, SHA_FINALIZE
+    stw  r8, [r2 + SHA_CTRL]
+    movi r5, 0
+a_cmp_loop:
+    shli r6, r5, 2
+    add  r8, r6, r2
+    ldw  r8, [r8 + SHA_DIGEST_LE]
+    add  r9, r6, r7
+    ldw  r9, [r9 + TT_ROW_MEASUREMENT]
+    bne  r8, r9, a_fail
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, a_cmp_loop
+)";
+  }
+  body << R"(
+    ; attested
+    li   r6, TL_DATA
+    movi r5, 1
+    stw  r5, [r6 + 40]
+    ; NA from the TRNG
+    li   r5, MMIO_TRNG
+    ldw  r5, [r5 + TRNG_VALUE]
+    stw  r5, [r6 + 0]
+    ; --- syn(A, B, NA): jump the responder's entry vector ---
+    mov  r1, r5                ; NA
+    movi r0, 5                 ; SYN
+    la   r2, tl_entry          ; sender continuation = our entry vector
+    ldw  r3, [r6 + 48]
+    jr   r3
+
+tl_handle_call:
+    movi r15, 6
+    bne  r0, r15, a_unexpected
+    ; --- synack(NB in r1): derive the session token ---
+    li   r2, MMIO_SHA
+    movi r3, SHA_INIT
+    stw  r3, [r2 + SHA_CTRL]
+    li   r3, INIT_ID
+    stw  r3, [r2 + SHA_DATA_IN]
+    li   r3, RESP_ID
+    stw  r3, [r2 + SHA_DATA_IN]
+    li   r4, TL_DATA
+    ldw  r3, [r4 + 0]          ; NA
+    stw  r3, [r2 + SHA_DATA_IN]
+    stw  r1, [r2 + SHA_DATA_IN]  ; NB
+    movi r3, SHA_FINALIZE
+    stw  r3, [r2 + SHA_CTRL]
+    movi r5, 0
+a_tok_loop:
+    shli r6, r5, 2
+    add  r7, r6, r2
+    ldw  r7, [r7 + SHA_DIGEST_LE]
+    add  r8, r6, r4
+    stw  r7, [r8 + 8]
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, a_tok_loop
+    movi r5, 2
+    stw  r5, [r4 + 40]         ; state: token established
+    ; --- authenticated message: tag = SHA(token || msg)[word 0] ---
+    movi r3, SHA_INIT
+    stw  r3, [r2 + SHA_CTRL]
+    movi r5, 0
+a_tag_loop:
+    shli r6, r5, 2
+    add  r7, r6, r4
+    ldw  r7, [r7 + 8]
+    stw  r7, [r2 + SHA_DATA_IN]
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, a_tag_loop
+    li   r7, MESSAGE
+    stw  r7, [r2 + SHA_DATA_IN]
+    movi r3, SHA_FINALIZE
+    stw  r3, [r2 + SHA_CTRL]
+    ldw  r2, [r2 + SHA_DIGEST_LE]
+)";
+  if (spec.corrupt_tag) {
+    body << "    xori r2, r2, 1          ; negative test: corrupt the tag\n";
+  }
+  body << R"(
+    li   r1, MESSAGE
+    movi r0, 7                 ; DATA
+    ldw  r3, [r4 + 48]
+    jr   r3
+a_unexpected:
+    sti
+a_park:
+    swi  0
+    jmp  a_park
+)";
+
+  TrustletBuildSpec build;
+  build.name = spec.initiator_name;
+  build.code_addr = spec.initiator_code;
+  build.data_addr = spec.initiator_data;
+  build.data_size = spec.data_size;
+  build.stack_size = 0x200;
+  build.measure = true;
+  build.callable_any = true;
+  build.body = body.str();
+  build.grants.push_back(
+      {kShaBase, kShaBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  build.grants.push_back(
+      {kTrngBase, kTrngBase + kMmioBlockSize, kGrantRead});
+  return BuildTrustlet(build);
+}
+
+Result<TrustletMeta> BuildIpcResponder(const TrustedIpcSpec& spec) {
+  const uint32_t resp_id = MakeTrustletId(spec.responder_name);
+  std::ostringstream body;
+  body << ".equ TTBASE, " << Hex(spec.table_addr) << "\n";
+  body << ".equ RESP_ID, " << Hex(resp_id) << "\n";
+  body << R"(
+; Data layout: +0 NB, +8 token[8 words], +40 peer id, +44 accepted message,
+; +48 reject counter.
+tl_main:
+b_idle:
+    swi  0
+    jmp  b_idle
+
+tl_handle_call:
+    movi r15, 5
+    beq  r0, r15, b_syn
+    movi r15, 7
+    beq  r0, r15, b_data
+b_unexpected:
+    sti
+b_unexpected_park:
+    swi  0
+    jmp  b_unexpected_park
+
+b_syn:
+    ; r1 = NA, r2 = sender entry. Resolve the sender's identity via the
+    ; Trustlet Table (receiver-side local attestation hook).
+    cli
+    li   r4, TTBASE
+    ldw  r5, [r4 + 4]
+    movi r6, 0
+b_find:
+    beq  r6, r5, b_unexpected
+    shli r7, r6, 6
+    add  r7, r7, r4
+    addi r7, r7, TT_HEADER_SIZE
+    ldw  r8, [r7 + TT_ROW_ENTRY]
+    beq  r8, r2, b_found
+    addi r6, r6, 1
+    jmp  b_find
+b_found:
+    ldw  r8, [r7 + TT_ROW_ID]  ; peer (initiator) id
+    li   r4, TL_DATA
+    stw  r8, [r4 + 40]
+)";
+  if (spec.mutual_attestation) {
+    body << R"(
+    ; --- mutual attestation: hash the initiator's live code and compare to
+    ;     the Secure Loader's measurement before revealing NB ---
+    li   r3, MMIO_SHA
+    movi r6, SHA_INIT
+    stw  r6, [r3 + SHA_CTRL]
+    ldw  r5, [r7 + TT_ROW_CODE_BASE]
+    ldw  r6, [r7 + TT_ROW_CODE_END]
+b_meas_loop:
+    bgeu r5, r6, b_meas_done
+    ldw  r9, [r5]
+    stw  r9, [r3 + SHA_DATA_IN]
+    addi r5, r5, 4
+    jmp  b_meas_loop
+b_meas_done:
+    movi r9, SHA_FINALIZE
+    stw  r9, [r3 + SHA_CTRL]
+    movi r5, 0
+b_meas_cmp:
+    shli r6, r5, 2
+    add  r9, r6, r3
+    ldw  r9, [r9 + SHA_DIGEST_LE]
+    add  r10, r6, r7
+    ldw  r10, [r10 + TT_ROW_MEASUREMENT]
+    bne  r9, r10, b_unexpected     ; initiator tampered: refuse
+    addi r5, r5, 1
+    movi r6, 8
+    bne  r5, r6, b_meas_cmp
+)";
+  }
+  body << R"(
+    ; NB from the TRNG
+    li   r5, MMIO_TRNG
+    ldw  r5, [r5 + TRNG_VALUE]
+    stw  r5, [r4 + 0]
+    ; token = SHA-256(idA, idB, NA, NB)
+    li   r3, MMIO_SHA
+    movi r6, SHA_INIT
+    stw  r6, [r3 + SHA_CTRL]
+    stw  r8, [r3 + SHA_DATA_IN]
+    li   r6, RESP_ID
+    stw  r6, [r3 + SHA_DATA_IN]
+    stw  r1, [r3 + SHA_DATA_IN]
+    stw  r5, [r3 + SHA_DATA_IN]
+    movi r6, SHA_FINALIZE
+    stw  r6, [r3 + SHA_CTRL]
+    movi r6, 0
+b_tok_loop:
+    shli r7, r6, 2
+    add  r8, r7, r3
+    ldw  r8, [r8 + SHA_DIGEST_LE]
+    add  r9, r7, r4
+    stw  r8, [r9 + 8]
+    addi r6, r6, 1
+    movi r7, 8
+    bne  r6, r7, b_tok_loop
+    ; ack(A, B, NA, NB): reply to the sender's entry vector with NB
+    ldw  r1, [r4 + 0]
+    movi r0, 6                 ; SYNACK
+    jr   r2
+
+b_data:
+    ; r1 = msg, r2 = tag. Recompute the tag under our token copy.
+    li   r4, TL_DATA
+    li   r3, MMIO_SHA
+    movi r6, SHA_INIT
+    stw  r6, [r3 + SHA_CTRL]
+    movi r6, 0
+b_tag_loop:
+    shli r7, r6, 2
+    add  r8, r7, r4
+    ldw  r8, [r8 + 8]
+    stw  r8, [r3 + SHA_DATA_IN]
+    addi r6, r6, 1
+    movi r7, 8
+    bne  r6, r7, b_tag_loop
+    stw  r1, [r3 + SHA_DATA_IN]
+    movi r6, SHA_FINALIZE
+    stw  r6, [r3 + SHA_CTRL]
+    ldw  r6, [r3 + SHA_DIGEST_LE]
+    beq  r6, r2, b_accept
+    ldw  r7, [r4 + 48]
+    addi r7, r7, 1
+    stw  r7, [r4 + 48]         ; bad tag: count the rejection
+    jmp  b_done
+b_accept:
+    stw  r1, [r4 + 44]         ; authenticated payload accepted
+b_done:
+    sti
+b_park:
+    swi  0
+    jmp  b_park
+)";
+
+  TrustletBuildSpec build;
+  build.name = spec.responder_name;
+  build.code_addr = spec.responder_code;
+  build.data_addr = spec.responder_data;
+  build.data_size = spec.data_size;
+  build.stack_size = 0x200;
+  build.measure = true;
+  build.callable_any = true;
+  build.body = body.str();
+  build.grants.push_back(
+      {kShaBase, kShaBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  build.grants.push_back(
+      {kTrngBase, kTrngBase + kMmioBlockSize, kGrantRead});
+  return BuildTrustlet(build);
+}
+
+Sha256Digest ComputeSessionToken(uint32_t id_a, uint32_t id_b, uint32_t na,
+                                 uint32_t nb) {
+  std::vector<uint8_t> input;
+  AppendLe32(input, id_a);
+  AppendLe32(input, id_b);
+  AppendLe32(input, na);
+  AppendLe32(input, nb);
+  return Sha256Hash(input);
+}
+
+uint32_t ComputeMessageTag(const Sha256Digest& token, uint32_t message) {
+  Sha256 hasher;
+  hasher.Update(token.data(), token.size());
+  uint8_t msg_le[4];
+  StoreLe32(msg_le, message);
+  hasher.Update(msg_le, 4);
+  const Sha256Digest digest = hasher.Finish();
+  return LoadLe32(digest.data());
+}
+
+bool ReadGuestToken(Bus* bus, uint32_t addr, Sha256Digest* token) {
+  std::vector<uint8_t> bytes;
+  if (!bus->HostReadBytes(addr, kSha256DigestSize, &bytes)) {
+    return false;
+  }
+  std::copy(bytes.begin(), bytes.end(), token->begin());
+  return true;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,98 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Trusted IPC between trustlets (paper Sec. 4.2.2 / Fig. 6): a one-round
+// local trusted channel without any mutually trusted supervisor.
+//
+//   Initiator A                        Responder B
+//   -----------                        -----------
+//   look B up in the Trustlet Table
+//   verify B's live code hash against
+//     the loader's measurement
+//   NA <- TRNG
+//   --- syn: jump B.entry(SYN, NA, A.entry) --->
+//                                      resolve A from the sender entry via
+//                                        the Trustlet Table
+//                                      NB <- TRNG
+//                                      token = SHA-256(idA,idB,NA,NB)
+//   <-- ack: jump A.entry(SYNACK, NB) ---
+//   token = SHA-256(idA,idB,NA,NB)
+//   tag = SHA-256(token || msg)[0]
+//   --- data: jump B.entry(DATA, msg, tag) --->
+//                                      recompute tag; accept iff equal
+//
+// Receiver identity is guaranteed by the entry-vector mechanism (a jump to
+// B.entry can only land in B), confidentiality of the token by the EA-MPU
+// isolation of both data regions, and freshness by the nonces. The secure
+// exception engine keeps the token out of ISR-visible registers.
+//
+// Both trustlets need r/w grants on the SHA engine and TRNG; they mask
+// interrupts around SHA sessions so absorb streams cannot interleave.
+
+#ifndef TRUSTLITE_SRC_SERVICES_TRUSTED_IPC_H_
+#define TRUSTLITE_SRC_SERVICES_TRUSTED_IPC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+#include "src/mem/bus.h"
+#include "src/mem/layout.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+
+// Call types used on entry vectors.
+inline constexpr uint32_t kIpcCallSyn = 5;
+inline constexpr uint32_t kIpcCallSynAck = 6;
+inline constexpr uint32_t kIpcCallData = 7;
+
+// Initiator data-region layout (offsets from its data base).
+inline constexpr uint32_t kIpcInitNa = 0;
+inline constexpr uint32_t kIpcInitToken = 8;      // 8 words
+inline constexpr uint32_t kIpcInitState = 40;     // 1 = attested, 2 = token ok
+inline constexpr uint32_t kIpcInitFail = 44;      // nonzero on attest failure
+
+// Responder data-region layout.
+inline constexpr uint32_t kIpcRespNb = 0;
+inline constexpr uint32_t kIpcRespToken = 8;      // 8 words
+inline constexpr uint32_t kIpcRespPeerId = 40;
+inline constexpr uint32_t kIpcRespAccepted = 44;  // last authenticated msg
+inline constexpr uint32_t kIpcRespRejects = 48;   // bad-tag counter
+
+struct TrustedIpcSpec {
+  std::string initiator_name = "TLA";
+  std::string responder_name = "TLB";
+  uint32_t initiator_code = 0;
+  uint32_t initiator_data = 0;
+  uint32_t responder_code = 0;
+  uint32_t responder_data = 0;
+  uint32_t data_size = 0x800;
+  uint32_t table_addr = kTrustletTableBase;
+  uint32_t message = 0x0C0FFEE0;  // Payload sent over the channel.
+  bool corrupt_tag = false;       // Negative testing: send a bad tag.
+  bool skip_measurement_check = false;
+  // Responder-side local attestation of the initiator before answering the
+  // syn ("responder B may in turn perform a local attestation of the
+  // initiator A", Sec. 4.2.2). Adds one code hash to the handshake.
+  bool mutual_attestation = false;
+};
+
+// Builds the initiator / responder records. The responder must be built
+// with the same spec so the ids match.
+Result<TrustletMeta> BuildIpcInitiator(const TrustedIpcSpec& spec);
+Result<TrustletMeta> BuildIpcResponder(const TrustedIpcSpec& spec);
+
+// Host-side model of the session token (for verification in tests).
+Sha256Digest ComputeSessionToken(uint32_t id_a, uint32_t id_b, uint32_t na,
+                                 uint32_t nb);
+// First tag word for an authenticated message under `token`.
+uint32_t ComputeMessageTag(const Sha256Digest& token, uint32_t message);
+
+// Reads a guest-stored token (8 words written with DIGEST_LE loads + LE
+// stores, i.e. raw digest byte order) from `addr`.
+bool ReadGuestToken(Bus* bus, uint32_t addr, Sha256Digest* token);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_SERVICES_TRUSTED_IPC_H_

@@ -1,0 +1,106 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/services/watchdog.h"
+
+#include <sstream>
+
+namespace trustlite {
+
+Result<TrustletMeta> BuildWatchdog(const WatchdogSpec& spec) {
+  std::ostringstream body;
+  body << std::hex;
+  body << ".equ HEARTBEAT, 0x" << spec.heartbeat_addr << "\n";
+  body << ".equ OS_ENTRY, 0x" << spec.os_entry << "\n";
+  body << ".equ ALARM_PATTERN, 0x" << kWdAlarmPattern << "\n";
+  body << std::dec;
+  body << ".equ TIMEOUT_TICKS, " << spec.timeout_ticks << "\n";
+  body << ".equ WD_PERIOD, " << spec.period << "\n";
+  body << R"(
+tl_main:
+    ; Claim the timer: period, our own ISR, periodic with interrupts.
+    ; Nobody else can change these registers afterwards (exclusive grant).
+    li   r1, MMIO_TIMER
+    li   r2, WD_PERIOD
+    stw  r2, [r1 + TIMER_PERIOD]
+    la   r2, wd_isr
+    stw  r2, [r1 + TIMER_HANDLER]
+    movi r2, 7                  ; enable | irq | auto-reload
+    stw  r2, [r1 + TIMER_CTRL]
+wd_park:
+    swi  0
+    jmp  wd_park
+
+; Hardware-vectored ISR. On the regular path the interrupted context's
+; registers are live: spill three to its stack (open app memory, or the OS
+; stack window granted by the loader), restore before IRET. On the
+; trustlet path the secure engine has already saved and cleared everything.
+wd_isr:
+    push r4
+    push r5
+    push r6
+    ; tick++
+    la   r4, TL_DATA
+    ldw  r5, [r4 + 0]
+    addi r5, r5, 1
+    stw  r5, [r4 + 0]
+    ; heartbeat progress?
+    li   r5, HEARTBEAT
+    ldw  r5, [r5]
+    ldw  r6, [r4 + 4]
+    beq  r5, r6, wd_stalled
+    stw  r5, [r4 + 4]           ; record new heartbeat
+    movi r6, 0
+    stw  r6, [r4 + 8]           ; stall counter reset
+    jmp  wd_resume
+wd_stalled:
+    ldw  r6, [r4 + 8]
+    addi r6, r6, 1
+    stw  r6, [r4 + 8]
+    movi r5, TIMEOUT_TICKS
+    bltu r6, r5, wd_resume
+    ; Deadline exceeded: latch the alarm and drive the trusted indicator.
+    movi r5, 1
+    stw  r5, [r4 + 12]
+    li   r5, MMIO_GPIO
+    li   r6, ALARM_PATTERN
+    stw  r6, [r5 + GPIO_OUT]
+wd_resume:
+    ldw  r5, [sp + 12]          ; error code (below the three spills)
+    shri r5, r5, 31
+    movi r4, 1
+    beq  r5, r4, wd_defer
+    ; Regular path: be invisible — restore and return.
+    pop  r6
+    pop  r5
+    pop  r4
+    addi sp, sp, 4              ; drop the error code
+    iret
+wd_defer:
+    ; A trustlet was interrupted (its state is already safe in its own
+    ; stack + Trustlet Table): hand the CPU to the OS scheduler.
+    movi r0, 0
+    li   r3, OS_ENTRY
+    jr   r3
+)";
+
+  TrustletBuildSpec build;
+  build.name = spec.name;
+  build.code_addr = spec.code_addr;
+  build.data_addr = spec.data_addr;
+  build.data_size = spec.data_size;
+  build.stack_size = 0x100;
+  build.measure = true;
+  build.callable_any = true;
+  build.body = body.str();
+  build.grants.push_back(
+      {kTimerBase, kTimerBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  build.grants.push_back(
+      {kGpioBase, kGpioBase + kMmioBlockSize, kGrantRead | kGrantWrite});
+  if (spec.os_stack_grant_end > spec.os_stack_grant_base) {
+    build.grants.push_back({spec.os_stack_grant_base, spec.os_stack_grant_end,
+                            kGrantRead | kGrantWrite});
+  }
+  return BuildTrustlet(build);
+}
+
+}  // namespace trustlite

@@ -1,0 +1,76 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Watchdog service trustlet — demonstrates paper Sec. 6 (Fault Tolerance):
+// "TrustLite trustlets can cooperate with an untrusted OS but may also
+// implement ISRs and hardware drivers on their own, thus preventing trivial
+// denial-of-service attacks."
+//
+// The watchdog owns the platform timer *exclusively* (EA-MPU grant) and
+// installs its own ISR — an address inside its protected code region, which
+// the hardware exception engine may vector to like any handler. Every tick:
+//
+//   * its private tick counter (in its protected data region) increments;
+//   * a watched heartbeat cell is compared against its last value: if the
+//     supervised software has made progress, the deadline is reset;
+//   * otherwise, after `timeout_ticks` stalled ticks, an alarm pattern is
+//     driven onto the GPIO block (also exclusively granted) — a trusted
+//     signal the OS cannot spoof or suppress;
+//   * if the interrupted context was a trustlet (the secure engine already
+//     saved and cleared everything), control is handed to the OS scheduler;
+//    otherwise the ISR restores the spilled registers and IRETs back into
+//    the interrupted code, invisible to it.
+//
+// Because the timer's period/handler registers are writable only by the
+// watchdog, neither the OS nor any app can silence it (asserted in tests).
+//
+// Watchdog data layout (offsets from its data base):
+//   +0  tick counter      +4  last heartbeat value
+//   +8  stalled ticks     +12 alarm latched (0/1)
+
+#ifndef TRUSTLITE_SRC_SERVICES_WATCHDOG_H_
+#define TRUSTLITE_SRC_SERVICES_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/mem/layout.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+
+inline constexpr uint32_t kWdTick = 0;
+inline constexpr uint32_t kWdLastHeartbeat = 4;
+inline constexpr uint32_t kWdStalled = 8;
+inline constexpr uint32_t kWdAlarm = 12;
+
+inline constexpr uint32_t kWdAlarmPattern = 0xA1A4;
+
+struct WatchdogSpec {
+  std::string name = "WDOG";
+  uint32_t code_addr = 0;
+  uint32_t data_addr = 0;
+  uint32_t data_size = 0x400;
+  // Open-memory cell the supervised software must keep changing.
+  uint32_t heartbeat_addr = 0;
+  // Ticks without heartbeat progress before the alarm fires.
+  uint32_t timeout_ticks = 4;
+  // Timer period in cycles.
+  uint32_t period = 2000;
+  // The OS scheduler entry to defer to when a trustlet was interrupted
+  // (nanOS entry vector == its code address).
+  uint32_t os_entry = 0x0002'0000;
+  // The watchdog's ISR must be able to spill to the interrupted context's
+  // stack; when the OS stack lives in a protected region, grant it here
+  // (base/end of the OS data region). Zero = no extra grant.
+  uint32_t os_stack_grant_base = 0;
+  uint32_t os_stack_grant_end = 0;
+};
+
+// Builds the watchdog trustlet (grants: timer rw, GPIO rw, optional OS
+// stack window).
+Result<TrustletMeta> BuildWatchdog(const WatchdogSpec& spec);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_SERVICES_WATCHDOG_H_

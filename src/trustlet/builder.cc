@@ -1,0 +1,119 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/trustlet/builder.h"
+
+#include <sstream>
+
+#include "src/isa/assembler.h"
+#include "src/trustlet/guest_defs.h"
+
+namespace trustlite {
+
+std::string TrustletScaffoldSource(const TrustletBuildSpec& spec) {
+  std::ostringstream out;
+  out << GuestDefs();
+  out << ".equ TL_ID, 0x" << std::hex << MakeTrustletId(spec.name) << std::dec
+      << "\n";
+  out << ".equ TL_CODE, 0x" << std::hex << spec.code_addr << "\n";
+  out << ".equ TL_DATA, 0x" << spec.data_addr << "\n";
+  out << ".equ TL_DATA_END, 0x" << (spec.data_addr + spec.data_size) << "\n";
+  out << ".equ TL_STACK_TOP, 0x" << (spec.data_addr + spec.data_size) << "\n";
+  out << ".equ TL_IPC_STACK_TOP, 0x"
+      << (spec.data_addr + spec.data_size - spec.stack_size) << std::dec
+      << "\n";
+  out << ".org 0x" << std::hex << spec.code_addr << std::dec << "\n";
+  out << R"(
+; ---- trustlet scaffold (generated) ----
+tl_entry:
+    jmp  tl_dispatch            ; the externally executable entry vector
+tl_tt_slot:
+    .word 0                     ; patched by the Secure Loader
+tl_dispatch:
+    movi r15, 0
+    bne  r0, r15, tl_call_entry
+tl_continue:
+    ; Restore the stack pointer first: until SP is valid, a nested exception
+    ; would store state through a stale pointer (paper Sec. 3.4.2).
+    la   r15, tl_tt_slot
+    ldw  r15, [r15]             ; r15 = address of our saved-SP table slot
+    ldw  sp,  [r15]             ; SP  = saved stack pointer
+    ldw  r0,  [sp + 0]
+    ldw  r1,  [sp + 4]
+    ldw  r2,  [sp + 8]
+    ldw  r3,  [sp + 12]
+    ldw  r4,  [sp + 16]
+    ldw  r5,  [sp + 20]
+    ldw  r6,  [sp + 24]
+    ldw  r7,  [sp + 28]
+    ldw  r8,  [sp + 32]
+    ldw  r9,  [sp + 36]
+    ldw  r10, [sp + 40]
+    ldw  r11, [sp + 44]
+    ldw  r12, [sp + 48]
+    ldw  lr,  [sp + 52]
+    ldw  r15, [sp + 56]
+    addi sp,  sp, 60
+    iret                        ; pops resume IP, then FLAGS
+tl_call_entry:
+    ; Adopt our own IPC stack before running the handler -- Fig. 6 shows
+    ; recover-stack first in the call path too. Callers must persist any
+    ; continuation state in their data region, not on their stack.
+    li   sp, TL_IPC_STACK_TOP
+    jmp  tl_handle_call
+; ---- end scaffold ----
+)";
+  out << spec.body << "\n";
+  if (spec.body.find("tl_handle_call") == std::string::npos) {
+    // Default IPC handler: acknowledge by returning to the caller. The body
+    // may end with unaligned data (strings), so realign first.
+    out << ".align 4\ntl_handle_call:\n    jr lr\n";
+  }
+  return out.str();
+}
+
+Result<TrustletMeta> BuildTrustlet(const TrustletBuildSpec& spec) {
+  if (spec.name.empty() || spec.name.size() > 4) {
+    return InvalidArgument("trustlet name must be 1..4 characters");
+  }
+  if (spec.data_size < spec.stack_size) {
+    return InvalidArgument("data region smaller than the stack");
+  }
+  const std::string source = TrustletScaffoldSource(spec);
+  Result<AsmOutput> assembled = Assemble(source, spec.code_addr);
+  if (!assembled.ok()) {
+    return Status(assembled.status().code(),
+                  "trustlet '" + spec.name + "': " + assembled.status().message());
+  }
+  const auto main_it = assembled->symbols.find("tl_main");
+  if (main_it == assembled->symbols.end()) {
+    return InvalidArgument("trustlet '" + spec.name +
+                           "' body does not define tl_main");
+  }
+
+  uint32_t image_base = 0;
+  std::vector<uint8_t> code = assembled->Flatten(&image_base);
+  if (image_base != spec.code_addr) {
+    return Internal("trustlet code not based at code_addr");
+  }
+
+  TrustletMeta meta;
+  meta.id = MakeTrustletId(spec.name);
+  meta.is_os = spec.is_os;
+  meta.measure = spec.measure;
+  meta.is_signed = spec.is_signed;
+  meta.callable_any = spec.callable_any;
+  meta.code_private = spec.code_private;
+  meta.code_addr = spec.code_addr;
+  meta.data_addr = spec.data_addr;
+  meta.data_size = spec.data_size;
+  meta.stack_size = spec.stack_size;
+  meta.callers = spec.callers;
+  meta.grants = spec.grants;
+  meta.code = std::move(code);
+  meta.sp_slot_patch_offset =
+      assembled->SymbolOrDie("tl_tt_slot") - spec.code_addr;
+  meta.start_offset = main_it->second - spec.code_addr;
+  return meta;
+}
+
+}  // namespace trustlite

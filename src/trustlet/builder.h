@@ -1,0 +1,67 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// TrustletBuilder: generates the standard trustlet program scaffold in TL32
+// assembly and packages it (with user-provided body code) into a
+// TrustletMeta record for the Secure Loader.
+//
+// Generated layout (Sec. 4.1, Fig. 6):
+//   tl_entry:      the 4-byte entry vector (sole externally executable word)
+//   tl_tt_slot:    placeholder word; the loader patches it with the address
+//                  of this trustlet's Trustlet-Table saved-SP slot
+//                  ("rewriting the code to restore its stack from the
+//                  correct location in the Trustlet Table", Sec. 3.5)
+//   tl_dispatch:   routes r0 == 0 -> continue(), r0 != 0 -> call()
+//   tl_continue:   restores SP from the Trustlet Table (first thing), then
+//                  the saved register frame, then IRET
+//   tl_call_entry: jumps to the body's `tl_handle_call`
+//   <body>:        must define `tl_main` (initial instruction); may define
+//                  `tl_handle_call` for IPC (a default echo handler is
+//                  appended otherwise)
+//
+// Calling convention for entry-vector invocation:
+//   r0 = command (0 = continue, otherwise call type)
+//   r1 = msg, r2 = sender/continuation, r3 = extra argument
+//   r15 is dispatcher scratch and never carries arguments.
+//
+// Symbols available to the body: tl_entry, tl_main, TL_ID, TL_CODE, TL_DATA,
+// TL_DATA_END, TL_STACK_TOP, TL_IPC_STACK_TOP plus the platform defs of
+// guest_defs.h.
+
+#ifndef TRUSTLITE_SRC_TRUSTLET_BUILDER_H_
+#define TRUSTLITE_SRC_TRUSTLET_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trustlet/metadata.h"
+
+namespace trustlite {
+
+struct TrustletBuildSpec {
+  std::string name;  // Up to 4 characters; becomes the trustlet id.
+  uint32_t code_addr = 0;
+  uint32_t data_addr = 0;
+  uint32_t data_size = 0;     // Includes both stacks at its top.
+  uint32_t stack_size = 512;  // Main stack (top of data region).
+  bool is_os = false;
+  bool measure = true;
+  bool callable_any = true;
+  bool code_private = false;
+  bool is_signed = false;
+  std::vector<uint32_t> callers;
+  std::vector<RegionGrant> grants;
+  // Assembly body. Must define `tl_main`.
+  std::string body;
+};
+
+// Assembles the scaffold + body and returns the loader-ready record.
+Result<TrustletMeta> BuildTrustlet(const TrustletBuildSpec& spec);
+
+// The scaffold source for inspection/tests (without assembling).
+std::string TrustletScaffoldSource(const TrustletBuildSpec& spec);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_TRUSTLET_BUILDER_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Layout of the saved-state frame the secure exception engine writes to a
+// trustlet's stack (see src/cpu/cpu.h). Shared between the CPU, the Secure
+// Loader (which fabricates the initial frame) and the trustlet scaffold
+// (whose continue() entry restores it).
+
+#ifndef TRUSTLITE_SRC_TRUSTLET_FRAME_H_
+#define TRUSTLITE_SRC_TRUSTLET_FRAME_H_
+
+#include <cstdint>
+
+namespace trustlite {
+
+inline constexpr uint32_t kFrameOffsetR0 = 0;    // r0..r12 at +0..+48
+inline constexpr uint32_t kFrameOffsetLr = 52;   // r14
+inline constexpr uint32_t kFrameOffsetR15 = 56;
+inline constexpr uint32_t kFrameOffsetIp = 60;
+inline constexpr uint32_t kFrameOffsetFlags = 64;
+inline constexpr uint32_t kFrameSize = 68;
+
+// FLAGS value for a fresh trustlet: interrupts enabled, user mode clear.
+inline constexpr uint32_t kInitialTrustletFlags = 1;  // kFlagIf
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_TRUSTLET_FRAME_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/trustlet/guest_defs.h"
+
+#include <sstream>
+
+#include "src/dev/gpio.h"
+#include "src/dev/sha_accel.h"
+#include "src/dev/sysctl.h"
+#include "src/dev/timer.h"
+#include "src/dev/trng.h"
+#include "src/dev/uart.h"
+#include "src/mem/layout.h"
+#include "src/mpu/ea_mpu.h"
+#include "src/trustlet/trustlet_table.h"
+
+namespace trustlite {
+
+std::string GuestDefs() {
+  std::ostringstream out;
+  auto equ = [&out](const char* name, uint32_t value) {
+    out << ".equ " << name << ", 0x" << std::hex << value << std::dec << "\n";
+  };
+  out << "; ---- platform definitions (generated) ----\n";
+  equ("MMIO_SYSCTL", kSysCtlBase);
+  equ("MMIO_MPU", kMpuMmioBase);
+  equ("MMIO_TIMER", kTimerBase);
+  equ("MMIO_UART", kUartBase);
+  equ("MMIO_SHA", kShaBase);
+  equ("MMIO_TRNG", kTrngBase);
+  equ("MMIO_GPIO", kGpioBase);
+
+  equ("SYSCTL_HANDLER0", kSysCtlRegHandlerBase);
+  equ("SYSCTL_RESET", kSysCtlRegReset);
+  equ("SYSCTL_CYCLES_LO", kSysCtlRegCyclesLo);
+  equ("SYSCTL_CYCLES_HI", kSysCtlRegCyclesHi);
+  equ("SYSCTL_SCRATCH", kSysCtlRegScratch);
+
+  equ("TIMER_CTRL", kTimerRegCtrl);
+  equ("TIMER_PERIOD", kTimerRegPeriod);
+  equ("TIMER_COUNT", kTimerRegCount);
+  equ("TIMER_HANDLER", kTimerRegHandler);
+  equ("TIMER_STATUS", kTimerRegStatus);
+  equ("TIMER_ENABLE", kTimerCtrlEnable);
+  equ("TIMER_IRQ_ENABLE", kTimerCtrlIrqEnable);
+  equ("TIMER_AUTO_RELOAD", kTimerCtrlAutoReload);
+
+  equ("UART_TXDATA", kUartRegTxData);
+  equ("UART_STATUS", kUartRegStatus);
+  equ("UART_RXDATA", kUartRegRxData);
+  equ("UART_RXCOUNT", kUartRegRxCount);
+
+  equ("SHA_CTRL", kShaRegCtrl);
+  equ("SHA_DATA_IN", kShaRegDataIn);
+  equ("SHA_BYTE_IN", kShaRegByteIn);
+  equ("SHA_STATUS", kShaRegStatus);
+  equ("SHA_DIGEST", kShaRegDigest);
+  equ("SHA_DIGEST_LE", kShaRegDigestLe);
+  equ("SHA_INIT", kShaCtrlInit);
+  equ("SHA_FINALIZE", kShaCtrlFinalize);
+
+  equ("TRNG_VALUE", kTrngRegValue);
+  equ("GPIO_OUT", kGpioRegOut);
+  equ("GPIO_IN", kGpioRegIn);
+
+  equ("MPU_CTRL", kMpuRegCtrl);
+  equ("MPU_FAULT_IP", kMpuRegFaultIp);
+  equ("MPU_FAULT_ADDR", kMpuRegFaultAddr);
+  equ("MPU_FAULT_INFO", kMpuRegFaultInfo);
+  equ("MPU_REGION_BANK", kMpuRegionBank);
+  equ("MPU_REGION_STRIDE", kMpuRegionStride);
+  equ("MPU_RULE_BANK", kMpuRuleBank);
+
+  equ("TT_ROW_ID", kTtRowId);
+  equ("TT_ROW_CODE_BASE", kTtRowCodeBase);
+  equ("TT_ROW_CODE_END", kTtRowCodeEnd);
+  equ("TT_ROW_DATA_BASE", kTtRowDataBase);
+  equ("TT_ROW_DATA_END", kTtRowDataEnd);
+  equ("TT_ROW_ENTRY", kTtRowEntry);
+  equ("TT_ROW_SAVED_SP", kTtRowSavedSp);
+  equ("TT_ROW_FLAGS", kTtRowFlags);
+  equ("TT_ROW_MEASUREMENT", kTtRowMeasurement);
+  equ("TT_ROW_SIZE", kTrustletTableRowSize);
+  equ("TT_HEADER_SIZE", kTrustletTableHeaderSize);
+
+  equ("ERR_FROM_TRUSTLET", 0x80000000u);
+  equ("ERR_CLASS_MASK", 0xFFu);
+  out << "; ---- end platform definitions ----\n";
+  return out.str();
+}
+
+}  // namespace trustlite

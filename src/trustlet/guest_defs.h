@@ -1,0 +1,19 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Shared assembly prelude: .equ constants for the platform MMIO map and
+// common register offsets, prepended to every guest program so assembly
+// sources can say `li r1, MMIO_TIMER + TIMER_CTRL`.
+
+#ifndef TRUSTLITE_SRC_TRUSTLET_GUEST_DEFS_H_
+#define TRUSTLITE_SRC_TRUSTLET_GUEST_DEFS_H_
+
+#include <string>
+
+namespace trustlite {
+
+// Returns the .equ prelude (platform MMIO bases, device register offsets,
+// Trustlet Table field offsets, exception error-code constants).
+std::string GuestDefs();
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_TRUSTLET_GUEST_DEFS_H_

@@ -1,0 +1,145 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/trustlet/metadata.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/bytes.h"
+
+namespace trustlite {
+
+uint32_t TrustletMeta::SerializedSize() const {
+  uint32_t size = kTrustletHeaderSize;
+  size += static_cast<uint32_t>(callers.size()) * 4;
+  size += static_cast<uint32_t>(grants.size()) * 12;
+  size += static_cast<uint32_t>((code.size() + 3) & ~size_t{3});
+  return size;
+}
+
+std::vector<uint8_t> TrustletMeta::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(SerializedSize());
+  uint32_t flags = 0;
+  if (is_os) flags |= kMetaFlagOs;
+  if (measure) flags |= kMetaFlagMeasure;
+  if (is_signed) flags |= kMetaFlagSigned;
+  if (callable_any) flags |= kMetaFlagCallableAny;
+  if (code_private) flags |= kMetaFlagCodePrivate;
+  if (unprotected) flags |= kMetaFlagUnprotected;
+
+  AppendLe32(out, kTrustletMagic);
+  AppendLe32(out, SerializedSize());
+  AppendLe32(out, id);
+  AppendLe32(out, flags);
+  AppendLe32(out, static_cast<uint32_t>(code.size()));
+  AppendLe32(out, data_size);
+  AppendLe32(out, stack_size);
+  AppendLe32(out, code_addr);
+  AppendLe32(out, data_addr);
+  AppendLe32(out, static_cast<uint32_t>(callers.size()));
+  AppendLe32(out, static_cast<uint32_t>(grants.size()));
+  AppendLe32(out, sp_slot_patch_offset);
+  AppendLe32(out, start_offset);
+  AppendLe32(out, profile);
+  out.insert(out.end(), signature.begin(), signature.end());
+  assert(out.size() == kTrustletHeaderSize);
+
+  for (const uint32_t caller : callers) {
+    AppendLe32(out, caller);
+  }
+  for (const RegionGrant& grant : grants) {
+    AppendLe32(out, grant.base);
+    AppendLe32(out, grant.end);
+    AppendLe32(out, grant.perms);
+  }
+  out.insert(out.end(), code.begin(), code.end());
+  while ((out.size() & 3) != 0) {
+    out.push_back(0);
+  }
+  return out;
+}
+
+Result<TrustletMeta> TrustletMeta::Parse(const uint8_t* data,
+                                         size_t available) {
+  if (available < kTrustletHeaderSize) {
+    return InvalidArgument("trustlet record truncated (header)");
+  }
+  if (LoadLe32(data) != kTrustletMagic) {
+    return InvalidArgument("bad trustlet magic");
+  }
+  const uint32_t record_size = LoadLe32(data + 4);
+  if (record_size < kTrustletHeaderSize || record_size > available) {
+    return InvalidArgument("trustlet record size out of bounds");
+  }
+  TrustletMeta meta;
+  meta.id = LoadLe32(data + 8);
+  const uint32_t flags = LoadLe32(data + 12);
+  meta.is_os = (flags & kMetaFlagOs) != 0;
+  meta.measure = (flags & kMetaFlagMeasure) != 0;
+  meta.is_signed = (flags & kMetaFlagSigned) != 0;
+  meta.callable_any = (flags & kMetaFlagCallableAny) != 0;
+  meta.code_private = (flags & kMetaFlagCodePrivate) != 0;
+  meta.unprotected = (flags & kMetaFlagUnprotected) != 0;
+  const uint32_t code_size = LoadLe32(data + 16);
+  meta.data_size = LoadLe32(data + 20);
+  meta.stack_size = LoadLe32(data + 24);
+  meta.code_addr = LoadLe32(data + 28);
+  meta.data_addr = LoadLe32(data + 32);
+  const uint32_t num_callers = LoadLe32(data + 36);
+  const uint32_t num_grants = LoadLe32(data + 40);
+  meta.sp_slot_patch_offset = LoadLe32(data + 44);
+  meta.start_offset = LoadLe32(data + 48);
+  meta.profile = LoadLe32(data + 52);
+  std::copy(data + 56, data + 88, meta.signature.begin());
+
+  const uint64_t payload = static_cast<uint64_t>(num_callers) * 4 +
+                           static_cast<uint64_t>(num_grants) * 12 +
+                           ((static_cast<uint64_t>(code_size) + 3) & ~3ull);
+  if (kTrustletHeaderSize + payload > record_size) {
+    return InvalidArgument("trustlet record payload exceeds record size");
+  }
+  const uint8_t* p = data + kTrustletHeaderSize;
+  for (uint32_t i = 0; i < num_callers; ++i) {
+    meta.callers.push_back(LoadLe32(p));
+    p += 4;
+  }
+  for (uint32_t i = 0; i < num_grants; ++i) {
+    RegionGrant grant;
+    grant.base = LoadLe32(p);
+    grant.end = LoadLe32(p + 4);
+    grant.perms = LoadLe32(p + 8);
+    meta.grants.push_back(grant);
+    p += 12;
+  }
+  meta.code.assign(p, p + code_size);
+  if (meta.sp_slot_patch_offset != kNoSpSlotPatch &&
+      (meta.sp_slot_patch_offset + 4 > code_size ||
+       (meta.sp_slot_patch_offset & 3) != 0)) {
+    return InvalidArgument("SP-slot patch offset out of code range");
+  }
+  return meta;
+}
+
+uint32_t MakeTrustletId(const std::string& four_chars) {
+  uint32_t id = 0;
+  for (size_t i = 0; i < 4 && i < four_chars.size(); ++i) {
+    id |= static_cast<uint32_t>(static_cast<uint8_t>(four_chars[i])) << (i * 8);
+  }
+  return id;
+}
+
+std::string TrustletIdName(uint32_t id) {
+  std::string name;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((id >> (i * 8)) & 0xFF);
+    if (c >= 0x20 && c < 0x7F) {
+      name.push_back(c);
+    } else if (c != 0) {
+      name.push_back('?');
+    }
+  }
+  return name.empty() ? "<0>" : name;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,117 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Trustlet metadata: the per-trustlet record the Secure Loader parses from
+// PROM at boot (Fig. 5 step 2a, "parse meta data"). The record declares the
+// memory layout, requested peripheral/shared regions and access policy —
+// the information the paper's GNU linker script encodes in the prototype.
+//
+// Binary record layout (little-endian words):
+//   +0   magic 'TLET'
+//   +4   record size (bytes, including code, 4-aligned)
+//   +8   id
+//   +12  flags (bit0 OS, bit1 measure, bit2 signed, bit3 callable-by-any,
+//               bit4 code-private, bit5 unprotected-program)
+//   +16  code size        +20 data size       +24 stack size
+//   +28  code load addr   +32 data addr
+//   +36  #callers         +40 #grants
+//   +44  SP-slot patch offset into code (0xFFFFFFFF = none)
+//   +48  start offset (initial instruction within code)
+//   +52  deployment profile (0 = always loaded)
+//   +56  signature (32 bytes, HMAC-SHA256; zero when unsigned)
+//   +88  callers  (#callers words: trustlet ids allowed to call the entry)
+//   then grants  (#grants x 12 bytes: base, end, perms[r=1,w=2,x=4])
+//   then code bytes (padded to 4)
+
+#ifndef TRUSTLITE_SRC_TRUSTLET_METADATA_H_
+#define TRUSTLITE_SRC_TRUSTLET_METADATA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace trustlite {
+
+inline constexpr uint32_t kTrustletMagic = 0x54454C54;  // 'TLET'
+inline constexpr uint32_t kTrustletHeaderSize = 88;
+inline constexpr uint32_t kNoSpSlotPatch = 0xFFFFFFFF;
+
+// Meta flags.
+inline constexpr uint32_t kMetaFlagOs = 1u << 0;
+inline constexpr uint32_t kMetaFlagMeasure = 1u << 1;
+inline constexpr uint32_t kMetaFlagSigned = 1u << 2;
+inline constexpr uint32_t kMetaFlagCallableAny = 1u << 3;
+inline constexpr uint32_t kMetaFlagCodePrivate = 1u << 4;
+inline constexpr uint32_t kMetaFlagUnprotected = 1u << 5;
+
+// Grant permission bits.
+inline constexpr uint32_t kGrantRead = 1u << 0;
+inline constexpr uint32_t kGrantWrite = 1u << 1;
+inline constexpr uint32_t kGrantExec = 1u << 2;
+
+// An extra object region requested by a trustlet: peripheral MMIO ranges
+// ("Secure Peripherals", Sec. 3.3) and shared-memory windows (Sec. 4.2.1)
+// are both expressed this way.
+struct RegionGrant {
+  uint32_t base = 0;
+  uint32_t end = 0;  // exclusive
+  uint32_t perms = 0;
+};
+
+struct TrustletMeta {
+  uint32_t id = 0;
+  bool is_os = false;
+  bool measure = false;
+  bool is_signed = false;
+  bool callable_any = false;
+  bool code_private = false;  // When false, anyone may read the code
+                              // (public code segments enable mutual
+                              // inspection, Sec. 4.2.2).
+  bool unprotected = false;   // Plain program: loaded, but no MPU regions.
+
+  uint32_t code_addr = 0;
+  uint32_t data_addr = 0;
+  uint32_t data_size = 0;
+  uint32_t stack_size = 0;
+  uint32_t sp_slot_patch_offset = kNoSpSlotPatch;
+  // Offset into `code` of the trustlet's initial instruction ("main"). The
+  // loader fabricates the initial saved-state frame so that the very first
+  // continue() resumes here (Fig. 5 step 2b, static initialization).
+  uint32_t start_offset = 0;
+  // Deployment profile (paper Sec. 8: a platform "detects the desired
+  // scenario and establishes the required software stack and protection
+  // facilities in a second boot phase"). 0 = loaded in every profile;
+  // otherwise the record is loaded only when the Secure Loader's selected
+  // profile matches.
+  uint32_t profile = 0;
+
+  std::vector<uint32_t> callers;  // ids allowed to execute the entry vector
+  std::vector<RegionGrant> grants;
+  std::vector<uint8_t> code;
+  std::array<uint8_t, 32> signature{};
+
+  uint32_t code_end() const {
+    return code_addr + static_cast<uint32_t>(code.size());
+  }
+  uint32_t data_end() const { return data_addr + data_size; }
+  // Initial stack pointer: the stack occupies the top of the data region.
+  uint32_t initial_sp() const { return data_end(); }
+
+  std::vector<uint8_t> Serialize() const;
+
+  // Parses a record at `data`; `available` bounds the readable bytes.
+  static Result<TrustletMeta> Parse(const uint8_t* data, size_t available);
+
+  // Bytes this record occupies in PROM.
+  uint32_t SerializedSize() const;
+};
+
+// A human-readable 4-char id helper: MakeTrustletId("ATTN").
+uint32_t MakeTrustletId(const std::string& four_chars);
+std::string TrustletIdName(uint32_t id);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_TRUSTLET_METADATA_H_

@@ -1,0 +1,94 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/trustlet/trustlet_table.h"
+
+#include <algorithm>
+
+namespace trustlite {
+
+bool TrustletTableView::WriteHeader(uint32_t row_count) {
+  return bus_->HostWriteWord(base_, kTrustletTableMagic) &&
+         bus_->HostWriteWord(base_ + 4, row_count) &&
+         bus_->HostWriteWord(base_ + 8, 0) && bus_->HostWriteWord(base_ + 12, 0);
+}
+
+std::optional<uint32_t> TrustletTableView::ReadRowCount() const {
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!bus_->HostReadWord(base_, &magic) || magic != kTrustletTableMagic ||
+      !bus_->HostReadWord(base_ + 4, &count)) {
+    return std::nullopt;
+  }
+  return count;
+}
+
+bool TrustletTableView::WriteRow(int index, const TrustletTableRow& row) {
+  const uint32_t addr = RowAddress(index);
+  bool ok = bus_->HostWriteWord(addr + kTtRowId, row.id) &&
+            bus_->HostWriteWord(addr + kTtRowCodeBase, row.code_base) &&
+            bus_->HostWriteWord(addr + kTtRowCodeEnd, row.code_end) &&
+            bus_->HostWriteWord(addr + kTtRowDataBase, row.data_base) &&
+            bus_->HostWriteWord(addr + kTtRowDataEnd, row.data_end) &&
+            bus_->HostWriteWord(addr + kTtRowEntry, row.entry) &&
+            bus_->HostWriteWord(addr + kTtRowSavedSp, row.saved_sp) &&
+            bus_->HostWriteWord(addr + kTtRowFlags, row.flags);
+  if (!ok) {
+    return false;
+  }
+  std::vector<uint8_t> digest(row.measurement.begin(), row.measurement.end());
+  return bus_->HostWriteBytes(addr + kTtRowMeasurement, digest);
+}
+
+std::optional<TrustletTableRow> TrustletTableView::ReadRow(int index) const {
+  const uint32_t addr = RowAddress(index);
+  TrustletTableRow row;
+  if (!bus_->HostReadWord(addr + kTtRowId, &row.id) ||
+      !bus_->HostReadWord(addr + kTtRowCodeBase, &row.code_base) ||
+      !bus_->HostReadWord(addr + kTtRowCodeEnd, &row.code_end) ||
+      !bus_->HostReadWord(addr + kTtRowDataBase, &row.data_base) ||
+      !bus_->HostReadWord(addr + kTtRowDataEnd, &row.data_end) ||
+      !bus_->HostReadWord(addr + kTtRowEntry, &row.entry) ||
+      !bus_->HostReadWord(addr + kTtRowSavedSp, &row.saved_sp) ||
+      !bus_->HostReadWord(addr + kTtRowFlags, &row.flags)) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> digest;
+  if (!bus_->HostReadBytes(addr + kTtRowMeasurement, kSha256DigestSize,
+                           &digest)) {
+    return std::nullopt;
+  }
+  std::copy(digest.begin(), digest.end(), row.measurement.begin());
+  return row;
+}
+
+std::optional<int> TrustletTableView::FindById(uint32_t id) const {
+  const std::optional<uint32_t> count = ReadRowCount();
+  if (!count.has_value()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    uint32_t row_id = 0;
+    if (bus_->HostReadWord(RowAddress(static_cast<int>(i)) + kTtRowId,
+                           &row_id) &&
+        row_id == id) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> TrustletTableView::FindByIp(uint32_t ip) const {
+  const std::optional<uint32_t> count = ReadRowCount();
+  if (!count.has_value()) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    const std::optional<TrustletTableRow> row = ReadRow(static_cast<int>(i));
+    if (row.has_value() && ip >= row->code_base && ip < row->code_end) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,105 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Trustlet Table (Figs. 4/5): a write-protected in-RAM table recording, for
+// every loaded trustlet (and the OS), its identifier, memory regions, entry
+// point and — updated by the secure exception engine — the stack pointer of
+// its saved state. Software reads it to discover and validate trustlets
+// (local attestation, Sec. 4.2.2); only the exception engine's dedicated
+// port may write the saved-SP field after the loader locks the platform.
+//
+// Row layout (64 bytes):
+//   +0   id
+//   +4   code base          +8   code end (exclusive)
+//   +12  data base          +16  data end (exclusive)
+//   +20  entry address (== code base by the entry-vector convention)
+//   +24  saved SP (engine-updated)
+//   +28  flags (bit0: OS row)
+//   +32  measurement (SHA-256 of the code region; zero when unmeasured)
+//
+// Header (16 bytes): magic 'TLTT', row count, 2 reserved words.
+
+#ifndef TRUSTLITE_SRC_TRUSTLET_TRUSTLET_TABLE_H_
+#define TRUSTLITE_SRC_TRUSTLET_TRUSTLET_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/mem/bus.h"
+
+namespace trustlite {
+
+inline constexpr uint32_t kTrustletTableMagic = 0x54544C54;  // 'TLTT'
+inline constexpr uint32_t kTrustletTableHeaderSize = 16;
+inline constexpr uint32_t kTrustletTableRowSize = 64;
+
+// Row field offsets.
+inline constexpr uint32_t kTtRowId = 0;
+inline constexpr uint32_t kTtRowCodeBase = 4;
+inline constexpr uint32_t kTtRowCodeEnd = 8;
+inline constexpr uint32_t kTtRowDataBase = 12;
+inline constexpr uint32_t kTtRowDataEnd = 16;
+inline constexpr uint32_t kTtRowEntry = 20;
+inline constexpr uint32_t kTtRowSavedSp = 24;
+inline constexpr uint32_t kTtRowFlags = 28;
+inline constexpr uint32_t kTtRowMeasurement = 32;
+
+inline constexpr uint32_t kTtFlagOs = 1u << 0;
+
+// Host-side view of one row (used by loader, tests and protocol models; the
+// guest reads the same bytes through the bus).
+struct TrustletTableRow {
+  uint32_t id = 0;
+  uint32_t code_base = 0;
+  uint32_t code_end = 0;
+  uint32_t data_base = 0;
+  uint32_t data_end = 0;
+  uint32_t entry = 0;
+  uint32_t saved_sp = 0;
+  uint32_t flags = 0;
+  Sha256Digest measurement{};
+};
+
+// Reader/writer over the bus (host-privileged; the loader runs before the
+// MPU is armed, tests use it for inspection).
+class TrustletTableView {
+ public:
+  TrustletTableView(Bus* bus, uint32_t table_base)
+      : bus_(bus), base_(table_base) {}
+
+  uint32_t base() const { return base_; }
+  uint32_t RowAddress(int index) const {
+    return base_ + kTrustletTableHeaderSize +
+           static_cast<uint32_t>(index) * kTrustletTableRowSize;
+  }
+  uint32_t SavedSpAddress(int index) const {
+    return RowAddress(index) + kTtRowSavedSp;
+  }
+
+  // Header manipulation.
+  bool WriteHeader(uint32_t row_count);
+  std::optional<uint32_t> ReadRowCount() const;
+
+  bool WriteRow(int index, const TrustletTableRow& row);
+  std::optional<TrustletTableRow> ReadRow(int index) const;
+
+  // Finds the row whose id matches; nullopt if absent.
+  std::optional<int> FindById(uint32_t id) const;
+  // Finds the row whose code region contains `ip`.
+  std::optional<int> FindByIp(uint32_t ip) const;
+
+  // Total byte size of a table with `rows` rows.
+  static uint32_t SizeFor(int rows) {
+    return kTrustletTableHeaderSize +
+           static_cast<uint32_t>(rows) * kTrustletTableRowSize;
+  }
+
+ private:
+  Bus* bus_;
+  uint32_t base_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_TRUSTLET_TRUSTLET_TABLE_H_

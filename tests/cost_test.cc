@@ -1,0 +1,118 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Hardware cost model tests: Table 1 constants, derived quantities the paper
+// states in prose (SMART-like instantiation, fixed/per-module ratios,
+// Figure 7 crossovers), and the structural estimator's plausibility.
+
+#include "src/cost/hw_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace trustlite {
+namespace {
+
+TEST(HwCostTest, Table1Constants) {
+  EXPECT_EQ(kTrustLiteBaseCore, (HwCost{5528, 14361}));
+  EXPECT_EQ(kTrustLiteExtensionBase, (HwCost{278, 417}));
+  EXPECT_EQ(kTrustLitePerModule, (HwCost{116, 182}));
+  EXPECT_EQ(kTrustLiteExceptionsBase, (HwCost{34, 22}));
+  EXPECT_EQ(kSancusBaseCore, (HwCost{998, 2322}));
+  EXPECT_EQ(kSancusExtensionBase, (HwCost{586, 1138}));
+  EXPECT_EQ(kSancusPerModule, (HwCost{213, 307}));
+}
+
+TEST(HwCostTest, SmartLikeInstantiationMatchesSec53) {
+  // Sec. 5.3: "a hardware overhead of only 394 slice registers and 599
+  // slice LUTs".
+  const HwCost cost = SmartLikeInstantiationCost();
+  EXPECT_EQ(cost.regs, 394);
+  EXPECT_EQ(cost.luts, 599);
+}
+
+TEST(HwCostTest, FixedCostRatioAboutHalfOfSancus) {
+  // Sec. 5.2: "TrustLite's fixed costs are 50% of Sancus".
+  const double ratio =
+      static_cast<double>(TrustLiteExtensionCost(0, false).slices()) /
+      SancusExtensionCost(0).slices();
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.55);
+}
+
+TEST(HwCostTest, PerModuleCostRoughly40PercentLess) {
+  // Sec. 5.2: "the per module cost is roughly 40% less".
+  const double tl = kTrustLitePerModule.slices();
+  const double sancus = kSancusPerModule.slices();
+  EXPECT_NEAR(1.0 - tl / sancus, 0.40, 0.06);
+}
+
+TEST(HwCostTest, Fig7CrossoverSancusNineTrustLiteTwenty) {
+  // Sec. 5.2 / Fig. 7: at twice the openMSP430 core size Sancus fits only
+  // ~9 protected modules where TrustLite supports ~20.
+  const int budget = 2 * OpenMsp430BaseSlices();
+  EXPECT_EQ(MaxModulesWithinBudget(budget, /*sancus=*/true), 9);
+  EXPECT_EQ(MaxModulesWithinBudget(budget, /*sancus=*/false), 19);
+  // With exceptions the count drops only slightly (the "slightly increased
+  // cost" visible between the two TrustLite curves).
+  const int with_exc = MaxModulesWithinBudget(budget, false, true);
+  EXPECT_GE(with_exc, 17);
+  EXPECT_LE(with_exc, 19);
+}
+
+TEST(HwCostTest, Fig7SeriesShape) {
+  const std::vector<Fig7Row> series = Fig7Series(32);
+  ASSERT_EQ(series.size(), 33u);
+  // Monotone growth, Sancus always above TrustLite with the gap widening.
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].trustlite, series[i - 1].trustlite);
+    EXPECT_GT(series[i].sancus, series[i - 1].sancus);
+    EXPECT_GT(series[i].sancus - series[i].trustlite,
+              series[i - 1].sancus - series[i - 1].trustlite);
+    EXPECT_GE(series[i].trustlite_exc, series[i].trustlite);
+  }
+  // Despite the 32-bit address space, TrustLite stays around half of Sancus
+  // in total overhead at every design point (abstract: "only about half").
+  for (int n : {4, 8, 16, 32}) {
+    const double ratio = static_cast<double>(series[static_cast<size_t>(n)].trustlite) /
+                         series[static_cast<size_t>(n)].sancus;
+    EXPECT_LT(ratio, 0.62) << n;
+    EXPECT_GT(ratio, 0.40) << n;
+  }
+  EXPECT_EQ(series[0].msp430_200, 2 * series[0].msp430_base);
+  EXPECT_EQ(series[0].msp430_400, 4 * series[0].msp430_base);
+}
+
+TEST(HwCostTest, KeyCacheDominatesSancusModuleRegisters) {
+  // Sec. 5.2: the 128-bit cached MAC key "accounts for a significant
+  // portion of the register cost" per Sancus module.
+  EXPECT_GT(kSancusKeyCacheRegsPerModule, kSancusPerModule.regs / 2);
+  const HwCost no_cache = SancusExtensionCostNoKeyCache(10);
+  const HwCost cached = SancusExtensionCost(10);
+  EXPECT_EQ(cached.regs - no_cache.regs, 128 * 10);
+}
+
+TEST(HwCostTest, StructuralEstimatorSameOrderAsPublished) {
+  // Two regions per module; published per-module cost 116 regs / 182 LUTs.
+  const EaMpuEstimate est = EstimateEaMpu(32, /*with_sp_slot=*/false);
+  const HwCost per_module = est.per_region * kMpuRegionsPerModule;
+  EXPECT_GT(per_module.regs, kTrustLitePerModule.regs / 2);
+  EXPECT_LT(per_module.regs, kTrustLitePerModule.regs * 2);
+  EXPECT_GT(per_module.luts, kTrustLitePerModule.luts / 3);
+  EXPECT_LT(per_module.luts, kTrustLitePerModule.luts * 3);
+  // 16-bit datapath halves the dominant (register) term, consistent with
+  // the paper's ~50% scaling claim.
+  const EaMpuEstimate est16 = EstimateEaMpu(16, false);
+  const double scale = static_cast<double>(est16.per_region.regs) /
+                       est.per_region.regs;
+  EXPECT_NEAR(scale, kDatapathScaleTo16Bit, 0.1);
+}
+
+TEST(HwCostTest, RenderTable1ContainsAllRows) {
+  const std::string table = RenderTable1();
+  EXPECT_NE(table.find("Base Core Size"), std::string::npos);
+  EXPECT_NE(table.find("5528"), std::string::npos);
+  EXPECT_NE(table.find("14361"), std::string::npos);
+  EXPECT_NE(table.find("Exceptions Base Cost"), std::string::npos);
+  EXPECT_NE(table.find("2322"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trustlite

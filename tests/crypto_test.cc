@@ -1,0 +1,203 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Crypto substrate tests: SHA-256 against FIPS/NIST vectors, HMAC-SHA256
+// against RFC 4231, SPONGENT structural properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/spongent.h"
+
+namespace trustlite {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha256Hash(Bytes("")).data(), 32),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha256Hash(Bytes("abc")).data(), 32),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexEncode(Sha256Hash(Bytes("abcdbcdecdefdefgefghfghighijhijkijkl"
+                                       "jklmklmnlmnomnopnopq"))
+                          .data(),
+                      32),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(hasher.Finish().data(), 32),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Xoshiro256 rng(42);
+  std::vector<uint8_t> data(1337);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next32());
+  }
+  const Sha256Digest oneshot = Sha256Hash(data);
+  // Feed in irregular pieces.
+  Sha256 hasher;
+  size_t pos = 0;
+  const size_t pieces[] = {1, 63, 64, 65, 100, 1044};
+  for (const size_t piece : pieces) {
+    const size_t take = std::min(piece, data.size() - pos);
+    hasher.Update(data.data() + pos, take);
+    pos += take;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(hasher.Finish(), oneshot);
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Messages around the 55/56/64-byte padding edges must all differ.
+  std::set<std::string> digests;
+  for (size_t len = 54; len <= 66; ++len) {
+    const std::vector<uint8_t> msg(len, 0x5A);
+    digests.insert(HexEncode(Sha256Hash(msg).data(), 32));
+  }
+  EXPECT_EQ(digests.size(), 13u);
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<uint8_t> key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key, Bytes("Hi There")).data(), 32),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexEncode(HmacSha256(Bytes("Jefe"),
+                                 Bytes("what do ya want for nothing?"))
+                          .data(),
+                      32),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const std::vector<uint8_t> key(20, 0xaa);
+  const std::vector<uint8_t> data(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, data).data(), 32),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<uint8_t> key(131, 0xaa);
+  EXPECT_EQ(
+      HexEncode(HmacSha256(key, Bytes("Test Using Larger Than Block-Size Key "
+                                      "- Hash Key First"))
+                    .data(),
+                32),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  const std::vector<uint8_t> key1(16, 0x01);
+  std::vector<uint8_t> key2 = key1;
+  key2[15] ^= 1;
+  const std::vector<uint8_t> msg = Bytes("measurement");
+  EXPECT_NE(HmacSha256(key1, msg), HmacSha256(key2, msg));
+}
+
+TEST(ConstantTimeEqualTest, Basics) {
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {1, 2, 3, 4};
+  const uint8_t c[4] = {1, 2, 3, 5};
+  EXPECT_TRUE(ConstantTimeEqual(a, b, 4));
+  EXPECT_FALSE(ConstantTimeEqual(a, c, 4));
+  EXPECT_TRUE(ConstantTimeEqual(a, c, 3));
+}
+
+TEST(SpongentTest, Deterministic) {
+  const std::vector<uint8_t> msg = Bytes("sancus module");
+  EXPECT_EQ(SpongentHash(msg), SpongentHash(msg));
+}
+
+TEST(SpongentTest, DistinctInputsDistinctDigests) {
+  std::set<std::string> digests;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<uint8_t> msg = {static_cast<uint8_t>(i),
+                                static_cast<uint8_t>(i >> 4), 7};
+    digests.insert(HexEncode(SpongentHash(msg).data(), kSpongentDigestSize));
+  }
+  EXPECT_EQ(digests.size(), 256u);
+}
+
+TEST(SpongentTest, LengthExtensionInputsDiffer) {
+  // "A" then "B" absorbed as one message differs from hash("AB") prefix
+  // tricks: check a few structured pairs.
+  EXPECT_NE(SpongentHash(Bytes("AB")), SpongentHash(Bytes("A")));
+  EXPECT_NE(SpongentHash(Bytes("")), SpongentHash(std::vector<uint8_t>{0x00}));
+  EXPECT_NE(SpongentHash(std::vector<uint8_t>{0x80}),
+            SpongentHash(Bytes("")));
+}
+
+TEST(SpongentTest, PermutationIsBijective) {
+  // Distinct states must map to distinct states (spot-check with many
+  // random states; a collision would falsify bijectivity).
+  Xoshiro256 rng(7);
+  std::set<std::string> outputs;
+  for (int i = 0; i < 512; ++i) {
+    std::array<uint8_t, kSpongentStateBytes> state;
+    for (auto& b : state) {
+      b = static_cast<uint8_t>(rng.Next32());
+    }
+    const std::string in = HexEncode(state.data(), state.size());
+    Spongent::Permute(state);
+    outputs.insert(HexEncode(state.data(), state.size()));
+  }
+  EXPECT_EQ(outputs.size(), 512u);
+}
+
+TEST(SpongentTest, AvalancheFromSingleBitFlip) {
+  std::array<uint8_t, kSpongentStateBytes> a{};
+  std::array<uint8_t, kSpongentStateBytes> b{};
+  b[0] = 1;  // One-bit difference.
+  Spongent::Permute(a);
+  Spongent::Permute(b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differing_bits += __builtin_popcount(a[i] ^ b[i]);
+  }
+  // Expect roughly half the 176 bits to differ; demand at least a quarter.
+  EXPECT_GE(differing_bits, 44);
+}
+
+TEST(SpongentTest, MacDependsOnKeyAndData) {
+  const std::vector<uint8_t> key1 = Bytes("key-one-16bytes!");
+  const std::vector<uint8_t> key2 = Bytes("key-two-16bytes!");
+  const std::vector<uint8_t> msg = Bytes("module text");
+  EXPECT_EQ(SpongentMac(key1, msg), SpongentMac(key1, msg));
+  EXPECT_NE(SpongentMac(key1, msg), SpongentMac(key2, msg));
+  EXPECT_NE(SpongentMac(key1, msg), SpongentMac(key1, Bytes("module texu")));
+}
+
+TEST(SpongentTest, IncrementalMatchesOneShot) {
+  const std::vector<uint8_t> data = Bytes("0123456789abcdefghij");
+  Spongent s;
+  s.Update(data.data(), 3);
+  s.Update(data.data() + 3, 7);
+  s.Update(data.data() + 10, 10);
+  EXPECT_EQ(s.Finish(), SpongentHash(data));
+}
+
+}  // namespace
+}  // namespace trustlite

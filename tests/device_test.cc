@@ -1,0 +1,224 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Peripheral model tests: timer, UART, SHA accelerator, TRNG, GPIO, SysCtl.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/crypto/sha256.h"
+#include "src/dev/gpio.h"
+#include "src/dev/sha_accel.h"
+#include "src/dev/sysctl.h"
+#include "src/dev/timer.h"
+#include "src/dev/trng.h"
+#include "src/dev/uart.h"
+#include "src/mem/layout.h"
+
+namespace trustlite {
+namespace {
+
+uint32_t Rd(Device& dev, uint32_t offset) {
+  uint32_t value = 0;
+  EXPECT_EQ(dev.Read(offset, 4, &value), AccessResult::kOk) << offset;
+  return value;
+}
+
+void Wr(Device& dev, uint32_t offset, uint32_t value) {
+  EXPECT_EQ(dev.Write(offset, 4, value), AccessResult::kOk) << offset;
+}
+
+TEST(TimerTest, OneShotCountdownAndIrq) {
+  Timer timer(kTimerBase, 0);
+  Wr(timer, kTimerRegPeriod, 100);
+  Wr(timer, kTimerRegHandler, 0x1234);
+  Wr(timer, kTimerRegCtrl, kTimerCtrlEnable | kTimerCtrlIrqEnable);
+  EXPECT_FALSE(timer.IrqPending());
+  timer.Tick(60);
+  EXPECT_FALSE(timer.IrqPending());
+  EXPECT_EQ(Rd(timer, kTimerRegCount), 40u);
+  timer.Tick(40);
+  EXPECT_TRUE(timer.IrqPending());
+  EXPECT_EQ(timer.IrqHandler(), 0x1234u);
+  // One-shot: disabled after firing.
+  EXPECT_EQ(Rd(timer, kTimerRegCtrl) & kTimerCtrlEnable, 0u);
+  timer.IrqAck();
+  EXPECT_FALSE(timer.IrqPending());
+  EXPECT_EQ(timer.fire_count(), 1u);
+}
+
+TEST(TimerTest, AutoReloadFiresRepeatedly) {
+  Timer timer(kTimerBase, 0);
+  Wr(timer, kTimerRegPeriod, 10);
+  Wr(timer, kTimerRegCtrl,
+     kTimerCtrlEnable | kTimerCtrlIrqEnable | kTimerCtrlAutoReload);
+  timer.Tick(35);  // Should fire 3 times.
+  EXPECT_EQ(timer.fire_count(), 3u);
+  EXPECT_TRUE(timer.IrqPending());
+  EXPECT_EQ(Rd(timer, kTimerRegCount), 5u);
+}
+
+TEST(TimerTest, IrqMaskedWithoutIrqEnable) {
+  Timer timer(kTimerBase, 0);
+  Wr(timer, kTimerRegPeriod, 10);
+  Wr(timer, kTimerRegCtrl, kTimerCtrlEnable);
+  timer.Tick(20);
+  EXPECT_EQ(timer.fire_count(), 1u);
+  EXPECT_FALSE(timer.IrqPending());  // Pending but masked.
+  EXPECT_EQ(Rd(timer, kTimerRegStatus), 1u);
+}
+
+TEST(TimerTest, StatusWriteClearsPending) {
+  Timer timer(kTimerBase, 0);
+  Wr(timer, kTimerRegPeriod, 5);
+  Wr(timer, kTimerRegCtrl, kTimerCtrlEnable | kTimerCtrlIrqEnable);
+  timer.Tick(5);
+  EXPECT_TRUE(timer.IrqPending());
+  Wr(timer, kTimerRegStatus, 1);
+  EXPECT_FALSE(timer.IrqPending());
+}
+
+TEST(TimerTest, ResetClearsState) {
+  Timer timer(kTimerBase, 0);
+  Wr(timer, kTimerRegPeriod, 5);
+  Wr(timer, kTimerRegCtrl, kTimerCtrlEnable);
+  timer.Tick(5);
+  timer.Reset();
+  EXPECT_EQ(Rd(timer, kTimerRegPeriod), 0u);
+  EXPECT_EQ(timer.fire_count(), 0u);
+}
+
+TEST(UartTest, OutputCapture) {
+  Uart uart(kUartBase);
+  for (const char c : std::string("hi!\n")) {
+    Wr(uart, kUartRegTxData, static_cast<uint32_t>(c));
+  }
+  EXPECT_EQ(uart.output(), "hi!\n");
+  uart.ClearOutput();
+  EXPECT_TRUE(uart.output().empty());
+}
+
+TEST(UartTest, InputQueue) {
+  Uart uart(kUartBase);
+  EXPECT_EQ(Rd(uart, kUartRegRxCount), 0u);
+  EXPECT_EQ(Rd(uart, kUartRegRxData), 0u);  // Empty: returns 0.
+  uart.PushInput("ab");
+  EXPECT_EQ(Rd(uart, kUartRegRxCount), 2u);
+  EXPECT_EQ(Rd(uart, kUartRegStatus) & 2u, 2u);
+  EXPECT_EQ(Rd(uart, kUartRegRxData), static_cast<uint32_t>('a'));
+  EXPECT_EQ(Rd(uart, kUartRegRxData), static_cast<uint32_t>('b'));
+  EXPECT_EQ(Rd(uart, kUartRegRxCount), 0u);
+}
+
+TEST(ShaAccelTest, MatchesSoftwareSha256) {
+  ShaAccel sha(kShaBase);
+  const std::string msg = "abc";
+  Wr(sha, kShaRegCtrl, kShaCtrlInit);
+  for (const char c : msg) {
+    Wr(sha, kShaRegByteIn, static_cast<uint32_t>(c));
+  }
+  Wr(sha, kShaRegCtrl, kShaCtrlFinalize);
+  EXPECT_EQ(Rd(sha, kShaRegStatus), 1u);
+
+  const Sha256Digest expected =
+      Sha256Hash(std::vector<uint8_t>(msg.begin(), msg.end()));
+  for (int i = 0; i < 8; ++i) {
+    const uint32_t word = Rd(sha, kShaRegDigest + 4 * i);
+    const uint32_t expected_word =
+        (static_cast<uint32_t>(expected[i * 4]) << 24) |
+        (static_cast<uint32_t>(expected[i * 4 + 1]) << 16) |
+        (static_cast<uint32_t>(expected[i * 4 + 2]) << 8) |
+        static_cast<uint32_t>(expected[i * 4 + 3]);
+    EXPECT_EQ(word, expected_word) << i;
+  }
+}
+
+TEST(ShaAccelTest, WordInputLittleEndian) {
+  ShaAccel sha(kShaBase);
+  Wr(sha, kShaRegCtrl, kShaCtrlInit);
+  // "abcd" as a little-endian word.
+  Wr(sha, kShaRegDataIn, 0x64636261);
+  Wr(sha, kShaRegCtrl, kShaCtrlFinalize);
+  const Sha256Digest expected = Sha256Hash({'a', 'b', 'c', 'd'});
+  const uint32_t word0 = Rd(sha, kShaRegDigest);
+  const uint32_t expected0 = (static_cast<uint32_t>(expected[0]) << 24) |
+                             (static_cast<uint32_t>(expected[1]) << 16) |
+                             (static_cast<uint32_t>(expected[2]) << 8) |
+                             static_cast<uint32_t>(expected[3]);
+  EXPECT_EQ(word0, expected0);
+}
+
+TEST(ShaAccelTest, InitResetsState) {
+  ShaAccel sha(kShaBase);
+  Wr(sha, kShaRegCtrl, kShaCtrlInit);
+  Wr(sha, kShaRegByteIn, 'x');
+  Wr(sha, kShaRegCtrl, kShaCtrlInit);  // Discard absorbed data.
+  Wr(sha, kShaRegCtrl, kShaCtrlFinalize);
+  const Sha256Digest empty = Sha256Hash(std::vector<uint8_t>{});
+  const uint32_t word0 = Rd(sha, kShaRegDigest);
+  const uint32_t expected0 = (static_cast<uint32_t>(empty[0]) << 24) |
+                             (static_cast<uint32_t>(empty[1]) << 16) |
+                             (static_cast<uint32_t>(empty[2]) << 8) |
+                             static_cast<uint32_t>(empty[3]);
+  EXPECT_EQ(word0, expected0);
+}
+
+TEST(TrngTest, StreamIsDeterministicPerSeed) {
+  Trng a(kTrngBase, 1);
+  Trng b(kTrngBase, 1);
+  Trng c(kTrngBase, 2);
+  const uint32_t a1 = Rd(a, kTrngRegValue);
+  const uint32_t a2 = Rd(a, kTrngRegValue);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(Rd(b, kTrngRegValue), a1);
+  EXPECT_NE(Rd(c, kTrngRegValue), a1);
+}
+
+TEST(TrngTest, WriteRejected) {
+  Trng trng(kTrngBase, 1);
+  EXPECT_EQ(trng.Write(0, 4, 1), AccessResult::kBusError);
+}
+
+TEST(GpioTest, OutHistoryAndInput) {
+  Gpio gpio(kGpioBase);
+  Wr(gpio, kGpioRegOut, 0x1);
+  Wr(gpio, kGpioRegOut, 0x3);
+  EXPECT_EQ(gpio.out(), 0x3u);
+  EXPECT_EQ(gpio.out_history().size(), 2u);
+  gpio.SetIn(0x42);
+  EXPECT_EQ(Rd(gpio, kGpioRegIn), 0x42u);
+  Wr(gpio, kGpioRegIn, 0xFF);  // Guest write to IN is ignored.
+  EXPECT_EQ(Rd(gpio, kGpioRegIn), 0x42u);
+}
+
+TEST(SysCtlTest, HandlerTable) {
+  SysCtl sysctl(kSysCtlBase);
+  Wr(sysctl, kSysCtlRegHandlerBase + 0, 0x100);
+  Wr(sysctl, kSysCtlRegHandlerBase + 4 * 9, 0x200);
+  EXPECT_EQ(sysctl.HandlerFor(ExceptionClass::kMpuFault), 0x100u);
+  EXPECT_EQ(sysctl.HandlerFor(ExceptionClass::kSwiBase, 1), 0x200u);
+  EXPECT_EQ(sysctl.HandlerFor(ExceptionClass::kIllegalInstruction), 0u);
+}
+
+TEST(SysCtlTest, CycleCounterAndReset) {
+  SysCtl sysctl(kSysCtlBase);
+  sysctl.Tick(100);
+  EXPECT_EQ(Rd(sysctl, kSysCtlRegCyclesLo), 100u);
+  EXPECT_EQ(Rd(sysctl, kSysCtlRegCyclesHi), 0u);
+  EXPECT_FALSE(sysctl.reset_requested());
+  Wr(sysctl, kSysCtlRegReset, 1);
+  EXPECT_TRUE(sysctl.reset_requested());
+  sysctl.Reset();
+  EXPECT_FALSE(sysctl.reset_requested());
+  // Counter survives reset (free-running).
+  EXPECT_EQ(Rd(sysctl, kSysCtlRegCyclesLo), 100u);
+  // Handlers cleared.
+  EXPECT_EQ(sysctl.HandlerFor(ExceptionClass::kMpuFault), 0u);
+}
+
+TEST(SysCtlTest, ScratchRegister) {
+  SysCtl sysctl(kSysCtlBase);
+  Wr(sysctl, kSysCtlRegScratch, 0xABCD);
+  EXPECT_EQ(Rd(sysctl, kSysCtlRegScratch), 0xABCDu);
+}
+
+}  // namespace
+}  // namespace trustlite

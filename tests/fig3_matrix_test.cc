@@ -1,0 +1,205 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Direct reproduction of paper **Figure 3**: the example memory protection
+// table with subjects TL-A, TL-B, OS and objects {entry, code, data, stack}
+// of each party plus the MPU and Timer peripheral registers. The EA-MPU is
+// programmed to express exactly that matrix, and every cell is checked.
+//
+//   Object \ Subject          TL-A   TL-B   OS
+//   TL-A entry                rx     rx(e)  rx(e)
+//   TL-A code                 rx     r      r
+//   TL-B entry                rx(e)  rx     rx(e)
+//   TL-B code                 r      rx     r
+//   OS entry                  rx(e)  rx(e)  rx
+//   OS code                   r      r      rx
+//   TL-A data/stack           rw     -      -
+//   TL-B data/stack           -      rw     -
+//   OS data/stack             -      -      rw
+//   MPU flags/regions         r      r      rw*
+//   Timer period/handler      r      r      rw
+//
+//   (e): execute admitted only at the entry vector (first word).
+//   *: the CTRL hardware lock still protects everything but FAULT_INFO.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/layout.h"
+#include "src/mem/memory.h"
+#include "src/mpu/ea_mpu.h"
+
+namespace trustlite {
+namespace {
+
+// Region indices and layout mirroring the figure's address column.
+constexpr uint32_t kACode = 0x0001'0000;   // "0x00.." rows
+constexpr uint32_t kACodeEnd = 0x0001'0400;
+constexpr uint32_t kBCode = 0x0001'1000;   // "0x0A.." rows
+constexpr uint32_t kBCodeEnd = 0x0001'1400;
+constexpr uint32_t kOsCode = 0x0001'2000;  // "0x0B.." rows
+constexpr uint32_t kOsCodeEnd = 0x0001'2400;
+constexpr uint32_t kAData = 0x0002'0000;   // "0x10.." data+stack
+constexpr uint32_t kADataEnd = 0x0002'0800;
+constexpr uint32_t kBData = 0x0002'1000;   // "0x1A.."
+constexpr uint32_t kBDataEnd = 0x0002'1800;
+constexpr uint32_t kOsData = 0x0002'2000;  // "0x1B.."
+constexpr uint32_t kOsDataEnd = 0x0002'2800;
+
+constexpr int kRegA = 0;
+constexpr int kRegB = 1;
+constexpr int kRegOs = 2;
+constexpr int kRegAData = 3;
+constexpr int kRegBData = 4;
+constexpr int kRegOsData = 5;
+constexpr int kRegMpu = 6;
+constexpr int kRegTimer = 7;
+
+class Fig3MatrixTest : public ::testing::Test {
+ protected:
+  Fig3MatrixTest() : mpu_(kMpuMmioBase, 16, 48) {
+    int rule = 0;
+    auto region = [&](int i, uint32_t base, uint32_t end, uint32_t attr) {
+      mpu_.Write(kMpuRegionBank + static_cast<uint32_t>(i) * kMpuRegionStride,
+                 4, base);
+      mpu_.Write(
+          kMpuRegionBank + static_cast<uint32_t>(i) * kMpuRegionStride + 4, 4,
+          end);
+      mpu_.Write(
+          kMpuRegionBank + static_cast<uint32_t>(i) * kMpuRegionStride + 8, 4,
+          attr);
+    };
+    auto add = [&](uint32_t subject, uint32_t object, bool r, bool w, bool x) {
+      mpu_.Write(kMpuRuleBank + static_cast<uint32_t>(rule++) * 4, 4,
+                 EncodeMpuRule(subject, object, r, w, x));
+    };
+    region(kRegA, kACode, kACodeEnd, kMpuAttrEnable | kMpuAttrCode);
+    region(kRegB, kBCode, kBCodeEnd, kMpuAttrEnable | kMpuAttrCode);
+    region(kRegOs, kOsCode, kOsCodeEnd,
+           kMpuAttrEnable | kMpuAttrCode | kMpuAttrOs);
+    region(kRegAData, kAData, kADataEnd, kMpuAttrEnable);
+    region(kRegBData, kBData, kBDataEnd, kMpuAttrEnable);
+    region(kRegOsData, kOsData, kOsDataEnd, kMpuAttrEnable);
+    region(kRegMpu, kMpuMmioBase, kMpuMmioBase + kMmioBlockSize,
+           kMpuAttrEnable);
+    region(kRegTimer, kTimerBase, kTimerBase + kMmioBlockSize, kMpuAttrEnable);
+
+    // Code columns: self full rx; everyone else r + entry-only x.
+    for (const int code : {kRegA, kRegB, kRegOs}) {
+      add(static_cast<uint32_t>(code), static_cast<uint32_t>(code), true,
+          false, true);
+      add(kMpuSubjectAny, static_cast<uint32_t>(code), true, false, true);
+    }
+    // Data/stack: private rw.
+    add(kRegA, kRegAData, true, true, false);
+    add(kRegB, kRegBData, true, true, false);
+    add(kRegOs, kRegOsData, true, true, false);
+    // Peripherals per the figure: everyone may read the MPU registers, only
+    // the OS writes them; the OS owns the timer, others may read it.
+    add(kMpuSubjectAny, kRegMpu, true, false, false);
+    add(kRegOs, kRegMpu, true, true, false);
+    add(kMpuSubjectAny, kRegTimer, true, false, false);
+    add(kRegOs, kRegTimer, true, true, false);
+    mpu_.Write(kMpuRegCtrl, 4, kMpuCtrlEnable);
+  }
+
+  bool Allowed(uint32_t subject_ip, AccessKind kind, uint32_t addr) {
+    AccessContext ctx;
+    ctx.curr_ip = subject_ip;
+    ctx.kind = kind;
+    return mpu_.Check(ctx, addr, 4) == AccessResult::kOk;
+  }
+
+  EaMpu mpu_;
+};
+
+struct Subject {
+  const char* name;
+  uint32_t ip;  // Somewhere inside the subject's code region.
+};
+
+const Subject kSubjects[] = {
+    {"TL-A", kACode + 0x40}, {"TL-B", kBCode + 0x40}, {"OS", kOsCode + 0x40}};
+
+TEST_F(Fig3MatrixTest, CodeColumns) {
+  struct CodeObject {
+    uint32_t base;
+    uint32_t body;  // A non-entry address.
+    int owner;      // Index into kSubjects.
+  };
+  const CodeObject objects[] = {{kACode, kACode + 0x20, 0},
+                                {kBCode, kBCode + 0x20, 1},
+                                {kOsCode, kOsCode + 0x20, 2}};
+  for (int s = 0; s < 3; ++s) {
+    for (const CodeObject& object : objects) {
+      const bool owner = (s == object.owner);
+      // Everyone reads every code region ("r" throughout the figure).
+      EXPECT_TRUE(Allowed(kSubjects[s].ip, AccessKind::kRead, object.body))
+          << kSubjects[s].name;
+      // Nobody writes code.
+      EXPECT_FALSE(Allowed(kSubjects[s].ip, AccessKind::kWrite, object.body))
+          << kSubjects[s].name;
+      // Entry vector executable by all; body only by the owner.
+      EXPECT_TRUE(Allowed(kSubjects[s].ip, AccessKind::kFetch, object.base))
+          << kSubjects[s].name;
+      EXPECT_EQ(Allowed(kSubjects[s].ip, AccessKind::kFetch, object.body),
+                owner)
+          << kSubjects[s].name;
+    }
+  }
+}
+
+TEST_F(Fig3MatrixTest, DataColumnsArePrivate) {
+  const uint32_t data_objects[] = {kAData + 0x10, kBData + 0x10,
+                                   kOsData + 0x10};
+  for (int s = 0; s < 3; ++s) {
+    for (int o = 0; o < 3; ++o) {
+      const bool owner = (s == o);
+      EXPECT_EQ(Allowed(kSubjects[s].ip, AccessKind::kRead, data_objects[o]),
+                owner)
+          << kSubjects[s].name << " -> data " << o;
+      EXPECT_EQ(Allowed(kSubjects[s].ip, AccessKind::kWrite, data_objects[o]),
+                owner)
+          << kSubjects[s].name << " -> data " << o;
+      // Stacks (top half of the data regions) behave identically.
+      EXPECT_EQ(Allowed(kSubjects[s].ip, AccessKind::kWrite,
+                        data_objects[o] + 0x400),
+                owner)
+          << kSubjects[s].name << " -> stack " << o;
+      // Data is never executable.
+      EXPECT_FALSE(Allowed(kSubjects[s].ip, AccessKind::kFetch,
+                           data_objects[o]))
+          << kSubjects[s].name;
+    }
+  }
+}
+
+TEST_F(Fig3MatrixTest, PeripheralColumns) {
+  const uint32_t mpu_flags = kMpuMmioBase + kMpuRegCtrl;
+  const uint32_t mpu_regions = kMpuMmioBase + kMpuRegionBank;
+  const uint32_t timer_period = kTimerBase + 0x04;
+  const uint32_t timer_handler = kTimerBase + 0x0C;
+  for (int s = 0; s < 3; ++s) {
+    const bool is_os = (s == 2);
+    for (const uint32_t addr :
+         {mpu_flags, mpu_regions, timer_period, timer_handler}) {
+      EXPECT_TRUE(Allowed(kSubjects[s].ip, AccessKind::kRead, addr))
+          << kSubjects[s].name;
+      EXPECT_EQ(Allowed(kSubjects[s].ip, AccessKind::kWrite, addr), is_os)
+          << kSubjects[s].name << " write " << addr;
+    }
+  }
+}
+
+TEST_F(Fig3MatrixTest, UnprotectedSubjectIsConfinedTheSameWay) {
+  // Code running outside every region (e.g. a rogue app) gets the ANY rules
+  // only: read code, execute entries, read peripherals — nothing else.
+  const uint32_t rogue = 0x0003'0000;
+  EXPECT_TRUE(Allowed(rogue, AccessKind::kRead, kACode + 8));
+  EXPECT_TRUE(Allowed(rogue, AccessKind::kFetch, kBCode));
+  EXPECT_FALSE(Allowed(rogue, AccessKind::kFetch, kBCode + 8));
+  EXPECT_FALSE(Allowed(rogue, AccessKind::kRead, kAData));
+  EXPECT_FALSE(Allowed(rogue, AccessKind::kWrite, kTimerBase + 4));
+  EXPECT_TRUE(Allowed(rogue, AccessKind::kRead, kMpuMmioBase));
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,164 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Unit tests for the bus and memory devices.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/bus.h"
+#include "src/mem/layout.h"
+#include "src/mem/memory.h"
+
+namespace trustlite {
+namespace {
+
+AccessContext Ctx(AccessKind kind = AccessKind::kRead, uint32_t ip = 0) {
+  AccessContext ctx;
+  ctx.curr_ip = ip;
+  ctx.kind = kind;
+  return ctx;
+}
+
+class MemTest : public ::testing::Test {
+ protected:
+  MemTest() : ram_("ram", 0x1000, 0x1000), prom_("prom", 0x4000, 0x1000) {
+    bus_.Attach(&ram_);
+    bus_.Attach(&prom_);
+  }
+
+  Bus bus_;
+  Ram ram_;
+  Prom prom_;
+};
+
+TEST_F(MemTest, WordReadWriteRoundTrip) {
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x1004, 4, 0xCAFEBABE),
+            AccessResult::kOk);
+  uint32_t value = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1004, 4, &value), AccessResult::kOk);
+  EXPECT_EQ(value, 0xCAFEBABEu);
+}
+
+TEST_F(MemTest, ByteAccessLittleEndian) {
+  ASSERT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x1010, 4, 0x11223344),
+            AccessResult::kOk);
+  uint32_t b0 = 0;
+  uint32_t b3 = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1010, 1, &b0), AccessResult::kOk);
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1013, 1, &b3), AccessResult::kOk);
+  EXPECT_EQ(b0, 0x44u);
+  EXPECT_EQ(b3, 0x11u);
+}
+
+TEST_F(MemTest, MisalignedWordFaults) {
+  uint32_t value = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1001, 4, &value), AccessResult::kAlignFault);
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x1002, 4, 1),
+            AccessResult::kAlignFault);
+}
+
+TEST_F(MemTest, UnmappedAddressIsBusError) {
+  uint32_t value = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x9000, 4, &value), AccessResult::kBusError);
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x0, 4, 1),
+            AccessResult::kBusError);
+}
+
+TEST_F(MemTest, AccessAtDeviceEndIsBusError) {
+  uint32_t value = 0;
+  // Last valid word is 0x1FFC; a word at 0x1FFE straddles past the end (and
+  // is misaligned); a word at 0x2000 is outside.
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1FFC, 4, &value), AccessResult::kOk);
+  EXPECT_EQ(bus_.Read(Ctx(), 0x2000, 4, &value), AccessResult::kBusError);
+}
+
+TEST_F(MemTest, PromRejectsGuestWrites) {
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x4000, 4, 1),
+            AccessResult::kBusError);
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x4100, 1, 1),
+            AccessResult::kBusError);
+}
+
+TEST_F(MemTest, PromHostProgrammingAndGuestRead) {
+  prom_.LoadBytes(0, {0xDE, 0xAD, 0xBE, 0xEF});
+  uint32_t value = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x4000, 4, &value), AccessResult::kOk);
+  EXPECT_EQ(value, 0xEFBEADDEu);
+}
+
+TEST_F(MemTest, HostHelpers) {
+  EXPECT_TRUE(bus_.HostWriteWord(0x1100, 42));
+  uint32_t value = 0;
+  EXPECT_TRUE(bus_.HostReadWord(0x1100, &value));
+  EXPECT_EQ(value, 42u);
+
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(bus_.HostWriteBytes(0x1200, bytes));
+  std::vector<uint8_t> readback;
+  EXPECT_TRUE(bus_.HostReadBytes(0x1200, 5, &readback));
+  EXPECT_EQ(readback, bytes);
+
+  EXPECT_FALSE(bus_.HostReadWord(0x9000, &value));
+  EXPECT_FALSE(bus_.HostWriteWord(0x9000, 0));
+}
+
+TEST_F(MemTest, FindDevice) {
+  EXPECT_EQ(bus_.FindDevice(0x1000), &ram_);
+  EXPECT_EQ(bus_.FindDevice(0x1FFF), &ram_);
+  EXPECT_EQ(bus_.FindDevice(0x4000), &prom_);
+  EXPECT_EQ(bus_.FindDevice(0x3000), nullptr);
+}
+
+TEST_F(MemTest, RamFillAndReadBytes) {
+  ram_.Fill(0xAA);
+  const std::vector<uint8_t> bytes = ram_.ReadBytes(0x10, 4);
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{0xAA, 0xAA, 0xAA, 0xAA}));
+}
+
+// A protection unit that denies everything, to verify check placement.
+class DenyAll : public ProtectionUnit {
+ public:
+  AccessResult Check(const AccessContext&, uint32_t, uint32_t) override {
+    ++checks;
+    return AccessResult::kProtFault;
+  }
+  int checks = 0;
+};
+
+TEST_F(MemTest, ProtectionUnitConsultedBeforeDevice) {
+  DenyAll deny;
+  bus_.SetProtectionUnit(&deny);
+  uint32_t value = 0;
+  EXPECT_EQ(bus_.Read(Ctx(), 0x1000, 4, &value), AccessResult::kProtFault);
+  EXPECT_EQ(bus_.Write(Ctx(AccessKind::kWrite), 0x1000, 4, 1),
+            AccessResult::kProtFault);
+  EXPECT_EQ(deny.checks, 2);
+  // Host accesses bypass protection.
+  EXPECT_TRUE(bus_.HostWriteWord(0x1000, 7));
+  EXPECT_EQ(deny.checks, 2);
+  // Engine-port accesses bypass protection as well.
+  AccessContext engine;
+  engine.engine = true;
+  engine.kind = AccessKind::kWrite;
+  EXPECT_EQ(bus_.Write(engine, 0x1000, 4, 9), AccessResult::kOk);
+  EXPECT_EQ(deny.checks, 2);
+}
+
+TEST(MemLayoutTest, RegionsDoNotOverlap) {
+  EXPECT_LE(kPromBase + kPromSize, kSramBase);
+  EXPECT_LE(kSramBase + kSramSize, kDramBase);
+  EXPECT_LT(kDramBase + kDramSize, kMmioBase);
+  EXPECT_GE(kTrustletTableBase, kSramBase);
+  EXPECT_LT(kTrustletTableBase, kSramBase + kSramSize);
+  // MMIO blocks are distinct, kMmioBlockSize-aligned windows.
+  const uint32_t blocks[] = {kSysCtlBase, kMpuMmioBase, kTimerBase,
+                             kUartBase,   kShaBase,     kTrngBase,
+                             kGpioBase,   kSancusMmioBase, kDmaBase};
+  for (size_t i = 0; i < std::size(blocks); ++i) {
+    EXPECT_EQ(blocks[i] % kMmioBlockSize, 0u) << i;
+    for (size_t j = i + 1; j < std::size(blocks); ++j) {
+      EXPECT_NE(blocks[i], blocks[j]) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trustlite

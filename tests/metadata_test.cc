@@ -1,0 +1,265 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Trustlet metadata serialization and Trustlet Table view tests.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/dev/sha_accel.h"
+#include "src/dev/timer.h"
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/mem/layout.h"
+#include "src/mpu/ea_mpu.h"
+#include "src/trustlet/guest_defs.h"
+#include "src/mem/bus.h"
+#include "src/mem/memory.h"
+#include "src/trustlet/builder.h"
+#include "src/trustlet/metadata.h"
+#include "src/trustlet/trustlet_table.h"
+
+namespace trustlite {
+namespace {
+
+TrustletMeta SampleMeta() {
+  TrustletMeta meta;
+  meta.id = MakeTrustletId("DEMO");
+  meta.measure = true;
+  meta.callable_any = false;
+  meta.callers = {MakeTrustletId("OS"), MakeTrustletId("PEER")};
+  meta.code_addr = 0x11000;
+  meta.data_addr = 0x12000;
+  meta.data_size = 0x400;
+  meta.stack_size = 0x100;
+  meta.sp_slot_patch_offset = 4;
+  meta.start_offset = 0x20;
+  meta.profile = 3;
+  meta.grants = {{0xF0003000, 0xF0004000, kGrantRead | kGrantWrite},
+                 {0x14000, 0x14040, kGrantRead}};
+  meta.code = {1, 2, 3, 4, 5, 6, 7, 8, 9};  // Odd length: padding exercised.
+  return meta;
+}
+
+TEST(MetadataTest, SerializeParseRoundTrip) {
+  const TrustletMeta meta = SampleMeta();
+  const std::vector<uint8_t> record = meta.Serialize();
+  EXPECT_EQ(record.size(), meta.SerializedSize());
+  EXPECT_EQ(record.size() % 4, 0u);
+
+  Result<TrustletMeta> parsed = TrustletMeta::Parse(record.data(), record.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, meta.id);
+  EXPECT_EQ(parsed->is_os, meta.is_os);
+  EXPECT_EQ(parsed->measure, meta.measure);
+  EXPECT_EQ(parsed->callable_any, meta.callable_any);
+  EXPECT_EQ(parsed->callers, meta.callers);
+  EXPECT_EQ(parsed->code_addr, meta.code_addr);
+  EXPECT_EQ(parsed->data_addr, meta.data_addr);
+  EXPECT_EQ(parsed->data_size, meta.data_size);
+  EXPECT_EQ(parsed->stack_size, meta.stack_size);
+  EXPECT_EQ(parsed->sp_slot_patch_offset, meta.sp_slot_patch_offset);
+  EXPECT_EQ(parsed->start_offset, meta.start_offset);
+  EXPECT_EQ(parsed->profile, meta.profile);
+  EXPECT_EQ(parsed->code, meta.code);
+  ASSERT_EQ(parsed->grants.size(), 2u);
+  EXPECT_EQ(parsed->grants[0].base, 0xF0003000u);
+  EXPECT_EQ(parsed->grants[1].perms, kGrantRead);
+}
+
+TEST(MetadataTest, FlagBitsRoundTrip) {
+  TrustletMeta meta = SampleMeta();
+  meta.is_os = true;
+  meta.is_signed = true;
+  meta.code_private = true;
+  meta.unprotected = true;
+  meta.callable_any = true;
+  const std::vector<uint8_t> record = meta.Serialize();
+  Result<TrustletMeta> parsed = TrustletMeta::Parse(record.data(), record.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_os);
+  EXPECT_TRUE(parsed->is_signed);
+  EXPECT_TRUE(parsed->code_private);
+  EXPECT_TRUE(parsed->unprotected);
+  EXPECT_TRUE(parsed->callable_any);
+}
+
+TEST(MetadataTest, ParseRejectsBadMagic) {
+  std::vector<uint8_t> record = SampleMeta().Serialize();
+  record[0] ^= 0xFF;
+  EXPECT_FALSE(TrustletMeta::Parse(record.data(), record.size()).ok());
+}
+
+TEST(MetadataTest, ParseRejectsTruncation) {
+  const std::vector<uint8_t> record = SampleMeta().Serialize();
+  EXPECT_FALSE(TrustletMeta::Parse(record.data(), 10).ok());
+  EXPECT_FALSE(TrustletMeta::Parse(record.data(), record.size() - 4).ok());
+}
+
+TEST(MetadataTest, ParseRejectsBadPatchOffset) {
+  TrustletMeta meta = SampleMeta();
+  meta.sp_slot_patch_offset = 1000;  // Past the 9-byte code.
+  const std::vector<uint8_t> record = meta.Serialize();
+  EXPECT_FALSE(TrustletMeta::Parse(record.data(), record.size()).ok());
+}
+
+TEST(MetadataTest, TrustletIdHelpers) {
+  EXPECT_EQ(TrustletIdName(MakeTrustletId("ATTN")), "ATTN");
+  EXPECT_EQ(TrustletIdName(MakeTrustletId("OS")), "OS");
+  EXPECT_EQ(MakeTrustletId("AB"), MakeTrustletId("AB"));
+  EXPECT_NE(MakeTrustletId("AB"), MakeTrustletId("BA"));
+}
+
+TEST(TrustletTableTest, WriteReadRows) {
+  Ram ram("ram", 0x10000, 0x10000);
+  Bus bus;
+  bus.Attach(&ram);
+  TrustletTableView table(&bus, 0x18000);
+  ASSERT_TRUE(table.WriteHeader(2));
+  TrustletTableRow row;
+  row.id = MakeTrustletId("A");
+  row.code_base = 0x11000;
+  row.code_end = 0x11100;
+  row.data_base = 0x12000;
+  row.data_end = 0x12100;
+  row.entry = 0x11000;
+  row.saved_sp = 0x120C0;
+  row.flags = 0;
+  row.measurement.fill(0x5A);
+  ASSERT_TRUE(table.WriteRow(0, row));
+  TrustletTableRow os_row;
+  os_row.id = MakeTrustletId("OS");
+  os_row.code_base = 0x13000;
+  os_row.code_end = 0x13400;
+  os_row.flags = kTtFlagOs;
+  ASSERT_TRUE(table.WriteRow(1, os_row));
+
+  EXPECT_EQ(table.ReadRowCount(), 2u);
+  const std::optional<TrustletTableRow> got = table.ReadRow(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, row.id);
+  EXPECT_EQ(got->saved_sp, 0x120C0u);
+  EXPECT_EQ(got->measurement, row.measurement);
+
+  EXPECT_EQ(table.FindById(MakeTrustletId("OS")), 1);
+  EXPECT_FALSE(table.FindById(MakeTrustletId("ZZ")).has_value());
+  EXPECT_EQ(table.FindByIp(0x11080), 0);
+  EXPECT_EQ(table.FindByIp(0x13000), 1);
+  EXPECT_FALSE(table.FindByIp(0x20000).has_value());
+
+  EXPECT_EQ(table.SavedSpAddress(0),
+            0x18000u + kTrustletTableHeaderSize + kTtRowSavedSp);
+  EXPECT_EQ(TrustletTableView::SizeFor(2),
+            kTrustletTableHeaderSize + 2 * kTrustletTableRowSize);
+}
+
+TEST(TrustletTableTest, BadMagicYieldsNoCount) {
+  Ram ram("ram", 0x10000, 0x1000);
+  Bus bus;
+  bus.Attach(&ram);
+  TrustletTableView table(&bus, 0x10000);
+  EXPECT_FALSE(table.ReadRowCount().has_value());
+}
+
+TEST(BuilderTest, ScaffoldAssemblesAndExposesSymbols) {
+  TrustletBuildSpec spec;
+  spec.name = "TST";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = R"(
+tl_main:
+    movi r1, 7
+spin:
+    jmp spin
+)";
+  Result<TrustletMeta> meta = BuildTrustlet(spec);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->id, MakeTrustletId("TST"));
+  EXPECT_EQ(meta->code_addr, 0x11000u);
+  EXPECT_GT(meta->code.size(), 0u);
+  // Entry vector is the first word; the TT-slot placeholder is the second.
+  EXPECT_EQ(meta->sp_slot_patch_offset, 4u);
+  EXPECT_GT(meta->start_offset, 8u);
+  EXPECT_LT(meta->start_offset, meta->code.size());
+}
+
+TEST(BuilderTest, DefaultCallHandlerAppended) {
+  TrustletBuildSpec spec;
+  spec.name = "T2";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.body = "tl_main:\n    jmp tl_main\n";
+  const std::string source = TrustletScaffoldSource(spec);
+  EXPECT_NE(source.find("tl_handle_call:"), std::string::npos);
+  ASSERT_TRUE(BuildTrustlet(spec).ok());
+}
+
+TEST(BuilderTest, MissingMainRejected) {
+  TrustletBuildSpec spec;
+  spec.name = "T3";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.body = "not_main:\n    halt\n";
+  Result<TrustletMeta> meta = BuildTrustlet(spec);
+  ASSERT_FALSE(meta.ok());
+  EXPECT_NE(meta.status().message().find("tl_main"), std::string::npos);
+}
+
+TEST(BuilderTest, ValidationErrors) {
+  TrustletBuildSpec spec;
+  spec.name = "";
+  EXPECT_FALSE(BuildTrustlet(spec).ok());
+  spec.name = "TOOLONG";
+  EXPECT_FALSE(BuildTrustlet(spec).ok());
+  spec.name = "OK";
+  spec.data_size = 16;
+  spec.stack_size = 64;  // Stack larger than data region.
+  EXPECT_FALSE(BuildTrustlet(spec).ok());
+}
+
+
+TEST(SystemImageTest, RejectsTwoOsRecords) {
+  SystemImage image;
+  TrustletMeta os1;
+  os1.is_os = true;
+  os1.code_addr = 0x20000;
+  TrustletMeta os2;
+  os2.is_os = true;
+  os2.code_addr = 0x24000;
+  image.Add(os1);
+  image.Add(os2);
+  Result<std::vector<uint8_t>> built = image.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("more than one OS"),
+            std::string::npos);
+}
+
+
+TEST(GuestDefsTest, PreludeMatchesCppConstants) {
+  // The generated .equ prelude must stay in lockstep with the C++ headers:
+  // assemble .word references for a sample of symbols and compare.
+  const std::string source = GuestDefs() + R"(
+    .word MMIO_TIMER, MMIO_UART, MMIO_SHA, MMIO_MPU
+    .word TIMER_PERIOD, TIMER_HANDLER, SHA_DIGEST_LE
+    .word TT_ROW_SAVED_SP, TT_ROW_MEASUREMENT, TT_ROW_SIZE
+    .word MPU_REGION_BANK, MPU_RULE_BANK
+)";
+  Result<AsmOutput> out = Assemble(source);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  uint32_t base = 0;
+  const std::vector<uint8_t> image = out->Flatten(&base);
+  ASSERT_EQ(image.size(), 12u * 4);
+  const uint32_t expected[] = {
+      kTimerBase,        kUartBase,         kShaBase,
+      kMpuMmioBase,      kTimerRegPeriod,   kTimerRegHandler,
+      kShaRegDigestLe,   kTtRowSavedSp,     kTtRowMeasurement,
+      kTrustletTableRowSize, kMpuRegionBank, kMpuRuleBank};
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(LoadLe32(&image[i * 4]), expected[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace trustlite

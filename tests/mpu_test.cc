@@ -1,0 +1,442 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Unit tests for the Execution-Aware MPU: subject resolution, rule
+// evaluation, entry-vector semantics, locking, fault latching, and the
+// conventional-MPU compatibility mode.
+
+#include "src/mpu/ea_mpu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/layout.h"
+#include "src/mem/memory.h"
+
+namespace trustlite {
+namespace {
+
+// Layout used throughout: two trustlet code regions, their data regions and
+// one shared peripheral-like region, all inside one RAM device.
+constexpr uint32_t kCodeA = 0x0001'0000;
+constexpr uint32_t kCodeAEnd = 0x0001'0100;
+constexpr uint32_t kDataA = 0x0001'1000;
+constexpr uint32_t kDataAEnd = 0x0001'1100;
+constexpr uint32_t kCodeB = 0x0001'2000;
+constexpr uint32_t kCodeBEnd = 0x0001'2100;
+constexpr uint32_t kDataB = 0x0001'3000;
+constexpr uint32_t kDataBEnd = 0x0001'3100;
+constexpr uint32_t kShared = 0x0001'4000;
+constexpr uint32_t kSharedEnd = 0x0001'4040;
+constexpr uint32_t kOpenRam = 0x0001'8000;  // Covered by no region.
+
+constexpr int kRegionCodeA = 0;
+constexpr int kRegionDataA = 1;
+constexpr int kRegionCodeB = 2;
+constexpr int kRegionDataB = 3;
+constexpr int kRegionShared = 4;
+
+class MpuTest : public ::testing::Test {
+ protected:
+  MpuTest()
+      : ram_("ram", kSramBase, kSramSize), mpu_(kMpuMmioBase, 16, 32) {
+    bus_.Attach(&ram_);
+    bus_.Attach(&mpu_);
+    bus_.SetProtectionUnit(&mpu_);
+    SetRegion(kRegionCodeA, kCodeA, kCodeAEnd, kMpuAttrEnable | kMpuAttrCode);
+    SetRegion(kRegionDataA, kDataA, kDataAEnd, kMpuAttrEnable);
+    SetRegion(kRegionCodeB, kCodeB, kCodeBEnd, kMpuAttrEnable | kMpuAttrCode);
+    SetRegion(kRegionDataB, kDataB, kDataBEnd, kMpuAttrEnable);
+    SetRegion(kRegionShared, kShared, kSharedEnd, kMpuAttrEnable);
+  }
+
+  void SetRegion(int index, uint32_t base, uint32_t end, uint32_t attr,
+                 uint32_t sp_slot = 0) {
+    const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                         static_cast<uint32_t>(index) * kMpuRegionStride;
+    ASSERT_TRUE(bus_.HostWriteWord(reg + 0, base));
+    ASSERT_TRUE(bus_.HostWriteWord(reg + 4, end));
+    ASSERT_TRUE(bus_.HostWriteWord(reg + 8, attr));
+    ASSERT_TRUE(bus_.HostWriteWord(reg + 12, sp_slot));
+  }
+
+  void SetRule(int index, uint32_t subject, uint32_t object, bool r, bool w,
+               bool x, uint32_t priv = kMpuPrivAny) {
+    ASSERT_TRUE(bus_.HostWriteWord(
+        kMpuMmioBase + kMpuRuleBank + static_cast<uint32_t>(index) * 4,
+        EncodeMpuRule(subject, object, r, w, x, priv)));
+  }
+
+  void Enable(uint32_t extra = 0) {
+    ASSERT_TRUE(
+        bus_.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable | extra));
+  }
+
+  AccessResult Access(uint32_t ip, AccessKind kind, uint32_t addr,
+                      uint32_t width = 4, bool privileged = false) {
+    AccessContext ctx;
+    ctx.curr_ip = ip;
+    ctx.kind = kind;
+    ctx.privileged = privileged;
+    return mpu_.Check(ctx, addr, width);
+  }
+
+  Bus bus_;
+  Ram ram_;
+  EaMpu mpu_;
+};
+
+TEST_F(MpuTest, DisabledUnitAllowsEverything) {
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA), AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kFetch, kCodeA + 8),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, UncoveredMemoryIsOpen) {
+  Enable();
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kOpenRam + 0x100),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kOpenRam + 0x100),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, CoveredMemoryNeedsARule) {
+  Enable();
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);
+  SetRule(0, kRegionCodeA, kRegionDataA, true, true, false);
+  // Subject A allowed; others still denied.
+  EXPECT_EQ(Access(kCodeA + 4, AccessKind::kRead, kDataA), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA + 4, AccessKind::kWrite, kDataA + 8),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB + 4, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, ExecutionAwareSubjectIsCurrIp) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionDataA, true, true, false);
+  SetRule(1, kRegionCodeB, kRegionDataB, true, true, false);
+  // A cannot touch B's data and vice versa — per-module isolation without
+  // privilege levels (the Fig. 3 matrix).
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataB),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataA), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kDataB), AccessResult::kOk);
+}
+
+TEST_F(MpuTest, ReadDoesNotImplyWrite) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionDataB, true, false, false);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataB), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kDataB),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, SelfExecuteRuleCoversWholeRegion) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionCodeA, true, false, true);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kFetch, kCodeA + 4), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA + 0x40, AccessKind::kFetch, kCodeA + 0x80),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, ForeignExecuteOnlyAtEntryVector) {
+  Enable();
+  SetRule(0, kRegionCodeB, kRegionCodeB, true, false, true);
+  SetRule(1, kMpuSubjectAny, kRegionCodeB, false, false, true);
+  // Anyone may fetch B's first word (the entry vector, Sec. 5.1) ...
+  EXPECT_EQ(Access(kCodeA, AccessKind::kFetch, kCodeB), AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kFetch, kCodeB), AccessResult::kOk);
+  // ... but not any other word.
+  EXPECT_EQ(Access(kCodeA, AccessKind::kFetch, kCodeB + 4),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kFetch, kCodeB + 0x20),
+            AccessResult::kProtFault);
+  // B itself runs its full region.
+  EXPECT_EQ(Access(kCodeB, AccessKind::kFetch, kCodeB + 0x20),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, SpecificCallerEntryRule) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionCodeB, false, false, true);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kFetch, kCodeB), AccessResult::kOk);
+  // Unlisted subjects cannot even enter.
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kFetch, kCodeB),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, SharedRegionMultipleSubjects) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionShared, true, true, false);
+  SetRule(1, kRegionCodeB, kRegionShared, true, false, false);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kShared), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kShared), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kWrite, kShared),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kShared),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, WordStraddlingRegionBoundary) {
+  Enable();
+  SetRule(0, kRegionCodeA, kRegionDataA, true, true, false);
+  // A word access at kDataAEnd - 2 covers two bytes inside the region and
+  // two bytes of open memory (the MPU check is exercised directly; the bus
+  // would reject the misalignment first). Inside bytes allowed + outside
+  // open -> OK for the rule holder, fault for everyone else.
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kDataAEnd - 2),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kWrite, kDataAEnd - 2),
+            AccessResult::kProtFault);
+  // Fully inside for completeness.
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kDataAEnd - 4),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, FaultLatchesFirstFault) {
+  Enable();
+  EXPECT_EQ(Access(kCodeA + 8, AccessKind::kWrite, kDataB + 4),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kWrite, kDataA),
+            AccessResult::kProtFault);
+  uint32_t fault_ip = 0;
+  uint32_t fault_addr = 0;
+  uint32_t fault_info = 0;
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultIp, &fault_ip));
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultAddr, &fault_addr));
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultInfo, &fault_info));
+  EXPECT_EQ(fault_ip, kCodeA + 8);      // First fault wins.
+  EXPECT_EQ(fault_addr, kDataB + 4);
+  EXPECT_EQ(fault_info & kMpuFaultValid, kMpuFaultValid);
+  // Acknowledge, then the next fault latches.
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRegFaultInfo, 0));
+  EXPECT_EQ(Access(kCodeB + 12, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultIp, &fault_ip));
+  EXPECT_EQ(fault_ip, kCodeB + 12);
+}
+
+TEST_F(MpuTest, GlobalLockFreezesConfiguration) {
+  Enable(kMpuCtrlLock);
+  // Region and rule writes are silently ignored.
+  const uint32_t region0 = kMpuMmioBase + kMpuRegionBank;
+  ASSERT_TRUE(bus_.HostWriteWord(region0, 0xDEAD0000));
+  uint32_t value = 0;
+  ASSERT_TRUE(bus_.HostReadWord(region0, &value));
+  EXPECT_EQ(value, kCodeA);
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRuleBank, 0xFFFFFFFF));
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRuleBank, &value));
+  EXPECT_EQ(value, 0u);
+  // CTRL itself is frozen too (cannot unlock).
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, 0));
+  EXPECT_TRUE(mpu_.locked());
+  EXPECT_TRUE(mpu_.enabled());
+  // FAULT_INFO stays writable (acknowledge path).
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA),
+            AccessResult::kProtFault);
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultInfo, &value));
+  EXPECT_NE(value & kMpuFaultValid, 0u);
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRegFaultInfo, 0));
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegFaultInfo, &value));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST_F(MpuTest, PerRegionLock) {
+  const uint32_t region0 = kMpuMmioBase + kMpuRegionBank;
+  ASSERT_TRUE(bus_.HostWriteWord(
+      region0 + 8, kMpuAttrEnable | kMpuAttrCode | kMpuAttrLock));
+  ASSERT_TRUE(bus_.HostWriteWord(region0, 0x12345678));
+  uint32_t value = 0;
+  ASSERT_TRUE(bus_.HostReadWord(region0, &value));
+  EXPECT_EQ(value, kCodeA);  // Unchanged.
+  // Other regions remain programmable.
+  const uint32_t region5 = region0 + 5 * kMpuRegionStride;
+  ASSERT_TRUE(bus_.HostWriteWord(region5, 0x5000));
+  ASSERT_TRUE(bus_.HostReadWord(region5, &value));
+  EXPECT_EQ(value, 0x5000u);
+}
+
+TEST_F(MpuTest, ResetClearsConfiguration) {
+  Enable(kMpuCtrlLock);
+  mpu_.Reset();
+  EXPECT_FALSE(mpu_.enabled());
+  EXPECT_FALSE(mpu_.locked());
+  uint32_t value = 0xFFFFFFFF;
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegionBank, &value));
+  EXPECT_EQ(value, 0u);
+  // Reprogrammable after reset (field update after reboot, Sec. 3.5).
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRegionBank, 0x7777));
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegionBank, &value));
+  EXPECT_EQ(value, 0x7777u);
+}
+
+TEST_F(MpuTest, FindCodeRegion) {
+  EXPECT_EQ(mpu_.FindCodeRegion(kCodeA + 4), 0);
+  EXPECT_EQ(mpu_.FindCodeRegion(kCodeB + 0x80), 2);
+  EXPECT_FALSE(mpu_.FindCodeRegion(kDataA).has_value());  // Not a code region.
+  EXPECT_FALSE(mpu_.FindCodeRegion(kOpenRam).has_value());
+}
+
+TEST_F(MpuTest, CompatModePrivilegeFilter) {
+  Enable(kMpuCtrlCompatMode);
+  SetRule(0, kMpuSubjectAny, kRegionDataA, true, true, false,
+          kMpuPrivSupervisorOnly);
+  SetRule(1, kMpuSubjectAny, kRegionDataB, true, false, false,
+          kMpuPrivUserOnly);
+  // Supervisor-only region.
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA, 4, true),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA, 4, false),
+            AccessResult::kProtFault);
+  // User-only region (unusual but expressible).
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kDataB, 4, false),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kDataB, 4, true),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, CompatModeIsNotExecutionAware) {
+  Enable(kMpuCtrlCompatMode);
+  SetRule(0, kMpuSubjectAny, kRegionDataA, true, true, false);
+  // In compat mode the subject region is irrelevant: anyone (any privilege)
+  // passes — demonstrating why a regular MPU cannot isolate modules from a
+  // compromised OS (Sec. 3.2).
+  EXPECT_EQ(Access(kCodeB, AccessKind::kWrite, kDataA, 4, true),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA, 4, true),
+            AccessResult::kOk);
+}
+
+TEST_F(MpuTest, StatsCountChecksAndFaults) {
+  Enable();
+  mpu_.ResetStats();
+  Access(kOpenRam, AccessKind::kRead, kOpenRam);
+  Access(kOpenRam, AccessKind::kRead, kDataA);
+  EXPECT_EQ(mpu_.stats().checks, 2u);
+  EXPECT_EQ(mpu_.stats().faults, 1u);
+}
+
+TEST_F(MpuTest, RegisterFileReadbackAndCounts) {
+  uint32_t value = 0;
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegRegionCount, &value));
+  EXPECT_EQ(value, 16u);
+  ASSERT_TRUE(bus_.HostReadWord(kMpuMmioBase + kMpuRegRuleCount, &value));
+  EXPECT_EQ(value, 32u);
+}
+
+TEST_F(MpuTest, DisabledRuleIgnored) {
+  Enable();
+  const uint32_t rule =
+      EncodeMpuRule(kRegionCodeA, kRegionDataA, true, true, false) &
+      ~kMpuRuleEnable;
+  ASSERT_TRUE(bus_.HostWriteWord(kMpuMmioBase + kMpuRuleBank, rule));
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, DisabledRegionDoesNotCoverOrActAsSubject) {
+  Enable();
+  // Disable region 1 (data A): its addresses become open memory.
+  const uint32_t attr_reg =
+      kMpuMmioBase + kMpuRegionBank + kRegionDataA * kMpuRegionStride + 8;
+  ASSERT_TRUE(bus_.HostWriteWord(attr_reg, 0));
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, kDataA), AccessResult::kOk);
+  // Disable code region A: code running there is an unprotected subject.
+  const uint32_t code_attr =
+      kMpuMmioBase + kMpuRegionBank + kRegionCodeA * kMpuRegionStride + 8;
+  ASSERT_TRUE(bus_.HostWriteWord(code_attr, 0));
+  SetRule(0, kRegionCodeB, kRegionDataB, true, true, false);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataB),
+            AccessResult::kProtFault);  // No longer subject B's peer.
+  EXPECT_FALSE(mpu_.FindCodeRegion(kCodeA).has_value());
+}
+
+TEST_F(MpuTest, EmptyRegionNeverMatches) {
+  Enable();
+  // Region with end <= base covers nothing.
+  SetRegion(6, 0x20000, 0x20000, kMpuAttrEnable);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, 0x20000), AccessResult::kOk);
+}
+
+TEST_F(MpuTest, MultipleRulesFirstGrantWins) {
+  Enable();
+  // Read-only and read-write rules on the same (subject, object): access is
+  // granted if ANY enabled rule allows it, regardless of order.
+  SetRule(0, kRegionCodeA, kRegionDataA, true, false, false);
+  SetRule(1, kRegionCodeA, kRegionDataA, false, true, false);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kDataA), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kDataA), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kFetch, kDataA),
+            AccessResult::kProtFault);
+}
+
+TEST_F(MpuTest, OverlappingObjectRegionsAnyGrantSuffices) {
+  Enable();
+  // A second region overlapping data A, granted to subject B: B may access
+  // the overlap through its own region/rule even though region 1 denies it.
+  SetRegion(7, kDataA + 0x40, kDataA + 0x80, kMpuAttrEnable);
+  SetRule(0, kRegionCodeA, kRegionDataA, true, true, false);
+  SetRule(1, kRegionCodeB, 7, true, false, false);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kDataA + 0x40),
+            AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kDataA),
+            AccessResult::kProtFault);  // Outside the overlap window.
+  EXPECT_EQ(Access(kCodeB, AccessKind::kWrite, kDataA + 0x40),
+            AccessResult::kProtFault);  // Window is read-only for B.
+}
+
+TEST_F(MpuTest, SubjectAnyRuleAlsoCoversProtectedSubjects) {
+  Enable();
+  SetRule(0, kMpuSubjectAny, kRegionShared, true, false, false);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kRead, kShared), AccessResult::kOk);
+  EXPECT_EQ(Access(kCodeB, AccessKind::kRead, kShared), AccessResult::kOk);
+  EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, kShared), AccessResult::kOk);
+}
+
+TEST_F(MpuTest, MmioRegisterFileRejectsByteAccess) {
+  uint32_t value = 0;
+  EXPECT_EQ(mpu_.Read(kMpuRegCtrl, 1, &value), AccessResult::kBusError);
+  EXPECT_EQ(mpu_.Write(kMpuRegCtrl, 1, 1), AccessResult::kBusError);
+}
+
+TEST_F(MpuTest, OutOfRangeRegisterOffsetsAreBusErrors) {
+  uint32_t value = 0;
+  EXPECT_EQ(mpu_.Read(0x18, 4, &value), AccessResult::kBusError);
+  EXPECT_EQ(mpu_.Read(kMpuRegionBank + 16 * kMpuRegionStride, 4, &value),
+            AccessResult::kBusError);
+  EXPECT_EQ(mpu_.Write(kMpuRuleBank + 32 * 4, 4, 0), AccessResult::kBusError);
+}
+
+TEST_F(MpuTest, AdjacentPlacementSharesOneSubjectRegion) {
+  // Paper Sec. 4.2.1: "Ideally, the program code of the desired
+  // participants should be in adjacent memory regions. In this way, only
+  // one code and data region register is needed to provide all authorized
+  // tasks with access" — a single code region spanning two adjacent
+  // trustlets acts as a combined subject for the shared window.
+  Enable();
+  // Region 8 spans two adjacent code areas (e.g. 0x16000-0x16100 and
+  // 0x16100-0x16200 packed back to back by the loader).
+  SetRegion(8, 0x16000, 0x16200, kMpuAttrEnable | kMpuAttrCode);
+  SetRule(0, 8, kRegionShared, true, true, false);  // ONE rule for both.
+  EXPECT_EQ(Access(0x16040, AccessKind::kWrite, kShared), AccessResult::kOk);
+  EXPECT_EQ(Access(0x16140, AccessKind::kWrite, kShared), AccessResult::kOk);
+  // Outside the combined span: still denied.
+  EXPECT_EQ(Access(0x16240, AccessKind::kWrite, kShared),
+            AccessResult::kProtFault);
+  EXPECT_EQ(Access(kCodeA, AccessKind::kWrite, kShared),
+            AccessResult::kProtFault);
+}
+
+TEST(MpuFaultTreeTest, DepthIsLogarithmic) {
+  EXPECT_EQ(EaMpu::FaultTreeDepth(1), 0);
+  EXPECT_EQ(EaMpu::FaultTreeDepth(2), 1);
+  EXPECT_EQ(EaMpu::FaultTreeDepth(8), 3);
+  EXPECT_EQ(EaMpu::FaultTreeDepth(9), 4);
+  EXPECT_EQ(EaMpu::FaultTreeDepth(32), 5);
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,357 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// nanOS tests: boot and trustlet discovery, preemptive round-robin
+// scheduling of trustlets, cooperative yield, OS IPC services, fault
+// policy, and software-managed app tasks alongside hardware-managed
+// trustlets.
+
+#include "src/os/nanos.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+// Open-memory observation cells (uncovered by MPU regions).
+constexpr uint32_t kCountA = 0x0003'0000;
+constexpr uint32_t kCountB = 0x0003'0004;
+
+// A trustlet that bumps a counter cell forever (preemption target).
+TrustletBuildSpec CounterSpec(const std::string& name, uint32_t code,
+                              uint32_t data, uint32_t cell) {
+  TrustletBuildSpec spec;
+  spec.name = name;
+  spec.code_addr = code;
+  spec.data_addr = data;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = "tl_main:\n    li r4, 0x" + [&] {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", cell);
+    return std::string(buf);
+  }() + "\n" + R"(
+    movi r1, 0
+tl_loop:
+    addi r1, r1, 1
+    stw  r1, [r4]
+    jmp  tl_loop
+)";
+  return spec;
+}
+
+// Same, but yields via SWI 0 after every increment (cooperative).
+TrustletBuildSpec YieldingCounterSpec(const std::string& name, uint32_t code,
+                                      uint32_t data, uint32_t cell) {
+  TrustletBuildSpec spec = CounterSpec(name, code, data, cell);
+  const std::string marker = "jmp  tl_loop";
+  const size_t pos = spec.body.find(marker);
+  spec.body.replace(pos, marker.size(), "swi 0\n    jmp  tl_loop");
+  return spec;
+}
+
+class NanosTest : public ::testing::Test {
+ protected:
+  void Install(SystemImage& image) {
+    ASSERT_TRUE(platform_.InstallImage(image).ok());
+    Result<LoadReport> report = platform_.BootAndLaunch();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    report_ = *report;
+  }
+
+  uint32_t Word(uint32_t addr) {
+    uint32_t value = 0;
+    EXPECT_TRUE(platform_.bus().HostReadWord(addr, &value));
+    return value;
+  }
+
+  uint32_t OsDataWord(uint32_t offset) {
+    const LoadedTrustlet* os = report_.FindById(report_.os_id);
+    EXPECT_NE(os, nullptr);
+    return Word(os->meta.data_addr + offset);
+  }
+
+  Platform platform_;
+  LoadReport report_;
+};
+
+TEST(NanosBuildTest, SourceAssembles) {
+  NanosConfig config;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok()) << os.status().ToString();
+  EXPECT_TRUE(os->is_os);
+  EXPECT_GT(os->code.size(), 200u);
+  EXPECT_EQ(os->grants.size(), 2u);  // timer + uart by default
+  const std::string source = NanosSource(config);
+  EXPECT_NE(source.find("os_schedule:"), std::string::npos);
+  EXPECT_NE(source.find("os_fault_isr:"), std::string::npos);
+}
+
+TEST_F(NanosTest, BootWithNoTrustletsIdles) {
+  SystemImage image;
+  NanosConfig config;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+  platform_.Run(20000);
+  EXPECT_FALSE(platform_.cpu().halted());  // Idle loop, not a crash.
+  EXPECT_FALSE(platform_.cpu().trap().valid);
+  EXPECT_EQ(OsDataWord(kOsDataNumTasks), 0u);
+}
+
+TEST_F(NanosTest, PreemptiveRoundRobinRunsAllTrustlets) {
+  SystemImage image;
+  Result<TrustletMeta> a = BuildTrustlet(CounterSpec("A", 0x11000, 0x12000, kCountA));
+  Result<TrustletMeta> b = BuildTrustlet(CounterSpec("B", 0x13000, 0x14000, kCountB));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  image.Add(*a);
+  image.Add(*b);
+  NanosConfig config;
+  config.timer_period = 500;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(100000);
+  EXPECT_FALSE(platform_.cpu().halted());
+  EXPECT_EQ(OsDataWord(kOsDataNumTasks), 2u);
+  // Both counters advanced well past a single time slice, so both trustlets
+  // ran repeatedly under hardware-preserved state.
+  EXPECT_GT(Word(kCountA), 100u);
+  EXPECT_GT(Word(kCountB), 100u);
+  EXPECT_GT(platform_.cpu().stats().trustlet_interrupts, 4u);
+}
+
+TEST_F(NanosTest, CooperativeYieldWithoutTimer) {
+  SystemImage image;
+  Result<TrustletMeta> a =
+      BuildTrustlet(YieldingCounterSpec("A", 0x11000, 0x12000, kCountA));
+  Result<TrustletMeta> b =
+      BuildTrustlet(YieldingCounterSpec("B", 0x13000, 0x14000, kCountB));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  image.Add(*a);
+  image.Add(*b);
+  NanosConfig config;
+  config.enable_timer = false;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(60000);
+  EXPECT_FALSE(platform_.cpu().halted());
+  EXPECT_GT(Word(kCountA), 10u);
+  EXPECT_GT(Word(kCountB), 10u);
+  // Cooperative interleaving is fair: counts differ by at most 1.
+  const uint32_t ca = Word(kCountA);
+  const uint32_t cb = Word(kCountB);
+  EXPECT_LE(ca > cb ? ca - cb : cb - ca, 1u);
+}
+
+TEST_F(NanosTest, PutcServiceViaSynchronousCall) {
+  // The trustlet prints "HI" through the OS putc service using the
+  // call/ACK continuation pattern of Fig. 6: it stores its continuation,
+  // calls the OS entry, and the ACK re-enters via its own entry vector.
+  TrustletBuildSpec spec;
+  spec.name = "PRT";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = R"(
+.equ CONT_SLOT, TL_DATA + 0
+.equ STATE_SLOT, TL_DATA + 4
+tl_main:
+    ; state 0: print 'H'
+    la   r4, STATE_SLOT
+    movi r5, 1
+    stw  r5, [r4]
+    la   r4, CONT_SLOT
+    la   r5, after_h
+    stw  r5, [r4]
+    movi r0, 4             ; putc
+    movi r1, 'H'
+    la   r2, tl_entry      ; ACK continuation target (our entry vector)
+    jmp  os_entry_addr_jump
+after_h:
+    sti                    ; service masked interrupts; re-enable
+    la   r4, CONT_SLOT
+    la   r5, after_i
+    stw  r5, [r4]
+    movi r0, 4
+    movi r1, 'I'
+    la   r2, tl_entry
+    jmp  os_entry_addr_jump
+after_i:
+    sti
+done:
+    swi 0
+    jmp done
+
+; Jump to the OS entry vector (address patched via .equ below).
+os_entry_addr_jump:
+    li   r6, 0x20000       ; nanOS default code address = its entry vector
+    jr   r6
+
+tl_handle_call:
+    ; Only ACK (type 3) is expected: resume at the stored continuation.
+    la   r15, CONT_SLOT
+    ldw  r15, [r15]
+    jr   r15
+)";
+  SystemImage image;
+  Result<TrustletMeta> tl = BuildTrustlet(spec);
+  ASSERT_TRUE(tl.ok()) << tl.status().ToString();
+  image.Add(*tl);
+  NanosConfig config;
+  config.timer_period = 3000;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(60000);
+  EXPECT_FALSE(platform_.cpu().trap().valid) << platform_.cpu().trap().reason;
+  EXPECT_EQ(platform_.uart().output(), "HI");
+}
+
+TEST_F(NanosTest, EnqueueServiceFillsOsQueue) {
+  TrustletBuildSpec spec;
+  spec.name = "ENQ";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = R"(
+.equ CONT_SLOT, TL_DATA + 0
+tl_main:
+    la   r4, CONT_SLOT
+    la   r5, after_send
+    stw  r5, [r4]
+    movi r0, 1             ; enqueue
+    li   r1, 0x1234
+    la   r2, tl_entry
+    li   r6, 0x20000
+    jr   r6
+after_send:
+    sti
+done:
+    swi 0
+    jmp done
+tl_handle_call:
+    la   r15, CONT_SLOT
+    ldw  r15, [r15]
+    jr   r15
+)";
+  SystemImage image;
+  Result<TrustletMeta> tl = BuildTrustlet(spec);
+  ASSERT_TRUE(tl.ok()) << tl.status().ToString();
+  image.Add(*tl);
+  NanosConfig config;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(60000);
+  EXPECT_EQ(OsDataWord(kOsDataQueueCount), 1u);
+  EXPECT_EQ(OsDataWord(kOsDataQueue), 0x1234u);
+}
+
+TEST_F(NanosTest, FaultingTrustletIsKilledOthersContinue) {
+  // BAD writes into the OS data region -> MPU fault -> nanOS kills it;
+  // GOOD keeps running.
+  TrustletBuildSpec bad;
+  bad.name = "BAD";
+  bad.code_addr = 0x15000;
+  bad.data_addr = 0x16000;
+  bad.data_size = 0x400;
+  bad.stack_size = 0x100;
+  bad.body = R"(
+tl_main:
+    li  r4, 0x24000        ; nanOS data region
+    movi r5, 0x666
+    stw r5, [r4 + 64]      ; MPU fault: no rule for us
+spin:
+    jmp spin
+)";
+  SystemImage image;
+  Result<TrustletMeta> good =
+      BuildTrustlet(CounterSpec("GOOD", 0x11000, 0x12000, kCountA));
+  Result<TrustletMeta> badmeta = BuildTrustlet(bad);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(badmeta.ok());
+  image.Add(*good);
+  image.Add(*badmeta);
+  NanosConfig config;
+  config.timer_period = 500;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(100000);
+  EXPECT_FALSE(platform_.cpu().halted()) << platform_.cpu().trap().reason;
+  // BAD was removed from the schedule...
+  EXPECT_EQ(OsDataWord(kOsDataNumTasks), 1u);
+  // ... its write never landed ...
+  const LoadedTrustlet* osl = report_.FindById(report_.os_id);
+  EXPECT_EQ(Word(osl->meta.data_addr + 64), 0u);
+  // ... and GOOD kept making progress.
+  EXPECT_GT(Word(kCountA), 100u);
+}
+
+TEST_F(NanosTest, AppTaskContextSavedAndResumedBySoftware) {
+  // An untrusted app in open DRAM counts monotonically; nanOS saves and
+  // restores its context in software across preemptions.
+  Result<AsmOutput> app = Assemble(R"(
+.org 0x100000
+app_start:
+    li  r4, 0x30004
+    movi r1, 0
+    movi r2, 0xBEE
+app_loop:
+    addi r1, r1, 1
+    stw  r1, [r4]
+    ; Integrity check: r2 must stay 0xBEE across preemptions.
+    movi r5, 0xBEE
+    beq  r2, r5, app_ok
+    movi r6, 1
+    li   r7, 0x30008
+    stw  r6, [r7]          ; corruption flag
+app_ok:
+    jmp  app_loop
+)");
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  uint32_t base = 0;
+  SystemImage image;
+  image.AddProgram(0x100000, app->Flatten(&base));
+  Result<TrustletMeta> tl =
+      BuildTrustlet(CounterSpec("A", 0x11000, 0x12000, kCountA));
+  ASSERT_TRUE(tl.ok());
+  image.Add(*tl);
+  NanosConfig config;
+  config.timer_period = 400;
+  config.app_entry = 0x100000;
+  config.app_sp = 0x180000;
+  Result<TrustletMeta> os = BuildNanos(config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  Install(image);
+
+  platform_.Run(150000);
+  EXPECT_FALSE(platform_.cpu().halted()) << platform_.cpu().trap().reason;
+  EXPECT_GT(Word(kCountA), 50u);       // Trustlet ran.
+  EXPECT_GT(Word(kCountB), 50u);       // App ran (cell 0x30004 == kCountB).
+  EXPECT_EQ(Word(0x30008), 0u);        // App registers survived preemption.
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,224 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Nested interrupts (paper Sec. 3.4.2: "Our current analysis shows that the
+// approach also works with nested interrupts, where an ISR may be
+// interrupted by another ISR."). A trustlet is preempted (secure path), the
+// first ISR re-enables interrupts and is itself preempted (regular path on
+// the current OS stack); afterwards the trustlet's saved state is intact
+// and it resumes correctly.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/platform/platform.h"
+
+namespace trustlite {
+namespace {
+
+constexpr uint32_t kTlCode = 0x11000;
+constexpr uint32_t kTlCodeEnd = 0x11100;
+constexpr uint32_t kTlData = 0x12000;
+constexpr uint32_t kTlDataEnd = 0x12100;
+constexpr uint32_t kOsCode = 0x13000;
+constexpr uint32_t kOsCodeEnd = 0x13400;
+constexpr uint32_t kOsStackTop = 0x14000;
+constexpr uint32_t kTlSpSlot = 0x15000;
+constexpr uint32_t kOsSpSlot = 0x15004;
+constexpr uint32_t kObs = 0x16000;
+
+class NestedInterruptTest : public ::testing::Test {
+ protected:
+  NestedInterruptTest() : platform_(MakeConfig()) {
+    Bus& bus = platform_.bus();
+    auto region = [&](int i, uint32_t base, uint32_t end, uint32_t attr,
+                      uint32_t slot) {
+      const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                           static_cast<uint32_t>(i) * kMpuRegionStride;
+      bus.HostWriteWord(reg + 0, base);
+      bus.HostWriteWord(reg + 4, end);
+      bus.HostWriteWord(reg + 8, attr);
+      bus.HostWriteWord(reg + 12, slot);
+    };
+    auto rule = [&](int i, uint32_t subject, uint32_t object, bool r, bool w,
+                    bool x) {
+      bus.HostWriteWord(
+          kMpuMmioBase + kMpuRuleBank + static_cast<uint32_t>(i) * 4,
+          EncodeMpuRule(subject, object, r, w, x));
+    };
+    region(0, kTlCode, kTlCodeEnd, kMpuAttrEnable | kMpuAttrCode, kTlSpSlot);
+    region(1, kTlData, kTlDataEnd, kMpuAttrEnable, 0);
+    region(2, kOsCode, kOsCodeEnd, kMpuAttrEnable | kMpuAttrCode | kMpuAttrOs,
+           kOsSpSlot);
+    rule(0, 0, 0, true, false, true);
+    rule(1, 0, 1, true, true, false);
+    rule(2, kMpuSubjectAny, 0, false, false, true);
+    rule(3, 2, 2, true, false, true);
+    bus.HostWriteWord(kOsSpSlot, kOsStackTop);
+    bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+  }
+
+  static PlatformConfig MakeConfig() {
+    PlatformConfig config;
+    config.secure_exceptions = true;
+    return config;
+  }
+
+  void LoadGuest(const std::string& source) {
+    Result<AsmOutput> out = Assemble(source);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    for (const AsmChunk& chunk : out->chunks) {
+      ASSERT_TRUE(platform_.bus().HostWriteBytes(chunk.base, chunk.bytes));
+    }
+  }
+
+  uint32_t Word(uint32_t addr) {
+    uint32_t value = 0;
+    EXPECT_TRUE(platform_.bus().HostReadWord(addr, &value));
+    return value;
+  }
+
+  Platform platform_;
+};
+
+TEST_F(NestedInterruptTest, IsrInterruptedByIsrPreservesTrustletState) {
+  // Trustlet: marker registers + counter loop, with a continue() path.
+  LoadGuest(R"(
+.org 0x11000
+entry:
+    jmp  dispatch
+dispatch:
+    movi r15, 0
+    beq  r0, r15, do_continue
+tl_main:
+    li   sp, 0x12100
+    li   r2, 0xAAAA
+    movi r1, 0
+loop:
+    addi r1, r1, 1
+    li   r4, 0x16100
+    stw  r1, [r4]
+    jmp  loop
+do_continue:
+    li   r15, 0x15000
+    ldw  sp,  [r15]
+    ldw  r0,  [sp + 0]
+    ldw  r1,  [sp + 4]
+    ldw  r2,  [sp + 8]
+    ldw  r3,  [sp + 12]
+    ldw  r4,  [sp + 16]
+    ldw  r5,  [sp + 20]
+    ldw  r6,  [sp + 24]
+    ldw  r7,  [sp + 28]
+    ldw  r8,  [sp + 32]
+    ldw  r9,  [sp + 36]
+    ldw  r10, [sp + 40]
+    ldw  r11, [sp + 44]
+    ldw  r12, [sp + 48]
+    ldw  lr,  [sp + 52]
+    ldw  r15, [sp + 56]
+    addi sp,  sp, 60
+    iret
+)");
+  // OS: first ISR re-arms the timer, enables interrupts and spins inside
+  // the ISR until the nested interrupt fires; the nested ISR records state
+  // and continues the trustlet; a third interrupt ends the test.
+  LoadGuest(R"(
+.org 0x13000
+os_start:
+    li  r1, 0xF0002000
+    movi r2, 100
+    stw r2, [r1 + 4]
+    la  r2, isr1
+    stw r2, [r1 + 12]
+    movi r2, 3
+    stw r2, [r1 + 0]
+    sti
+    movi r0, 1
+    li  r3, 0x11000
+    jr  r3                   ; enter the trustlet
+
+isr1:
+    ; depth counter
+    li  r4, 0x16000
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]
+    ; record the error code of this entry at obs+4/+8 (by depth)
+    ldw r6, [sp + 0]
+    shli r7, r5, 2
+    add  r7, r7, r4
+    stw  r6, [r7]
+    movi r6, 3
+    beq  r5, r6, isr_finish  ; third interrupt: stop
+    movi r6, 2
+    beq  r5, r6, isr_after_nested
+    ; depth 1: re-arm the timer and allow nesting
+    li  r1, 0xF0002000
+    movi r2, 60
+    stw r2, [r1 + 4]
+    la  r2, isr1
+    stw r2, [r1 + 12]
+    movi r2, 3
+    stw r2, [r1 + 0]
+    sti
+wait_nested:
+    li  r4, 0x16000
+    ldw r5, [r4]
+    movi r6, 2
+    bne r5, r6, wait_nested  ; spin until the nested ISR ran
+    ; after nesting: resume the trustlet
+    cli
+    li  r1, 0xF0002000
+    movi r2, 300
+    stw r2, [r1 + 4]
+    movi r2, 3
+    stw r2, [r1 + 0]
+    movi r0, 0
+    li  r3, 0x11000
+    jr  r3
+
+isr_after_nested:
+    ; nested ISR (depth 2): record the interrupted IP (must be inside the
+    ; outer ISR, i.e. in OS code) then return to it via iret
+    ldw r6, [sp + 4]         ; resume ip of the outer ISR
+    li  r7, 0x16020
+    stw r6, [r7]
+    addi sp, sp, 4           ; pop error code
+    iret
+
+isr_finish:
+    ; third interrupt: record the trustlet counter then halt
+    li  r7, 0x16100
+    ldw r7, [r7]
+    li  r8, 0x16030
+    stw r7, [r8]
+    halt
+)");
+
+  platform_.cpu().Reset(kOsCode);
+  platform_.cpu().set_reg(kRegSp, kOsStackTop);
+  platform_.Run(200000);
+  ASSERT_TRUE(platform_.cpu().halted());
+  ASSERT_FALSE(platform_.cpu().trap().valid) << platform_.cpu().trap().reason;
+
+  // Three interrupt entries happened.
+  EXPECT_EQ(Word(kObs), 3u);
+  // Depth-1 entry: trustlet was interrupted (secure path, error bit set).
+  EXPECT_EQ(Word(kObs + 4), kExcIrqBase | kErrorFromTrustlet);
+  // Depth-2 (nested) entry: the OS ISR itself was interrupted -> regular
+  // path, no trustlet bit.
+  EXPECT_EQ(Word(kObs + 8), kExcIrqBase);
+  // The nested ISR saw a resume IP inside the outer ISR (OS code region).
+  const uint32_t nested_resume = Word(kObs + 0x20);
+  EXPECT_GE(nested_resume, kOsCode);
+  EXPECT_LT(nested_resume, kOsCodeEnd);
+  // Depth-3 entry: the *resumed trustlet* was interrupted again -> its
+  // state survived the nested episode and kept counting.
+  EXPECT_EQ(Word(kObs + 12), kExcIrqBase | kErrorFromTrustlet);
+  EXPECT_GT(Word(kObs + 0x30), 0u);  // Counter advanced after resumption.
+  EXPECT_EQ(platform_.cpu().stats().trustlet_interrupts, 2u);
+  EXPECT_EQ(platform_.cpu().stats().interrupts, 3u);
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,204 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Scaling and stress tests: many trustlets under round-robin, OS queue
+// saturation, trusted IPC under aggressive preemption, and exact MPU
+// region-budget boundaries.
+
+#include <gtest/gtest.h>
+
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/services/trusted_ipc.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+TrustletBuildSpec CounterSpec(int index) {
+  TrustletBuildSpec spec;
+  spec.name = "T" + std::to_string(index);
+  spec.code_addr = 0x11000 + static_cast<uint32_t>(index) * 0x800;
+  spec.data_addr = 0x11400 + static_cast<uint32_t>(index) * 0x800;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  char body[256];
+  std::snprintf(body, sizeof(body), R"(
+tl_main:
+    li   r4, 0x%x
+    movi r1, 0
+loop:
+    addi r1, r1, 1
+    stw  r1, [r4]
+    jmp  loop
+)",
+                0x38000 + index * 4);
+  spec.body = body;
+  return spec;
+}
+
+TEST(ScaleTest, TwelveTrustletsAllMakeProgress) {
+  PlatformConfig config;
+  config.mpu_regions = 64;
+  config.mpu_rules = 160;
+  Platform platform(config);
+  SystemImage image;
+  constexpr int kCount = 12;
+  for (int i = 0; i < kCount; ++i) {
+    Result<TrustletMeta> tl = BuildTrustlet(CounterSpec(i));
+    ASSERT_TRUE(tl.ok()) << tl.status().ToString();
+    image.Add(*tl);
+  }
+  NanosConfig os_config;
+  os_config.code_addr = 0x20000;
+  os_config.timer_period = 400;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  ASSERT_TRUE(platform.InstallImage(image).ok());
+  Result<LoadReport> report = platform.BootAndLaunch();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->regions_used, 2 * (kCount + 1) + 2 + 3);
+
+  platform.Run(600000);
+  ASSERT_FALSE(platform.cpu().halted()) << platform.cpu().trap().reason;
+  for (int i = 0; i < kCount; ++i) {
+    uint32_t count = 0;
+    ASSERT_TRUE(platform.bus().HostReadWord(0x38000 + i * 4, &count));
+    EXPECT_GT(count, 100u) << "trustlet " << i << " starved";
+  }
+  EXPECT_GT(platform.cpu().stats().trustlet_interrupts, 100u);
+}
+
+TEST(ScaleTest, OsQueueSaturatesAtCapacity) {
+  // A trustlet enqueues 20 messages; the 16-slot OS queue keeps the first
+  // 16 and drops the rest without corruption.
+  TrustletBuildSpec spec;
+  spec.name = "FLD";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = R"(
+.equ CONT_SLOT, TL_DATA + 0
+.equ COUNT_SLOT, TL_DATA + 4
+tl_main:
+    la   r4, COUNT_SLOT
+    ldw  r5, [r4]
+    movi r6, 20
+    bgeu r5, r6, flood_done
+    addi r5, r5, 1
+    stw  r5, [r4]
+    la   r4, CONT_SLOT
+    la   r6, tl_main
+    stw  r6, [r4]
+    movi r0, 1             ; enqueue
+    li   r1, 0x1000
+    add  r1, r1, r5        ; payload 0x1001..0x1014
+    la   r2, tl_entry
+    li   r6, 0x20000
+    jr   r6
+flood_done:
+    sti
+park:
+    swi 0
+    jmp park
+tl_handle_call:
+    sti
+    la   r15, CONT_SLOT
+    ldw  r15, [r15]
+    jr   r15
+)";
+  Platform platform;
+  SystemImage image;
+  Result<TrustletMeta> tl = BuildTrustlet(spec);
+  ASSERT_TRUE(tl.ok()) << tl.status().ToString();
+  image.Add(*tl);
+  NanosConfig os_config;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  ASSERT_TRUE(platform.InstallImage(image).ok());
+  Result<LoadReport> report = platform.BootAndLaunch();
+  ASSERT_TRUE(report.ok());
+
+  platform.Run(300000);
+  ASSERT_FALSE(platform.cpu().halted()) << platform.cpu().trap().reason;
+  const LoadedTrustlet* osl = report->FindById(report->os_id);
+  uint32_t count = 0;
+  ASSERT_TRUE(platform.bus().HostReadWord(
+      osl->meta.data_addr + kOsDataQueueCount, &count));
+  EXPECT_EQ(count, kOsQueueCapacity);
+  // First and last kept entries.
+  uint32_t first = 0;
+  uint32_t last = 0;
+  ASSERT_TRUE(
+      platform.bus().HostReadWord(osl->meta.data_addr + kOsDataQueue, &first));
+  ASSERT_TRUE(platform.bus().HostReadWord(
+      osl->meta.data_addr + kOsDataQueue + 4 * (kOsQueueCapacity - 1), &last));
+  EXPECT_EQ(first, 0x1001u);
+  EXPECT_EQ(last, 0x1010u);
+  // The trustlet attempted all 20.
+  uint32_t attempts = 0;
+  ASSERT_TRUE(platform.bus().HostReadWord(0x12004, &attempts));
+  EXPECT_EQ(attempts, 20u);
+}
+
+TEST(ScaleTest, TrustedIpcSurvivesAggressivePreemption) {
+  TrustedIpcSpec ipc;
+  ipc.initiator_code = 0x11000;
+  ipc.initiator_data = 0x12000;
+  ipc.responder_code = 0x13000;
+  ipc.responder_data = 0x14000;
+  Platform platform;
+  SystemImage image;
+  Result<TrustletMeta> initiator = BuildIpcInitiator(ipc);
+  Result<TrustletMeta> responder = BuildIpcResponder(ipc);
+  ASSERT_TRUE(initiator.ok());
+  ASSERT_TRUE(responder.ok());
+  image.Add(*responder);
+  image.Add(*initiator);
+  NanosConfig os_config;
+  os_config.timer_period = 150;  // Very fast scheduler tick.
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  ASSERT_TRUE(os.ok());
+  image.Add(*os);
+  ASSERT_TRUE(platform.InstallImage(image).ok());
+  ASSERT_TRUE(platform.BootAndLaunch().ok());
+
+  platform.Run(800000);
+  ASSERT_FALSE(platform.cpu().halted()) << platform.cpu().trap().reason;
+  uint32_t state = 0;
+  uint32_t accepted = 0;
+  ASSERT_TRUE(platform.bus().HostReadWord(ipc.initiator_data + kIpcInitState,
+                                          &state));
+  ASSERT_TRUE(platform.bus().HostReadWord(
+      ipc.responder_data + kIpcRespAccepted, &accepted));
+  EXPECT_EQ(state, 2u);
+  EXPECT_EQ(accepted, ipc.message);
+  // Preemption definitely happened during the episode.
+  EXPECT_GT(platform.cpu().stats().trustlet_interrupts, 20u);
+}
+
+TEST(ScaleTest, ExactRegionBudgetBoundary) {
+  // 2 trustlets + OS: 3x2 module regions + 2 OS grants + TT + MPU + SysCtl
+  // = 11 regions. 11 boots, 10 must fail with RESOURCE_EXHAUSTED.
+  auto boot_with = [](int regions) {
+    PlatformConfig config;
+    config.mpu_regions = regions;
+    Platform platform(config);
+    SystemImage image;
+    for (int i = 0; i < 2; ++i) {
+      image.Add(*BuildTrustlet(CounterSpec(i)));
+    }
+    NanosConfig os_config;
+    os_config.code_addr = 0x20000;
+    image.Add(*BuildNanos(os_config));
+    EXPECT_TRUE(platform.InstallImage(image).ok());
+    return platform.Boot().status().code();
+  };
+  EXPECT_EQ(boot_with(11), StatusCode::kOk);
+  EXPECT_EQ(boot_with(10), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace trustlite

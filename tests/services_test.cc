@@ -1,0 +1,115 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Unit-level tests for the service trustlet builders and their host-side
+// protocol models (the end-to-end behaviour is covered in integration_test).
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/services/attestation.h"
+#include "src/services/trusted_ipc.h"
+
+namespace trustlite {
+namespace {
+
+TEST(AttestationServiceTest, BuildsWithKeyEmbedded) {
+  AttestationSpec spec;
+  spec.code_addr = 0x15000;
+  spec.data_addr = 0x16000;
+  spec.mailbox_addr = 0x30000;
+  for (size_t i = 0; i < spec.key.size(); ++i) {
+    spec.key[i] = static_cast<uint8_t>(i);
+  }
+  Result<TrustletMeta> meta = BuildAttestationTrustlet(spec);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->code_private);  // The key must not be world-readable.
+  EXPECT_EQ(meta->grants.size(), 1u);
+  EXPECT_EQ(meta->grants[0].base, kShaBase);
+  // The key bytes appear verbatim in the code image.
+  const std::vector<uint8_t>& code = meta->code;
+  bool found = false;
+  for (size_t i = 0; i + spec.key.size() <= code.size(); ++i) {
+    if (std::equal(spec.key.begin(), spec.key.end(), code.begin() + i)) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttestationServiceTest, ExpectedReportModel) {
+  std::array<uint8_t, 32> key;
+  key.fill(7);
+  const std::vector<uint8_t> code = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Sha256Digest r1 = ExpectedAttestationReport(key, 1, code);
+  const Sha256Digest r2 = ExpectedAttestationReport(key, 2, code);
+  EXPECT_NE(r1, r2);  // Challenge-sensitive.
+  std::vector<uint8_t> code2 = code;
+  code2[3] ^= 1;
+  EXPECT_NE(r1, ExpectedAttestationReport(key, 1, code2));
+  std::array<uint8_t, 32> key2 = key;
+  key2[0] ^= 1;
+  EXPECT_NE(r1, ExpectedAttestationReport(key2, 1, code));
+  // Deterministic.
+  EXPECT_EQ(r1, ExpectedAttestationReport(key, 1, code));
+}
+
+TEST(TrustedIpcServiceTest, BuildersProduceGrants) {
+  TrustedIpcSpec spec;
+  spec.initiator_code = 0x11000;
+  spec.initiator_data = 0x12000;
+  spec.responder_code = 0x13000;
+  spec.responder_data = 0x14000;
+  Result<TrustletMeta> a = BuildIpcInitiator(spec);
+  Result<TrustletMeta> b = BuildIpcResponder(spec);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->grants.size(), 2u);  // SHA + TRNG
+  ASSERT_EQ(b->grants.size(), 2u);
+  EXPECT_EQ(a->id, MakeTrustletId("TLA"));
+  EXPECT_EQ(b->id, MakeTrustletId("TLB"));
+}
+
+TEST(TrustedIpcServiceTest, SkipMeasurementShrinksInitiator) {
+  TrustedIpcSpec spec;
+  spec.initiator_code = 0x11000;
+  spec.initiator_data = 0x12000;
+  spec.responder_code = 0x13000;
+  spec.responder_data = 0x14000;
+  Result<TrustletMeta> full = BuildIpcInitiator(spec);
+  spec.skip_measurement_check = true;
+  Result<TrustletMeta> slim = BuildIpcInitiator(spec);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(slim.ok());
+  EXPECT_LT(slim->code.size(), full->code.size());
+}
+
+TEST(TrustedIpcServiceTest, SessionTokenModel) {
+  const uint32_t a = MakeTrustletId("TLA");
+  const uint32_t b = MakeTrustletId("TLB");
+  const Sha256Digest t1 = ComputeSessionToken(a, b, 1, 2);
+  // Order and nonce sensitivity.
+  EXPECT_NE(t1, ComputeSessionToken(b, a, 1, 2));
+  EXPECT_NE(t1, ComputeSessionToken(a, b, 2, 1));
+  EXPECT_NE(t1, ComputeSessionToken(a, b, 1, 3));
+  EXPECT_EQ(t1, ComputeSessionToken(a, b, 1, 2));
+  // Token equals a direct SHA-256 over the concatenated LE words.
+  std::vector<uint8_t> input;
+  AppendLe32(input, a);
+  AppendLe32(input, b);
+  AppendLe32(input, 1);
+  AppendLe32(input, 2);
+  EXPECT_EQ(t1, Sha256Hash(input));
+}
+
+TEST(TrustedIpcServiceTest, MessageTagModel) {
+  const Sha256Digest token = ComputeSessionToken(1, 2, 3, 4);
+  const uint32_t tag = ComputeMessageTag(token, 0xC0FFEE);
+  EXPECT_NE(tag, ComputeMessageTag(token, 0xC0FFEF));
+  Sha256Digest other = token;
+  other[0] ^= 1;
+  EXPECT_NE(tag, ComputeMessageTag(other, 0xC0FFEE));
+  EXPECT_EQ(tag, ComputeMessageTag(token, 0xC0FFEE));
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,140 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Execution tracer tests: event classification, instruction recording, ring
+// capacity, UART capture, and dump formatting.
+
+#include "src/platform/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+
+namespace trustlite {
+namespace {
+
+void LoadAt(Platform& platform, const std::string& source, uint32_t origin) {
+  Result<AsmOutput> out = Assemble(source, origin);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const AsmChunk& chunk : out->chunks) {
+    ASSERT_TRUE(platform.bus().HostWriteBytes(chunk.base, chunk.bytes));
+  }
+}
+
+TEST(TraceTest, RecordsInstructionsAndHalt) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  LoadAt(platform, R"(
+    movi r1, 1
+    movi r2, 2
+    add  r3, r1, r2
+    halt
+)",
+         0x30000);
+  platform.cpu().Reset(0x30000);
+  ExecutionTracer tracer(/*capacity=*/64, /*record_instructions=*/true);
+  EXPECT_EQ(tracer.Run(&platform, 100), StepEvent::kHalted);
+  // The HALT transition is reported as a halt event, not a retire.
+  EXPECT_EQ(tracer.counts().instructions, 3u);
+  ASSERT_GE(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.events().front().type, TraceEventType::kInstruction);
+  EXPECT_EQ(tracer.events().back().type, TraceEventType::kHalt);
+  EXPECT_EQ(tracer.events().back().detail, 0xFFFFFFFFu);  // Clean halt.
+  const std::string dump = tracer.Dump();
+  EXPECT_NE(dump.find("movi r1, 1"), std::string::npos);
+  EXPECT_NE(dump.find("add r3, r1, r2"), std::string::npos);
+  EXPECT_NE(dump.find("(clean)"), std::string::npos);
+}
+
+TEST(TraceTest, ClassifiesInterruptsAndExceptions) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  LoadAt(platform, R"(
+    li  r1, 0xF0002000
+    movi r2, 30
+    stw r2, [r1 + 4]
+    la  r2, isr
+    stw r2, [r1 + 12]
+    movi r2, 3
+    stw r2, [r1 + 0]
+    li  r9, 0xF0000000
+    la  r2, swi_handler
+    stw r2, [r9 + 32]
+    li  sp, 0x3c000
+    swi 0
+    sti
+spin:
+    jmp spin
+isr:
+    halt
+swi_handler:
+    addi sp, sp, 4
+    iret
+)",
+         0x30000);
+  platform.cpu().Reset(0x30000);
+  ExecutionTracer tracer(64, /*record_instructions=*/false);
+  tracer.Run(&platform, 10000);
+  EXPECT_EQ(tracer.counts().exceptions, 1u);  // The SWI.
+  EXPECT_EQ(tracer.counts().interrupts, 1u);  // The timer.
+  EXPECT_GT(tracer.counts().instructions, 0u);  // Counted, not recorded.
+  bool saw_insn = false;
+  bool saw_exc = false;
+  bool saw_irq = false;
+  for (const TraceEvent& event : tracer.events()) {
+    saw_insn |= event.type == TraceEventType::kInstruction;
+    saw_exc |= event.type == TraceEventType::kException;
+    saw_irq |= event.type == TraceEventType::kInterrupt;
+  }
+  EXPECT_FALSE(saw_insn);  // Recording disabled: ring holds only events.
+  EXPECT_TRUE(saw_exc);
+  EXPECT_TRUE(saw_irq);
+}
+
+TEST(TraceTest, CapturesUartBytes) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  LoadAt(platform, R"(
+    li  r1, 0xF0003000
+    movi r2, 'H'
+    stw r2, [r1]
+    movi r2, 'i'
+    stw r2, [r1]
+    halt
+)",
+         0x30000);
+  platform.cpu().Reset(0x30000);
+  ExecutionTracer tracer;
+  tracer.Run(&platform, 100);
+  EXPECT_EQ(tracer.counts().uart_bytes, 2u);
+  const std::string dump = tracer.Dump();
+  EXPECT_NE(dump.find("'H'"), std::string::npos);
+  EXPECT_NE(dump.find("'i'"), std::string::npos);
+}
+
+TEST(TraceTest, RingDropsOldestBeyondCapacity) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  LoadAt(platform, R"(
+    movi r1, 0
+    movi r2, 100
+loop:
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    halt
+)",
+         0x30000);
+  platform.cpu().Reset(0x30000);
+  ExecutionTracer tracer(/*capacity=*/16, /*record_instructions=*/true);
+  tracer.Run(&platform, 100000);
+  EXPECT_EQ(tracer.events().size(), 16u);
+  EXPECT_GT(tracer.counts().instructions, 100u);  // Counted beyond capacity.
+  // Dump(last) limits further.
+  const std::string tail = tracer.Dump(/*last=*/3);
+  EXPECT_EQ(std::count(tail.begin(), tail.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace trustlite

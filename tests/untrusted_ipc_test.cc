@@ -1,0 +1,247 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Untrusted IPC (paper Sec. 4.2.1): message queues in the operating system
+// and shared-memory windows negotiated via the Secure Loader's grants.
+//  * producer -> OS queue -> consumer, all through the OS entry vector;
+//  * bulk transfer through a shared region visible to exactly two
+//    trustlets, with the notification going through the cheap register
+//    path.
+
+#include <gtest/gtest.h>
+
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+uint32_t Word(Platform& platform, uint32_t addr) {
+  uint32_t value = 0;
+  EXPECT_TRUE(platform.bus().HostReadWord(addr, &value));
+  return value;
+}
+
+TEST(UntrustedIpcTest, ProducerToConsumerThroughOsQueue) {
+  // Producer enqueues 1..5 through the OS; the consumer drains the queue
+  // into open memory. The OS sees (and could tamper with) everything —
+  // that's the documented trust model of untrusted IPC.
+  TrustletBuildSpec producer;
+  producer.name = "PRD";
+  producer.code_addr = 0x11000;
+  producer.data_addr = 0x12000;
+  producer.data_size = 0x400;
+  producer.stack_size = 0x100;
+  producer.body = R"(
+.equ CONT_SLOT, TL_DATA + 0
+.equ SENT_SLOT, TL_DATA + 4
+tl_main:
+    la   r4, SENT_SLOT
+    ldw  r5, [r4]
+    movi r6, 5
+    bgeu r5, r6, prd_done
+    addi r5, r5, 1
+    stw  r5, [r4]
+    la   r4, CONT_SLOT
+    la   r6, tl_main
+    stw  r6, [r4]
+    movi r0, 1             ; enqueue
+    mov  r1, r5            ; payload 1..5
+    la   r2, tl_entry
+    li   r6, 0x20000
+    jr   r6
+prd_done:
+    sti
+prd_park:
+    swi  0
+    jmp  prd_park
+tl_handle_call:
+    sti
+    la   r15, CONT_SLOT
+    ldw  r15, [r15]
+    jr   r15
+)";
+
+  TrustletBuildSpec consumer;
+  consumer.name = "CNS";
+  consumer.code_addr = 0x13000;
+  consumer.data_addr = 0x14000;
+  consumer.data_size = 0x400;
+  consumer.stack_size = 0x100;
+  consumer.body = R"(
+.equ CONT_SLOT, TL_DATA + 0
+.equ RECV_SLOT, TL_DATA + 4     ; received count
+tl_main:
+    la   r4, CONT_SLOT
+    la   r6, cns_got
+    stw  r6, [r4]
+    movi r0, 2             ; dequeue
+    la   r2, tl_entry
+    li   r6, 0x20000
+    jr   r6
+cns_got:
+    sti
+    ; r1 = dequeued value or -1
+    movi r5, -1
+    beq  r1, r5, cns_empty
+    ; store to 0x30100 + 4*count
+    la   r4, RECV_SLOT
+    ldw  r6, [r4]
+    shli r7, r6, 2
+    li   r8, 0x30100
+    add  r7, r7, r8
+    stw  r1, [r7]
+    addi r6, r6, 1
+    stw  r6, [r4]
+    jmp  tl_main
+cns_empty:
+    swi  0
+    jmp  tl_main
+tl_handle_call:
+    la   r15, CONT_SLOT
+    ldw  r15, [r15]
+    jr   r15
+)";
+
+  Platform platform;
+  SystemImage image;
+  // Producer scheduled before the consumer.
+  image.Add(*BuildTrustlet(producer));
+  image.Add(*BuildTrustlet(consumer));
+  NanosConfig os_config;
+  image.Add(*BuildNanos(os_config));
+  ASSERT_TRUE(platform.InstallImage(image).ok());
+  ASSERT_TRUE(platform.BootAndLaunch().ok());
+
+  platform.Run(400000);
+  ASSERT_FALSE(platform.cpu().halted()) << platform.cpu().trap().reason;
+  // All five messages arrived, in order.
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(Word(platform, 0x30100 + 4 * i), i + 1) << i;
+  }
+  EXPECT_EQ(Word(platform, 0x14004), 5u);  // Consumer's receive count.
+}
+
+TEST(UntrustedIpcTest, BulkTransferThroughSharedGrantWindow) {
+  // Both trustlets declare the same shared window (the loader deduplicates
+  // it into one region, Sec. 4.2.1); the writer fills 16 words and raises a
+  // ready flag, the reader checksums them. A third trustlet without the
+  // grant faults on the same window.
+  const RegionGrant shared{0x0001'8000, 0x0001'8100,
+                           kGrantRead | kGrantWrite};
+  TrustletBuildSpec writer;
+  writer.name = "WRT";
+  writer.code_addr = 0x11000;
+  writer.data_addr = 0x12000;
+  writer.data_size = 0x400;
+  writer.stack_size = 0x100;
+  writer.grants.push_back(shared);
+  writer.body = R"(
+tl_main:
+    li   r4, 0x18000
+    movi r5, 0
+wrt_fill:
+    shli r6, r5, 2
+    add  r6, r6, r4
+    li   r7, 0x1000
+    add  r7, r7, r5        ; payload 0x1000 + i
+    stw  r7, [r6 + 4]      ; words 1..16; word 0 is the ready flag
+    addi r5, r5, 1
+    movi r6, 16
+    bne  r5, r6, wrt_fill
+    movi r5, 1
+    stw  r5, [r4]          ; ready
+wrt_park:
+    swi  0
+    jmp  wrt_park
+)";
+
+  TrustletBuildSpec reader;
+  reader.name = "RDR";
+  reader.code_addr = 0x13000;
+  reader.data_addr = 0x14000;
+  reader.data_size = 0x400;
+  reader.stack_size = 0x100;
+  RegionGrant read_only = shared;
+  read_only.perms = kGrantRead;  // Asymmetric rights on the same window.
+  reader.grants.push_back(read_only);
+  reader.body = R"(
+tl_main:
+    li   r4, 0x18000
+    ldw  r5, [r4]
+    movi r6, 1
+    beq  r5, r6, rdr_sum
+    swi  0
+    jmp  tl_main
+rdr_sum:
+    movi r5, 0             ; i
+    movi r7, 0             ; checksum
+rdr_loop:
+    shli r6, r5, 2
+    add  r6, r6, r4
+    ldw  r6, [r6 + 4]
+    add  r7, r7, r6
+    addi r5, r5, 1
+    movi r6, 16
+    bne  r5, r6, rdr_loop
+    li   r8, 0x30200
+    stw  r7, [r8]          ; publish checksum
+rdr_park:
+    swi  0
+    jmp  rdr_park
+)";
+
+  // The bystander has no grant: its read must fault (and get it killed).
+  TrustletBuildSpec bystander;
+  bystander.name = "BYS";
+  bystander.code_addr = 0x15000;
+  bystander.data_addr = 0x16000;
+  bystander.data_size = 0x400;
+  bystander.stack_size = 0x100;
+  bystander.body = R"(
+tl_main:
+    li   r4, 0x18000
+    ldw  r5, [r4]          ; no rule -> MPU fault -> killed by nanOS
+    li   r6, 0x30204
+    stw  r5, [r6]          ; never reached
+spin:
+    swi  0
+    jmp  spin
+)";
+
+  Platform platform;
+  SystemImage image;
+  image.Add(*BuildTrustlet(writer));
+  image.Add(*BuildTrustlet(reader));
+  image.Add(*BuildTrustlet(bystander));
+  NanosConfig os_config;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  image.Add(*os);
+  ASSERT_TRUE(platform.InstallImage(image).ok());
+  Result<LoadReport> report = platform.BootAndLaunch();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Shared window deduplicated: 4x(code+data) + 1 shared + 2 OS grants
+  // + TT + MPU + SysCtl = 14 regions.
+  EXPECT_EQ(report->regions_used, 14);
+
+  platform.Run(400000);
+  ASSERT_FALSE(platform.cpu().halted()) << platform.cpu().trap().reason;
+  uint32_t expected = 0;
+  for (uint32_t i = 0; i < 16; ++i) {
+    expected += 0x1000 + i;
+  }
+  EXPECT_EQ(Word(platform, 0x30200), expected);
+  EXPECT_EQ(Word(platform, 0x30204), 0u);  // Bystander never read a byte.
+  // Reader cannot write the window (asymmetric grant).
+  AccessContext ctx;
+  ctx.curr_ip = 0x13000 + 0x40;
+  ctx.kind = AccessKind::kWrite;
+  EXPECT_EQ(platform.mpu()->Check(ctx, 0x18040, 4), AccessResult::kProtFault);
+  // The bystander was removed from the schedule.
+  const LoadedTrustlet* osl = report->FindById(report->os_id);
+  EXPECT_EQ(Word(platform, osl->meta.data_addr + kOsDataNumTasks), 2u);
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,157 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Watchdog service tests (paper Sec. 6 "Fault Tolerance"): a trustlet that
+// exclusively owns the timer and implements its own ISR — the OS cannot
+// silence it, heartbeat stalls raise a trusted alarm, and the watchdog's
+// defer path doubles as the system's preemption source.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/platform/platform.h"
+#include "src/services/watchdog.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+constexpr uint32_t kHeartbeat = 0x0003'0000;
+constexpr uint32_t kWorkCell = 0x0003'0004;
+constexpr uint32_t kWdData = 0x0001'6000;
+
+// A worker trustlet that never yields; it bumps the heartbeat (and a work
+// counter) forever. Preemption must come from the watchdog's timer.
+TrustletBuildSpec WorkerSpec(bool update_heartbeat) {
+  TrustletBuildSpec spec;
+  spec.name = "WRK";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  std::string body = R"(
+tl_main:
+    li   r4, 0x30000
+    li   r5, 0x30004
+    movi r1, 0
+loop:
+    addi r1, r1, 1
+    stw  r1, [r5]
+)";
+  if (update_heartbeat) {
+    body += "    stw  r1, [r4]\n";
+  }
+  body += "    jmp  loop\n";
+  spec.body = body;
+  return spec;
+}
+
+struct WatchdogSystem {
+  explicit WatchdogSystem(bool heartbeat_alive, uint32_t timeout_ticks = 4) {
+    SystemImage image;
+
+    NanosConfig os_config;
+    os_config.enable_timer = false;  // The watchdog owns the only timer.
+    os_config.grant_timer = false;
+    Result<TrustletMeta> os = BuildNanos(os_config);
+    EXPECT_TRUE(os.ok());
+
+    WatchdogSpec wd;
+    wd.code_addr = 0x15000;
+    wd.data_addr = kWdData;
+    wd.heartbeat_addr = kHeartbeat;
+    wd.timeout_ticks = timeout_ticks;
+    wd.period = 1500;
+    wd.os_entry = os_config.code_addr;
+    wd.os_stack_grant_base = os->data_addr;
+    wd.os_stack_grant_end = os->data_addr + os->data_size;
+    Result<TrustletMeta> wd_meta = BuildWatchdog(wd);
+    EXPECT_TRUE(wd_meta.ok()) << wd_meta.status().ToString();
+    // Scheduler order follows image order: the watchdog must run first to
+    // arm the timer, because the worker never yields voluntarily.
+    image.Add(*wd_meta);
+    image.Add(*BuildTrustlet(WorkerSpec(heartbeat_alive)));
+    image.Add(*os);
+    EXPECT_TRUE(platform.InstallImage(image).ok());
+    Result<LoadReport> report = platform.BootAndLaunch();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+  }
+
+  uint32_t Word(uint32_t addr) {
+    uint32_t value = 0;
+    EXPECT_TRUE(platform.bus().HostReadWord(addr, &value));
+    return value;
+  }
+
+  Platform platform;
+};
+
+TEST(WatchdogTest, TicksAndSchedulesWhileHeartbeatAlive) {
+  WatchdogSystem system(/*heartbeat_alive=*/true);
+  system.platform.Run(300000);
+  ASSERT_FALSE(system.platform.cpu().halted())
+      << system.platform.cpu().trap().reason;
+  // Ticks advanced, no alarm, no stall accumulation.
+  EXPECT_GT(system.Word(kWdData + kWdTick), 10u);
+  EXPECT_EQ(system.Word(kWdData + kWdAlarm), 0u);
+  EXPECT_LT(system.Word(kWdData + kWdStalled), 4u);
+  EXPECT_EQ(system.platform.gpio().out(), 0u);
+  // The non-yielding worker made progress: the watchdog's defer path is the
+  // only preemption source in this system.
+  EXPECT_GT(system.Word(kWorkCell), 1000u);
+  EXPECT_GT(system.platform.cpu().stats().trustlet_interrupts, 10u);
+}
+
+TEST(WatchdogTest, StalledHeartbeatRaisesTrustedAlarm) {
+  WatchdogSystem system(/*heartbeat_alive=*/false, /*timeout_ticks=*/3);
+  system.platform.Run(300000);
+  ASSERT_FALSE(system.platform.cpu().halted())
+      << system.platform.cpu().trap().reason;
+  EXPECT_EQ(system.Word(kWdData + kWdAlarm), 1u);
+  EXPECT_EQ(system.platform.gpio().out(), kWdAlarmPattern);
+  EXPECT_GE(system.Word(kWdData + kWdStalled), 3u);
+}
+
+TEST(WatchdogTest, OsCannotSilenceTheWatchdog) {
+  WatchdogSystem system(/*heartbeat_alive=*/true);
+  system.platform.Run(100000);
+  const uint32_t ticks_before = system.Word(kWdData + kWdTick);
+  ASSERT_GT(ticks_before, 3u);
+
+  // Hostile code (a compromised OS) tries to disable the timer.
+  Result<AsmOutput> attacker = Assemble(R"(
+.org 0x31000
+    li  r1, 0xF0002000
+    movi r2, 0
+    stw r2, [r1 + 0]       ; TIMER_CTRL = 0 -> MPU fault
+    halt
+)");
+  ASSERT_TRUE(attacker.ok());
+  uint32_t base = 0;
+  ASSERT_TRUE(system.platform.bus().HostWriteBytes(0x31000,
+                                                   attacker->Flatten(&base)));
+  system.platform.cpu().Reset(0x31000);
+  system.platform.cpu().set_reg(kRegSp, 0x38000);
+  system.platform.Run(1000);
+  // The poke faulted (nanOS policy halts on OS faults)...
+  ASSERT_TRUE(system.platform.cpu().halted());
+  // ...and the timer remained armed throughout.
+  uint32_t ctrl = 0;
+  ASSERT_TRUE(system.platform.bus().HostReadWord(kTimerBase + kTimerRegCtrl,
+                                                 &ctrl));
+  EXPECT_NE(ctrl & kTimerCtrlEnable, 0u);
+}
+
+TEST(WatchdogTest, WatchdogSurvivesInterruptingItself) {
+  // With a short period the timer regularly fires while the watchdog's own
+  // park loop runs (trustlet path into its own ISR).
+  WatchdogSystem system(/*heartbeat_alive=*/true);
+  system.platform.Run(400000);
+  ASSERT_FALSE(system.platform.cpu().halted())
+      << system.platform.cpu().trap().reason;
+  EXPECT_GT(system.Word(kWdData + kWdTick), 20u);
+}
+
+}  // namespace
+}  // namespace trustlite

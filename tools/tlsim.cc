@@ -1,0 +1,463 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// tlsim — command-line driver for the TL32 toolchain and simulator.
+//
+//   tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]
+//   tlsim disas <file.bin> [--base ADDR]
+//   tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]
+//               [--trace] [--uart-in TEXT] [--no-mpu]
+//   tlsim debug <file.s> [--entry ADDR|symbol] [--sp ADDR]
+//
+// `run` assembles the program, loads every chunk into the reference
+// platform, executes it, and reports UART output, halt state, registers and
+// simulated cycles. With --trace every retired instruction is disassembled
+// to stderr.
+//
+// `debug` drops into a small REPL:
+//   s [n]        step n instructions (default 1), printing each
+//   c [n]        continue until halt/breakpoint (or n instructions)
+//   b ADDR|sym   set a breakpoint        del ADDR|sym   remove it
+//   r            registers               m ADDR [n]     dump n words
+//   d [ADDR] [n] disassemble             sym            list symbols
+//   u            uart output so far      q              quit
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/isa/assembler.h"
+#include "src/isa/disassembler.h"
+#include "src/platform/platform.h"
+
+namespace trustlite {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]\n"
+      "  tlsim disas <file.bin> [--base ADDR]\n"
+      "  tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]\n"
+      "              [--trace] [--uart-in TEXT] [--no-mpu]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+uint32_t ParseAddr(const std::string& text) {
+  return static_cast<uint32_t>(std::strtoul(text.c_str(), nullptr, 0));
+}
+
+int CmdAsm(const std::vector<std::string>& args) {
+  std::string input;
+  std::string output;
+  uint32_t origin = 0;
+  bool symbols = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      output = args[++i];
+    } else if (args[i] == "--origin" && i + 1 < args.size()) {
+      origin = ParseAddr(args[++i]);
+    } else if (args[i] == "--symbols") {
+      symbols = true;
+    } else if (input.empty()) {
+      input = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadFile(input, &source)) {
+    std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  Result<AsmOutput> out = Assemble(source, origin);
+  if (!out.ok()) {
+    std::fprintf(stderr, "tlsim: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t base = 0;
+  const std::vector<uint8_t> image = out->Flatten(&base);
+  std::printf("assembled %zu bytes at %s (%zu chunks)\n", image.size(),
+              Hex32(base).c_str(), out->chunks.size());
+  if (symbols) {
+    for (const auto& [name, value] : out->symbols) {
+      std::printf("  %-24s %s\n", name.c_str(), Hex32(value).c_str());
+    }
+  }
+  if (!output.empty()) {
+    std::ofstream file(output, std::ios::binary);
+    file.write(reinterpret_cast<const char*>(image.data()),
+               static_cast<std::streamsize>(image.size()));
+    if (!file) {
+      std::fprintf(stderr, "tlsim: cannot write %s\n", output.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
+int CmdDisas(const std::vector<std::string>& args) {
+  std::string input;
+  uint32_t base = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--base" && i + 1 < args.size()) {
+      base = ParseAddr(args[++i]);
+    } else if (input.empty()) {
+      input = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) {
+    return Usage();
+  }
+  std::string blob;
+  if (!ReadFile(input, &blob)) {
+    std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  for (size_t offset = 0; offset + 4 <= blob.size(); offset += 4) {
+    const uint32_t word =
+        LoadLe32(reinterpret_cast<const uint8_t*>(blob.data()) + offset);
+    const uint32_t addr = base + static_cast<uint32_t>(offset);
+    std::printf("%08x:  %08x  %s\n", addr, word,
+                DisassembleWord(word, addr).c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  std::string input;
+  std::string entry_text;
+  uint32_t sp = 0x0004'0000;
+  uint64_t max_instructions = 1'000'000;
+  bool trace = false;
+  bool no_mpu = false;
+  std::string uart_in;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry_text = args[++i];
+    } else if (args[i] == "--sp" && i + 1 < args.size()) {
+      sp = ParseAddr(args[++i]);
+    } else if (args[i] == "--max" && i + 1 < args.size()) {
+      max_instructions = std::strtoull(args[++i].c_str(), nullptr, 0);
+    } else if (args[i] == "--trace") {
+      trace = true;
+    } else if (args[i] == "--no-mpu") {
+      no_mpu = true;
+    } else if (args[i] == "--uart-in" && i + 1 < args.size()) {
+      uart_in = args[++i];
+    } else if (input.empty()) {
+      input = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadFile(input, &source)) {
+    std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  Result<AsmOutput> out = Assemble(source, 0x0003'0000);
+  if (!out.ok()) {
+    std::fprintf(stderr, "tlsim: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  PlatformConfig config;
+  config.with_mpu = !no_mpu;
+  Platform platform(config);
+  for (const AsmChunk& chunk : out->chunks) {
+    if (!platform.bus().HostWriteBytes(chunk.base, chunk.bytes)) {
+      std::fprintf(stderr, "tlsim: chunk at %s does not map to any device\n",
+                   Hex32(chunk.base).c_str());
+      return 1;
+    }
+  }
+
+  uint32_t entry = out->chunks.empty() ? 0 : out->chunks.front().base;
+  if (!entry_text.empty()) {
+    auto it = out->symbols.find(entry_text);
+    entry = it != out->symbols.end() ? it->second : ParseAddr(entry_text);
+  } else {
+    auto it = out->symbols.find("start");
+    if (it != out->symbols.end()) {
+      entry = it->second;
+    }
+  }
+  if (!uart_in.empty()) {
+    platform.uart().PushInput(uart_in);
+  }
+
+  if (trace) {
+    platform.cpu().SetTraceHook([](uint32_t ip, const Instruction& insn) {
+      std::fprintf(stderr, "%08x:  %s\n", ip, Disassemble(insn, ip).c_str());
+    });
+  }
+
+  platform.cpu().Reset(entry);
+  platform.cpu().set_reg(kRegSp, sp);
+  platform.Run(max_instructions);
+
+  const Cpu& cpu = platform.cpu();
+  if (!platform.uart().output().empty()) {
+    std::printf("--- uart ---\n%s\n------------\n",
+                platform.uart().output().c_str());
+  }
+  std::printf("state: %s", cpu.halted() ? "halted" : "running (budget spent)");
+  if (cpu.trap().valid) {
+    std::printf("  [trap: %s, class %u, ip %s, addr %s]", cpu.trap().reason,
+                cpu.trap().exception_class, Hex32(cpu.trap().ip).c_str(),
+                Hex32(cpu.trap().addr).c_str());
+  }
+  std::printf("\ninstructions: %llu   cycles: %llu   exceptions: %llu\n",
+              static_cast<unsigned long long>(cpu.stats().instructions),
+              static_cast<unsigned long long>(cpu.cycles()),
+              static_cast<unsigned long long>(cpu.stats().exceptions));
+  for (int i = 0; i < kNumRegisters; ++i) {
+    std::printf("%4s=%08x%s", RegisterName(i).c_str(), cpu.reg(i),
+                (i % 4 == 3) ? "\n" : "  ");
+  }
+  std::printf("  ip=%08x flags=%08x\n", cpu.ip(), cpu.flags());
+  return cpu.trap().valid ? 1 : 0;
+}
+
+struct LoadedProgram {
+  Platform* platform;
+  std::map<std::string, uint32_t> symbols;
+  uint32_t entry = 0;
+};
+
+uint32_t ResolveAddr(const LoadedProgram& prog, const std::string& text) {
+  auto it = prog.symbols.find(text);
+  if (it != prog.symbols.end()) {
+    return it->second;
+  }
+  return ParseAddr(text);
+}
+
+void PrintRegs(const Cpu& cpu) {
+  for (int i = 0; i < kNumRegisters; ++i) {
+    std::printf("%4s=%08x%s", RegisterName(i).c_str(), cpu.reg(i),
+                (i % 4 == 3) ? "\n" : "  ");
+  }
+  std::printf("  ip=%08x flags=%08x cycles=%llu\n", cpu.ip(), cpu.flags(),
+              static_cast<unsigned long long>(cpu.cycles()));
+}
+
+void PrintDisas(Platform& platform, uint32_t addr, int count) {
+  for (int i = 0; i < count; ++i) {
+    const uint32_t a = addr + static_cast<uint32_t>(i) * 4;
+    uint32_t word = 0;
+    if (!platform.bus().HostReadWord(a, &word)) {
+      std::printf("%08x:  <unmapped>\n", a);
+      return;
+    }
+    std::printf("%08x:%s %08x  %s\n", a,
+                a == platform.cpu().ip() ? ">" : " ", word,
+                DisassembleWord(word, a).c_str());
+  }
+}
+
+int CmdDebug(const std::vector<std::string>& args) {
+  std::string input;
+  std::string entry_text;
+  uint32_t sp = 0x0004'0000;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry_text = args[++i];
+    } else if (args[i] == "--sp" && i + 1 < args.size()) {
+      sp = ParseAddr(args[++i]);
+    } else if (input.empty()) {
+      input = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadFile(input, &source)) {
+    std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  Result<AsmOutput> out = Assemble(source, 0x0003'0000);
+  if (!out.ok()) {
+    std::fprintf(stderr, "tlsim: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  PlatformConfig config;
+  Platform platform(config);
+  for (const AsmChunk& chunk : out->chunks) {
+    platform.bus().HostWriteBytes(chunk.base, chunk.bytes);
+  }
+  LoadedProgram prog{&platform, out->symbols, 0};
+  prog.entry = out->chunks.empty() ? 0 : out->chunks.front().base;
+  if (!entry_text.empty()) {
+    prog.entry = ResolveAddr(prog, entry_text);
+  } else if (out->symbols.count("start") != 0) {
+    prog.entry = out->symbols.at("start");
+  }
+  platform.cpu().Reset(prog.entry);
+  platform.cpu().set_reg(kRegSp, sp);
+
+  std::printf("tlsim debugger — entry %s, 'q' to quit\n",
+              Hex32(prog.entry).c_str());
+  std::set<uint32_t> breakpoints;
+  std::string line;
+  size_t uart_seen = 0;
+  auto step_one = [&](bool print) {
+    uint32_t word = 0;
+    const uint32_t ip = platform.cpu().ip();
+    if (print && platform.bus().HostReadWord(ip, &word)) {
+      std::printf("%08x:  %s\n", ip, DisassembleWord(word, ip).c_str());
+    }
+    return platform.cpu().Step();
+  };
+  for (;;) {
+    // Surface freshly produced UART output.
+    const std::string& uart = platform.uart().output();
+    if (uart.size() > uart_seen) {
+      std::printf("[uart] %s\n", uart.substr(uart_seen).c_str());
+      uart_seen = uart.size();
+    }
+    std::printf("(tlsim) ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "q" || cmd == "quit") {
+      break;
+    }
+    if (cmd == "s" || cmd == "step") {
+      uint64_t n = 1;
+      iss >> n;
+      for (uint64_t i = 0; i < std::max<uint64_t>(n, 1); ++i) {
+        if (step_one(true) == StepEvent::kHalted) {
+          std::printf("halted%s\n",
+                      platform.cpu().trap().valid ? " (trap)" : "");
+          break;
+        }
+      }
+    } else if (cmd == "c" || cmd == "continue") {
+      uint64_t budget = 10'000'000;
+      iss >> budget;
+      uint64_t executed = 0;
+      while (executed++ < budget) {
+        if (step_one(false) == StepEvent::kHalted) {
+          std::printf("halted at %s%s\n", Hex32(platform.cpu().ip()).c_str(),
+                      platform.cpu().trap().valid ? " (trap)" : "");
+          break;
+        }
+        if (breakpoints.count(platform.cpu().ip()) != 0) {
+          std::printf("breakpoint at %s\n",
+                      Hex32(platform.cpu().ip()).c_str());
+          break;
+        }
+      }
+    } else if (cmd == "b" || cmd == "break") {
+      std::string where;
+      iss >> where;
+      const uint32_t addr = ResolveAddr(prog, where);
+      breakpoints.insert(addr);
+      std::printf("breakpoint set at %s\n", Hex32(addr).c_str());
+    } else if (cmd == "del") {
+      std::string where;
+      iss >> where;
+      breakpoints.erase(ResolveAddr(prog, where));
+    } else if (cmd == "r" || cmd == "regs") {
+      PrintRegs(platform.cpu());
+    } else if (cmd == "m" || cmd == "mem") {
+      std::string where;
+      int count = 8;
+      iss >> where >> count;
+      uint32_t addr = ResolveAddr(prog, where) & ~3u;
+      for (int i = 0; i < count; ++i) {
+        uint32_t word = 0;
+        if (!platform.bus().HostReadWord(addr, &word)) {
+          std::printf("%08x: <unmapped>\n", addr);
+          break;
+        }
+        std::printf("%08x: %08x\n", addr, word);
+        addr += 4;
+      }
+    } else if (cmd == "d" || cmd == "disas") {
+      std::string where;
+      int count = 8;
+      iss >> where >> count;
+      const uint32_t addr =
+          where.empty() ? platform.cpu().ip() : ResolveAddr(prog, where);
+      PrintDisas(platform, addr, count);
+    } else if (cmd == "sym") {
+      for (const auto& [name, value] : prog.symbols) {
+        std::printf("  %-24s %s\n", name.c_str(), Hex32(value).c_str());
+      }
+    } else if (cmd == "u" || cmd == "uart") {
+      std::printf("%s\n", platform.uart().output().c_str());
+    } else {
+      std::printf("commands: s [n], c [n], b A, del A, r, m A [n], d [A] [n], "
+                  "sym, u, q\n");
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "asm") {
+    return CmdAsm(args);
+  }
+  if (command == "disas") {
+    return CmdDisas(args);
+  }
+  if (command == "run") {
+    return CmdRun(args);
+  }
+  if (command == "debug") {
+    return CmdDebug(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace trustlite
+
+int main(int argc, char** argv) { return trustlite::Main(argc, argv); }
