@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc_latency.dir/bench_ipc_latency.cc.o"
+  "CMakeFiles/bench_ipc_latency.dir/bench_ipc_latency.cc.o.d"
+  "bench_ipc_latency"
+  "bench_ipc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

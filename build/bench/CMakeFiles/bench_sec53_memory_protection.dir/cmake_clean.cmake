@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_memory_protection.dir/bench_sec53_memory_protection.cc.o"
+  "CMakeFiles/bench_sec53_memory_protection.dir/bench_sec53_memory_protection.cc.o.d"
+  "bench_sec53_memory_protection"
+  "bench_sec53_memory_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_memory_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

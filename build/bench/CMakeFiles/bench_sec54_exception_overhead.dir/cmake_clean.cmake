@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_exception_overhead.dir/bench_sec54_exception_overhead.cc.o"
+  "CMakeFiles/bench_sec54_exception_overhead.dir/bench_sec54_exception_overhead.cc.o.d"
+  "bench_sec54_exception_overhead"
+  "bench_sec54_exception_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_exception_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptive_os.dir/preemptive_os.cpp.o"
+  "CMakeFiles/preemptive_os.dir/preemptive_os.cpp.o.d"
+  "preemptive_os"
+  "preemptive_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptive_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

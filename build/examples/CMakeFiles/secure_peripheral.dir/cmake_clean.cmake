@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_peripheral.dir/secure_peripheral.cpp.o"
+  "CMakeFiles/secure_peripheral.dir/secure_peripheral.cpp.o.d"
+  "secure_peripheral"
+  "secure_peripheral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_peripheral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

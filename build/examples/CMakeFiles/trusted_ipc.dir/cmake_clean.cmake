@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_ipc.dir/trusted_ipc.cpp.o"
+  "CMakeFiles/trusted_ipc.dir/trusted_ipc.cpp.o.d"
+  "trusted_ipc"
+  "trusted_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

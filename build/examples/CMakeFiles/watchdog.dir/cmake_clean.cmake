@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchdog.dir/watchdog.cpp.o"
+  "CMakeFiles/watchdog.dir/watchdog.cpp.o.d"
+  "watchdog"
+  "watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/trustlite.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/trustlite.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/trustlite.dir/common/status.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/common/status.cc.o.d"
+  "/root/repo/src/cost/hw_cost.cc" "src/CMakeFiles/trustlite.dir/cost/hw_cost.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/cost/hw_cost.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/trustlite.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/trustlite.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/trustlite.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/spongent.cc" "src/CMakeFiles/trustlite.dir/crypto/spongent.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/crypto/spongent.cc.o.d"
+  "/root/repo/src/dev/dma.cc" "src/CMakeFiles/trustlite.dir/dev/dma.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/dma.cc.o.d"
+  "/root/repo/src/dev/gpio.cc" "src/CMakeFiles/trustlite.dir/dev/gpio.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/gpio.cc.o.d"
+  "/root/repo/src/dev/sha_accel.cc" "src/CMakeFiles/trustlite.dir/dev/sha_accel.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/sha_accel.cc.o.d"
+  "/root/repo/src/dev/sysctl.cc" "src/CMakeFiles/trustlite.dir/dev/sysctl.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/sysctl.cc.o.d"
+  "/root/repo/src/dev/timer.cc" "src/CMakeFiles/trustlite.dir/dev/timer.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/timer.cc.o.d"
+  "/root/repo/src/dev/trng.cc" "src/CMakeFiles/trustlite.dir/dev/trng.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/trng.cc.o.d"
+  "/root/repo/src/dev/uart.cc" "src/CMakeFiles/trustlite.dir/dev/uart.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/dev/uart.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/trustlite.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/CMakeFiles/trustlite.dir/isa/disassembler.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/isa/disassembler.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/trustlite.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/isa/isa.cc.o.d"
+  "/root/repo/src/loader/secure_loader.cc" "src/CMakeFiles/trustlite.dir/loader/secure_loader.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/loader/secure_loader.cc.o.d"
+  "/root/repo/src/loader/system_image.cc" "src/CMakeFiles/trustlite.dir/loader/system_image.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/loader/system_image.cc.o.d"
+  "/root/repo/src/mem/access.cc" "src/CMakeFiles/trustlite.dir/mem/access.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/mem/access.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/trustlite.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/trustlite.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/mem/memory.cc.o.d"
+  "/root/repo/src/mpu/ea_mpu.cc" "src/CMakeFiles/trustlite.dir/mpu/ea_mpu.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/mpu/ea_mpu.cc.o.d"
+  "/root/repo/src/os/nanos.cc" "src/CMakeFiles/trustlite.dir/os/nanos.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/os/nanos.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/CMakeFiles/trustlite.dir/platform/platform.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/platform/platform.cc.o.d"
+  "/root/repo/src/platform/trace.cc" "src/CMakeFiles/trustlite.dir/platform/trace.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/platform/trace.cc.o.d"
+  "/root/repo/src/sancus/sancus.cc" "src/CMakeFiles/trustlite.dir/sancus/sancus.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/sancus/sancus.cc.o.d"
+  "/root/repo/src/services/attestation.cc" "src/CMakeFiles/trustlite.dir/services/attestation.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/services/attestation.cc.o.d"
+  "/root/repo/src/services/soft_sha.cc" "src/CMakeFiles/trustlite.dir/services/soft_sha.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/services/soft_sha.cc.o.d"
+  "/root/repo/src/services/trusted_ipc.cc" "src/CMakeFiles/trustlite.dir/services/trusted_ipc.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/services/trusted_ipc.cc.o.d"
+  "/root/repo/src/services/watchdog.cc" "src/CMakeFiles/trustlite.dir/services/watchdog.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/services/watchdog.cc.o.d"
+  "/root/repo/src/smart/smart.cc" "src/CMakeFiles/trustlite.dir/smart/smart.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/smart/smart.cc.o.d"
+  "/root/repo/src/trustlet/builder.cc" "src/CMakeFiles/trustlite.dir/trustlet/builder.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/trustlet/builder.cc.o.d"
+  "/root/repo/src/trustlet/guest_defs.cc" "src/CMakeFiles/trustlite.dir/trustlet/guest_defs.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/trustlet/guest_defs.cc.o.d"
+  "/root/repo/src/trustlet/metadata.cc" "src/CMakeFiles/trustlite.dir/trustlet/metadata.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/trustlet/metadata.cc.o.d"
+  "/root/repo/src/trustlet/trustlet_table.cc" "src/CMakeFiles/trustlite.dir/trustlet/trustlet_table.cc.o" "gcc" "src/CMakeFiles/trustlite.dir/trustlet/trustlet_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for trustlite.
+# This may be replaced when dependencies are built.

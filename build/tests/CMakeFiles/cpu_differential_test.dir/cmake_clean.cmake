@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_differential_test.dir/cpu_differential_test.cc.o"
+  "CMakeFiles/cpu_differential_test.dir/cpu_differential_test.cc.o.d"
+  "cpu_differential_test"
+  "cpu_differential_test.pdb"
+  "cpu_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_edge_test.dir/cpu_edge_test.cc.o"
+  "CMakeFiles/cpu_edge_test.dir/cpu_edge_test.cc.o.d"
+  "cpu_edge_test"
+  "cpu_edge_test.pdb"
+  "cpu_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

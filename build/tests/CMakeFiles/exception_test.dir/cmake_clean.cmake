@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_test.dir/exception_test.cc.o"
+  "CMakeFiles/exception_test.dir/exception_test.cc.o.d"
+  "exception_test"
+  "exception_test.pdb"
+  "exception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_matrix_test.dir/fig3_matrix_test.cc.o"
+  "CMakeFiles/fig3_matrix_test.dir/fig3_matrix_test.cc.o.d"
+  "fig3_matrix_test"
+  "fig3_matrix_test.pdb"
+  "fig3_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

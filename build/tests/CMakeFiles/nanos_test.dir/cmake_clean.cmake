@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanos_test.dir/nanos_test.cc.o"
+  "CMakeFiles/nanos_test.dir/nanos_test.cc.o.d"
+  "nanos_test"
+  "nanos_test.pdb"
+  "nanos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

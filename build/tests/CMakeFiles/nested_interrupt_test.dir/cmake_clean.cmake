@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_interrupt_test.dir/nested_interrupt_test.cc.o"
+  "CMakeFiles/nested_interrupt_test.dir/nested_interrupt_test.cc.o.d"
+  "nested_interrupt_test"
+  "nested_interrupt_test.pdb"
+  "nested_interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_attestation_test.dir/remote_attestation_test.cc.o"
+  "CMakeFiles/remote_attestation_test.dir/remote_attestation_test.cc.o.d"
+  "remote_attestation_test"
+  "remote_attestation_test.pdb"
+  "remote_attestation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_attestation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_sha_test.dir/soft_sha_test.cc.o"
+  "CMakeFiles/soft_sha_test.dir/soft_sha_test.cc.o.d"
+  "soft_sha_test"
+  "soft_sha_test.pdb"
+  "soft_sha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_sha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

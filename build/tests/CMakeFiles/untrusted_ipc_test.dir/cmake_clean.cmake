@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untrusted_ipc_test.dir/untrusted_ipc_test.cc.o"
+  "CMakeFiles/untrusted_ipc_test.dir/untrusted_ipc_test.cc.o.d"
+  "untrusted_ipc_test"
+  "untrusted_ipc_test.pdb"
+  "untrusted_ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untrusted_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

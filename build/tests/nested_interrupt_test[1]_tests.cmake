@@ -1,0 +1,3 @@
+add_test([=[NestedInterruptTest.IsrInterruptedByIsrPreservesTrustletState]=]  /root/repo/build/tests/nested_interrupt_test [==[--gtest_filter=NestedInterruptTest.IsrInterruptedByIsrPreservesTrustletState]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[NestedInterruptTest.IsrInterruptedByIsrPreservesTrustletState]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  nested_interrupt_test_TESTS NestedInterruptTest.IsrInterruptedByIsrPreservesTrustletState)

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tlsim_hello "/root/repo/build/tools/tlsim" "run" "/root/repo/examples/guest/hello.s")
+set_tests_properties(tlsim_hello PROPERTIES  PASS_REGULAR_EXPRESSION "Hello, TrustLite!" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tlsim_fibonacci "/root/repo/build/tools/tlsim" "run" "/root/repo/examples/guest/fibonacci.s")
+set_tests_properties(tlsim_fibonacci PROPERTIES  PASS_REGULAR_EXPRESSION "6765" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tlsim_timer_echo "/root/repo/build/tools/tlsim" "run" "/root/repo/examples/guest/timer_echo.s")
+set_tests_properties(tlsim_timer_echo PROPERTIES  PASS_REGULAR_EXPRESSION "\\*\\*\\*\\*\\*" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
