@@ -73,6 +73,119 @@ void BM_InterpreterWithMpu(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterWithMpu);
 
+// Worst case for the fast-path caches: execution alternates between many
+// subject regions (one trustlet-like code region per chunk), each touching
+// its own data region before handing control to the next region's entry
+// vector. Every chunk transition changes the MPU subject, thrashing the
+// single-entry subject/coverage caches while the decision cache must hold
+// the full (subject, object) working set.
+void BM_MpuCacheThrash(benchmark::State& state) {
+  constexpr int kChunks = 8;
+  constexpr uint32_t kCodeBase = 0x34000;
+  constexpr uint32_t kCodeStride = 0x400;
+  constexpr uint32_t kDataBase = 0x36000;
+  constexpr uint32_t kDataStride = 0x80;
+
+  Platform platform;
+  Bus& bus = platform.bus();
+  auto set_region = [&](int index, uint32_t base, uint32_t end,
+                        uint32_t attr) {
+    const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                         static_cast<uint32_t>(index) * kMpuRegionStride;
+    bus.HostWriteWord(reg + 0, base);
+    bus.HostWriteWord(reg + 4, end);
+    bus.HostWriteWord(reg + 8, attr);
+  };
+  auto set_rule = [&](int index, uint32_t subject, uint32_t object, bool r,
+                      bool w, bool x) {
+    bus.HostWriteWord(
+        kMpuMmioBase + kMpuRuleBank + static_cast<uint32_t>(index) * 4,
+        EncodeMpuRule(subject, object, r, w, x));
+  };
+
+  std::string source;
+  for (int i = 0; i < kChunks; ++i) {
+    const uint32_t code = kCodeBase + static_cast<uint32_t>(i) * kCodeStride;
+    const uint32_t data = kDataBase + static_cast<uint32_t>(i) * kDataStride;
+    set_region(i, code, code + 0x40, kMpuAttrEnable | kMpuAttrCode);
+    set_region(kChunks + i, data, data + 0x40, kMpuAttrEnable);
+    const uint32_t subject = static_cast<uint32_t>(i);
+    set_rule(3 * i + 0, subject, subject, false, false, true);  // Self-exec.
+    set_rule(3 * i + 1, subject, static_cast<uint32_t>((i + 1) % kChunks),
+             false, false, true);  // Next chunk's entry vector.
+    set_rule(3 * i + 2, subject, static_cast<uint32_t>(kChunks + i), true,
+             true, false);  // Own data region.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ".org 0x%x\nchunk%d:\n    li r1, 0x%x\n    stw r2, [r1]\n"
+                  "    ldw r3, [r1]\n    addi r2, r2, 1\n    jmp chunk%d\n",
+                  code, i, data, (i + 1) % kChunks);
+    source += buf;
+  }
+  bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+
+  Result<AsmOutput> out = Assemble(source);
+  for (const AsmChunk& chunk : out->chunks) {
+    bus.HostWriteBytes(chunk.base, chunk.bytes);
+  }
+  platform.cpu().Reset(kCodeBase);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  if (platform.cpu().halted()) {
+    state.SkipWithError("workload trapped");
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_MpuCacheThrash);
+
+// Fault path: an unprotected loop repeatedly loads from a protected region
+// with no matching rule; every access latches an MPU fault, enters the
+// exception engine, and the handler acknowledges the fault and IRETs back
+// to the faulting instruction. Measures fault latch + exception entry +
+// handler + IRET round trips.
+void BM_MpuFaultPath(benchmark::State& state) {
+  Platform platform;
+  Bus& bus = platform.bus();
+  // A protected region nobody may touch.
+  const uint32_t reg = kMpuMmioBase + kMpuRegionBank;
+  bus.HostWriteWord(reg + 0, 0x38000);
+  bus.HostWriteWord(reg + 4, 0x38100);
+  bus.HostWriteWord(reg + 8, kMpuAttrEnable);
+  bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+
+  char src[256];
+  std::snprintf(src, sizeof(src), R"(
+.org 0x30000
+start:
+    li r1, 0x38000
+    li r4, 0x%x
+fault_loop:
+    ldw r3, [r1]
+handler:
+    addi sp, sp, 4
+    stw r0, [r4]
+    iret
+)",
+                kMpuMmioBase + kMpuRegFaultInfo);
+  Result<AsmOutput> out = Assemble(src);
+  uint32_t base = 0;
+  bus.HostWriteBytes(0x30000, out->Flatten(&base));
+  bus.HostWriteWord(kSysCtlBase + kSysCtlRegHandlerBase, out->symbols.at("handler"));
+  platform.cpu().Reset(out->symbols.at("start"));
+  platform.cpu().set_reg(kRegSp, 0x3F000);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  if (platform.cpu().halted()) {
+    state.SkipWithError("workload trapped");
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().exceptions));
+}
+BENCHMARK(BM_MpuFaultPath);
+
 void BM_PreemptiveSystem(benchmark::State& state) {
   // Full system: nanOS + 2 trustlets under a fast scheduler tick.
   Platform platform;

@@ -11,15 +11,19 @@ Cpu::Cpu(Bus* bus, SysCtl* sysctl, const CpuConfig& config)
     : bus_(bus), sysctl_(sysctl), config_(config) {
   assert(bus_ != nullptr);
   assert(sysctl_ != nullptr);
+  decode_cache_.resize(kDecodeCacheSize);
 }
 
 void Cpu::AddIrqSource(Device* device) {
   assert(device->irq_line() >= 0);
-  irq_sources_.push_back(device);
-  std::sort(irq_sources_.begin(), irq_sources_.end(),
-            [](const Device* a, const Device* b) {
-              return a->irq_line() < b->irq_line();
-            });
+  // Keep the list ordered by IRQ line (priority) with a sorted insert
+  // instead of re-sorting the whole vector on every registration.
+  irq_sources_.insert(
+      std::upper_bound(irq_sources_.begin(), irq_sources_.end(), device,
+                       [](const Device* a, const Device* b) {
+                         return a->irq_line() < b->irq_line();
+                       }),
+      device);
 }
 
 void Cpu::Reset(uint32_t reset_vector) {
@@ -513,13 +517,29 @@ StepEvent Cpu::Step() {
     return halted_ ? StepEvent::kHalted : StepEvent::kException;
   }
 
-  const std::optional<Instruction> insn = Decode(word);
-  if (!insn.has_value()) {
-    const uint32_t handler =
-        sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
-    EnterException(kExcIllegal, handler, ip_, ip_, ip_);
-    bus_->TickDevices(cycles_ - cycles_before);
-    return halted_ ? StepEvent::kHalted : StepEvent::kException;
+  // Decode, via the direct-mapped decode cache. The fetched word is always
+  // compared against the cached one, so a store that rewrote this address
+  // (self-modifying code, loader) can never replay a stale decode; the
+  // generation check additionally re-stamps entries after memory writes.
+  const uint64_t mem_gen = bus_->memory_generation();
+  DecodeEntry& cached = decode_cache_[(ip_ >> 2) & (kDecodeCacheSize - 1)];
+  const Instruction* insn = nullptr;
+  if (cached.valid && cached.addr == ip_ && cached.word == word) {
+    cached.generation = mem_gen;  // Revalidated against the fresh word.
+    ++stats_.decode_hits;
+    insn = &cached.insn;
+  } else {
+    ++stats_.decode_misses;
+    const std::optional<Instruction> decoded = Decode(word);
+    if (!decoded.has_value()) {
+      const uint32_t handler =
+          sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
+      EnterException(kExcIllegal, handler, ip_, ip_, ip_);
+      bus_->TickDevices(cycles_ - cycles_before);
+      return halted_ ? StepEvent::kHalted : StepEvent::kException;
+    }
+    cached = DecodeEntry{ip_, word, mem_gen, true, *decoded};
+    insn = &cached.insn;
   }
 
   const uint32_t insn_addr = ip_;

@@ -113,6 +113,9 @@ struct CpuStats {
   uint64_t exceptions = 0;
   uint64_t interrupts = 0;
   uint64_t trustlet_interrupts = 0;  // Secure-engine full-save entries.
+  // Decoded-instruction cache counters (host-side simulation detail).
+  uint64_t decode_hits = 0;
+  uint64_t decode_misses = 0;
 };
 
 class Cpu {
@@ -210,6 +213,22 @@ class Cpu {
 
   bool PendingIrq(Device** source) const;
 
+  // Direct-mapped decoded-instruction cache. Every fetch still goes through
+  // the bus (so MPU checks and device semantics are untouched); the cache
+  // only skips re-running Decode() on the fetched word. An entry is used
+  // when its address AND raw word match the fetched word, which makes it
+  // exact even for self-modifying code; the bus memory generation marks
+  // entries written since they were filled, so a stale-generation entry is
+  // revalidated against the fresh word before reuse.
+  struct DecodeEntry {
+    uint32_t addr = 0;
+    uint32_t word = 0;
+    uint64_t generation = 0;  // Bus memory generation at fill/revalidate.
+    bool valid = false;
+    Instruction insn;
+  };
+  static constexpr uint32_t kDecodeCacheSize = 1024;  // Power of two.
+
   Bus* bus_;
   SysCtl* sysctl_;
   EaMpu* mpu_ = nullptr;
@@ -232,6 +251,7 @@ class Cpu {
   uint32_t last_exception_entry_cycles_ = 0;
   CpuStats stats_;
   TrapInfo trap_;
+  std::vector<DecodeEntry> decode_cache_;
 };
 
 }  // namespace trustlite

@@ -47,6 +47,7 @@ class SysCtl : public Device {
   AccessResult Read(uint32_t offset, uint32_t width, uint32_t* value) override;
   AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
   void Tick(uint64_t cycles) override { cycle_counter_ += cycles; }
+  bool WantsTick() const override { return true; }
   void Reset() override;
 
   // CPU-side wiring.

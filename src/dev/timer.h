@@ -40,6 +40,7 @@ class Timer : public Device {
   AccessResult Read(uint32_t offset, uint32_t width, uint32_t* value) override;
   AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
   void Tick(uint64_t cycles) override;
+  bool WantsTick() const override { return true; }
   void Reset() override;
 
   int irq_line() const override { return irq_line_; }

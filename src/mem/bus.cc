@@ -2,6 +2,7 @@
 
 #include "src/mem/bus.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace trustlite {
@@ -14,16 +15,39 @@ void Bus::Attach(Device* device) {
     assert(!overlaps && "overlapping device ranges");
     (void)overlaps;
   }
-  devices_.push_back(device);
+  devices_.insert(std::upper_bound(devices_.begin(), devices_.end(), device,
+                                   [](const Device* a, const Device* b) {
+                                     return a->base() < b->base();
+                                   }),
+                  device);
+  if (device->WantsTick()) {
+    tick_devices_.push_back(device);
+  }
 }
 
 Device* Bus::FindDevice(uint32_t addr) const {
-  for (Device* device : devices_) {
-    if (device->Contains(addr)) {
-      return device;
-    }
+  // Hot path: the previously resolved device. Bus traffic is dominated by
+  // runs against a single device (straight-line fetch, one RAM for data).
+  if (last_device_ != nullptr && last_device_->Contains(addr)) {
+    ++stats_.route_hits;
+    return last_device_;
   }
-  return nullptr;
+  ++stats_.route_misses;
+  // Binary search over the sorted, non-overlapping table: the candidate is
+  // the last device with base <= addr.
+  auto it = std::upper_bound(devices_.begin(), devices_.end(), addr,
+                             [](uint32_t a, const Device* d) {
+                               return a < d->base();
+                             });
+  if (it == devices_.begin()) {
+    return nullptr;
+  }
+  Device* device = *(it - 1);
+  if (!device->Contains(addr)) {
+    return nullptr;
+  }
+  last_device_ = device;
+  return device;
 }
 
 AccessResult Bus::Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
@@ -71,6 +95,9 @@ AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
   if (wait_states != nullptr) {
     *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
   }
+  if (device->IsMemory()) {
+    ++memory_generation_;
+  }
   return device->Write(addr - device->base(), width, value);
 }
 
@@ -87,6 +114,9 @@ bool Bus::HostWriteWord(uint32_t addr, uint32_t value) {
   if (device == nullptr || (addr & 3) != 0) {
     return false;
   }
+  if (device->IsMemory()) {
+    ++memory_generation_;
+  }
   return device->Write(addr - device->base(), 4, value) == AccessResult::kOk;
 }
 
@@ -94,36 +124,52 @@ bool Bus::HostReadBytes(uint32_t addr, uint32_t count,
                         std::vector<uint8_t>* out) {
   out->clear();
   out->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
+  uint32_t i = 0;
+  while (i < count) {
     Device* device = FindDevice(addr + i);
     if (device == nullptr) {
       return false;
     }
-    uint32_t value = 0;
-    if (device->Read(addr + i - device->base(), 1, &value) != AccessResult::kOk) {
-      return false;
+    // Read the whole run that falls inside this device without re-routing.
+    const uint64_t run_end =
+        std::min<uint64_t>(count, static_cast<uint64_t>(device->end()) - addr);
+    for (; i < run_end; ++i) {
+      uint32_t value = 0;
+      if (device->Read(addr + i - device->base(), 1, &value) !=
+          AccessResult::kOk) {
+        return false;
+      }
+      out->push_back(static_cast<uint8_t>(value));
     }
-    out->push_back(static_cast<uint8_t>(value));
   }
   return true;
 }
 
 bool Bus::HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
-  for (uint32_t i = 0; i < bytes.size(); ++i) {
+  const uint32_t count = static_cast<uint32_t>(bytes.size());
+  uint32_t i = 0;
+  while (i < count) {
     Device* device = FindDevice(addr + i);
     if (device == nullptr) {
       return false;
     }
-    if (device->Write(addr + i - device->base(), 1, bytes[i]) !=
-        AccessResult::kOk) {
-      return false;
+    if (device->IsMemory()) {
+      ++memory_generation_;
+    }
+    const uint64_t run_end =
+        std::min<uint64_t>(count, static_cast<uint64_t>(device->end()) - addr);
+    for (; i < run_end; ++i) {
+      if (device->Write(addr + i - device->base(), 1, bytes[i]) !=
+          AccessResult::kOk) {
+        return false;
+      }
     }
   }
   return true;
 }
 
 void Bus::TickDevices(uint64_t cycles) {
-  for (Device* device : devices_) {
+  for (Device* device : tick_devices_) {
     device->Tick(cycles);
   }
 }

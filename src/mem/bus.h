@@ -3,6 +3,12 @@
 // System bus: routes CPU accesses to devices, with an optional protection
 // unit checked *before* the access proceeds (the MPU sits on the path of
 // every memory and MMIO access, paper Fig. 1/2).
+//
+// Routing is O(log n) worst case and O(1) on the hot path: the device table
+// is kept sorted by base address (ranges never overlap, asserted at Attach)
+// and the most recently hit device is memoized — consecutive accesses to
+// the same device (the overwhelmingly common case: straight-line fetches
+// plus data in one RAM) resolve with two comparisons.
 
 #ifndef TRUSTLITE_SRC_MEM_BUS_H_
 #define TRUSTLITE_SRC_MEM_BUS_H_
@@ -25,6 +31,12 @@ class ProtectionUnit {
   virtual void Reset() {}
 };
 
+// Host-side routing counters (not guest-visible).
+struct BusStats {
+  uint64_t route_hits = 0;    // FindDevice answered by the memoized device.
+  uint64_t route_misses = 0;  // FindDevice fell back to binary search.
+};
+
 class Bus {
  public:
   Bus() = default;
@@ -32,7 +44,8 @@ class Bus {
   Bus& operator=(const Bus&) = delete;
 
   // Devices are owned by the Platform; the bus only routes. Overlapping
-  // ranges are a configuration bug (asserted).
+  // ranges are a configuration bug (asserted). The table is kept sorted by
+  // base address regardless of attach order.
   void Attach(Device* device);
 
   void SetProtectionUnit(ProtectionUnit* unit) { protection_ = unit; }
@@ -48,22 +61,36 @@ class Bus {
 
   // Host/debug accesses: no protection check, no side effects on fault
   // registers. Used by loaders operating before the MPU is armed, tests and
-  // trace tooling.
+  // trace tooling. The byte-run helpers resolve the target device once per
+  // contiguous device range, not once per byte.
   bool HostReadWord(uint32_t addr, uint32_t* value);
   bool HostWriteWord(uint32_t addr, uint32_t value);
   bool HostReadBytes(uint32_t addr, uint32_t count, std::vector<uint8_t>* out);
   bool HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
 
   Device* FindDevice(uint32_t addr) const;
+  // Devices in base-address order.
   const std::vector<Device*>& devices() const { return devices_; }
 
-  // Ticks every device and resets them all (platform reset).
+  // Monotonic counter bumped on every store into a memory-backed device
+  // (guest, engine, or host path). Consumers (the CPU decode cache) treat a
+  // change as "any instruction word may have changed".
+  uint64_t memory_generation() const { return memory_generation_; }
+
+  const BusStats& stats() const { return stats_; }
+
+  // Ticks every time-keeping device (Device::WantsTick) and resets them all
+  // (platform reset).
   void TickDevices(uint64_t cycles);
   void ResetDevices();
 
  private:
-  std::vector<Device*> devices_;
+  std::vector<Device*> devices_;       // Sorted by base address.
+  std::vector<Device*> tick_devices_;  // Subset with WantsTick().
   ProtectionUnit* protection_ = nullptr;
+  uint64_t memory_generation_ = 1;
+  mutable Device* last_device_ = nullptr;
+  mutable BusStats stats_;
 };
 
 }  // namespace trustlite

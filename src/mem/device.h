@@ -50,6 +50,17 @@ class Device {
   // Advances device-local time by `cycles` CPU cycles (timers etc.).
   virtual void Tick(uint64_t cycles) { (void)cycles; }
 
+  // True when the device keeps device-local time and must receive Tick()
+  // calls. The bus only dispatches Tick() to devices that return true, so
+  // purely combinational devices (RAM, UART, GPIO, ...) are skipped on the
+  // per-instruction tick path. Must be constant for a device's lifetime.
+  virtual bool WantsTick() const { return false; }
+
+  // True for memory-backed devices (RAM/PROM): a guest or host store into
+  // such a device may overwrite instructions, so the bus bumps its memory
+  // generation counter (consumed by the CPU's decode cache).
+  virtual bool IsMemory() const { return false; }
+
   // Interrupt interface. A device on an IRQ line reports pending state and
   // its programmed handler address (device-provided vectoring: the paper's
   // timer exposes a `handler(ISR)` MMIO register, Fig. 3).

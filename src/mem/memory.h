@@ -32,6 +32,8 @@ class Ram : public Device {
     return wait_states_;
   }
 
+  bool IsMemory() const override { return true; }
+
   // Host-side (non-guest) raw access for loaders and tests.
   void LoadBytes(uint32_t offset, const std::vector<uint8_t>& bytes);
   std::vector<uint8_t> ReadBytes(uint32_t offset, uint32_t count) const;

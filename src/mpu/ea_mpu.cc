@@ -2,6 +2,7 @@
 
 #include "src/mpu/ea_mpu.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/mem/layout.h"
@@ -18,21 +19,26 @@ EaMpu::EaMpu(uint32_t mmio_base, int num_regions, int num_rules)
   rules_.resize(static_cast<size_t>(num_rules), 0);
   region_hardwired_.resize(static_cast<size_t>(num_regions), false);
   rule_hardwired_.resize(static_cast<size_t>(num_rules), false);
+  decision_cache_.resize(kDecisionCacheSize);
+  fetch_cache_.resize(kFetchCacheSize);
 }
 
 void EaMpu::HardwireRegion(int index, const MpuRegion& region) {
   regions_[static_cast<size_t>(index)] = region;
   region_hardwired_[static_cast<size_t>(index)] = true;
+  BumpConfigGen();
 }
 
 void EaMpu::HardwireRule(int index, uint32_t rule) {
   rules_[static_cast<size_t>(index)] = rule;
   rule_hardwired_[static_cast<size_t>(index)] = true;
+  BumpConfigGen();
 }
 
 void EaMpu::HardwireEnable() {
   hardwired_enable_ = true;
   ctrl_ |= kMpuCtrlEnable;
+  BumpConfigGen();
 }
 
 bool EaMpu::IsHardwiredRegion(int index) const {
@@ -62,6 +68,7 @@ void EaMpu::Reset() {
       rules_[i] = 0;
     }
   }
+  BumpConfigGen();
 }
 
 AccessResult EaMpu::Read(uint32_t offset, uint32_t width, uint32_t* value) {
@@ -161,6 +168,7 @@ AccessResult EaMpu::Write(uint32_t offset, uint32_t width, uint32_t value) {
       if (hardwired_enable_) {
         ctrl_ |= kMpuCtrlEnable;
       }
+      BumpConfigGen();  // Enable/compat-mode flips change every decision.
       return AccessResult::kOk;
     case kMpuRegFaultInfo:
       fault_info_ = 0;  // Any write acknowledges/clears the latched fault.
@@ -177,6 +185,7 @@ AccessResult EaMpu::Write(uint32_t offset, uint32_t width, uint32_t value) {
       offset < kMpuRegionBank + regions_.size() * kMpuRegionStride) {
     const uint32_t index = (offset - kMpuRegionBank) / kMpuRegionStride;
     MpuRegion& region = regions_[index];
+    BumpConfigGen();
     switch ((offset - kMpuRegionBank) % kMpuRegionStride) {
       case 0:
         region.base = value;
@@ -195,6 +204,7 @@ AccessResult EaMpu::Write(uint32_t offset, uint32_t width, uint32_t value) {
   }
   if (offset >= kMpuRuleBank && offset < kMpuRuleBank + rules_.size() * 4) {
     rules_[(offset - kMpuRuleBank) / 4] = value;
+    BumpConfigGen();
     return AccessResult::kOk;
   }
   return AccessResult::kBusError;
@@ -276,44 +286,195 @@ bool EaMpu::RuleAllows(const AccessContext& ctx, std::optional<int> subject,
   return false;
 }
 
+int EaMpu::SubjectFor(uint32_t ip) {
+  if (subject_cache_.gen == config_gen_ && ip >= subject_cache_.lo &&
+      ip < subject_cache_.hi) {
+    ++stats_.subject_hits;
+    return subject_cache_.subject;
+  }
+  ++stats_.subject_misses;
+  // Recompute FindCodeRegion(ip) and, alongside, the widest interval around
+  // `ip` in which the answer cannot change: shrink by the boundaries of
+  // every enabled code region scanned before the first match (first-match
+  // precedence) — or of all of them when there is no match.
+  uint32_t lo = 0;
+  uint64_t hi = uint64_t{1} << 32;
+  int found = -1;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const MpuRegion& r = regions_[i];
+    if (!r.enabled() || (r.attr & kMpuAttrCode) == 0) {
+      continue;
+    }
+    if (r.Contains(ip)) {
+      found = static_cast<int>(i);
+      lo = std::max(lo, r.base);
+      hi = std::min<uint64_t>(hi, r.end);
+      break;
+    }
+    if (r.base > ip) {
+      hi = std::min<uint64_t>(hi, r.base);
+    } else {
+      lo = std::max(lo, r.end);
+    }
+  }
+  subject_cache_ = SubjectCache{config_gen_, lo, hi, found};
+  return found;
+}
+
+const EaMpu::CoverageCache& EaMpu::CoverageFor(uint32_t addr) {
+  if (coverage_cache_.gen == config_gen_ && addr >= coverage_cache_.lo &&
+      addr < coverage_cache_.hi) {
+    return coverage_cache_;
+  }
+  CoverageCache c;
+  c.gen = config_gen_;
+  uint32_t lo = 0;
+  uint64_t hi = uint64_t{1} << 32;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const MpuRegion& r = regions_[i];
+    if (!r.enabled()) {
+      continue;
+    }
+    if (r.Contains(addr)) {
+      if (c.count < kMaxCoverage) {
+        c.regions[c.count++] = static_cast<uint8_t>(i);
+      } else {
+        c.overflow = true;
+      }
+      lo = std::max(lo, r.base);
+      hi = std::min<uint64_t>(hi, r.end);
+    } else if (r.base > addr) {
+      hi = std::min<uint64_t>(hi, r.base);
+    } else {
+      lo = std::max(lo, r.end);
+    }
+  }
+  c.lo = lo;
+  c.hi = hi;
+  coverage_cache_ = c;
+  return coverage_cache_;
+}
+
+bool EaMpu::DataRuleAllows(const AccessContext& ctx, int subject, int object) {
+  // Data (read/write) rule evaluation never consults the address, so the
+  // decision is a pure function of (subject, object, kind, privileged) and
+  // the configuration generation.
+  const uint32_t key = static_cast<uint32_t>(subject + 1) |
+                       static_cast<uint32_t>(object) << 8 |
+                       static_cast<uint32_t>(ctx.kind) << 16 |
+                       (ctx.privileged ? 1u << 18 : 0u);
+  DecisionEntry& entry =
+      decision_cache_[(key * 0x9E3779B1u) >> 23];  // 512 slots.
+  if (entry.gen == config_gen_ && entry.key == key) {
+    ++stats_.decision_hits;
+    return entry.allow;
+  }
+  ++stats_.decision_misses;
+  const std::optional<int> subj =
+      subject >= 0 ? std::optional<int>(subject) : std::nullopt;
+  const bool allow =
+      RuleAllows(ctx, subj, object, regions_[static_cast<size_t>(object)].base);
+  entry = DecisionEntry{config_gen_, key, allow};
+  return allow;
+}
+
+bool EaMpu::FetchCheckPasses(const AccessContext& ctx, int subject,
+                             uint32_t addr) {
+  // Fetch decisions are keyed on the *exact* address: the entry-vector rule
+  // admits foreign execution only at an object region's first word, so two
+  // addresses in the same region can legitimately differ.
+  const uint64_t key = static_cast<uint64_t>(addr) |
+                       static_cast<uint64_t>(subject + 1) << 32 |
+                       (ctx.privileged ? uint64_t{1} << 41 : 0u);
+  const uint32_t index =
+      ((addr >> 2) ^ static_cast<uint32_t>(subject + 1) * 0x9E3779B1u) &
+      (kFetchCacheSize - 1);
+  FetchEntry& entry = fetch_cache_[index];
+  if (entry.gen == config_gen_ && entry.key == key) {
+    ++stats_.fetch_hits;
+    return entry.allow;
+  }
+  ++stats_.fetch_misses;
+  const std::optional<int> subj =
+      subject >= 0 ? std::optional<int>(subject) : std::nullopt;
+  bool covered = false;
+  bool allowed = false;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (!regions_[r].Contains(addr)) {
+      continue;
+    }
+    covered = true;
+    if (RuleAllows(ctx, subj, static_cast<int>(r), addr)) {
+      allowed = true;
+      break;
+    }
+  }
+  const bool pass = !covered || allowed;
+  entry = FetchEntry{config_gen_, key, pass};
+  return pass;
+}
+
 AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
                           uint32_t width) {
   if (!enabled()) {
     return AccessResult::kOk;
   }
   ++stats_.checks;
-  const std::optional<int> subject = FindCodeRegion(ctx.curr_ip);
+  const int subject = SubjectFor(ctx.curr_ip);
 
   // Evaluate all bytes of the access (a word straddling a region boundary
   // must be allowed on both sides). Fetches are always word-aligned and are
   // judged at the fetch address itself so the entry-vector comparison sees
   // the instruction address, not its tail bytes.
-  const uint32_t granularity = (ctx.kind == AccessKind::kFetch) ? 1 : width;
-  bool any_covered = false;
-  bool all_allowed = true;
-  for (uint32_t i = 0; i < granularity; ++i) {
-    const uint32_t byte_addr = addr + i;
-    bool covered = false;
-    bool allowed = false;
-    for (size_t r = 0; r < regions_.size(); ++r) {
-      if (!regions_[r].Contains(byte_addr)) {
-        continue;
+  bool deny = false;
+  if (ctx.kind == AccessKind::kFetch) {
+    deny = !FetchCheckPasses(ctx, subject, addr);
+  } else {
+    const CoverageCache& cov = CoverageFor(addr);
+    if (!cov.overflow && addr >= cov.lo && addr + width <= cov.hi) {
+      // Fast path: every byte of the access lies in one homogeneous
+      // interval — all bytes share the same covering-region set, so one
+      // memoized decision per covering region settles the whole access.
+      if (cov.count != 0) {
+        bool allowed = false;
+        for (int i = 0; i < cov.count && !allowed; ++i) {
+          allowed = DataRuleAllows(ctx, subject, cov.regions[i]);
+        }
+        deny = !allowed;
       }
-      covered = true;
-      if (RuleAllows(ctx, subject, static_cast<int>(r), byte_addr)) {
-        allowed = true;
-        break;
+    } else {
+      // Slow path (access straddles a coverage boundary, or more regions
+      // overlap here than the cache tracks): the original byte-wise scan.
+      const std::optional<int> subj =
+          subject >= 0 ? std::optional<int>(subject) : std::nullopt;
+      bool any_covered = false;
+      bool all_allowed = true;
+      for (uint32_t i = 0; i < width; ++i) {
+        const uint32_t byte_addr = addr + i;
+        bool covered = false;
+        bool allowed = false;
+        for (size_t r = 0; r < regions_.size(); ++r) {
+          if (!regions_[r].Contains(byte_addr)) {
+            continue;
+          }
+          covered = true;
+          if (RuleAllows(ctx, subj, static_cast<int>(r), byte_addr)) {
+            allowed = true;
+            break;
+          }
+        }
+        if (covered) {
+          any_covered = true;
+          if (!allowed) {
+            all_allowed = false;
+            break;
+          }
+        }
       }
-    }
-    if (covered) {
-      any_covered = true;
-      if (!allowed) {
-        all_allowed = false;
-        break;
-      }
+      deny = any_covered && !all_allowed;
     }
   }
-  if (!any_covered || all_allowed) {
+  if (!deny) {
     return AccessResult::kOk;
   }
 

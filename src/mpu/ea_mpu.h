@@ -98,6 +98,17 @@ struct MpuStats {
   uint64_t checks = 0;
   uint64_t faults = 0;
   uint64_t mmio_writes = 0;
+  // Fast-path counters (host-side; no architectural meaning). The subject
+  // cache memoizes curr_IP -> code region over a validity interval; the
+  // decision cache memoizes (subject, object, kind, privileged) -> allow for
+  // data accesses; the fetch cache memoizes (subject, exact address,
+  // privileged) -> allow so the entry-vector rule stays address-exact.
+  uint64_t subject_hits = 0;
+  uint64_t subject_misses = 0;
+  uint64_t decision_hits = 0;
+  uint64_t decision_misses = 0;
+  uint64_t fetch_hits = 0;
+  uint64_t fetch_misses = 0;
 };
 
 // The EA-MPU is both a ProtectionUnit (checks every bus access) and a Device
@@ -150,10 +161,57 @@ class EaMpu : public Device, public ProtectionUnit {
   // the number of checked memory regions").
   static int FaultTreeDepth(int num_regions);
 
+  // Generation of the protection configuration (ctrl, regions, rules).
+  // Bumped on every mutation; all caches key on it, so reprogramming,
+  // locking, hardwiring or Reset() invalidates every memoized decision.
+  uint64_t config_generation() const { return config_gen_; }
+
  private:
   bool RegisterWriteAllowed(uint32_t offset) const;
   bool RuleAllows(const AccessContext& ctx, std::optional<int> subject,
                   int object, uint32_t addr) const;
+
+  // --- Access-decision fast path (behaviour-preserving memoization) ---
+  // Subject resolution: FindCodeRegion(ip) memoized together with the
+  // largest interval [lo, hi) around ip over which the answer is constant
+  // given the current region bank (accounts for first-match precedence).
+  int SubjectFor(uint32_t ip);  // Region index, or -1 for "unprotected".
+  // Object coverage: the set of enabled regions containing an address,
+  // memoized with its constancy interval.
+  struct CoverageCache {
+    uint64_t gen = 0;
+    uint32_t lo = 0;
+    uint64_t hi = 0;  // Exclusive; 2^32 expressible.
+    uint8_t count = 0;
+    bool overflow = false;  // > kMaxCoverage containing regions: slow path.
+    uint8_t regions[8];
+  };
+  static constexpr int kMaxCoverage = 8;
+  const CoverageCache& CoverageFor(uint32_t addr);
+  // Memoized RuleAllows for data accesses (address-independent).
+  bool DataRuleAllows(const AccessContext& ctx, int subject, int object);
+  // Per-address fetch decision: covered-implies-allowed at exactly `addr`.
+  bool FetchCheckPasses(const AccessContext& ctx, int subject, uint32_t addr);
+  void BumpConfigGen() { ++config_gen_; }
+
+  struct SubjectCache {
+    uint64_t gen = 0;
+    uint32_t lo = 0;
+    uint64_t hi = 0;  // Exclusive.
+    int subject = -1;
+  };
+  struct DecisionEntry {
+    uint64_t gen = 0;
+    uint32_t key = 0;
+    bool allow = false;
+  };
+  struct FetchEntry {
+    uint64_t gen = 0;
+    uint64_t key = 0;
+    bool allow = false;
+  };
+  static constexpr uint32_t kDecisionCacheSize = 512;  // Power of two.
+  static constexpr uint32_t kFetchCacheSize = 256;     // Power of two.
 
   uint32_t ctrl_ = 0;
   uint32_t fault_ip_ = 0;
@@ -165,6 +223,12 @@ class EaMpu : public Device, public ProtectionUnit {
   std::vector<bool> region_hardwired_;
   std::vector<bool> rule_hardwired_;
   MpuStats stats_;
+
+  uint64_t config_gen_ = 1;
+  SubjectCache subject_cache_;
+  CoverageCache coverage_cache_;
+  std::vector<DecisionEntry> decision_cache_;
+  std::vector<FetchEntry> fetch_cache_;
 };
 
 // Convenience encoder for rule words.

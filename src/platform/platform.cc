@@ -91,6 +91,17 @@ StepEvent Platform::Run(uint64_t max_instructions) {
   return cpu_->Run(max_instructions);
 }
 
+FastPathStats Platform::fast_path_stats() const {
+  FastPathStats stats;
+  stats.bus = bus_.stats();
+  stats.decode_hits = cpu_->stats().decode_hits;
+  stats.decode_misses = cpu_->stats().decode_misses;
+  if (mpu_ != nullptr) {
+    stats.mpu = mpu_->stats();
+  }
+  return stats;
+}
+
 bool Platform::RunUntilIp(uint32_t target_ip, uint64_t max_steps) {
   for (uint64_t i = 0; i < max_steps; ++i) {
     if (cpu_->ip() == target_ip) {

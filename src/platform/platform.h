@@ -48,6 +48,16 @@ struct PlatformConfig {
   DmaEngine::Mode dma_mode = DmaEngine::Mode::kExecutionAware;
 };
 
+// Aggregated fast-path cache counters (bus routing, decode cache, EA-MPU
+// subject/decision/fetch caches). Host-side simulation telemetry, surfaced
+// by `tlsim run --stats`.
+struct FastPathStats {
+  BusStats bus;
+  uint64_t decode_hits = 0;
+  uint64_t decode_misses = 0;
+  MpuStats mpu;  // Zeroed when the platform has no MPU.
+};
+
 class Platform {
  public:
   explicit Platform(const PlatformConfig& config = {});
@@ -94,6 +104,9 @@ class Platform {
   // `max_steps`). Returns true if the target was reached. Used by benches to
   // measure simulated-cycle intervals between program points.
   bool RunUntilIp(uint32_t target_ip, uint64_t max_steps);
+
+  // Snapshot of all simulation fast-path counters.
+  FastPathStats fast_path_stats() const;
 
  private:
   PlatformConfig config_;

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ASan + UBSan build-and-test configuration: cache/invalidation bugs in the
+# simulator fast path (decode cache, EA-MPU decision caches, bus routing
+# memoization) surface as sanitizer failures instead of heisenbugs.
+#
+# usage: tools/ci_sanitize.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+
+# RelWithDebInfo (not Debug): the tier-1 suite runs with NDEBUG — some
+# error-path tests drive Encode() past its debug-only asserts on purpose.
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the simulator bench suite and emits BENCH_sim.json for trend
+# tracking (google-benchmark JSON format, one file per run).
+#
+# usage: tools/run_benches.sh [build-dir] [out.json]
+#   BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.2)
+#   BENCH_FILTER     --benchmark_filter regex (default: all)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_sim.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+FILTER="${BENCH_FILTER:-.}"
+
+BIN="$BUILD_DIR/bench/bench_sim_throughput"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

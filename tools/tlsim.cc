@@ -48,7 +48,7 @@ int Usage() {
       "  tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]\n"
       "  tlsim disas <file.bin> [--base ADDR]\n"
       "  tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]\n"
-      "              [--trace] [--uart-in TEXT] [--no-mpu]\n");
+      "              [--trace] [--uart-in TEXT] [--no-mpu] [--stats]\n");
   return 2;
 }
 
@@ -157,6 +157,7 @@ int CmdRun(const std::vector<std::string>& args) {
   uint64_t max_instructions = 1'000'000;
   bool trace = false;
   bool no_mpu = false;
+  bool stats = false;
   std::string uart_in;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--entry" && i + 1 < args.size()) {
@@ -169,6 +170,8 @@ int CmdRun(const std::vector<std::string>& args) {
       trace = true;
     } else if (args[i] == "--no-mpu") {
       no_mpu = true;
+    } else if (args[i] == "--stats") {
+      stats = true;
     } else if (args[i] == "--uart-in" && i + 1 < args.size()) {
       uart_in = args[++i];
     } else if (input.empty()) {
@@ -246,6 +249,29 @@ int CmdRun(const std::vector<std::string>& args) {
                 (i % 4 == 3) ? "\n" : "  ");
   }
   std::printf("  ip=%08x flags=%08x\n", cpu.ip(), cpu.flags());
+  if (stats) {
+    const FastPathStats fp = platform.fast_path_stats();
+    auto print_cache = [](const char* name, uint64_t hits, uint64_t misses) {
+      const uint64_t total = hits + misses;
+      std::printf("  %-12s hits %-12llu misses %-12llu hit-rate %5.1f%%\n",
+                  name, static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses),
+                  total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                         static_cast<double>(total));
+    };
+    std::printf("--- fast-path stats ---\n");
+    print_cache("bus-route", fp.bus.route_hits, fp.bus.route_misses);
+    print_cache("decode", fp.decode_hits, fp.decode_misses);
+    if (!no_mpu) {
+      print_cache("mpu-subject", fp.mpu.subject_hits, fp.mpu.subject_misses);
+      print_cache("mpu-decision", fp.mpu.decision_hits, fp.mpu.decision_misses);
+      print_cache("mpu-fetch", fp.mpu.fetch_hits, fp.mpu.fetch_misses);
+      std::printf("  mpu checks %llu   faults %llu   mmio writes %llu\n",
+                  static_cast<unsigned long long>(fp.mpu.checks),
+                  static_cast<unsigned long long>(fp.mpu.faults),
+                  static_cast<unsigned long long>(fp.mpu.mmio_writes));
+    }
+  }
   return cpu.trap().valid ? 1 : 0;
 }
 
