@@ -121,6 +121,15 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
   }
 
   if (handler == 0) {
+    // Unhandled trap. If a trustlet was interrupted, its GPRs must still be
+    // cleared before the CPU parks: the halt is followed by a reset and the
+    // Secure Loader, and nothing on that path may observe trustlet state
+    // (the register-clear step of Fig. 4 is unconditional).
+    if (trustlet_path) {
+      for (uint32_t& reg : regs_) {
+        reg = 0;
+      }
+    }
     cycles_ += entry_cycles;
     last_exception_entry_cycles_ = entry_cycles;
     HaltWithTrap(exception_class, fault_addr, "unhandled exception");
@@ -485,6 +494,19 @@ StepEvent Cpu::Step() {
     }
   }
 
+  // A misaligned IP faults before anything else — in particular before the
+  // decode-cache lookup, whose index drops the low two bits: without this
+  // latch a 4-unaligned IP would alias the entry of a different aligned
+  // address. (The bus rejects misaligned word reads too; this makes the
+  // ordering explicit and independent of the bus.)
+  if ((ip_ & 3u) != 0) {
+    const uint32_t handler =
+        sysctl_->HandlerFor(ExceptionClass::kAlignmentFault);
+    EnterException(kExcAlign, handler, ip_, ip_, prev_ip_);
+    bus_->TickDevices(cycles_ - cycles_before);
+    return halted_ ? StepEvent::kHalted : StepEvent::kException;
+  }
+
   // Fetch. The access subject is the instruction that transferred control
   // here (prev_ip_), not the target itself — this is the execution-aware
   // check that confines cross-region entry to entry vectors.
@@ -524,7 +546,8 @@ StepEvent Cpu::Step() {
   const uint64_t mem_gen = bus_->memory_generation();
   DecodeEntry& cached = decode_cache_[(ip_ >> 2) & (kDecodeCacheSize - 1)];
   const Instruction* insn = nullptr;
-  if (cached.valid && cached.addr == ip_ && cached.word == word) {
+  if (config_.decode_cache && cached.valid && cached.addr == ip_ &&
+      cached.word == word) {
     cached.generation = mem_gen;  // Revalidated against the fresh word.
     ++stats_.decode_hits;
     insn = &cached.insn;

@@ -105,6 +105,9 @@ struct CpuConfig {
   // trustlets can be sanitized to always point to the trustlet's entry
   // vector").
   bool sanitize_faulting_ip = false;
+  // Host-side switch for the decoded-instruction cache (differential
+  // harness). Guest-visible behavior must be identical either way.
+  bool decode_cache = true;
   CycleModel cycles;
 };
 

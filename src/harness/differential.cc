@@ -1,0 +1,394 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/harness/differential.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/isa/isa.h"
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+namespace {
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+const char* EventName(StepEvent event) {
+  switch (event) {
+    case StepEvent::kExecuted: return "executed";
+    case StepEvent::kException: return "exception";
+    case StepEvent::kInterrupt: return "interrupt";
+    case StepEvent::kHalted: return "halted";
+  }
+  return "?";
+}
+
+// Byte-for-byte device comparison via the host view of the backing store.
+std::optional<Divergence> CompareRam(uint64_t step, const char* name,
+                                     const Ram& a, const Ram& b) {
+  const std::vector<uint8_t>& da = a.data();
+  const std::vector<uint8_t>& db = b.data();
+  if (da == db) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < da.size(); ++i) {
+    if (da[i] != db[i]) {
+      return Divergence{step, std::string(name) + " byte at " +
+                                  Hex(a.base() + i) + ": fast=" + Hex(da[i]) +
+                                  " ref=" + Hex(db[i])};
+    }
+  }
+  return Divergence{step, std::string(name) + " contents differ"};
+}
+
+}  // namespace
+
+DifferentialExecutor::DifferentialExecutor(const PlatformConfig& config) {
+  PlatformConfig fast_config = config;
+  fast_config.fast_path = true;
+  PlatformConfig ref_config = config;
+  ref_config.fast_path = false;
+  fast_ = std::make_unique<Platform>(fast_config);
+  ref_ = std::make_unique<Platform>(ref_config);
+}
+
+void DifferentialExecutor::ForBoth(const std::function<void(Platform&)>& fn) {
+  fn(*fast_);
+  fn(*ref_);
+}
+
+std::optional<Divergence> DifferentialExecutor::CompareArchState(
+    uint64_t step) {
+  Cpu& a = fast_->cpu();
+  Cpu& b = ref_->cpu();
+  if (a.ip() != b.ip()) {
+    return Divergence{step,
+                      "ip: fast=" + Hex(a.ip()) + " ref=" + Hex(b.ip())};
+  }
+  if (a.flags() != b.flags()) {
+    return Divergence{step, "flags: fast=" + Hex(a.flags()) +
+                                " ref=" + Hex(b.flags())};
+  }
+  if (a.halted() != b.halted()) {
+    return Divergence{step, std::string("halted: fast=") +
+                                (a.halted() ? "yes" : "no") +
+                                " ref=" + (b.halted() ? "yes" : "no")};
+  }
+  if (a.cycles() != b.cycles()) {
+    return Divergence{step, "cycles: fast=" + Hex(a.cycles()) +
+                                " ref=" + Hex(b.cycles())};
+  }
+  for (int r = 0; r < kNumRegisters; ++r) {
+    if (a.reg(r) != b.reg(r)) {
+      return Divergence{step, RegisterName(r) + ": fast=" + Hex(a.reg(r)) +
+                                  " ref=" + Hex(b.reg(r))};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Divergence> DifferentialExecutor::StepBoth(uint64_t step) {
+  const StepEvent ea = fast_->cpu().Step();
+  const StepEvent eb = ref_->cpu().Step();
+  if (ea != eb) {
+    return Divergence{step, std::string("event: fast=") + EventName(ea) +
+                                " ref=" + EventName(eb)};
+  }
+  return CompareArchState(step);
+}
+
+std::optional<Divergence> DifferentialExecutor::CompareFinalState(
+    uint64_t step) {
+  if (std::optional<Divergence> d = CompareArchState(step)) {
+    return d;
+  }
+  if (std::optional<Divergence> d =
+          CompareRam(step, "sram", fast_->sram(), ref_->sram())) {
+    return d;
+  }
+  if (std::optional<Divergence> d =
+          CompareRam(step, "dram", fast_->dram(), ref_->dram())) {
+    return d;
+  }
+  if (std::optional<Divergence> d =
+          CompareRam(step, "prom", fast_->prom(), ref_->prom())) {
+    return d;
+  }
+  // MPU fault registers (guest-visible latches) and retirement counters.
+  if (fast_->mpu() != nullptr && ref_->mpu() != nullptr) {
+    for (uint32_t offset :
+         {kMpuRegCtrl, kMpuRegFaultIp, kMpuRegFaultAddr, kMpuRegFaultInfo}) {
+      uint32_t va = 0;
+      uint32_t vb = 0;
+      fast_->mpu()->Read(offset, 4, &va);
+      ref_->mpu()->Read(offset, 4, &vb);
+      if (va != vb) {
+        return Divergence{step, "mpu reg +" + Hex(offset) +
+                                    ": fast=" + Hex(va) + " ref=" + Hex(vb)};
+      }
+    }
+  }
+  const CpuStats& sa = fast_->cpu().stats();
+  const CpuStats& sb = ref_->cpu().stats();
+  if (sa.instructions != sb.instructions || sa.exceptions != sb.exceptions ||
+      sa.interrupts != sb.interrupts ||
+      sa.trustlet_interrupts != sb.trustlet_interrupts) {
+    return Divergence{step, "retirement counters: fast=" +
+                                Hex(sa.instructions) + "/" +
+                                Hex(sa.exceptions) + "/" + Hex(sa.interrupts) +
+                                " ref=" + Hex(sb.instructions) + "/" +
+                                Hex(sb.exceptions) + "/" +
+                                Hex(sb.interrupts)};
+  }
+  const TrapInfo& ta = fast_->cpu().trap();
+  const TrapInfo& tb = ref_->cpu().trap();
+  if (ta.valid != tb.valid || ta.exception_class != tb.exception_class ||
+      ta.ip != tb.ip || ta.addr != tb.addr) {
+    return Divergence{step, "trap: fast=(" + Hex(ta.exception_class) + "," +
+                                Hex(ta.ip) + "," + Hex(ta.addr) + ") ref=(" +
+                                Hex(tb.exception_class) + "," + Hex(tb.ip) +
+                                "," + Hex(tb.addr) + ")"};
+  }
+  return std::nullopt;
+}
+
+std::optional<Divergence> DifferentialExecutor::Run(uint64_t max_steps) {
+  for (uint64_t step = 0; step < max_steps; ++step) {
+    if (fast_->cpu().halted() && ref_->cpu().halted()) {
+      break;
+    }
+    if (std::optional<Divergence> d = StepBoth(step)) {
+      return d;
+    }
+  }
+  return CompareFinalState(max_steps);
+}
+
+namespace {
+
+// Address pool the generator aims loads/stores and jump targets at: open
+// SRAM around the program, the SRAM base, DRAM, the MMIO blocks and the top
+// of the 32-bit address space (wraparound hunting).
+uint32_t BiasedAddress(Xoshiro256& rng, uint32_t program_base) {
+  switch (rng.NextBelow(8)) {
+    case 0:
+      return program_base + static_cast<uint32_t>(rng.NextBelow(0x800));
+    case 1:
+      return kSramBase + static_cast<uint32_t>(rng.NextBelow(kSramSize));
+    case 2:
+      return kDramBase + static_cast<uint32_t>(rng.NextBelow(0x1000));
+    case 3:
+      return kMpuMmioBase + static_cast<uint32_t>(rng.NextBelow(0xA00));
+    case 4:
+      return kTimerBase + static_cast<uint32_t>(rng.NextBelow(0x20));
+    case 5:
+      return 0xFFFFFF00u + static_cast<uint32_t>(rng.NextBelow(0x100));
+    case 6:
+      return kPromBase + static_cast<uint32_t>(rng.NextBelow(kPromSize));
+    default:
+      return rng.Next32();
+  }
+}
+
+uint32_t RandomInstructionWord(Xoshiro256& rng, uint32_t program_base) {
+  const auto reg = [&rng]() {
+    return static_cast<uint8_t>(rng.NextBelow(kNumRegisters));
+  };
+  switch (rng.NextBelow(16)) {
+    case 0:  // Aim a register at an interesting address.
+      return Encode({Opcode::kMovi, reg(), 0, 0,
+                     SignExtend(BiasedAddress(rng, program_base), 18)});
+    case 1:  // Build a high address (movi is limited to 18 bits).
+      return Encode({Opcode::kLui, reg(), 0, 0,
+                     static_cast<int32_t>(rng.NextBelow(1u << 22))});
+    case 2:
+      return Encode({Opcode::kLdw, reg(), reg(), 0,
+                     static_cast<int32_t>(rng.NextBelow(64)) * 4 - 128});
+    case 3:
+      return Encode({Opcode::kStw, reg(), reg(), 0,
+                     static_cast<int32_t>(rng.NextBelow(64)) * 4 - 128});
+    case 4:
+      return Encode({Opcode::kLdb, reg(), reg(), 0,
+                     static_cast<int32_t>(rng.NextBelow(256)) - 128});
+    case 5:
+      return Encode({Opcode::kStb, reg(), reg(), 0,
+                     static_cast<int32_t>(rng.NextBelow(256)) - 128});
+    case 6: {  // Short branch (keeps loops tight).
+      const Opcode branches[] = {Opcode::kBeq,  Opcode::kBne, Opcode::kBlt,
+                                 Opcode::kBge,  Opcode::kBltu,
+                                 Opcode::kBgeu};
+      return Encode({branches[rng.NextBelow(6)], reg(), reg(), 0,
+                     (static_cast<int32_t>(rng.NextBelow(8)) - 4) * 4});
+    }
+    case 7:  // Short jump.
+      return Encode({Opcode::kJmp, 0, 0, 0,
+                     (static_cast<int32_t>(rng.NextBelow(8)) - 3) * 4});
+    case 8:  // Register-indirect jump (wild control flow).
+      return Encode({Opcode::kJr, 0, reg(), 0, 0});
+    case 9:
+      return Encode({Opcode::kJalr, 0, reg(), 0, 0});
+    case 10:
+      return Encode(
+          {Opcode::kSwi, 0, 0, 0, static_cast<int32_t>(rng.NextBelow(4))});
+    case 11: {  // System / flag ops.
+      const Opcode sys[] = {Opcode::kCli, Opcode::kSti, Opcode::kIret,
+                            Opcode::kNop};
+      return Encode({sys[rng.NextBelow(4)], 0, 0, 0, 0});
+    }
+    case 12:  // Undefined opcode word (illegal-instruction path).
+      return (static_cast<uint32_t>(40 + rng.NextBelow(8)) << 26) |
+             rng.NextBelow(1u << 26);
+    default: {  // ALU filler.
+      const Opcode alu[] = {Opcode::kAdd, Opcode::kSub,  Opcode::kXor,
+                            Opcode::kAnd, Opcode::kOr,   Opcode::kShl,
+                            Opcode::kMul, Opcode::kSltu, Opcode::kAddi};
+      const Opcode op = alu[rng.NextBelow(9)];
+      if (FormatOf(op) == InstructionFormat::kI) {
+        return Encode({op, reg(), reg(), 0, SignExtend(rng.Next32(), 18)});
+      }
+      return Encode({op, reg(), reg(), reg(), 0});
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t BuildRandomScenario(DifferentialExecutor& diff, uint64_t seed,
+                             const RandomProgramOptions& options) {
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 0x53544C54 /*'TLST'*/);
+
+  std::vector<uint8_t> program;
+  for (int i = 0; i < options.num_words; ++i) {
+    AppendLe32(program, RandomInstructionWord(rng, options.program_base));
+  }
+  AppendLe32(program, Encode({Opcode::kHalt, 0, 0, 0, 0}));
+
+  // Pre-plan every decision so both platforms receive the identical
+  // scenario (the rng is consumed once, not once per platform).
+  struct MpuWrite {
+    uint32_t offset;
+    uint32_t value;
+  };
+  std::vector<MpuWrite> mpu_writes;
+  if (options.randomize_mpu && rng.NextBelow(4) != 0) {
+    const int regions = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < regions; ++i) {
+      // Regions in SRAM or at the top of the address space (wraparound
+      // hunting near 2^32).
+      uint32_t base;
+      uint32_t end;
+      if (rng.NextBelow(4) == 0) {
+        base = 0xFFFFF000u + static_cast<uint32_t>(rng.NextBelow(0xE00)) * 4;
+        end = base + static_cast<uint32_t>(1 + rng.NextBelow(0x300)) * 4;
+        if (end < base) {
+          end = 0xFFFFFFFCu;
+        }
+      } else {
+        base = kSramBase + static_cast<uint32_t>(rng.NextBelow(0x8000)) * 4;
+        end = base + static_cast<uint32_t>(1 + rng.NextBelow(0x400)) * 4;
+      }
+      const uint32_t stride = kMpuRegionStride * static_cast<uint32_t>(i);
+      mpu_writes.push_back({kMpuRegionBank + stride, base});
+      mpu_writes.push_back({kMpuRegionBank + stride + 4, end});
+      mpu_writes.push_back(
+          {kMpuRegionBank + stride + 8,
+           kMpuAttrEnable | (rng.NextBool() ? kMpuAttrCode : 0u)});
+    }
+    const int rules = static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < rules; ++i) {
+      mpu_writes.push_back(
+          {kMpuRuleBank + static_cast<uint32_t>(i) * 4,
+           EncodeMpuRule(static_cast<uint32_t>(rng.NextBelow(4)),
+                         static_cast<uint32_t>(rng.NextBelow(4)),
+                         rng.NextBool(), rng.NextBool(), rng.NextBool())});
+    }
+    uint32_t ctrl = kMpuCtrlEnable;
+    if (rng.NextBelow(4) == 0) {
+      ctrl |= kMpuCtrlLock;
+    }
+    mpu_writes.push_back({kMpuRegCtrl, ctrl});
+  }
+
+  std::vector<MpuWrite> handler_writes;  // SysCtl offsets.
+  if (options.randomize_handlers) {
+    for (uint32_t idx = 0; idx < kSysCtlNumHandlers; ++idx) {
+      if (rng.NextBelow(2) == 0) {
+        continue;  // Leave unhandled (halt path).
+      }
+      const uint32_t handler =
+          options.program_base +
+          static_cast<uint32_t>(rng.NextBelow(
+              static_cast<uint64_t>(options.num_words))) * 4;
+      handler_writes.push_back({kSysCtlRegHandlerBase + idx * 4, handler});
+    }
+  }
+
+  bool arm_timer = false;
+  uint32_t timer_period = 0;
+  uint32_t timer_handler = 0;
+  if (options.randomize_timer && rng.NextBelow(2) == 0) {
+    arm_timer = true;
+    timer_period = 8 + static_cast<uint32_t>(rng.NextBelow(120));
+    timer_handler =
+        options.program_base +
+        static_cast<uint32_t>(
+            rng.NextBelow(static_cast<uint64_t>(options.num_words))) * 4;
+  }
+
+  uint32_t regs[kNumRegisters];
+  for (uint32_t& r : regs) {
+    r = rng.NextBool() ? BiasedAddress(rng, options.program_base)
+                       : rng.Next32();
+  }
+  // A usable stack most of the time, so IRET/SWI frames land in RAM.
+  if (rng.NextBelow(4) != 0) {
+    regs[kRegSp] = options.program_base + 0x4000 +
+                   static_cast<uint32_t>(rng.NextBelow(0x400)) * 4;
+  }
+
+  const uint32_t entry = options.program_base;
+  diff.ForBoth([&](Platform& platform) {
+    platform.bus().HostWriteBytes(entry, program);
+    for (const MpuWrite& w : mpu_writes) {
+      platform.bus().HostWriteWord(kMpuMmioBase + w.offset, w.value);
+    }
+    for (const MpuWrite& w : handler_writes) {
+      platform.bus().HostWriteWord(kSysCtlBase + w.offset, w.value);
+    }
+    if (arm_timer) {
+      platform.bus().HostWriteWord(kTimerBase + kTimerRegHandler,
+                                   timer_handler);
+      platform.bus().HostWriteWord(kTimerBase + kTimerRegPeriod,
+                                   timer_period);
+      platform.bus().HostWriteWord(
+          kTimerBase + kTimerRegCtrl,
+          kTimerCtrlEnable | kTimerCtrlIrqEnable | kTimerCtrlAutoReload);
+    }
+    platform.cpu().Reset(entry);
+    for (int r = 0; r < kNumRegisters; ++r) {
+      platform.cpu().set_reg(r, regs[r]);
+    }
+    // Interrupts on for the timer path (Reset leaves them disabled).
+    if (arm_timer) {
+      platform.cpu().set_flags(platform.cpu().flags() | kFlagIf);
+    }
+  });
+  return entry;
+}
+
+std::optional<Divergence> RunRandomProgramDiff(
+    uint64_t seed, uint64_t max_steps, const RandomProgramOptions& options,
+    const PlatformConfig& config) {
+  DifferentialExecutor diff(config);
+  BuildRandomScenario(diff, seed, options);
+  return diff.Run(max_steps);
+}
+
+}  // namespace trustlite

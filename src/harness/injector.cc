@@ -1,0 +1,406 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/harness/injector.h"
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/dev/dma.h"
+#include "src/dev/timer.h"
+#include "src/isa/isa.h"
+#include "src/loader/system_image.h"
+#include "src/mem/layout.h"
+#include "src/os/nanos.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+
+namespace {
+
+// Scenario layout (open SRAM; the trustlet and OS placements follow the
+// test-suite idiom).
+constexpr uint32_t kVictimCode = 0x0001'1000;
+constexpr uint32_t kVictimData = 0x0001'2000;
+constexpr uint32_t kVictimDataSize = 0x400;
+constexpr uint32_t kAppEntry = 0x0003'1000;
+constexpr uint32_t kAppSp = 0x0003'A000;
+constexpr uint32_t kRogueIsr = 0x0003'2000;
+constexpr uint32_t kOsCode = 0x0002'0000;
+constexpr uint32_t kOsData = 0x0002'4000;
+constexpr uint32_t kOsDataSize = 0x1000;
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+const char* EventName(InjectionEvent event) {
+  switch (event) {
+    case InjectionEvent::kSpuriousIrq: return "spurious-irq";
+    case InjectionEvent::kRamBitFlip: return "ram-bit-flip";
+    case InjectionEvent::kRegBitFlip: return "reg-bit-flip";
+    case InjectionEvent::kHostileDma: return "hostile-dma";
+    case InjectionEvent::kMpuReprogram: return "mpu-reprogram";
+    case InjectionEvent::kMidRunReset: return "mid-run-reset";
+    default: return "?";
+  }
+}
+
+// The campaign fixture: platform + image + checker, rebuildable after a
+// mid-run reset or an unrecoverable trap halt.
+class Campaign {
+ public:
+  Campaign(const InjectionCampaignConfig& config,
+           InjectionCampaignResult* result)
+      : result_(result),
+        rng_(config.seed * 6364136223846793005ull + 0x544C465Aull /*'TLFZ'*/) {
+    PlatformConfig pc;
+    pc.secure_exceptions = true;
+    pc.with_dma = true;
+    pc.dma_mode = DmaEngine::Mode::kExecutionAware;
+    pc.fast_path = config.fast_path;
+    platform_ = std::make_unique<Platform>(pc);
+
+    TrustletBuildSpec spec;
+    spec.name = "VIC";
+    spec.code_addr = kVictimCode;
+    spec.data_addr = kVictimData;
+    spec.data_size = kVictimDataSize;
+    spec.stack_size = 0x100;
+    // Private code (Sec. 4.2.2): without this, trustlet code is
+    // world-readable by design and a DMA read of the code region would be a
+    // legitimate completion, not a finding.
+    spec.code_private = true;
+    // A busy compute loop: preempted by the timer over and over, so the
+    // secure exception engine's save/clear/restore cycle runs constantly.
+    spec.body =
+        "tl_main:\n"
+        "    movi r1, 1\n"
+        "vic_loop:\n"
+        "    addi r1, r1, 1\n"
+        "    mul  r2, r1, r1\n"
+        "    add  r3, r3, r2\n"
+        "    jmp  vic_loop\n";
+    Result<TrustletMeta> victim = BuildTrustlet(spec);
+    NanosConfig os_config;
+    os_config.timer_period = 600;
+    os_config.app_entry = kAppEntry;
+    os_config.app_sp = kAppSp;
+    Result<TrustletMeta> os = BuildNanos(os_config);
+    if (!victim.ok() || !os.ok()) {
+      result_->violations.push_back("scenario build failed");
+      return;
+    }
+    victim_id_ = victim->id;
+    SystemImage image;
+    image.Add(*victim);
+    image.Add(*os);
+    if (!platform_->InstallImage(image).ok()) {
+      result_->violations.push_back("image install failed");
+      return;
+    }
+    PlantUntrustedPrograms();
+    Launch();
+  }
+
+  bool ok() const { return checker_ != nullptr; }
+  Platform& platform() { return *platform_; }
+  Xoshiro256& rng() { return rng_; }
+
+  // Steps the CPU with per-step invariant tracking.
+  void RunSteps(uint64_t steps) {
+    if (checker_ == nullptr) {
+      return;
+    }
+    Cpu& cpu = platform_->cpu();
+    for (uint64_t i = 0; i < steps && !cpu.halted(); ++i) {
+      const uint32_t pre_ip = cpu.ip();
+      const StepEvent event = cpu.Step();
+      checker_->AfterStep(pre_ip, event);
+      ++result_->steps_executed;
+    }
+  }
+
+  // Full invariant re-evaluation, findings moved into the campaign result.
+  void Check(const std::string& context) {
+    if (checker_ == nullptr) {
+      return;
+    }
+    checker_->CheckNow(context);
+    ++result_->invariant_checks;
+    Drain();
+  }
+
+  void Drain() {
+    if (checker_ == nullptr) {
+      return;
+    }
+    for (std::string& v : checker_->TakeViolations()) {
+      result_->violations.push_back(std::move(v));
+    }
+  }
+
+  // Reset + Secure Loader reboot; fresh sentinel and baselines. Findings
+  // recorded by the outgoing checker are preserved.
+  void Reboot() {
+    Drain();
+    platform_->HardReset();
+    Launch();
+  }
+
+  void RecoverIfHalted() {
+    if (platform_->cpu().halted()) {
+      ++result_->halts_recovered;
+      Check("post-halt");
+      Reboot();
+    }
+  }
+
+  void Inject(InjectionEvent event);
+
+ private:
+  void PlantUntrustedPrograms() {
+    // Untrusted app task and the rogue ISR an adversarial OS might install:
+    // both just yield back to the scheduler (swi 0 loop).
+    std::vector<uint8_t> yield_loop;
+    AppendLe32(yield_loop, Encode({Opcode::kSwi, 0, 0, 0, 0}));
+    AppendLe32(yield_loop, Encode({Opcode::kJmp, 0, 0, 0, -4}));
+    platform_->bus().HostWriteBytes(kAppEntry, yield_loop);
+    platform_->bus().HostWriteBytes(kRogueIsr, yield_loop);
+  }
+
+  void Launch() {
+    Result<LoadReport> report = platform_->BootAndLaunch();
+    if (!report.ok()) {
+      result_->violations.push_back("secure loader boot failed");
+      checker_ = nullptr;
+      return;
+    }
+    report_ = *report;
+    checker_ = std::make_unique<InvariantChecker>(platform_.get(), report_,
+                                                  victim_id_);
+    checker_->Baseline(rng_.Next64());
+    // Record the victim's *actual* protected extents: the code region spans
+    // the built code only, not the whole page it was placed in — addresses
+    // past region end are open memory where DMA completes legitimately.
+    const LoadedTrustlet* victim = report_.FindById(victim_id_);
+    const MpuRegion code = platform_->mpu()->region(victim->code_region);
+    const MpuRegion data = platform_->mpu()->region(victim->data_region);
+    victim_code_base_ = code.base;
+    victim_code_end_ = code.end;
+    victim_data_base_ = data.base;
+    victim_data_end_ = data.end;
+  }
+
+  void InjectSpuriousIrq();
+  void InjectRamBitFlip();
+  void InjectRegBitFlip();
+  void InjectHostileDma();
+  void InjectMpuReprogram();
+
+  InjectionCampaignResult* result_;
+  Xoshiro256 rng_;
+  std::unique_ptr<Platform> platform_;
+  LoadReport report_;
+  uint32_t victim_id_ = 0;
+  uint32_t victim_code_base_ = 0;
+  uint32_t victim_code_end_ = 0;
+  uint32_t victim_data_base_ = 0;
+  uint32_t victim_data_end_ = 0;
+  std::unique_ptr<InvariantChecker> checker_;
+};
+
+void Campaign::InjectSpuriousIrq() {
+  Bus& bus = platform_->bus();
+  // Rogue timer programming, as a compromised (but MPU-confined) OS could
+  // perform: immediate fire, and sometimes a redirected or null ISR. The
+  // handler is only ever pointed at untrusted memory — the OS cannot write
+  // a trustlet address it could not itself reach... it can write any value,
+  // but redirecting into a trustlet would vector the fetch at a non-entry
+  // word and fault; the open-memory stub models the interesting
+  // (successful) hijack.
+  switch (rng_.NextBelow(4)) {
+    case 0:
+      bus.HostWriteWord(kTimerBase + kTimerRegHandler, 0);  // Dropped IRQs.
+      break;
+    case 1:
+      bus.HostWriteWord(kTimerBase + kTimerRegHandler, kRogueIsr);
+      break;
+    default:
+      break;  // Keep the OS scheduler handler.
+  }
+  bus.HostWriteWord(kTimerBase + kTimerRegPeriod,
+                    1 + static_cast<uint32_t>(rng_.NextBelow(8)));
+  bus.HostWriteWord(kTimerBase + kTimerRegCtrl,
+                    kTimerCtrlEnable | kTimerCtrlIrqEnable |
+                        kTimerCtrlAutoReload);
+}
+
+void Campaign::InjectRamBitFlip() {
+  // Untrusted targets only: DRAM, open SRAM (attacker app space), OS data
+  // and OS code. Trustlet regions are off limits — the model is transient
+  // faults in memory the adversary already controls or that TrustLite does
+  // not protect.
+  uint32_t addr = 0;
+  switch (rng_.NextBelow(4)) {
+    case 0:
+      addr = kDramBase + static_cast<uint32_t>(rng_.NextBelow(kDramSize));
+      break;
+    case 1:
+      addr = 0x0003'0000 + static_cast<uint32_t>(rng_.NextBelow(0xE000));
+      break;
+    case 2:
+      addr = kOsData + static_cast<uint32_t>(rng_.NextBelow(kOsDataSize));
+      break;
+    default:
+      addr = kOsCode + static_cast<uint32_t>(rng_.NextBelow(0x400));
+      break;
+  }
+  addr &= ~3u;
+  uint32_t word = 0;
+  if (platform_->bus().HostReadWord(addr, &word)) {
+    word ^= 1u << rng_.NextBelow(32);
+    platform_->bus().HostWriteWord(addr, word);
+  }
+}
+
+void Campaign::InjectRegBitFlip() {
+  Cpu& cpu = platform_->cpu();
+  if (rng_.NextBelow(4) == 0) {
+    // IP flip, biased toward the low bits so the misaligned-IP latch and
+    // near-neighbour addresses get constant exercise.
+    const uint32_t bit = rng_.NextBool()
+                             ? static_cast<uint32_t>(rng_.NextBelow(2))
+                             : static_cast<uint32_t>(rng_.NextBelow(32));
+    cpu.set_ip(cpu.ip() ^ (1u << bit));
+  } else {
+    const int reg = static_cast<int>(rng_.NextBelow(kNumRegisters));
+    cpu.set_reg(reg, cpu.reg(reg) ^ (1u << rng_.NextBelow(32)));
+  }
+}
+
+void Campaign::InjectHostileDma() {
+  Bus& bus = platform_->bus();
+  const bool exfiltrate = rng_.NextBool();
+  // Target a word inside the victim's protected extents (the code region is
+  // private, so even reads must fault; data is trustlet-exclusive always).
+  const bool target_code = rng_.NextBool();
+  const uint32_t lo = target_code ? victim_code_base_ : victim_data_base_;
+  const uint32_t hi = target_code ? victim_code_end_ : victim_data_end_;
+  const uint32_t victim_addr =
+      lo + static_cast<uint32_t>(rng_.NextBelow((hi - lo) / 4)) * 4;
+  const uint32_t open_addr = 0x0003'4000 + static_cast<uint32_t>(rng_.NextBelow(0x100)) * 4;
+  bus.HostWriteWord(kDmaBase + kDmaRegSrc,
+                    exfiltrate ? victim_addr : open_addr);
+  bus.HostWriteWord(kDmaBase + kDmaRegDst,
+                    exfiltrate ? open_addr : victim_addr);
+  bus.HostWriteWord(kDmaBase + kDmaRegLen,
+                    4 * (1 + static_cast<uint32_t>(rng_.NextBelow(16))));
+  bus.HostWriteWord(kDmaBase + kDmaRegCtrl, kDmaCtrlStart);
+  uint32_t status = 0;
+  platform_->dma()->Read(kDmaRegStatus, 4, &status);
+  if (status == kDmaStatusFault) {
+    ++result_->dma_faults;
+  } else {
+    result_->violations.push_back(
+        "hostile DMA completed (status=" + Hex(status) + ", " +
+        (exfiltrate ? "read from " : "write to ") + Hex(victim_addr) + ")");
+  }
+}
+
+void Campaign::InjectMpuReprogram() {
+  // A store to the MPU register bank issued by untrusted code. The MPU MMIO
+  // range is a protected region (Sec. 3.3 self-protection), so the write
+  // must be denied before it reaches the register file.
+  AccessContext ctx;
+  ctx.curr_ip = 0x0003'0000 + static_cast<uint32_t>(rng_.NextBelow(0x400)) * 4;
+  ctx.kind = AccessKind::kWrite;
+  uint32_t offset = 0;
+  switch (rng_.NextBelow(3)) {
+    case 0:
+      offset = kMpuRegCtrl;
+      break;
+    case 1:
+      offset = kMpuRegionBank +
+               static_cast<uint32_t>(rng_.NextBelow(16)) * kMpuRegionStride +
+               static_cast<uint32_t>(rng_.NextBelow(4)) * 4;
+      break;
+    default:
+      offset = kMpuRuleBank + static_cast<uint32_t>(rng_.NextBelow(96)) * 4;
+      break;
+  }
+  const AccessResult result =
+      platform_->bus().Write(ctx, kMpuMmioBase + offset, 4, rng_.Next32());
+  if (result == AccessResult::kOk) {
+    result_->violations.push_back(
+        "untrusted code reprogrammed MPU register +" + Hex(offset));
+  } else {
+    ++result_->mpu_denials;
+  }
+}
+
+void Campaign::Inject(InjectionEvent event) {
+  switch (event) {
+    case InjectionEvent::kSpuriousIrq:
+      InjectSpuriousIrq();
+      break;
+    case InjectionEvent::kRamBitFlip:
+      InjectRamBitFlip();
+      break;
+    case InjectionEvent::kRegBitFlip:
+      InjectRegBitFlip();
+      break;
+    case InjectionEvent::kHostileDma:
+      InjectHostileDma();
+      break;
+    case InjectionEvent::kMpuReprogram:
+      InjectMpuReprogram();
+      break;
+    case InjectionEvent::kMidRunReset:
+      Reboot();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+InjectionCampaignResult RunInjectionCampaign(
+    const InjectionCampaignConfig& config) {
+  InjectionCampaignResult result;
+  Campaign campaign(config, &result);
+  if (!campaign.ok()) {
+    return result;
+  }
+
+  for (int i = 0; i < config.events; ++i) {
+    campaign.RunSteps(1 + campaign.rng().NextBelow(config.steps_between));
+    campaign.RecoverIfHalted();
+
+    const InjectionEvent event = static_cast<InjectionEvent>(
+        campaign.rng().NextBelow(
+            static_cast<uint64_t>(InjectionEvent::kNumEvents)));
+    campaign.Inject(event);
+    ++result.events_injected;
+    ++result.event_counts[static_cast<int>(event)];
+
+    campaign.Check(std::string("after ") + EventName(event) + " #" +
+                   Hex(static_cast<uint64_t>(i)));
+    if (!result.violations.empty()) {
+      break;  // First finding wins; the seed reproduces the rest.
+    }
+  }
+  // Settle and re-check once more.
+  campaign.RunSteps(config.steps_between);
+  campaign.RecoverIfHalted();
+  campaign.Check("final");
+  result.secure_entries =
+      campaign.platform().cpu().stats().trustlet_interrupts;
+  return result;
+}
+
+}  // namespace trustlite

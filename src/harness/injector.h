@@ -1,0 +1,68 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fault-injection engine (DESIGN.md Sec. 11): perturbs a booted TrustLite
+// platform at instruction boundaries with a seeded event stream and
+// re-evaluates the Sec. 7 security invariants after every event.
+//
+// Injected events model the adversary and environment of the paper's threat
+// model (software attacker with full control of untrusted code and data,
+// malicious peripherals/DMA, spurious interrupts, platform resets) plus
+// transient hardware faults in *untrusted* state — bit-flips in open
+// memory, OS data/code and the CPU register file. Protected trustlet
+// memory is never touched directly: the harness asserts that nothing the
+// adversary can reach breaks isolation.
+
+#ifndef TRUSTLITE_SRC_HARNESS_INJECTOR_H_
+#define TRUSTLITE_SRC_HARNESS_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/invariants.h"
+#include "src/platform/platform.h"
+
+namespace trustlite {
+
+enum class InjectionEvent : int {
+  kSpuriousIrq = 0,   // Reprogram the timer for immediate/rogue interrupts.
+  kRamBitFlip,        // Flip one bit in untrusted memory (DRAM / open SRAM /
+                      // OS code+data).
+  kRegBitFlip,        // Flip one bit in a random GPR or the IP.
+  kHostileDma,        // Program a DMA transfer into/out of victim regions.
+  kMpuReprogram,      // Guest-context store to the MPU MMIO bank from
+                      // untrusted code (must be denied).
+  kMidRunReset,       // Platform reset + Secure Loader reboot mid-run.
+  kNumEvents,
+};
+
+struct InjectionCampaignConfig {
+  uint64_t seed = 1;
+  int events = 200;            // Injected events per campaign.
+  uint64_t steps_between = 400;  // Max instructions between two events.
+  bool fast_path = true;       // Simulator fast path on the test platform.
+};
+
+struct InjectionCampaignResult {
+  uint64_t steps_executed = 0;
+  uint64_t events_injected = 0;
+  uint64_t event_counts[static_cast<int>(InjectionEvent::kNumEvents)] = {};
+  uint64_t halts_recovered = 0;   // Trap halts followed by reset + reboot.
+  uint64_t dma_faults = 0;        // Hostile DMA aborted by the EA-MPU.
+  uint64_t mpu_denials = 0;       // Guest MPU reprogram attempts denied.
+  uint64_t secure_entries = 0;    // Secure-engine full saves observed.
+  uint64_t invariant_checks = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs one seeded campaign on a freshly booted victim-trustlet + nanOS
+// scenario. Deterministic in `config.seed`.
+InjectionCampaignResult RunInjectionCampaign(
+    const InjectionCampaignConfig& config);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_HARNESS_INJECTOR_H_

@@ -1,0 +1,192 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/harness/invariants.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/trustlet/trustlet_table.h"
+
+namespace trustlite {
+
+namespace {
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+constexpr size_t kMaxViolations = 32;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(Platform* platform,
+                                   const LoadReport& report,
+                                   uint32_t victim_id, uint32_t stack_window)
+    : platform_(platform) {
+  const LoadedTrustlet* victim = report.FindById(victim_id);
+  if (victim == nullptr || platform_->mpu() == nullptr) {
+    Violation("checker misconfigured: victim trustlet or MPU missing");
+    return;
+  }
+  const MpuRegion& code = platform_->mpu()->region(victim->code_region);
+  const MpuRegion& data = platform_->mpu()->region(victim->data_region);
+  victim_code_base_ = code.base;
+  victim_code_end_ = code.end;
+  victim_data_base_ = data.base;
+  const uint32_t data_size = data.end - data.base;
+  sentinel_size_ = data_size > stack_window ? data_size - stack_window : 0;
+  // tt_row_addr = base + header + index * row_size; recover the table base
+  // and extent from the victim's row.
+  tt_base_ = victim->tt_row_addr - kTrustletTableHeaderSize -
+             static_cast<uint32_t>(victim->tt_index) * kTrustletTableRowSize;
+  tt_size_ = TrustletTableView::SizeFor(
+      static_cast<int>(report.trustlets.size()));
+  for (size_t i = 0; i < report.trustlets.size(); ++i) {
+    tt_saved_sp_offsets_.push_back(kTrustletTableHeaderSize +
+                                   static_cast<uint32_t>(i) *
+                                       kTrustletTableRowSize +
+                                   kTtRowSavedSp);
+  }
+}
+
+void InvariantChecker::Baseline(uint64_t sentinel_seed) {
+  Bus& bus = platform_->bus();
+  bus.HostReadBytes(victim_code_base_, victim_code_end_ - victim_code_base_,
+                    &code_snapshot_);
+
+  sentinel_.assign(sentinel_size_, 0);
+  Xoshiro256 rng(sentinel_seed * 0x5DEECE66Dull + 0xB);
+  for (uint8_t& b : sentinel_) {
+    b = static_cast<uint8_t>(rng.Next32());
+  }
+  bus.HostWriteBytes(victim_data_base_, sentinel_);
+
+  bus.HostReadBytes(tt_base_, tt_size_, &tt_snapshot_);
+  for (uint32_t offset : tt_saved_sp_offsets_) {
+    for (int i = 0; i < 4; ++i) {
+      tt_snapshot_[offset + i] = 0;
+    }
+  }
+
+  const EaMpu* mpu = platform_->mpu();
+  mpu_ctrl_snapshot_ = mpu->ctrl();
+  region_snapshot_.clear();
+  for (int i = 0; i < mpu->num_regions(); ++i) {
+    region_snapshot_.push_back(mpu->region(i));
+  }
+  rule_snapshot_.clear();
+  for (int i = 0; i < mpu->num_rules(); ++i) {
+    rule_snapshot_.push_back(mpu->rule(i));
+  }
+
+  last_trustlet_interrupts_ = platform_->cpu().stats().trustlet_interrupts;
+  have_last_executed_ = false;
+}
+
+void InvariantChecker::Violation(const std::string& what) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(what);
+  }
+}
+
+void InvariantChecker::CheckRegistersClear(const char* why, bool include_sp) {
+  const Cpu& cpu = platform_->cpu();
+  for (int r = 0; r < kNumRegisters; ++r) {
+    if (r == kRegSp && !include_sp) {
+      continue;
+    }
+    if (cpu.reg(r) != 0) {
+      Violation(std::string("register-clear violated (") + why + "): " +
+                RegisterName(r) + "=" + Hex(cpu.reg(r)));
+    }
+  }
+}
+
+void InvariantChecker::AfterStep(uint32_t pre_step_ip, StepEvent event) {
+  const Cpu& cpu = platform_->cpu();
+
+  // Secure-engine full-save entry: GPRs must read as zero the instant the
+  // ISR gains control (Fig. 4 step "clear registers"); SP legitimately
+  // carries the OS stack except when the engine double-faulted and halted.
+  const uint64_t ti = cpu.stats().trustlet_interrupts;
+  if (ti != last_trustlet_interrupts_) {
+    CheckRegistersClear("secure entry", /*include_sp=*/cpu.halted());
+    last_trustlet_interrupts_ = ti;
+  }
+
+  // Unhandled trap on the trustlet path (handler == 0 or engine double
+  // fault): the parked CPU must not expose trustlet state either.
+  if (event == StepEvent::kHalted && cpu.trap().valid &&
+      InVictimCode(pre_step_ip)) {
+    CheckRegistersClear("trap halt in trustlet", /*include_sp=*/true);
+  }
+
+  // Entry-vector convention over the retired stream: a transition from
+  // outside the victim's code region to inside must land on its first word.
+  if (event == StepEvent::kExecuted) {
+    if (have_last_executed_ && !InVictimCode(last_executed_ip_) &&
+        InVictimCode(pre_step_ip) && pre_step_ip != victim_code_base_) {
+      Violation("entry-vector violated: entered victim at " +
+                Hex(pre_step_ip) + " from " + Hex(last_executed_ip_));
+    }
+    last_executed_ip_ = pre_step_ip;
+    have_last_executed_ = true;
+  }
+}
+
+void InvariantChecker::CheckNow(const std::string& context) {
+  ++checks_run_;
+  Bus& bus = platform_->bus();
+
+  std::vector<uint8_t> bytes;
+  if (!bus.HostReadBytes(victim_code_base_,
+                         victim_code_end_ - victim_code_base_, &bytes) ||
+      bytes != code_snapshot_) {
+    Violation(context + ": victim code region modified");
+  }
+  if (!bus.HostReadBytes(victim_data_base_, sentinel_size_, &bytes) ||
+      bytes != sentinel_) {
+    Violation(context + ": victim data sentinel modified");
+  }
+
+  if (!bus.HostReadBytes(tt_base_, tt_size_, &bytes)) {
+    Violation(context + ": trustlet table unreadable");
+  } else {
+    for (uint32_t offset : tt_saved_sp_offsets_) {
+      for (int i = 0; i < 4; ++i) {
+        bytes[offset + i] = 0;
+      }
+    }
+    if (bytes != tt_snapshot_) {
+      Violation(context +
+                ": trustlet table modified outside the saved-SP slots");
+    }
+  }
+
+  const EaMpu* mpu = platform_->mpu();
+  if (mpu->ctrl() != mpu_ctrl_snapshot_) {
+    Violation(context + ": MPU CTRL changed: " + Hex(mpu_ctrl_snapshot_) +
+              " -> " + Hex(mpu->ctrl()));
+  }
+  for (int i = 0; i < mpu->num_regions(); ++i) {
+    const MpuRegion& now = mpu->region(i);
+    const MpuRegion& then = region_snapshot_[static_cast<size_t>(i)];
+    if (now.base != then.base || now.end != then.end ||
+        now.attr != then.attr || now.sp_slot != then.sp_slot) {
+      Violation(context + ": MPU region " + Hex(static_cast<uint64_t>(i)) +
+                " changed");
+    }
+  }
+  for (int i = 0; i < mpu->num_rules(); ++i) {
+    if (mpu->rule(i) != rule_snapshot_[static_cast<size_t>(i)]) {
+      Violation(context + ": MPU rule " + Hex(static_cast<uint64_t>(i)) +
+                " changed: " + Hex(rule_snapshot_[static_cast<size_t>(i)]) +
+                " -> " + Hex(mpu->rule(i)));
+    }
+  }
+}
+
+}  // namespace trustlite

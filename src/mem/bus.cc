@@ -28,7 +28,7 @@ void Bus::Attach(Device* device) {
 Device* Bus::FindDevice(uint32_t addr) const {
   // Hot path: the previously resolved device. Bus traffic is dominated by
   // runs against a single device (straight-line fetch, one RAM for data).
-  if (last_device_ != nullptr && last_device_->Contains(addr)) {
+  if (route_memo_ && last_device_ != nullptr && last_device_->Contains(addr)) {
     ++stats_.route_hits;
     return last_device_;
   }
@@ -46,7 +46,9 @@ Device* Bus::FindDevice(uint32_t addr) const {
   if (!device->Contains(addr)) {
     return nullptr;
   }
-  last_device_ = device;
+  if (route_memo_) {
+    last_device_ = device;
+  }
   return device;
 }
 
@@ -124,19 +126,25 @@ bool Bus::HostReadBytes(uint32_t addr, uint32_t count,
                         std::vector<uint8_t>* out) {
   out->clear();
   out->reserve(count);
-  uint32_t i = 0;
-  while (i < count) {
-    Device* device = FindDevice(addr + i);
+  // All run arithmetic in 64 bits: `addr + i` must not wrap past the top of
+  // the address space (a run ending beyond 0xFFFFFFFF fails instead of
+  // silently continuing at address 0).
+  const uint64_t end = uint64_t{addr} + count;
+  if (end > (uint64_t{1} << 32)) {
+    return false;
+  }
+  uint64_t pos = addr;
+  while (pos < end) {
+    Device* device = FindDevice(static_cast<uint32_t>(pos));
     if (device == nullptr) {
       return false;
     }
     // Read the whole run that falls inside this device without re-routing.
-    const uint64_t run_end =
-        std::min<uint64_t>(count, static_cast<uint64_t>(device->end()) - addr);
-    for (; i < run_end; ++i) {
+    const uint64_t run_end = std::min<uint64_t>(end, device->end());
+    for (; pos < run_end; ++pos) {
       uint32_t value = 0;
-      if (device->Read(addr + i - device->base(), 1, &value) !=
-          AccessResult::kOk) {
+      if (device->Read(static_cast<uint32_t>(pos) - device->base(), 1,
+                       &value) != AccessResult::kOk) {
         return false;
       }
       out->push_back(static_cast<uint8_t>(value));
@@ -146,21 +154,23 @@ bool Bus::HostReadBytes(uint32_t addr, uint32_t count,
 }
 
 bool Bus::HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
-  const uint32_t count = static_cast<uint32_t>(bytes.size());
-  uint32_t i = 0;
-  while (i < count) {
-    Device* device = FindDevice(addr + i);
+  const uint64_t end = uint64_t{addr} + bytes.size();
+  if (end > (uint64_t{1} << 32)) {
+    return false;
+  }
+  uint64_t pos = addr;
+  while (pos < end) {
+    Device* device = FindDevice(static_cast<uint32_t>(pos));
     if (device == nullptr) {
       return false;
     }
     if (device->IsMemory()) {
       ++memory_generation_;
     }
-    const uint64_t run_end =
-        std::min<uint64_t>(count, static_cast<uint64_t>(device->end()) - addr);
-    for (; i < run_end; ++i) {
-      if (device->Write(addr + i - device->base(), 1, bytes[i]) !=
-          AccessResult::kOk) {
+    const uint64_t run_end = std::min<uint64_t>(end, device->end());
+    for (; pos < run_end; ++pos) {
+      if (device->Write(static_cast<uint32_t>(pos) - device->base(), 1,
+                        bytes[pos - addr]) != AccessResult::kOk) {
         return false;
       }
     }

@@ -77,6 +77,13 @@ class Bus {
   // change as "any instruction word may have changed".
   uint64_t memory_generation() const { return memory_generation_; }
 
+  // Host-side switch for the last-device routing memo (differential
+  // harness). Routing results are identical either way.
+  void SetRouteMemo(bool enabled) {
+    route_memo_ = enabled;
+    last_device_ = nullptr;
+  }
+
   const BusStats& stats() const { return stats_; }
 
   // Ticks every time-keeping device (Device::WantsTick) and resets them all
@@ -89,6 +96,7 @@ class Bus {
   std::vector<Device*> tick_devices_;  // Subset with WantsTick().
   ProtectionUnit* protection_ = nullptr;
   uint64_t memory_generation_ = 1;
+  bool route_memo_ = true;
   mutable Device* last_device_ = nullptr;
   mutable BusStats stats_;
 };

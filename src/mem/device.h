@@ -27,7 +27,10 @@ class Device {
   const std::string& name() const { return name_; }
   uint32_t base() const { return base_; }
   uint32_t size() const { return size_; }
-  uint32_t end() const { return base_ + size_; }
+  // Exclusive end, in 64 bits: a device whose range touches the top of the
+  // 32-bit address space must not wrap `base + size` back to a small value
+  // (that would make Contains() and the bus byte-run helpers mis-route).
+  uint64_t end() const { return base_ + uint64_t{size_}; }
   bool Contains(uint32_t addr) const { return addr >= base_ && addr < end(); }
 
   // Guest-visible access at `offset` from base(). `width` is 1 or 4; word

@@ -378,6 +378,54 @@ bool EaMpu::DataRuleAllows(const AccessContext& ctx, int subject, int object) {
   return allow;
 }
 
+bool EaMpu::FetchAllowed(const AccessContext& ctx, std::optional<int> subject,
+                         uint32_t addr) const {
+  // Reference fetch decision: covered-implies-allowed at exactly `addr`.
+  bool covered = false;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (!regions_[r].Contains(addr)) {
+      continue;
+    }
+    covered = true;
+    if (RuleAllows(ctx, subject, static_cast<int>(r), addr)) {
+      return true;
+    }
+  }
+  return !covered;
+}
+
+bool EaMpu::DataAllowedByteWise(const AccessContext& ctx,
+                                std::optional<int> subject, uint32_t addr,
+                                uint32_t width) const {
+  // Reference byte-wise scan. Byte addresses are computed in 64 bits: an
+  // access straddling the top of the 32-bit address space must not wrap
+  // around to address 0 — bytes past 0xFFFFFFFF do not exist and are
+  // covered by no region.
+  for (uint32_t i = 0; i < width; ++i) {
+    const uint64_t byte_addr = uint64_t{addr} + i;
+    if (byte_addr > 0xFFFFFFFFull) {
+      break;
+    }
+    const uint32_t a = static_cast<uint32_t>(byte_addr);
+    bool covered = false;
+    bool allowed = false;
+    for (size_t r = 0; r < regions_.size(); ++r) {
+      if (!regions_[r].Contains(a)) {
+        continue;
+      }
+      covered = true;
+      if (RuleAllows(ctx, subject, static_cast<int>(r), a)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (covered && !allowed) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool EaMpu::FetchCheckPasses(const AccessContext& ctx, int subject,
                              uint32_t addr) {
   // Fetch decisions are keyed on the *exact* address: the entry-vector rule
@@ -397,19 +445,7 @@ bool EaMpu::FetchCheckPasses(const AccessContext& ctx, int subject,
   ++stats_.fetch_misses;
   const std::optional<int> subj =
       subject >= 0 ? std::optional<int>(subject) : std::nullopt;
-  bool covered = false;
-  bool allowed = false;
-  for (size_t r = 0; r < regions_.size(); ++r) {
-    if (!regions_[r].Contains(addr)) {
-      continue;
-    }
-    covered = true;
-    if (RuleAllows(ctx, subj, static_cast<int>(r), addr)) {
-      allowed = true;
-      break;
-    }
-  }
-  const bool pass = !covered || allowed;
+  const bool pass = FetchAllowed(ctx, subj, addr);
   entry = FetchEntry{config_gen_, key, pass};
   return pass;
 }
@@ -420,7 +456,10 @@ AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
     return AccessResult::kOk;
   }
   ++stats_.checks;
-  const int subject = SubjectFor(ctx.curr_ip);
+  const int subject = fast_path_ ? SubjectFor(ctx.curr_ip)
+                                 : FindCodeRegion(ctx.curr_ip).value_or(-1);
+  const std::optional<int> subj =
+      subject >= 0 ? std::optional<int>(subject) : std::nullopt;
 
   // Evaluate all bytes of the access (a word straddling a region boundary
   // must be allowed on both sides). Fetches are always word-aligned and are
@@ -428,10 +467,15 @@ AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
   // the instruction address, not its tail bytes.
   bool deny = false;
   if (ctx.kind == AccessKind::kFetch) {
-    deny = !FetchCheckPasses(ctx, subject, addr);
-  } else {
+    deny = fast_path_ ? !FetchCheckPasses(ctx, subject, addr)
+                      : !FetchAllowed(ctx, subj, addr);
+  } else if (fast_path_) {
     const CoverageCache& cov = CoverageFor(addr);
-    if (!cov.overflow && addr >= cov.lo && addr + width <= cov.hi) {
+    // The end-of-access comparison runs in 64 bits: `addr + width` computed
+    // in uint32_t wraps past 0xFFFFFFFF, which used to mis-classify an
+    // access straddling the top of the address space as lying inside the
+    // homogeneous interval (found by the differential harness).
+    if (!cov.overflow && addr >= cov.lo && uint64_t{addr} + width <= cov.hi) {
       // Fast path: every byte of the access lies in one homogeneous
       // interval — all bytes share the same covering-region set, so one
       // memoized decision per covering region settles the whole access.
@@ -444,35 +488,11 @@ AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
       }
     } else {
       // Slow path (access straddles a coverage boundary, or more regions
-      // overlap here than the cache tracks): the original byte-wise scan.
-      const std::optional<int> subj =
-          subject >= 0 ? std::optional<int>(subject) : std::nullopt;
-      bool any_covered = false;
-      bool all_allowed = true;
-      for (uint32_t i = 0; i < width; ++i) {
-        const uint32_t byte_addr = addr + i;
-        bool covered = false;
-        bool allowed = false;
-        for (size_t r = 0; r < regions_.size(); ++r) {
-          if (!regions_[r].Contains(byte_addr)) {
-            continue;
-          }
-          covered = true;
-          if (RuleAllows(ctx, subj, static_cast<int>(r), byte_addr)) {
-            allowed = true;
-            break;
-          }
-        }
-        if (covered) {
-          any_covered = true;
-          if (!allowed) {
-            all_allowed = false;
-            break;
-          }
-        }
-      }
-      deny = any_covered && !all_allowed;
+      // overlap here than the cache tracks): the byte-wise scan.
+      deny = !DataAllowedByteWise(ctx, subj, addr, width);
     }
+  } else {
+    deny = !DataAllowedByteWise(ctx, subj, addr, width);
   }
   if (!deny) {
     return AccessResult::kOk;

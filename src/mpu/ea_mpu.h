@@ -166,10 +166,24 @@ class EaMpu : public Device, public ProtectionUnit {
   // locking, hardwiring or Reset() invalidates every memoized decision.
   uint64_t config_generation() const { return config_gen_; }
 
+  // Host-side fast-path switch (differential-execution harness). When
+  // disabled, every Check() runs the uncached reference decision procedure;
+  // guest-visible behavior must be bit-identical either way.
+  void SetFastPath(bool enabled) { fast_path_ = enabled; }
+  bool fast_path() const { return fast_path_; }
+
  private:
   bool RegisterWriteAllowed(uint32_t offset) const;
   bool RuleAllows(const AccessContext& ctx, std::optional<int> subject,
                   int object, uint32_t addr) const;
+
+  // Uncached reference decision procedures (shared by the fast-path caches
+  // as their fill path and by the cache-disabled mode).
+  bool FetchAllowed(const AccessContext& ctx, std::optional<int> subject,
+                    uint32_t addr) const;
+  bool DataAllowedByteWise(const AccessContext& ctx,
+                           std::optional<int> subject, uint32_t addr,
+                           uint32_t width) const;
 
   // --- Access-decision fast path (behaviour-preserving memoization) ---
   // Subject resolution: FindCodeRegion(ip) memoized together with the
@@ -225,6 +239,7 @@ class EaMpu : public Device, public ProtectionUnit {
   MpuStats stats_;
 
   uint64_t config_gen_ = 1;
+  bool fast_path_ = true;
   SubjectCache subject_cache_;
   CoverageCache coverage_cache_;
   std::vector<DecisionEntry> decision_cache_;

@@ -34,13 +34,16 @@ Platform::Platform(const PlatformConfig& config) : config_(config) {
   if (config.with_mpu) {
     mpu_ = std::make_unique<EaMpu>(kMpuMmioBase, config.mpu_regions,
                                    config.mpu_rules);
+    mpu_->SetFastPath(config.fast_path);
     bus_.Attach(mpu_.get());
     bus_.SetProtectionUnit(mpu_.get());
   }
+  bus_.SetRouteMemo(config.fast_path);
 
   CpuConfig cpu_config;
   cpu_config.secure_exceptions = config.secure_exceptions;
   cpu_config.sanitize_faulting_ip = config.sanitize_faulting_ip;
+  cpu_config.decode_cache = config.fast_path;
   cpu_config.cycles = config.cycles;
   cpu_ = std::make_unique<Cpu>(&bus_, sysctl_.get(), cpu_config);
   cpu_->AttachMpu(mpu_.get());

@@ -46,6 +46,11 @@ struct PlatformConfig {
   // Optional DMA engine (paper Sec. 6 future work; see src/dev/dma.h).
   bool with_dma = false;
   DmaEngine::Mode dma_mode = DmaEngine::Mode::kExecutionAware;
+  // Host-side simulator fast path (decode cache, EA-MPU decision caches,
+  // bus routing memo). Disabled by the differential-execution harness to
+  // pit the cached interpreter against the uncached reference; guest-visible
+  // behavior must be identical either way (DESIGN.md Sec. 10/11).
+  bool fast_path = true;
 };
 
 // Aggregated fast-path cache counters (bus routing, decode cache, EA-MPU

@@ -365,5 +365,33 @@ handler:
   EXPECT_EQ(cpu.last_exception_entry_cycles(), 30u);
 }
 
+TEST_F(CpuEdgeTest, MisalignedJumpTargetFaultsDespiteDecodeCache) {
+  // Execute `target` once at its aligned address (populating its decode
+  // cache line), then jump back into the middle of the same word. The
+  // cache indexes lines by ip >> 2, so target and target + 2 alias; the
+  // misaligned IP must raise an alignment fault instead of replaying the
+  // cached decode of the aligned word.
+  RunProgram(R"(
+    movi r4, 0
+    la   r2, target
+    jmp  target
+back:
+    addi r2, r2, 2
+    jr   r2               ; target + 2: must trap, not hit the cached line
+    halt
+target:
+    addi r4, r4, 1
+    movi r5, 1
+    beq  r4, r5, back
+    li   r6, 0xBAD        ; reachable only if the misaligned fetch executed
+    halt
+)");
+  EXPECT_TRUE(cpu_->halted());
+  ASSERT_TRUE(cpu_->trap().valid);
+  EXPECT_EQ(cpu_->trap().exception_class, kExcAlign);
+  EXPECT_EQ(cpu_->reg(4), 1u);  // target ran exactly once, aligned.
+  EXPECT_NE(cpu_->reg(6), 0xBADu);
+}
+
 }  // namespace
 }  // namespace trustlite

@@ -450,6 +450,28 @@ TEST_F(ExceptionTest, SanitizedFaultingIpPointsToEntryVector) {
   EXPECT_EQ(reported, kTlCode);  // Entry vector, not the precise loop IP.
 }
 
+TEST_F(ExceptionTest, DoubleFaultMidEntryNeverExposesTrustletRegisters) {
+  ProgramStandardMpu();
+  // Same corrupt-stack scenario as above, but with NO fault handler
+  // installed: the engine's save faults mid-entry, the resulting MPU fault
+  // has nowhere to vector, and the platform halts on the double-fault path.
+  // The trustlet had r1 (counter), r2 = 0xAAAA and r3 = 0x5555 live at the
+  // moment of the interrupt; none of them may survive into the halted
+  // register file — the clear must precede the handler dispatch, not follow
+  // a successful one.
+  LoadGuest(TrustletSource(/*stack_init=*/kOsCode + 0x100));
+  LoadGuest(OsSource(kRecordingIsr));
+  platform_.cpu().Reset(kOsCode);
+  platform_.cpu().set_reg(kRegSp, kOsStackTop);
+  platform_.Run(100000);
+  ASSERT_TRUE(platform_.cpu().halted());
+  ASSERT_TRUE(platform_.cpu().trap().valid);
+  EXPECT_EQ(platform_.cpu().trap().exception_class, kExcMpuFault);
+  for (int r = 0; r < kNumRegisters; ++r) {
+    EXPECT_EQ(platform_.cpu().reg(r), 0u) << "r" << r;
+  }
+}
+
 TEST_F(ExceptionTest, IsrCannotReadTrustletSavedState) {
   ProgramStandardMpu();
   LoadGuest(TrustletSource());

@@ -160,5 +160,26 @@ TEST(MemLayoutTest, RegionsDoNotOverlap) {
   }
 }
 
+TEST(BusTopOfMemoryTest, ByteRunsStopAtTheTopOfTheAddressSpace) {
+  // A device whose range ends exactly at 2^32: runs inside it work, and
+  // runs that would extend past 0xFFFFFFFF fail instead of wrapping around
+  // to address 0 (the run arithmetic is 64-bit).
+  Bus bus;
+  Ram top("top", 0xFFFF'F000u, 0x1000);
+  bus.Attach(&top);
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(bus.HostWriteBytes(0xFFFF'FFF8u, bytes));
+  std::vector<uint8_t> readback;
+  EXPECT_TRUE(bus.HostReadBytes(0xFFFF'FFF8u, 8, &readback));
+  EXPECT_EQ(readback, bytes);
+  EXPECT_FALSE(bus.HostWriteBytes(0xFFFF'FFFCu, bytes));
+  EXPECT_FALSE(bus.HostReadBytes(0xFFFF'FFFCu, 8, &readback));
+  // The word straddling nothing at the very top is still addressable.
+  EXPECT_TRUE(bus.HostWriteWord(0xFFFF'FFFCu, 0xA5A5'A5A5u));
+  uint32_t word = 0;
+  EXPECT_TRUE(bus.HostReadWord(0xFFFF'FFFCu, &word));
+  EXPECT_EQ(word, 0xA5A5'A5A5u);
+}
+
 }  // namespace
 }  // namespace trustlite

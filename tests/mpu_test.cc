@@ -430,6 +430,50 @@ TEST_F(MpuTest, AdjacentPlacementSharesOneSubjectRegion) {
             AccessResult::kProtFault);
 }
 
+TEST_F(MpuTest, TopOfAddressSpaceAccessDoesNotWrap) {
+  // Region 5 covers [0xFFFFF000, 0xFFFFFFFF) with a read rule for anyone;
+  // byte 0xFFFFFFFF is covered by no region (region ends are exclusive
+  // 32-bit values, so the very top byte is always open). A word read at
+  // 0xFFFFFFFC spans covered and open bytes; with 32-bit arithmetic the
+  // end-of-access (addr + width) wraps to 0 and the decision goes wrong.
+  SetRegion(5, 0xFFFFF000u, 0xFFFFFFFFu, kMpuAttrEnable);
+  SetRule(0, kMpuSubjectAny, 5, true, false, false);
+  Enable();
+  for (const bool fast : {true, false}) {
+    mpu_.SetFastPath(fast);
+    EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, 0xFFFFFFFCu),
+              AccessResult::kOk)
+        << "fast=" << fast;
+    // No write rule on the covered bytes: the same access as a write denies.
+    EXPECT_EQ(Access(kOpenRam, AccessKind::kWrite, 0xFFFFFFFCu),
+              AccessResult::kProtFault)
+        << "fast=" << fast;
+  }
+}
+
+TEST_F(MpuTest, AccessStraddlingTopRegionBoundaryChecksEveryByte) {
+  // Region 5 = [0xFFFFF000, 0xFFFFFFFE) readable by anyone; region 6 =
+  // [0xFFFFFFFE, 0xFFFFFFFF) covered with no rule at all. A word read at
+  // 0xFFFFFFFC touches both: the rule-less byte at 0xFFFFFFFE must deny the
+  // whole access. A fast path computing addr + width in uint32_t wraps past
+  // the top of the address space, mistakes the access for one lying inside
+  // the homogeneous [lo, hi) interval of region 5, and allows it.
+  SetRegion(5, 0xFFFFF000u, 0xFFFFFFFEu, kMpuAttrEnable);
+  SetRegion(6, 0xFFFFFFFEu, 0xFFFFFFFFu, kMpuAttrEnable);
+  SetRule(0, kMpuSubjectAny, 5, true, false, false);
+  Enable();
+  for (const bool fast : {true, false}) {
+    mpu_.SetFastPath(fast);
+    EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, 0xFFFFFFFCu),
+              AccessResult::kProtFault)
+        << "fast=" << fast;
+    // Entirely inside region 5: still allowed.
+    EXPECT_EQ(Access(kOpenRam, AccessKind::kRead, 0xFFFFF000u),
+              AccessResult::kOk)
+        << "fast=" << fast;
+  }
+}
+
 TEST(MpuFaultTreeTest, DepthIsLogarithmic) {
   EXPECT_EQ(EaMpu::FaultTreeDepth(1), 0);
   EXPECT_EQ(EaMpu::FaultTreeDepth(2), 1);
