@@ -10,6 +10,7 @@
 #include "src/isa/assembler.h"
 #include "src/loader/system_image.h"
 #include "src/os/nanos.h"
+#include "src/platform/observe/profiler.h"
 #include "src/platform/platform.h"
 #include "src/trustlet/builder.h"
 
@@ -72,6 +73,38 @@ void BM_InterpreterWithMpu(benchmark::State& state) {
       static_cast<int64_t>(platform.cpu().stats().instructions));
 }
 BENCHMARK(BM_InterpreterWithMpu);
+
+// Same workload with the observability layer live: a TrustletProfiler
+// registered as an event sink, so every retire takes the InsnEvent path
+// (hub dispatch + lane lookup + accounting). The gap between this and
+// BM_InterpreterWithMpu is the tracing-on cost; with no sink attached the
+// event pointers are null and BM_InterpreterWithMpu itself is the
+// tracing-off number (DESIGN.md §12 overhead budget).
+void BM_InterpreterWithMpuProfiled(benchmark::State& state) {
+  Platform platform;
+  Bus& bus = platform.bus();
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                         static_cast<uint32_t>(i) * kMpuRegionStride;
+    bus.HostWriteWord(reg + 0, 0x40000 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 4, 0x40080 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 8, kMpuAttrEnable);
+  }
+  bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+  uint32_t entry = 0;
+  bus.HostWriteBytes(0x30000, WorkloadImage(&entry));
+  platform.cpu().Reset(entry);
+  TrustletProfiler profiler;
+  profiler.AddLane("workload", 0x30000, 0x30100);
+  platform.AddEventSink(&profiler);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  platform.RemoveEventSink(&profiler);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_InterpreterWithMpuProfiled);
 
 // Worst case for the fast-path caches: execution alternates between many
 // subject regions (one trustlet-like code region per chunk), each touching

@@ -35,8 +35,13 @@ void Cpu::Reset(uint32_t reset_vector) {
   flags_ = 0;
   halted_ = false;
   trap_ = TrapInfo{};
+  // Architectural per-run state is cleared; without this a post-reset read
+  // of last_exception_entry_cycles() would report the entry cost of an
+  // exception taken in the *previous* run (stale-counter bug hit by the
+  // fault injector's mid-run reset campaigns).
+  last_exception_entry_cycles_ = 0;
   // Cycle counter and stats persist across reset so boot-cost benches can
-  // measure the re-initialization itself.
+  // measure the re-initialization itself (see CpuStats in cpu.h).
 }
 
 AccessContext Cpu::DataContext(AccessKind kind) const {
@@ -55,6 +60,14 @@ void Cpu::HaltWithTrap(uint32_t exception_class, uint32_t addr,
   trap_.ip = ip_;
   trap_.addr = addr;
   trap_.reason = why;
+  if (sink_ != nullptr) {
+    HaltEvent event;
+    event.cycle = cycles_;
+    event.ip = ip_;
+    event.trap = true;
+    event.trap_class = exception_class;
+    sink_->OnHalt(event);
+  }
 }
 
 bool Cpu::PendingIrq(Device** source) const {
@@ -108,6 +121,30 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
   // Determine whether the secure engine must perform a full state save.
   bool trustlet_path = false;
   int region_index = -1;
+  uint32_t trustlet_entry_addr = 0;
+
+  // Every terminal of this function reports the completed (or failed)
+  // transition; by-reference capture picks up the final entry_cycles /
+  // trustlet_path values.
+  const auto emit_trap = [&](uint32_t effective_handler, bool halt) {
+    if (sink_ == nullptr) {
+      return;
+    }
+    TrapEvent event;
+    event.cycle = cycles_;
+    event.exception_class = exception_class;
+    event.handler = effective_handler;
+    event.fault_addr = fault_addr;
+    event.resume_ip = resume_ip;
+    event.subject_ip = subject_ip;
+    event.entry_cycles = entry_cycles;
+    event.trustlet_entry = trustlet_entry_addr;
+    event.interrupt =
+        exception_class >= kExcIrqBase && exception_class < kExcSwiBase;
+    event.trustlet_path = trustlet_path;
+    event.halted = halt;
+    sink_->OnTrap(event);
+  };
   if (config_.secure_exceptions && mpu_ != nullptr && mpu_->enabled()) {
     entry_cycles += config_.cycles.secure_detect;
     const std::optional<int> region = mpu_->FindCodeRegion(subject_ip);
@@ -132,6 +169,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
     }
     cycles_ += entry_cycles;
     last_exception_entry_cycles_ = entry_cycles;
+    emit_trap(0, true);
     HaltWithTrap(exception_class, fault_addr, "unhandled exception");
     return false;
   }
@@ -149,6 +187,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
     if (!push(flags_) || !push(resume_ip) || !push(exception_class)) {
       cycles_ += entry_cycles;
       last_exception_entry_cycles_ = entry_cycles;
+      emit_trap(handler, true);
       HaltWithTrap(exception_class, sp, "double fault (exception frame)");
       return false;
     }
@@ -158,6 +197,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
     prev_ip_ = handler;  // Hardware vectoring: the handler fetch is trusted.
     cycles_ += entry_cycles;
     last_exception_entry_cycles_ = entry_cycles;
+    emit_trap(handler, false);
     return true;
   }
 
@@ -168,6 +208,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
 
   const bool saved = SaveTrustletState(region_index, resume_ip, subject_ip);
   const uint32_t trustlet_entry = mpu_->region(region_index).base;
+  trustlet_entry_addr = trustlet_entry;
   // Registers are cleared unconditionally: even when the save failed (the
   // trustlet is terminated, footnote 1), nothing may leak into the ISR.
   for (uint32_t& reg : regs_) {
@@ -193,6 +234,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
   if (!have_os) {
     cycles_ += entry_cycles;
     last_exception_entry_cycles_ = entry_cycles;
+    emit_trap(handler, true);
     HaltWithTrap(exception_class, fault_addr, "no OS stack configured");
     return false;
   }
@@ -206,6 +248,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
     if (effective_handler == 0) {
       cycles_ += entry_cycles;
       last_exception_entry_cycles_ = entry_cycles;
+      emit_trap(0, true);
       HaltWithTrap(kExcMpuFault, fault_addr,
                    "trustlet terminated, no MPU fault handler");
       return false;
@@ -233,6 +276,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
   if (!push_os(reported_ip) || !push_os(error)) {
     cycles_ += entry_cycles;
     last_exception_entry_cycles_ = entry_cycles;
+    emit_trap(effective_handler, true);
     HaltWithTrap(exception_class, sp, "double fault (OS stack)");
     return false;
   }
@@ -242,6 +286,7 @@ bool Cpu::EnterException(uint32_t exception_class, uint32_t handler,
   prev_ip_ = effective_handler;
   cycles_ += entry_cycles;
   last_exception_entry_cycles_ = entry_cycles;
+  emit_trap(effective_handler, false);
   return true;
 }
 
@@ -585,6 +630,12 @@ StepEvent Cpu::Step() {
       handler = sysctl_->HandlerFor(ExceptionClass::kSwiBase, cls - kExcSwiBase);
       resume = ip_ + 4;  // SWIs resume after the trapping instruction.
       ++stats_.instructions;
+      if (insn_sink_ != nullptr) {
+        // The SWI instruction itself retires; the exception entry that
+        // follows is reported separately as a TrapEvent.
+        insn_sink_->OnInstruction(
+            InsnEvent{cycles_, insn_addr, word, out.cycles});
+      }
     } else if (cls == kExcMpuFault) {
       handler = sysctl_->HandlerFor(ExceptionClass::kMpuFault);
     } else if (cls == kExcIllegal) {
@@ -602,8 +653,16 @@ StepEvent Cpu::Step() {
   ++stats_.instructions;
   if (out.halted) {
     halted_ = true;
+    if (sink_ != nullptr) {
+      // Clean HALT: reported as a HaltEvent (not an InsnEvent) so
+      // instruction-stream consumers see exactly the productive retires.
+      sink_->OnHalt(HaltEvent{cycles_, insn_addr, out.cycles, false, 0});
+    }
     bus_->TickDevices(cycles_ - cycles_before);
     return StepEvent::kHalted;
+  }
+  if (insn_sink_ != nullptr) {
+    insn_sink_->OnInstruction(InsnEvent{cycles_, insn_addr, word, out.cycles});
   }
   if (!out.control_transfer) {
     ip_ += 4;

@@ -56,6 +56,7 @@
 #include "src/isa/isa.h"
 #include "src/mem/bus.h"
 #include "src/mpu/ea_mpu.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -111,6 +112,12 @@ struct CpuConfig {
   CycleModel cycles;
 };
 
+// Host-side execution counters. Semantics across Cpu::Reset / Platform::
+// HardReset: *cumulative* — a reset clears architectural state (registers,
+// IP, FLAGS, halt latch, trap record, last_exception_entry_cycles) but
+// neither the cycle counter nor these stats, so boot-cost benches and
+// mid-run reset campaigns (fault injector) keep a monotonic view. Consumers
+// that want per-window numbers snapshot and subtract.
 struct CpuStats {
   uint64_t instructions = 0;
   uint64_t exceptions = 0;
@@ -152,6 +159,15 @@ class Cpu {
   // instruction's address and decoded form (debugger/CLI tooling).
   using TraceHook = std::function<void(uint32_t ip, const Instruction&)>;
   void SetTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // Structured-event sink for the observability layer (normally the
+  // Platform's EventHub; null = tracing off). `want_insn` gates the
+  // per-retire InsnEvent separately so rare-event consumers keep the retire
+  // loop untouched; it is sampled here, not per instruction.
+  void SetEventSink(EventSink* sink, bool want_insn) {
+    sink_ = sink;
+    insn_sink_ = want_insn ? sink : nullptr;
+  }
 
   // Power-on / platform reset: registers cleared, IP at the PROM reset
   // vector, interrupts disabled. Memory is untouched.
@@ -235,6 +251,8 @@ class Cpu {
   Bus* bus_;
   SysCtl* sysctl_;
   EaMpu* mpu_ = nullptr;
+  EventSink* sink_ = nullptr;       // All event classes except InsnEvent.
+  EventSink* insn_sink_ = nullptr;  // Per-retire events; null unless wanted.
   CpuConfig config_;
   SancusHook sancus_hook_;
   InterruptGuard interrupt_guard_;

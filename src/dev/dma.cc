@@ -18,6 +18,18 @@ void DmaEngine::Reset() {
   owner_locked_ = false;
 }
 
+void DmaEngine::NotifyTransfer() {
+  if (sink_ == nullptr) {
+    return;
+  }
+  DmaTransferEvent event;  // Cycle/IP stamped by the hub.
+  event.src = src_;
+  event.dst = dst_;
+  event.len = len_;
+  event.faulted = status_ == kDmaStatusFault;
+  sink_->OnDmaTransfer(event);
+}
+
 void DmaEngine::RunTransfer() {
   AccessContext ctx;
   if (mode_ == Mode::kUnchecked) {
@@ -120,6 +132,7 @@ AccessResult DmaEngine::Write(uint32_t offset, uint32_t width, uint32_t value) {
       }
       if ((value & kDmaCtrlStart) != 0) {
         RunTransfer();
+        NotifyTransfer();
       }
       return AccessResult::kOk;
     case kDmaRegSrc:

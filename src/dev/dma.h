@@ -31,6 +31,7 @@
 
 #include "src/mem/bus.h"
 #include "src/mem/device.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -65,11 +66,17 @@ class DmaEngine : public Device {
   bool owner_locked() const { return owner_locked_; }
   uint64_t words_transferred() const { return words_transferred_; }
 
+  // Observability: one DmaTransferEvent per started transfer, after it
+  // completes or aborts. Null = off.
+  void SetEventSink(EventSink* sink) { sink_ = sink; }
+
  private:
   void RunTransfer();
+  void NotifyTransfer();
 
   Bus* bus_;
   Mode mode_;
+  EventSink* sink_ = nullptr;
   uint32_t src_ = 0;
   uint32_t dst_ = 0;
   uint32_t len_ = 0;

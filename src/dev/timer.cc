@@ -31,6 +31,12 @@ void Timer::Tick(uint64_t cycles) {
     // Expired.
     pending_ = true;
     ++fire_count_;
+    if (sink_ != nullptr) {
+      IrqRaiseEvent event;  // Cycle stamped by the hub.
+      event.line = irq_line_;
+      event.handler = handler_;
+      sink_->OnIrqRaise(event);
+    }
     if ((ctrl_ & kTimerCtrlAutoReload) != 0 && period_ > 0) {
       count_ = period_;
     } else {

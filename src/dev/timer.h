@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "src/mem/device.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -52,7 +53,12 @@ class Timer : public Device {
 
   uint64_t fire_count() const { return fire_count_; }
 
+  // Observability: an IrqRaiseEvent each time the countdown expires and the
+  // line goes pending (not when the CPU recognizes it). Null = off.
+  void SetEventSink(EventSink* sink) { sink_ = sink; }
+
  private:
+  EventSink* sink_ = nullptr;
   int irq_line_;
   uint32_t ctrl_ = 0;
   uint32_t period_ = 0;

@@ -54,6 +54,11 @@ AccessResult Uart::Write(uint32_t offset, uint32_t width, uint32_t value) {
   switch (offset) {
     case kUartRegTxData:
       output_.push_back(static_cast<char>(value & 0xFF));
+      if (sink_ != nullptr) {
+        UartTxEvent event;  // Cycle/IP stamped by the hub.
+        event.byte = static_cast<uint8_t>(value & 0xFF);
+        sink_->OnUartTx(event);
+      }
       return AccessResult::kOk;
     case kUartRegStatus:
     case kUartRegRxData:

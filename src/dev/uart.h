@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/mem/device.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -41,9 +42,15 @@ class Uart : public Device {
   void ClearOutput() { output_.clear(); }
   void PushInput(const std::string& data);
 
+  // Observability: one UartTxEvent per byte hitting TXDATA, raised at the
+  // store itself (so the hub stamps the emitting instruction, not whoever
+  // later drains the buffer). Null = off.
+  void SetEventSink(EventSink* sink) { sink_ = sink; }
+
  private:
   std::string output_;
   std::deque<uint8_t> input_;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace trustlite

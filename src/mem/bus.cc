@@ -52,12 +52,24 @@ Device* Bus::FindDevice(uint32_t addr) const {
   return device;
 }
 
+void Bus::EmitBusError(const AccessContext& ctx, uint32_t addr) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  BusErrorEvent event;  // Cycle stamped by the hub.
+  event.ip = ctx.curr_ip;
+  event.addr = addr;
+  event.kind = ctx.kind;
+  sink_->OnBusError(event);
+}
+
 AccessResult Bus::Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
                        uint32_t* value, uint32_t* wait_states) {
   if (wait_states != nullptr) {
     *wait_states = 0;
   }
   if (width == 4 && (addr & 3) != 0) {
+    EmitBusError(ctx, addr);
     return AccessResult::kAlignFault;
   }
   if (protection_ != nullptr && !ctx.engine) {
@@ -68,12 +80,17 @@ AccessResult Bus::Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
   }
   Device* device = FindDevice(addr);
   if (device == nullptr) {
+    EmitBusError(ctx, addr);
     return AccessResult::kBusError;
   }
   if (wait_states != nullptr) {
     *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
   }
-  return device->Read(addr - device->base(), width, value);
+  const AccessResult result = device->Read(addr - device->base(), width, value);
+  if (result != AccessResult::kOk) {
+    EmitBusError(ctx, addr);
+  }
+  return result;
 }
 
 AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
@@ -82,6 +99,7 @@ AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
     *wait_states = 0;
   }
   if (width == 4 && (addr & 3) != 0) {
+    EmitBusError(ctx, addr);
     return AccessResult::kAlignFault;
   }
   if (protection_ != nullptr && !ctx.engine) {
@@ -92,6 +110,7 @@ AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
   }
   Device* device = FindDevice(addr);
   if (device == nullptr) {
+    EmitBusError(ctx, addr);
     return AccessResult::kBusError;
   }
   if (wait_states != nullptr) {
@@ -100,7 +119,11 @@ AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
   if (device->IsMemory()) {
     ++memory_generation_;
   }
-  return device->Write(addr - device->base(), width, value);
+  const AccessResult result = device->Write(addr - device->base(), width, value);
+  if (result != AccessResult::kOk) {
+    EmitBusError(ctx, addr);
+  }
+  return result;
 }
 
 bool Bus::HostReadWord(uint32_t addr, uint32_t* value) {

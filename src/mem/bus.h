@@ -18,6 +18,7 @@
 
 #include "src/mem/access.h"
 #include "src/mem/device.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -50,6 +51,11 @@ class Bus {
 
   void SetProtectionUnit(ProtectionUnit* unit) { protection_ = unit; }
   ProtectionUnit* protection_unit() const { return protection_; }
+
+  // Observability: bus-error telemetry on the guest/engine access paths
+  // (alignment, unmapped address, device-rejected access). Null = off.
+  // Protection denials are reported by the protection unit itself.
+  void SetEventSink(EventSink* sink) { sink_ = sink; }
 
   // Guest accesses (protection-checked). `width` is 1 or 4. When
   // `wait_states` is non-null it receives the device-inserted wait states
@@ -92,9 +98,12 @@ class Bus {
   void ResetDevices();
 
  private:
+  void EmitBusError(const AccessContext& ctx, uint32_t addr);
+
   std::vector<Device*> devices_;       // Sorted by base address.
   std::vector<Device*> tick_devices_;  // Subset with WantsTick().
   ProtectionUnit* protection_ = nullptr;
+  EventSink* sink_ = nullptr;
   uint64_t memory_generation_ = 1;
   bool route_memo_ = true;
   mutable Device* last_device_ = nullptr;

@@ -494,6 +494,15 @@ AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
   } else {
     deny = !DataAllowedByteWise(ctx, subj, addr, width);
   }
+  if (check_sink_ != nullptr) {
+    MpuCheckEvent event;  // Cycle stamped by the hub.
+    event.ip = ctx.curr_ip;
+    event.addr = addr;
+    event.kind = ctx.kind;
+    event.subject = subject;
+    event.allowed = !deny;
+    check_sink_->OnMpuCheck(event);
+  }
   if (!deny) {
     return AccessResult::kOk;
   }
@@ -504,6 +513,13 @@ AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
     fault_ip_ = ctx.curr_ip;
     fault_addr_ = addr;
     fault_info_ = kMpuFaultValid | static_cast<uint32_t>(ctx.kind);
+  }
+  if (sink_ != nullptr) {
+    MpuFaultEvent event;  // Cycle stamped by the hub.
+    event.ip = ctx.curr_ip;
+    event.addr = addr;
+    event.kind = ctx.kind;
+    sink_->OnMpuFault(event);
   }
   return AccessResult::kProtFault;
 }

@@ -39,6 +39,7 @@
 
 #include "src/mem/bus.h"
 #include "src/mem/device.h"
+#include "src/platform/observe/events.h"
 
 namespace trustlite {
 
@@ -172,6 +173,13 @@ class EaMpu : public Device, public ProtectionUnit {
   void SetFastPath(bool enabled) { fast_path_ = enabled; }
   bool fast_path() const { return fast_path_; }
 
+  // Observability: fault telemetry goes to `sink`; per-Check rule-hit
+  // telemetry (high volume) only when `want_checks`. Null = off.
+  void SetEventSink(EventSink* sink, bool want_checks) {
+    sink_ = sink;
+    check_sink_ = want_checks ? sink : nullptr;
+  }
+
  private:
   bool RegisterWriteAllowed(uint32_t offset) const;
   bool RuleAllows(const AccessContext& ctx, std::optional<int> subject,
@@ -237,6 +245,8 @@ class EaMpu : public Device, public ProtectionUnit {
   std::vector<bool> region_hardwired_;
   std::vector<bool> rule_hardwired_;
   MpuStats stats_;
+  EventSink* sink_ = nullptr;        // Fault telemetry.
+  EventSink* check_sink_ = nullptr;  // Per-Check telemetry (opt-in).
 
   uint64_t config_gen_ = 1;
   bool fast_path_ = true;

@@ -1,0 +1,283 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/platform/observe/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace trustlite {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(std::string* error) {
+    SkipWs();
+    if (!Value(0)) {
+      Fail("value expected");
+    }
+    if (ok_) {
+      SkipWs();
+      if (pos_ != text_.size()) {
+        Fail("trailing characters after JSON value");
+      }
+    }
+    if (!ok_ && error != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "offset %zu: %s", fail_pos_,
+                    reason_.c_str());
+      *error = buf;
+    }
+    return ok_;
+  }
+
+ private:
+  void Fail(const char* reason) {
+    if (ok_) {
+      ok_ = false;
+      fail_pos_ = pos_;
+      reason_ = reason;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eof() const { return pos_ >= text_.size(); }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i]) {
+        return false;
+      }
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (true) {
+      if (Eof()) {
+        Fail("unterminated string");
+        return true;  // Error already latched.
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        Fail("unescaped control character in string");
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        const char esc = Peek();
+        if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' ||
+            esc == 'f' || esc == 'n' || esc == 'r' || esc == 't') {
+          ++pos_;
+        } else if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              Fail("bad \\u escape");
+              return true;
+            }
+            ++pos_;
+          }
+        } else {
+          Fail("bad escape character");
+          return true;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    } else {
+      pos_ = start;
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("digit expected after decimal point");
+        return true;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("digit expected in exponent");
+        return true;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return true;
+    }
+    const char c = Peek();
+    if (c == '{') {
+      Object(depth);
+      return true;
+    }
+    if (c == '[') {
+      Array(depth);
+      return true;
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      if (!Literal("true")) {
+        Fail("bad literal");
+      }
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) {
+        Fail("bad literal");
+      }
+      return true;
+    }
+    if (c == 'n') {
+      if (!Literal("null")) {
+        Fail("bad literal");
+      }
+      return true;
+    }
+    return Number();
+  }
+
+  void Object(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (ok_) {
+      SkipWs();
+      if (!String()) {
+        Fail("object key must be a string");
+        return;
+      }
+      if (!ok_) {
+        return;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        Fail("':' expected");
+        return;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value(depth + 1)) {
+        Fail("value expected");
+        return;
+      }
+      if (!ok_) {
+        return;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return;
+      }
+      Fail("',' or '}' expected");
+      return;
+    }
+  }
+
+  void Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (ok_) {
+      SkipWs();
+      if (!Value(depth + 1)) {
+        Fail("value expected");
+        return;
+      }
+      if (!ok_) {
+        return;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return;
+      }
+      Fail("',' or ']' expected");
+      return;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  size_t fail_pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool JsonParses(const std::string& text, std::string* error) {
+  Parser parser(text);
+  return parser.Parse(error);
+}
+
+}  // namespace trustlite

@@ -1,0 +1,21 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Minimal JSON validity checker (RFC 8259 grammar, recursive descent with a
+// depth cap). Used by the Chrome trace exporter's self-check and by tests to
+// schema-validate generated trace files without pulling in a JSON library.
+
+#ifndef TRUSTLITE_SRC_PLATFORM_OBSERVE_JSON_H_
+#define TRUSTLITE_SRC_PLATFORM_OBSERVE_JSON_H_
+
+#include <string>
+
+namespace trustlite {
+
+// Returns true when `text` is one well-formed JSON value (with optional
+// surrounding whitespace). On failure, fills *error (if non-null) with a
+// byte-offset + reason message.
+bool JsonParses(const std::string& text, std::string* error = nullptr);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_PLATFORM_OBSERVE_JSON_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/platform/observe/lanes.h"
+
+#include "src/loader/secure_loader.h"
+#include "src/mpu/ea_mpu.h"
+
+namespace trustlite {
+
+LaneMap::LaneMap() { lanes_.push_back(Lane{"untrusted", 0, 0, false}); }
+
+int LaneMap::AddLane(const std::string& name, uint32_t code_base,
+                     uint32_t code_end, bool is_os) {
+  lanes_.push_back(Lane{name, code_base, code_end, is_os});
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+void LaneMap::ConfigureFromReport(const EaMpu& mpu, const LoadReport& report) {
+  for (const LoadedTrustlet& lt : report.trustlets) {
+    if (lt.code_region < 0) {
+      continue;  // Unprotected record: runs in lane 0.
+    }
+    const MpuRegion& region = mpu.region(lt.code_region);
+    const bool is_os = lt.meta.is_os || lt.meta.id == report.os_id;
+    const std::string name =
+        is_os ? "os" : "trustlet-" + std::to_string(lt.meta.id);
+    AddLane(name, region.base, region.end, is_os);
+  }
+}
+
+int LaneMap::LaneFor(uint32_t ip) const {
+  const Lane& memo = lanes_[last_];
+  if (last_ != 0 && ip >= memo.code_base && ip < memo.code_end) {
+    return last_;
+  }
+  for (int i = 1; i < static_cast<int>(lanes_.size()); ++i) {
+    const Lane& lane = lanes_[i];
+    if (ip >= lane.code_base && ip < lane.code_end) {
+      last_ = i;
+      return i;
+    }
+  }
+  last_ = 0;
+  return 0;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,59 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// LaneMap: maps instruction addresses to observability "lanes" — one lane
+// per trustlet code region, one for the OS region, and a catch-all lane 0
+// for unprotected/untrusted code. Keyed on the Trustlet Table via the
+// Secure Loader's LoadReport (ConfigureFromReport) or populated by hand
+// (AddLane) for synthetic tests. Shared by the per-trustlet profiler and
+// the Chrome trace exporter so both attribute identically.
+
+#ifndef TRUSTLITE_SRC_PLATFORM_OBSERVE_LANES_H_
+#define TRUSTLITE_SRC_PLATFORM_OBSERVE_LANES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trustlite {
+
+class EaMpu;
+struct LoadReport;
+
+struct Lane {
+  std::string name;
+  uint32_t code_base = 0;
+  uint32_t code_end = 0;  // Exclusive; base == end for the catch-all lane.
+  bool is_os = false;
+};
+
+class LaneMap {
+ public:
+  // Lane 0 ("untrusted") always exists and matches any IP no other lane
+  // claims.
+  LaneMap();
+
+  // Returns the new lane's index. [code_base, code_end) should not overlap
+  // existing lanes (first match wins if it does).
+  int AddLane(const std::string& name, uint32_t code_base, uint32_t code_end,
+              bool is_os = false);
+
+  // One lane per loaded trustlet (and the OS), extents taken from the MPU
+  // code regions the loader programmed. Unprotected records keep running in
+  // lane 0.
+  void ConfigureFromReport(const EaMpu& mpu, const LoadReport& report);
+
+  // Lane index for `ip`; 0 when no configured lane contains it. Memoizes
+  // the last hit (trace streams are dominated by runs within one lane).
+  int LaneFor(uint32_t ip) const;
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  const Lane& lane(int index) const { return lanes_[index]; }
+
+ private:
+  std::vector<Lane> lanes_;
+  mutable int last_ = 0;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_PLATFORM_OBSERVE_LANES_H_

@@ -49,6 +49,8 @@ Platform::Platform(const PlatformConfig& config) : config_(config) {
   cpu_->AttachMpu(mpu_.get());
   cpu_->AddIrqSource(timer_.get());
   cpu_->Reset(kPromBase);
+
+  hub_.BindCpu(cpu_.get());
 }
 
 Status Platform::InstallImage(const SystemImage& image, uint32_t directory) {
@@ -86,8 +88,40 @@ void Platform::LaunchOs(const LoadReport& report) {
 }
 
 void Platform::HardReset() {
+  if (!hub_.empty()) {
+    // Reported before any state is torn down so sinks can close out the
+    // pre-reset epoch with consistent cycle stamps.
+    ResetEvent event;
+    event.cycle = cpu_->cycles();
+    hub_.OnReset(event);
+  }
   bus_.ResetDevices();
   cpu_->Reset(kPromBase);
+}
+
+void Platform::AddEventSink(EventSink* sink) {
+  hub_.Add(sink);
+  RewireEventSinks();
+}
+
+void Platform::RemoveEventSink(EventSink* sink) {
+  hub_.Remove(sink);
+  RewireEventSinks();
+}
+
+void Platform::RewireEventSinks() {
+  EventSink* sink = hub_.empty() ? nullptr : &hub_;
+  cpu_->SetEventSink(sink, sink != nullptr && hub_.AnyWantsInstructionEvents());
+  bus_.SetEventSink(sink);
+  uart_->SetEventSink(sink);
+  timer_->SetEventSink(sink);
+  if (mpu_ != nullptr) {
+    mpu_->SetEventSink(sink,
+                       sink != nullptr && hub_.AnyWantsMpuCheckEvents());
+  }
+  if (dma_ != nullptr) {
+    dma_->SetEventSink(sink);
+  }
 }
 
 StepEvent Platform::Run(uint64_t max_instructions) {

@@ -25,6 +25,7 @@
 #include "src/mem/layout.h"
 #include "src/mem/memory.h"
 #include "src/mpu/ea_mpu.h"
+#include "src/platform/observe/hub.h"
 
 namespace trustlite {
 
@@ -110,10 +111,24 @@ class Platform {
   // measure simulated-cycle intervals between program points.
   bool RunUntilIp(uint32_t target_ip, uint64_t max_steps);
 
-  // Snapshot of all simulation fast-path counters.
+  // Snapshot of all simulation fast-path counters. Semantics across
+  // HardReset: cumulative, like CpuStats (see cpu.h) — HardReset clears
+  // architectural device/CPU state but no host-side telemetry counters.
   FastPathStats fast_path_stats() const;
 
+  // --- Observability (DESIGN.md §12) ---
+  // Registers `sink` with the platform's EventHub and (re)wires every
+  // component's event pointer. With no sinks registered the pointers are
+  // null and the simulation fast path is untouched. Sinks are not owned;
+  // remove a sink before destroying it. Interest flags
+  // (WantsInstructionEvents / WantsMpuCheckEvents) are sampled here — re-add
+  // a sink if they change.
+  void AddEventSink(EventSink* sink);
+  void RemoveEventSink(EventSink* sink);
+
  private:
+  void RewireEventSinks();
+
   PlatformConfig config_;
   Bus bus_;
   std::unique_ptr<Prom> prom_;
@@ -128,6 +143,7 @@ class Platform {
   std::unique_ptr<Gpio> gpio_;
   std::unique_ptr<DmaEngine> dma_;
   std::unique_ptr<Cpu> cpu_;
+  EventHub hub_;
 };
 
 }  // namespace trustlite

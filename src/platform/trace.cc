@@ -32,44 +32,62 @@ void ExecutionTracer::Record(const TraceEvent& event) {
   }
 }
 
+void ExecutionTracer::Attach(Platform* platform) {
+  if (platform_ == platform) {
+    return;
+  }
+  Detach();
+  platform_ = platform;
+  if (platform_ != nullptr) {
+    platform_->AddEventSink(this);
+  }
+}
+
+void ExecutionTracer::Detach() {
+  if (platform_ != nullptr) {
+    platform_->RemoveEventSink(this);
+    platform_ = nullptr;
+  }
+}
+
+void ExecutionTracer::OnInstruction(const InsnEvent& event) {
+  ++counts_.instructions;
+  if (record_instructions_) {
+    Record({event.cycle, TraceEventType::kInstruction, event.ip, event.word});
+  }
+}
+
+void ExecutionTracer::OnTrap(const TrapEvent& event) {
+  if (event.halted) {
+    return;  // The failed entry is reported through OnHalt.
+  }
+  if (event.interrupt) {
+    ++counts_.interrupts;
+    Record({event.cycle, TraceEventType::kInterrupt, event.subject_ip,
+            event.handler});
+  } else {
+    ++counts_.exceptions;
+    Record({event.cycle, TraceEventType::kException, event.subject_ip,
+            event.handler});
+  }
+}
+
+void ExecutionTracer::OnHalt(const HaltEvent& event) {
+  Record({event.cycle, TraceEventType::kHalt, event.ip,
+          event.trap ? event.trap_class : 0xFFFFFFFFu});
+}
+
+void ExecutionTracer::OnUartTx(const UartTxEvent& event) {
+  ++counts_.uart_bytes;
+  Record({event.cycle, TraceEventType::kUartTx, event.ip, event.byte});
+}
+
 StepEvent ExecutionTracer::Run(Platform* platform, uint64_t max_instructions) {
+  Attach(platform);
   Cpu& cpu = platform->cpu();
-  size_t uart_seen = platform->uart().output().size();
   StepEvent last = StepEvent::kExecuted;
   for (uint64_t i = 0; i < max_instructions; ++i) {
-    const uint32_t ip_before = cpu.ip();
-    uint32_t word = 0;
-    if (record_instructions_) {
-      platform->bus().HostReadWord(ip_before, &word);
-    }
     last = cpu.Step();
-    switch (last) {
-      case StepEvent::kExecuted:
-        ++counts_.instructions;
-        if (record_instructions_) {
-          Record({cpu.cycles(), TraceEventType::kInstruction, ip_before, word});
-        }
-        break;
-      case StepEvent::kException:
-        ++counts_.exceptions;
-        Record({cpu.cycles(), TraceEventType::kException, ip_before, cpu.ip()});
-        break;
-      case StepEvent::kInterrupt:
-        ++counts_.interrupts;
-        Record({cpu.cycles(), TraceEventType::kInterrupt, ip_before, cpu.ip()});
-        break;
-      case StepEvent::kHalted:
-        Record({cpu.cycles(), TraceEventType::kHalt, cpu.ip(),
-                cpu.trap().valid ? cpu.trap().exception_class : 0xFFFFFFFFu});
-        break;
-    }
-    // Surface UART transmissions as events.
-    const std::string& uart = platform->uart().output();
-    while (uart_seen < uart.size()) {
-      ++counts_.uart_bytes;
-      Record({cpu.cycles(), TraceEventType::kUartTx, ip_before,
-              static_cast<uint8_t>(uart[uart_seen++])});
-    }
     if (last == StepEvent::kHalted) {
       break;
     }

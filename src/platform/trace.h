@@ -1,12 +1,19 @@
 // Copyright 2026 The TrustLite Reproduction Authors.
 //
 // Execution tracer: records notable platform events (optionally every
-// retired instruction) into a bounded ring while driving the CPU. Used for
-// debugging guest software, post-mortem analysis in tests, and by tooling.
+// retired instruction) into a bounded ring. Built on the structured event
+// hooks (src/platform/observe/): the tracer is an EventSink that attaches
+// to the platform's EventHub on first Run and *stays attached*, so events
+// produced by direct cpu.Step()/cpu.Run() calls between Runs are captured
+// too — with exact emission-time attribution (a UART byte is stamped with
+// the IP of the instruction that stored to TXDATA, not with whatever a
+// polling loop happened to see).
 //
 //   ExecutionTracer tracer(/*capacity=*/512, /*record_instructions=*/false);
 //   tracer.Run(&platform, 100000);
 //   std::puts(tracer.Dump().c_str());
+//
+// One tracer observes one platform; Detach() (or destruction) unregisters.
 
 #ifndef TRUSTLITE_SRC_PLATFORM_TRACE_H_
 #define TRUSTLITE_SRC_PLATFORM_TRACE_H_
@@ -15,6 +22,7 @@
 #include <deque>
 #include <string>
 
+#include "src/platform/observe/events.h"
 #include "src/platform/platform.h"
 
 namespace trustlite {
@@ -36,6 +44,10 @@ struct TraceEvent {
   uint32_t detail = 0;
 };
 
+// Tracer-side event totals. Cumulative across Run calls and across
+// Platform::HardReset (Clear() zeroes them); `instructions` counts
+// productive retires only — the retiring half of a SWI counts, a clean
+// HALT does not.
 struct TraceCounts {
   uint64_t instructions = 0;
   uint64_t exceptions = 0;
@@ -43,15 +55,26 @@ struct TraceCounts {
   uint64_t uart_bytes = 0;
 };
 
-class ExecutionTracer {
+class ExecutionTracer : public EventSink {
  public:
   explicit ExecutionTracer(size_t capacity = 4096,
                            bool record_instructions = false)
       : capacity_(capacity), record_instructions_(record_instructions) {}
+  ~ExecutionTracer() override { Detach(); }
 
-  // Steps the platform until halt or `max_instructions`, recording events.
+  ExecutionTracer(const ExecutionTracer&) = delete;
+  ExecutionTracer& operator=(const ExecutionTracer&) = delete;
+
+  // Registers with the platform's event hub (idempotent). Run() attaches
+  // automatically; call this directly to observe a platform driven by
+  // something else entirely.
+  void Attach(Platform* platform);
+  void Detach();
+
+  // Steps the platform until halt or `max_instructions` step iterations.
   // May be called repeatedly; events accumulate (oldest dropped beyond
-  // capacity), counts are cumulative.
+  // capacity), counts are cumulative. The tracer stays attached afterwards,
+  // so platform activity between Runs is recorded as well.
   StepEvent Run(Platform* platform, uint64_t max_instructions);
 
   const std::deque<TraceEvent>& events() const { return events_; }
@@ -65,11 +88,21 @@ class ExecutionTracer {
   // the most recent N events (0 = all retained).
   std::string Dump(size_t last = 0) const;
 
+  // --- EventSink ---
+  // Instruction events feed counts_.instructions even when individual
+  // instructions are not recorded.
+  bool WantsInstructionEvents() const override { return true; }
+  void OnInstruction(const InsnEvent& event) override;
+  void OnTrap(const TrapEvent& event) override;
+  void OnHalt(const HaltEvent& event) override;
+  void OnUartTx(const UartTxEvent& event) override;
+
  private:
   void Record(const TraceEvent& event);
 
   size_t capacity_;
   bool record_instructions_;
+  Platform* platform_ = nullptr;
   std::deque<TraceEvent> events_;
   TraceCounts counts_;
 };

@@ -113,6 +113,111 @@ TEST(TraceTest, CapturesUartBytes) {
   EXPECT_NE(dump.find("'i'"), std::string::npos);
 }
 
+// Regression (observability rework): a UART byte produced while the tracer
+// is attached but *not* driving the CPU — here: a timer ISR print executed
+// via a direct cpu().Run() after tracer.Run() returned — must still be
+// captured, attributed to the IP of the instruction that stored to TXDATA.
+// The old polling tracer only saw bytes appearing during its own Run loop
+// and recorded nothing here.
+TEST(TraceTest, UartTxAttributedToEmittingInstructionInIsr) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  Result<AsmOutput> out = Assemble(R"(
+start:
+    li  r1, 0xF0002000
+    movi r2, 200
+    stw r2, [r1 + 4]
+    la  r2, isr
+    stw r2, [r1 + 12]
+    movi r2, 7
+    stw r2, [r1 + 0]
+    li  sp, 0x3c000
+    sti
+idle:
+    jmp idle
+isr:
+    li  r9, 0xF0003000
+    movi r5, '*'
+print:
+    stw r5, [r9]
+    halt
+)",
+                                   0x30000);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const AsmChunk& chunk : out->chunks) {
+    ASSERT_TRUE(platform.bus().HostWriteBytes(chunk.base, chunk.bytes));
+  }
+  platform.cpu().Reset(out->symbols.at("start"));
+
+  ExecutionTracer tracer;
+  // A budget far below the 200-cycle timer period: Run returns with the
+  // tracer attached but no byte printed yet.
+  tracer.Run(&platform, 5);
+  EXPECT_EQ(tracer.counts().uart_bytes, 0u);
+
+  // The ISR fires and prints while the CPU is driven directly.
+  platform.cpu().Run(100000);
+  ASSERT_TRUE(platform.cpu().halted());
+  ASSERT_EQ(platform.uart().output(), "*");
+
+  EXPECT_EQ(tracer.counts().uart_bytes, 1u);
+  const uint32_t print_ip = out->symbols.at("print");
+  bool saw_attributed_byte = false;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.type == TraceEventType::kUartTx) {
+      EXPECT_EQ(event.ip, print_ip);
+      EXPECT_EQ(event.detail, uint32_t{'*'});
+      saw_attributed_byte = true;
+    }
+  }
+  EXPECT_TRUE(saw_attributed_byte);
+}
+
+// Regression (observability rework): repeated Run calls interleaved with
+// direct cpu().Step() calls must neither skip nor double-count UART bytes.
+// The old tracer snapshotted `uart_seen = output().size()` at the top of
+// each Run, so a byte emitted between two Runs was silently skipped.
+TEST(TraceTest, TwoRunCallsDoNotSkipInterleavedUartBytes) {
+  PlatformConfig config;
+  config.with_mpu = false;
+  Platform platform(config);
+  LoadAt(platform, R"(
+    li  r1, 0xF0003000
+    movi r2, 'A'
+    stw r2, [r1]
+    movi r2, 'B'
+    stw r2, [r1]
+    movi r2, 'C'
+    stw r2, [r1]
+    halt
+)",
+         0x30000);
+  platform.cpu().Reset(0x30000);
+
+  ExecutionTracer tracer;
+  // li expands to lui+ori; 4 steps retire up to the first stw -> 'A'.
+  tracer.Run(&platform, 4);
+  EXPECT_EQ(tracer.counts().uart_bytes, 1u);
+
+  // 'B' is emitted by direct steps, outside any tracer.Run call.
+  platform.cpu().Step();
+  platform.cpu().Step();
+  ASSERT_EQ(platform.uart().output(), "AB");
+
+  tracer.Run(&platform, 100);  // 'C' + halt.
+  ASSERT_TRUE(platform.cpu().halted());
+
+  EXPECT_EQ(tracer.counts().uart_bytes, 3u);
+  std::string captured;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.type == TraceEventType::kUartTx) {
+      captured.push_back(static_cast<char>(event.detail));
+    }
+  }
+  EXPECT_EQ(captured, "ABC");
+}
+
 TEST(TraceTest, RingDropsOldestBeyondCapacity) {
   PlatformConfig config;
   config.with_mpu = false;

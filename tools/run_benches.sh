@@ -25,3 +25,22 @@ fi
   --benchmark_out_format=json
 
 echo "wrote $OUT"
+
+# Observability overhead summary: tracing-off vs tracing-on interpreter
+# throughput (BM_InterpreterWithMpu vs BM_InterpreterWithMpuProfiled).
+# Budget: tracing off must be free (<1%); tracing on is allowed to cost.
+awk '
+  /"name": "BM_InterpreterWithMpu"/          { want = 1 }
+  /"name": "BM_InterpreterWithMpuProfiled"/  { want = 2 }
+  /"items_per_second"/ && want {
+    gsub(/[^0-9.e+]/, "", $2)
+    ips[want] = $2 + 0
+    want = 0
+  }
+  END {
+    if (ips[1] > 0 && ips[2] > 0) {
+      printf "tracing off: %.3g insn/s   tracing on: %.3g insn/s   on/off: %.1f%%\n",
+             ips[1], ips[2], 100.0 * ips[2] / ips[1]
+    }
+  }
+' "$OUT"

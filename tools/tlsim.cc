@@ -5,13 +5,16 @@
 //   tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]
 //   tlsim disas <file.bin> [--base ADDR]
 //   tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]
-//               [--trace] [--uart-in TEXT] [--no-mpu]
+//               [--trace] [--uart-in TEXT] [--no-mpu] [--stats]
+//               [--profile] [--trace-json FILE]
 //   tlsim debug <file.s> [--entry ADDR|symbol] [--sp ADDR]
 //
 // `run` assembles the program, loads every chunk into the reference
 // platform, executes it, and reports UART output, halt state, registers and
 // simulated cycles. With --trace every retired instruction is disassembled
-// to stderr.
+// to stderr. --profile prints a per-lane cycle-accounting table (one lane
+// per assembled chunk) and --trace-json exports a Chrome trace-event file
+// viewable at https://ui.perfetto.dev (DESIGN.md §12).
 //
 // `debug` drops into a small REPL:
 //   s [n]        step n instructions (default 1), printing each
@@ -36,6 +39,9 @@
 #include "src/common/bytes.h"
 #include "src/isa/assembler.h"
 #include "src/isa/disassembler.h"
+#include "src/platform/observe/chrome_trace.h"
+#include "src/platform/observe/json.h"
+#include "src/platform/observe/profiler.h"
 #include "src/platform/platform.h"
 
 namespace trustlite {
@@ -48,7 +54,8 @@ int Usage() {
       "  tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]\n"
       "  tlsim disas <file.bin> [--base ADDR]\n"
       "  tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]\n"
-      "              [--trace] [--uart-in TEXT] [--no-mpu] [--stats]\n");
+      "              [--trace] [--uart-in TEXT] [--no-mpu] [--stats]\n"
+      "              [--profile] [--trace-json FILE]\n");
   return 2;
 }
 
@@ -158,6 +165,8 @@ int CmdRun(const std::vector<std::string>& args) {
   bool trace = false;
   bool no_mpu = false;
   bool stats = false;
+  bool profile = false;
+  std::string trace_json;
   std::string uart_in;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--entry" && i + 1 < args.size()) {
@@ -172,6 +181,10 @@ int CmdRun(const std::vector<std::string>& args) {
       no_mpu = true;
     } else if (args[i] == "--stats") {
       stats = true;
+    } else if (args[i] == "--profile") {
+      profile = true;
+    } else if (args[i] == "--trace-json" && i + 1 < args.size()) {
+      trace_json = args[++i];
     } else if (args[i] == "--uart-in" && i + 1 < args.size()) {
       uart_in = args[++i];
     } else if (input.empty()) {
@@ -225,6 +238,27 @@ int CmdRun(const std::vector<std::string>& args) {
     });
   }
 
+  // Observability sinks (DESIGN.md §12): one lane per assembled chunk so a
+  // program with a separate .org'd ISR or data island profiles per region.
+  TrustletProfiler profiler;
+  ChromeTraceWriter trace_writer;
+  if (profile || !trace_json.empty()) {
+    for (const AsmChunk& chunk : out->chunks) {
+      char lane_name[32];
+      std::snprintf(lane_name, sizeof(lane_name), "code@%08x", chunk.base);
+      const uint32_t end =
+          chunk.base + static_cast<uint32_t>(chunk.bytes.size());
+      profiler.AddLane(lane_name, chunk.base, end);
+      trace_writer.AddLane(lane_name, chunk.base, end);
+    }
+    if (profile) {
+      platform.AddEventSink(&profiler);
+    }
+    if (!trace_json.empty()) {
+      platform.AddEventSink(&trace_writer);
+    }
+  }
+
   platform.cpu().Reset(entry);
   platform.cpu().set_reg(kRegSp, sp);
   platform.Run(max_instructions);
@@ -271,6 +305,25 @@ int CmdRun(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(fp.mpu.faults),
                   static_cast<unsigned long long>(fp.mpu.mmio_writes));
     }
+  }
+  if (profile) {
+    std::printf("--- profile ---\n%s", profiler.ToString().c_str());
+    platform.RemoveEventSink(&profiler);
+  }
+  if (!trace_json.empty()) {
+    if (!trace_writer.WriteFile(trace_json)) {
+      std::fprintf(stderr, "tlsim: cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::string json_error;
+    const bool valid = JsonParses(trace_writer.Json(), &json_error);
+    std::printf("trace-json: wrote %s (%zu events%s, %s)\n", trace_json.c_str(),
+                trace_writer.event_count(),
+                trace_writer.dropped() == 0
+                    ? ""
+                    : ", overflow: oldest spans kept, tail dropped",
+                valid ? "valid JSON" : json_error.c_str());
+    platform.RemoveEventSink(&trace_writer);
   }
   return cpu.trap().valid ? 1 : 0;
 }
