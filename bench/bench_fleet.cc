@@ -1,0 +1,80 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet executor throughput (DESIGN.md §13): aggregate simulated
+// instructions per second for N-node fleets across host thread counts.
+// The workload is a non-halting compute loop, so every node consumes its
+// full run-quantum and the numbers measure executor scaling, not guest
+// idling. Run via tools/run_benches.sh (emits BENCH_fleet.json).
+//
+// Note: scaling tops out at the host's physical core count; on a 1-core
+// container every thread count measures the same serial throughput (minus
+// pool overhead, which this bench also exposes).
+
+#include <benchmark/benchmark.h>
+
+#include "src/fleet/fleet.h"
+#include "src/isa/assembler.h"
+
+namespace trustlite {
+namespace {
+
+constexpr char kSpinGuest[] =
+    "start:\n"
+    "    movi r1, 0\n"
+    "loop:\n"
+    "    addi r1, r1, 1\n"
+    "    jmp  loop\n";
+
+void InstallSpinGuest(Fleet* fleet) {
+  Result<AsmOutput> out = Assemble(kSpinGuest, 0x0003'0000);
+  for (int i = 0; i < fleet->num_nodes(); ++i) {
+    Platform& platform = fleet->node(i).platform();
+    for (const AsmChunk& chunk : out->chunks) {
+      platform.bus().HostWriteBytes(chunk.base, chunk.bytes);
+    }
+    platform.cpu().Reset(out->symbols.at("start"));
+    platform.cpu().set_reg(kRegSp, 0x0004'0000);
+    platform.ReleaseThreadAffinity();
+  }
+}
+
+// Args: {nodes, host threads}.
+void BM_FleetExecutor(benchmark::State& state) {
+  FleetConfig config;
+  config.nodes = static_cast<int>(state.range(0));
+  config.topology = Topology::kStar;
+  config.seed = 7;
+  config.threads = static_cast<int>(state.range(1));
+  config.quantum = 20'000;
+  Fleet fleet(config);
+  InstallSpinGuest(&fleet);
+
+  const uint64_t start_insn = fleet.TotalInstructions();
+  for (auto _ : state) {
+    fleet.RunQuantum();
+  }
+  const uint64_t insns = fleet.TotalInstructions() - start_insn;
+  state.SetItemsProcessed(static_cast<int64_t>(insns));
+  state.counters["nodes"] = static_cast<double>(config.nodes);
+  state.counters["threads"] = static_cast<double>(config.threads);
+}
+
+// UseRealTime: with worker threads doing the execution, process-CPU-time of
+// the calling thread would overstate scaling wildly; wall clock is the
+// honest throughput denominator.
+BENCHMARK(BM_FleetExecutor)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trustlite
+
+BENCHMARK_MAIN();

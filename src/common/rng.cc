@@ -5,23 +5,32 @@
 namespace trustlite {
 namespace {
 
-// splitmix64, used to expand the seed into the xoshiro state.
-uint64_t SplitMix64(uint64_t& x) {
-  x += 0x9E3779B97F4A7C15ull;
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64Once(uint64_t x) {
   uint64_t z = x;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
+uint64_t DeriveDeviceSeed(uint64_t fleet_seed, uint32_t device_id) {
+  // Each device id advances the golden-ratio sequence to a distinct point,
+  // then two finalizer rounds decorrelate ids that differ in one bit.
+  uint64_t x = fleet_seed + 0x9E3779B97F4A7C15ull * (uint64_t{device_id} + 1);
+  x = SplitMix64Once(x);
+  x = SplitMix64Once(x ^ 0xD1B54A32D192ED03ull);
+  return x;
+}
 
 Xoshiro256::Xoshiro256(uint64_t seed) {
+  // splitmix64 stream expands the seed into the xoshiro state.
   uint64_t sm = seed;
   for (auto& s : s_) {
-    s = SplitMix64(sm);
+    sm += 0x9E3779B97F4A7C15ull;
+    s = SplitMix64Once(sm);
   }
 }
 

@@ -9,6 +9,18 @@
 
 namespace trustlite {
 
+// One round of the splitmix64 finalizer over an arbitrary 64-bit input.
+// Stateless mixing primitive shared by the xoshiro seeding expansion and the
+// fleet per-device seed derivation below.
+uint64_t SplitMix64Once(uint64_t x);
+
+// Decorrelated per-device seed for multi-device (fleet) runs: two splitmix
+// rounds over (fleet_seed, device_id) so neighbouring device ids land in
+// unrelated points of the stream while the whole fleet stays reproducible
+// from the single fleet seed. Feeds PlatformConfig::trng_seed and the
+// per-link fabric RNGs.
+uint64_t DeriveDeviceSeed(uint64_t fleet_seed, uint32_t device_id);
+
 class Xoshiro256 {
  public:
   explicit Xoshiro256(uint64_t seed);

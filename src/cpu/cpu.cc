@@ -689,4 +689,24 @@ StepEvent Cpu::Run(uint64_t max_instructions) {
   return event;
 }
 
+StepEvent Cpu::RunUntilCycle(uint64_t target_cycle) {
+  StepEvent event = StepEvent::kExecuted;
+  uint64_t safety = 0;
+  const uint64_t budget =
+      target_cycle > cycles_ ? target_cycle - cycles_ : 0;
+  while (!halted_ && cycles_ < target_cycle) {
+    event = Step();
+    if (event == StepEvent::kHalted) {
+      break;
+    }
+    // Every architectural step costs at least one cycle; bound pathological
+    // zero-cost storms the same way Run() bounds exception storms.
+    if (++safety > budget * 8 + 1024) {
+      HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+      return StepEvent::kHalted;
+    }
+  }
+  return event;
+}
+
 }  // namespace trustlite

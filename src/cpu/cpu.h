@@ -180,6 +180,13 @@ class Cpu {
   // event.
   StepEvent Run(uint64_t max_instructions);
 
+  // Runs until the cycle counter reaches `target_cycle` (or HALT/trap).
+  // The last instruction may overshoot the target by its own cost; the
+  // fleet executor's quantum barrier relies only on "no instruction
+  // *starts* at or after the target". Returns immediately when already
+  // halted or past the target.
+  StepEvent RunUntilCycle(uint64_t target_cycle);
+
   // --- State access ---
   uint32_t reg(int index) const { return regs_[index]; }
   void set_reg(int index, uint32_t value) { regs_[index] = value; }

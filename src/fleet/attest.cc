@@ -1,0 +1,174 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/attest.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/services/attestation.h"
+
+namespace trustlite {
+namespace {
+
+// Domain-separation salt for challenge nonces (distinct from key/tamper
+// streams in provision.cc and the nodes' TRNG seeds).
+constexpr uint64_t kChallengeSalt = 0x6368616C6C656E67ull;  // "challeng"
+
+}  // namespace
+
+const char* AttestNodeStateName(AttestNodeState state) {
+  switch (state) {
+    case AttestNodeState::kIdle:
+      return "idle";
+    case AttestNodeState::kAwaitingResponse:
+      return "awaiting";
+    case AttestNodeState::kBackoff:
+      return "backoff";
+    case AttestNodeState::kVerified:
+      return "verified";
+    case AttestNodeState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+FleetAttestor::FleetAttestor(Fleet* fleet,
+                             std::vector<NodeProvision> provisions,
+                             const AttestPolicy& policy)
+    : fleet_(fleet), provisions_(std::move(provisions)), policy_(policy) {
+  nodes_.resize(provisions_.size());
+}
+
+uint32_t FleetAttestor::ChallengeFor(int node, int attempt) const {
+  const uint64_t lane =
+      (static_cast<uint64_t>(node) << 8) | static_cast<uint64_t>(attempt);
+  return static_cast<uint32_t>(DeriveDeviceSeed(
+      fleet_->config().seed ^ kChallengeSalt, static_cast<uint32_t>(lane)));
+}
+
+void FleetAttestor::Log(int node, const std::string& event) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "@%llu node=%d ",
+                static_cast<unsigned long long>(fleet_->now()), node);
+  transcript_ += prefix;
+  transcript_ += event;
+  transcript_ += '\n';
+}
+
+void FleetAttestor::SendChallenge(int node) {
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  const NodeProvision& provision = provisions_[static_cast<size_t>(node)];
+  const uint32_t challenge = ChallengeFor(node, state.attempts);
+  ++state.attempts;
+  state.expected.push_back(ExpectedAttestationReport(
+      provision.key, challenge, provision.fw_code));
+  state.state = AttestNodeState::kAwaitingResponse;
+  state.deadline = fleet_->now() + policy_.timeout_cycles;
+  const bool routed = fleet_->SendToNode(
+      node, EncodeAttestationRequest(provision.fw_id, challenge));
+  char event[64];
+  std::snprintf(event, sizeof(event), "challenge attempt=%d nonce=%08x%s",
+                state.attempts, challenge, routed ? "" : " (lost)");
+  Log(node, event);
+}
+
+void FleetAttestor::Begin() {
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    SendChallenge(i);
+  }
+}
+
+void FleetAttestor::PumpNode(int node) {
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  const uint64_t now = fleet_->now();
+
+  if (state.state == AttestNodeState::kAwaitingResponse) {
+    // Drain every decodable frame; a report matching any challenge we
+    // issued to this node verifies it, anything else is line noise.
+    const std::string& rx = fleet_->VerifierRx(node);
+    uint32_t status = 0;
+    Sha256Digest report{};
+    while (state.state == AttestNodeState::kAwaitingResponse &&
+           DecodeAttestationResponse(rx, state.rx_offset, &status, &report)) {
+      const size_t start = rx.find('R', state.rx_offset);
+      state.rx_offset = start + (status == kAttestStatusOk ? 34 : 2);
+      if (status != kAttestStatusOk) {
+        char event[48];
+        std::snprintf(event, sizeof(event), "response status=%u", status);
+        Log(node, event);
+        continue;
+      }
+      bool matched = false;
+      for (const Sha256Digest& expected : state.expected) {
+        if (report == expected) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        state.state = AttestNodeState::kVerified;
+        Log(node, "verified");
+      } else {
+        Log(node, "report-mismatch");
+      }
+    }
+    if (state.state == AttestNodeState::kAwaitingResponse &&
+        now >= state.deadline) {
+      if (state.attempts >= policy_.max_attempts) {
+        state.state = AttestNodeState::kQuarantined;
+        Log(node, "quarantined");
+      } else {
+        state.state = AttestNodeState::kBackoff;
+        state.resume =
+            now + (policy_.backoff_base_cycles << (state.attempts - 1));
+        char event[48];
+        std::snprintf(event, sizeof(event), "timeout attempt=%d",
+                      state.attempts);
+        Log(node, event);
+      }
+    }
+  }
+
+  if (state.state == AttestNodeState::kBackoff && now >= state.resume) {
+    SendChallenge(node);
+  }
+}
+
+void FleetAttestor::OnQuantumBoundary() {
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    PumpNode(i);
+  }
+}
+
+bool FleetAttestor::Done() const {
+  for (const NodeState& state : nodes_) {
+    if (state.state != AttestNodeState::kVerified &&
+        state.state != AttestNodeState::kQuarantined) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> FleetAttestor::Verified() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[static_cast<size_t>(i)].state == AttestNodeState::kVerified) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> FleetAttestor::Quarantined() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[static_cast<size_t>(i)].state ==
+        AttestNodeState::kQuarantined) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace trustlite

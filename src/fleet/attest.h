@@ -1,0 +1,104 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet-wide remote attestation (DESIGN.md §13): a host-side verifier that
+// drives the UART attestation protocol of src/services/attestation.h
+// against every node of a fleet concurrently. Per-node state machines
+// handle timeout, bounded retry with exponential backoff, and quarantine —
+// the population-scale version of the paper's remote reporting story
+// (Secs. 1/2.3): a remote party validating a cryptographic hash of each
+// device's program code.
+//
+// Robustness policy. Frames that decode but do not match any challenge the
+// verifier issued to that node are treated as line noise (ring fleets can
+// echo attestation bursts to neighbours), not as failures; only *timeouts*
+// consume attempts. A healthy node therefore verifies as soon as one
+// correct report arrives, while a tampered node — whose reports never match
+// the golden measurement — exhausts its attempts and is quarantined.
+//
+// Determinism. The attestor acts only at quantum boundaries and only on
+// fleet-owned state (VerifierRx streams, SendToNode), in node-id order, so
+// its transcript is bit-identical across host thread counts.
+
+#ifndef TRUSTLITE_SRC_FLEET_ATTEST_H_
+#define TRUSTLITE_SRC_FLEET_ATTEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
+
+namespace trustlite {
+
+struct AttestPolicy {
+  uint64_t timeout_cycles = 1'000'000;     // Challenge -> response deadline.
+  int max_attempts = 4;                    // Timeouts before quarantine.
+  uint64_t backoff_base_cycles = 100'000;  // Doubles per failed attempt.
+};
+
+enum class AttestNodeState {
+  kIdle,              // Not yet challenged.
+  kAwaitingResponse,  // Challenge in flight, deadline armed.
+  kBackoff,           // Timed out; waiting to re-challenge.
+  kVerified,          // Report matched the golden measurement.
+  kQuarantined,       // Attempts exhausted without a matching report.
+};
+
+const char* AttestNodeStateName(AttestNodeState state);
+
+class FleetAttestor {
+ public:
+  // `provisions` must come from ProvisionAttestationFleet on this fleet
+  // (one entry per node; supplies keys and golden code).
+  FleetAttestor(Fleet* fleet, std::vector<NodeProvision> provisions,
+                const AttestPolicy& policy);
+
+  // Issues the first challenge to every node (at the fleet's current cycle).
+  void Begin();
+
+  // Pumps every per-node state machine; call once after each RunQuantum.
+  void OnQuantumBoundary();
+
+  // True once every node is verified or quarantined.
+  bool Done() const;
+
+  AttestNodeState state(int node) const {
+    return nodes_[static_cast<size_t>(node)].state;
+  }
+  int attempts(int node) const {
+    return nodes_[static_cast<size_t>(node)].attempts;
+  }
+  std::vector<int> Verified() const;
+  std::vector<int> Quarantined() const;
+
+  // Deterministic event log ("@cycle node=i event ..." lines) — compared
+  // verbatim across thread counts by the fleet determinism tests.
+  const std::string& transcript() const { return transcript_; }
+
+ private:
+  struct NodeState {
+    AttestNodeState state = AttestNodeState::kIdle;
+    int attempts = 0;
+    size_t rx_offset = 0;        // Scan cursor into fleet->VerifierRx(node).
+    uint64_t deadline = 0;       // Timeout cycle while awaiting.
+    uint64_t resume = 0;         // Re-challenge cycle while backing off.
+    std::vector<Sha256Digest> expected;  // One per issued challenge.
+  };
+
+  void SendChallenge(int node);
+  void PumpNode(int node);
+  void Log(int node, const std::string& event);
+  uint32_t ChallengeFor(int node, int attempt) const;
+
+  Fleet* fleet_;
+  std::vector<NodeProvision> provisions_;
+  AttestPolicy policy_;
+  std::vector<NodeState> nodes_;
+  std::string transcript_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_ATTEST_H_

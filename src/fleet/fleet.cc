@@ -1,0 +1,128 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/fleet.h"
+
+#include <utility>
+
+namespace trustlite {
+
+Fleet::Fleet(const FleetConfig& config)
+    : config_(config),
+      fabric_(config.seed),
+      pool_(config.threads),
+      verifier_rx_(static_cast<size_t>(config.nodes)) {
+  nodes_.reserve(static_cast<size_t>(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<FleetNode>(i, config_.seed, config_.platform));
+  }
+  BuildTopologyLinks(&fabric_, config_.topology, config_.nodes, config_.link);
+}
+
+void Fleet::RunQuantum() {
+  // Phase 1 — deliver everything visible at the quantum's start cycle.
+  // Single-threaded, node-id order; the verifier port drains last so its
+  // streams also grow in a thread-independent order.
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (FleetMessage& message : fabric_.Deliver(i, now_)) {
+      nodes_[static_cast<size_t>(i)]->PushRx(message.payload);
+    }
+  }
+  for (FleetMessage& message : fabric_.Deliver(kVerifierPort, now_)) {
+    if (message.src >= 0 && message.src < num_nodes()) {
+      verifier_rx_[static_cast<size_t>(message.src)] += message.payload;
+    }
+  }
+
+  // Phase 2 — the only parallel section: each node runs to the quantum end
+  // touching nothing but its own Platform.
+  const uint64_t target = now_ + config_.quantum;
+  pool_.ParallelFor(num_nodes(), [&](int i) {
+    nodes_[static_cast<size_t>(i)]->RunQuantum(target);
+  });
+
+  // Phase 3 — harvest TX bursts in node-id order so the per-link impairment
+  // streams advance identically regardless of host scheduling.
+  for (int i = 0; i < num_nodes(); ++i) {
+    FleetNode::TxBurst burst = nodes_[static_cast<size_t>(i)]->HarvestTx();
+    if (burst.payload.empty()) {
+      continue;
+    }
+    for (int dst : fabric_.OutLinks(i)) {
+      fabric_.Send(i, dst, burst.last_cycle, burst.payload);
+    }
+  }
+  if (config_.topology == Topology::kRing && config_.bridge_gpio &&
+      num_nodes() > 1) {
+    // Latch each node's GPIO OUT into its clockwise neighbour's IN. Reads
+    // complete before any write lands (out() snapshots below), matching a
+    // wired bus sampled at the quantum boundary.
+    std::vector<uint32_t> outs(static_cast<size_t>(num_nodes()));
+    for (int i = 0; i < num_nodes(); ++i) {
+      outs[static_cast<size_t>(i)] =
+          nodes_[static_cast<size_t>(i)]->platform().gpio().out();
+    }
+    for (int i = 0; i < num_nodes(); ++i) {
+      const int next = (i + 1) % num_nodes();
+      nodes_[static_cast<size_t>(next)]->platform().gpio().SetIn(
+          outs[static_cast<size_t>(i)]);
+    }
+  }
+
+  now_ = target;
+  ++quanta_run_;
+}
+
+void Fleet::RunQuanta(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    RunQuantum();
+  }
+}
+
+bool Fleet::AllHalted() const {
+  for (const auto& node : nodes_) {
+    if (!node->platform().cpu().halted()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Fleet::SendToNode(int node, std::string payload) {
+  return fabric_.Send(kVerifierPort, node, now_, std::move(payload));
+}
+
+Sha256Digest Fleet::FleetDigest() const {
+  Sha256 hasher;
+  for (const auto& node : nodes_) {
+    Sha256Digest digest = node->StateDigest();
+    hasher.Update(digest.data(), digest.size());
+  }
+  return hasher.Finish();
+}
+
+std::vector<FleetNodeStatsRow> Fleet::SummaryRows() const {
+  std::vector<FleetNodeStatsRow> rows;
+  rows.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    FleetNodeStatsRow row;
+    row.node_id = node->id();
+    row.instructions = node->platform().cpu().stats().instructions;
+    row.cycles = node->platform().cpu().cycles();
+    row.tx_bytes = node->tx_bytes();
+    row.rx_bytes = node->rx_bytes();
+    row.halted = node->platform().cpu().halted();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+uint64_t Fleet::TotalInstructions() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->platform().cpu().stats().instructions;
+  }
+  return total;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,102 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet executor (DESIGN.md §13): shards N independent Platform instances
+// across a host thread pool while keeping results bit-identical to the
+// single-threaded schedule for a fixed fleet seed.
+//
+// Execution model — synchronized run-quanta:
+//   1. Deliver: all fabric messages visible at the quantum's start cycle
+//     are pushed into node UART receivers (node-id order) and the verifier
+//     RX streams (deterministic (deliver, seq) order).
+//   2. Execute: every live node runs to the quantum's end cycle on the
+//     work-stealing pool. Nodes share nothing during this phase — each
+//     touches only its own Platform — so the schedule cannot leak into
+//     results, and the phase is the only parallel section in the system.
+//   3. Harvest: each node's captured TX burst is sent on every out-link in
+//     node-id order, consuming the per-link impairment streams in a
+//     thread-independent order. Ring fleets also bridge GPIO here
+//     (node i's OUT latched into node i+1's IN).
+//
+// The verifier (FleetAttestor, or any host driver) interacts strictly at
+// quantum boundaries through SendToNode / VerifierRx, which keeps the
+// attestation transcripts deterministic as well.
+
+#ifndef TRUSTLITE_SRC_FLEET_FLEET_H_
+#define TRUSTLITE_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/link.h"
+#include "src/fleet/node.h"
+#include "src/fleet/pool.h"
+#include "src/platform/observe/fleet_trace.h"
+
+namespace trustlite {
+
+struct FleetConfig {
+  int nodes = 4;
+  Topology topology = Topology::kStar;
+  uint64_t seed = 1;
+  int threads = 1;            // Host threads (0 = hardware concurrency).
+  uint64_t quantum = 20'000;  // Cycles per synchronized run-quantum.
+  LinkParams link;            // Per-hop link parameters.
+  bool bridge_gpio = true;    // Ring only: latch OUT into neighbour's IN.
+  PlatformConfig platform;    // Per-node template (trng_seed is derived).
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+
+  const FleetConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  FleetNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  LinkFabric& fabric() { return fabric_; }
+
+  // Global quantum-aligned cycle floor: every node has executed to at least
+  // this cycle, and no delivered message postdates it.
+  uint64_t now() const { return now_; }
+  uint64_t quanta_run() const { return quanta_run_; }
+
+  // One synchronized round (deliver -> parallel execute -> harvest).
+  void RunQuantum();
+  void RunQuanta(uint64_t count);
+
+  bool AllHalted() const;
+
+  // --- Verifier-side transport (host remote party) ---
+  // Sends `payload` from the verifier port toward `node` at the current
+  // global cycle. Returns false when the link lost the message.
+  bool SendToNode(int node, std::string payload);
+  // Byte stream received from `node` at the verifier (grows monotonically;
+  // consumers track their own scan offsets).
+  const std::string& VerifierRx(int node) const {
+    return verifier_rx_[static_cast<size_t>(node)];
+  }
+
+  // Digest over every node's StateDigest, in node order — one hash pinning
+  // the architectural state of the whole fleet.
+  Sha256Digest FleetDigest() const;
+
+  // Per-node summary rows (state column left empty; attestation drivers
+  // fill it in before formatting).
+  std::vector<FleetNodeStatsRow> SummaryRows() const;
+
+  uint64_t TotalInstructions() const;
+
+ private:
+  FleetConfig config_;
+  LinkFabric fabric_;
+  std::vector<std::unique_ptr<FleetNode>> nodes_;
+  QuantumPool pool_;
+  std::vector<std::string> verifier_rx_;
+  uint64_t now_ = 0;
+  uint64_t quanta_run_ = 0;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_FLEET_H_

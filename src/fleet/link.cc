@@ -1,0 +1,155 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/link.h"
+
+#include <algorithm>
+
+namespace trustlite {
+namespace {
+
+// Folds a directed link id into the fleet seed. Ports are small ints
+// (kVerifierPort = -1); shift them into disjoint lanes of the device-id
+// space so (a, b) and (b, a) draw independent streams.
+uint32_t LinkId(int src, int dst) {
+  const uint32_t a = static_cast<uint32_t>(src + 1) & 0xFFFFu;
+  const uint32_t b = static_cast<uint32_t>(dst + 1) & 0xFFFFu;
+  return (a << 16) | b;
+}
+
+}  // namespace
+
+void LinkFabric::Connect(int src, int dst, const LinkParams& params) {
+  auto [it, inserted] = links_.try_emplace(std::make_pair(src, dst));
+  it->second.params = params;
+  if (inserted) {
+    it->second.rng =
+        Xoshiro256(DeriveDeviceSeed(fleet_seed_, LinkId(src, dst)));
+  }
+}
+
+bool LinkFabric::connected(int src, int dst) const {
+  return links_.count(std::make_pair(src, dst)) != 0;
+}
+
+std::vector<int> LinkFabric::OutLinks(int src) const {
+  std::vector<int> out;
+  for (const auto& [key, link] : links_) {
+    (void)link;
+    if (key.first == src) {
+      out.push_back(key.second);
+    }
+  }
+  return out;  // std::map iteration is already ascending in dst.
+}
+
+bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
+                      std::string payload) {
+  auto it = links_.find(std::make_pair(src, dst));
+  if (it == links_.end()) {
+    ++stats_.dropped;
+    return false;
+  }
+  Link& link = it->second;
+  ++stats_.sent;
+  // Draw both rolls unconditionally so the stream position (and hence every
+  // later message's fate) does not depend on parameter settings.
+  const bool lost = link.rng.NextBelow(1'000'000) < link.params.loss_ppm;
+  const bool reorder = link.rng.NextBelow(1'000'000) < link.params.reorder_ppm;
+  if (lost) {
+    ++stats_.dropped;
+    return false;
+  }
+  FleetMessage message;
+  message.src = src;
+  message.dst = dst;
+  message.seq = next_seq_++;
+  message.send_cycle = send_cycle;
+  message.deliver_cycle = send_cycle + link.params.latency_cycles;
+  if (reorder) {
+    // Push past anything sent within the next latency window on this link.
+    message.deliver_cycle += link.params.latency_cycles + 1;
+    ++stats_.reordered;
+  }
+  stats_.payload_bytes += payload.size();
+  message.payload = std::move(payload);
+  in_flight_[dst].push_back(std::move(message));
+  return true;
+}
+
+std::vector<FleetMessage> LinkFabric::Deliver(int dst, uint64_t now) {
+  std::vector<FleetMessage> due;
+  auto it = in_flight_.find(dst);
+  if (it == in_flight_.end()) {
+    return due;
+  }
+  std::vector<FleetMessage>& queue = it->second;
+  auto keep = queue.begin();
+  for (auto cursor = queue.begin(); cursor != queue.end(); ++cursor) {
+    if (cursor->deliver_cycle <= now) {
+      due.push_back(std::move(*cursor));
+    } else {
+      if (keep != cursor) {
+        *keep = std::move(*cursor);
+      }
+      ++keep;
+    }
+  }
+  queue.erase(keep, queue.end());
+  std::sort(due.begin(), due.end(),
+            [](const FleetMessage& a, const FleetMessage& b) {
+              return a.deliver_cycle != b.deliver_cycle
+                         ? a.deliver_cycle < b.deliver_cycle
+                         : a.seq < b.seq;
+            });
+  stats_.delivered += due.size();
+  return due;
+}
+
+size_t LinkFabric::in_flight() const {
+  size_t total = 0;
+  for (const auto& [dst, queue] : in_flight_) {
+    (void)dst;
+    total += queue.size();
+  }
+  return total;
+}
+
+void BuildTopologyLinks(LinkFabric* fabric, Topology topology, int nodes,
+                        const LinkParams& link) {
+  switch (topology) {
+    case Topology::kStar:
+      for (int i = 0; i < nodes; ++i) {
+        fabric->Connect(kVerifierPort, i, link);
+        fabric->Connect(i, kVerifierPort, link);
+      }
+      break;
+    case Topology::kRing: {
+      for (int i = 0; i < nodes; ++i) {
+        // Verifier attaches at node 0; traffic pays ring-hop latency.
+        const uint32_t hops =
+            1 + static_cast<uint32_t>(std::min(i, nodes - i));
+        LinkParams uplink = link;
+        uplink.latency_cycles = link.latency_cycles * hops;
+        fabric->Connect(kVerifierPort, i, uplink);
+        fabric->Connect(i, kVerifierPort, uplink);
+        if (nodes > 1) {
+          fabric->Connect(i, (i + 1) % nodes, link);
+          fabric->Connect(i, (i + nodes - 1) % nodes, link);
+        }
+      }
+      break;
+    }
+  }
+}
+
+const char* TopologyName(Topology topology) {
+  switch (topology) {
+    case Topology::kStar:
+      return "star";
+    case Topology::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+}  // namespace trustlite

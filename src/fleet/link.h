@@ -1,0 +1,121 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet link layer (DESIGN.md §13): a deterministic, cycle-stamped message
+// fabric between simulated TrustLite nodes and the host-side remote
+// verifier. Models the network of the paper's deployment story (Secs.
+// 1/2.3: a remote party attesting populations of devices) at the transport
+// level: each directed link carries byte-chunk messages with configurable
+// latency, loss and reordering.
+//
+// Determinism model. The fleet advances in fixed run-quanta of Q cycles.
+// Messages are stamped with the global cycle of their last payload byte;
+// link impairments are drawn from a per-link xoshiro stream seeded from
+// (fleet_seed, src, dst) in Send() order, which the executor keeps
+// deterministic (harvest in node-id order at every quantum barrier). A
+// message becomes *visible* to its destination at the first quantum
+// boundary >= send_cycle + latency — the conservative-lookahead rule of
+// classic parallel discrete-event simulation, which makes delivery (and
+// hence every node's input stream) independent of host thread scheduling.
+//
+// Reordering is modelled as an extra-latency penalty: a "reordered" message
+// is delayed past messages sent after it on the same link, which at the
+// byte-stream level is exactly an out-of-order arrival. Loss drops the
+// whole message (one UART burst ~ one network frame).
+
+#ifndef TRUSTLITE_SRC_FLEET_LINK_H_
+#define TRUSTLITE_SRC_FLEET_LINK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace trustlite {
+
+// Port id of the host-side remote verifier in the fabric.
+inline constexpr int kVerifierPort = -1;
+
+enum class Topology {
+  kStar,  // Every node has a direct up/down link to the verifier.
+  kRing,  // Nodes form a ring; verifier traffic pays per-hop latency from
+          // its attachment point at node 0, and neighbours are linked for
+          // node-to-node traffic (UART bursts + GPIO bridging).
+};
+
+struct LinkParams {
+  uint32_t latency_cycles = 1000;  // Per-hop transit time.
+  uint32_t loss_ppm = 0;           // Per-message drop rate, parts/million.
+  uint32_t reorder_ppm = 0;        // Per-message reorder rate, parts/million.
+};
+
+struct FleetMessage {
+  int src = 0;
+  int dst = 0;
+  uint64_t seq = 0;            // Global send order (delivery tiebreak).
+  uint64_t send_cycle = 0;     // Cycle of the last payload byte.
+  uint64_t deliver_cycle = 0;  // Earliest visibility (before quantization).
+  std::string payload;
+};
+
+class LinkFabric {
+ public:
+  explicit LinkFabric(uint64_t fleet_seed) : fleet_seed_(fleet_seed) {}
+
+  // Declares a directed link. Duplicate Connect overwrites the parameters
+  // but keeps the link's RNG stream.
+  void Connect(int src, int dst, const LinkParams& params);
+  bool connected(int src, int dst) const;
+
+  // Destinations of every out-link of `src`, in ascending port order.
+  std::vector<int> OutLinks(int src) const;
+
+  // Stamps and enqueues one message; applies loss/latency/reordering from
+  // the link's deterministic stream. No-op (drop) when the link does not
+  // exist. Returns false iff the message was lost or unroutable.
+  bool Send(int src, int dst, uint64_t send_cycle, std::string payload);
+
+  // Pops every message for `dst` visible at global cycle `now`, ordered by
+  // (deliver_cycle, seq). The executor calls this exactly once per node per
+  // quantum with the quantum's start cycle.
+  std::vector<FleetMessage> Deliver(int dst, uint64_t now);
+
+  // Messages still in flight (all destinations).
+  size_t in_flight() const;
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t reordered = 0;
+    uint64_t payload_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Link {
+    LinkParams params;
+    Xoshiro256 rng{0};
+  };
+
+  std::map<std::pair<int, int>, Link> links_;
+  std::map<int, std::vector<FleetMessage>> in_flight_;  // Keyed by dst.
+  uint64_t fleet_seed_ = 0;
+  uint64_t next_seq_ = 1;
+  Stats stats_;
+};
+
+// Wires `fabric` for `nodes` devices in the given topology. Verifier links
+// are always created (both directions); `link` supplies the per-hop
+// parameters. Ring verifier links scale latency by (1 + hop distance from
+// node 0, the attachment point).
+void BuildTopologyLinks(LinkFabric* fabric, Topology topology, int nodes,
+                        const LinkParams& link);
+
+const char* TopologyName(Topology topology);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_LINK_H_

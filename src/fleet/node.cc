@@ -1,0 +1,78 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/node.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/mem/layout.h"
+
+namespace trustlite {
+namespace {
+
+PlatformConfig WithDeviceSeed(PlatformConfig config, uint64_t device_seed) {
+  config.trng_seed = device_seed;
+  return config;
+}
+
+}  // namespace
+
+FleetNode::FleetNode(int id, uint64_t fleet_seed, const PlatformConfig& config)
+    : id_(id),
+      device_seed_(DeriveDeviceSeed(fleet_seed, static_cast<uint32_t>(id))),
+      platform_(WithDeviceSeed(config, device_seed_)) {
+  platform_.AddEventSink(&tx_capture_);
+}
+
+void FleetNode::RunQuantum(uint64_t target_cycle) {
+  if (!platform_.cpu().halted()) {
+    platform_.RunUntilCycle(target_cycle);
+  }
+  platform_.ReleaseThreadAffinity();
+}
+
+FleetNode::TxBurst FleetNode::HarvestTx() {
+  TxBurst burst;
+  burst.last_cycle = tx_capture_.last_cycle_;
+  burst.payload = std::move(tx_capture_.payload_);
+  tx_capture_.payload_.clear();
+  tx_bytes_ += burst.payload.size();
+  return burst;
+}
+
+void FleetNode::PushRx(const std::string& payload) {
+  rx_bytes_ += payload.size();
+  platform_.uart().PushInput(payload);
+}
+
+Sha256Digest FleetNode::StateDigest() const {
+  Sha256 hasher;
+  uint8_t word[8];
+  auto absorb32 = [&](uint32_t value) {
+    StoreLe32(word, value);
+    hasher.Update(word, 4);
+  };
+  Platform& platform = const_cast<Platform&>(platform_);
+  const Cpu& cpu = platform.cpu();
+  for (int i = 0; i < kNumRegisters; ++i) {
+    absorb32(cpu.reg(i));
+  }
+  absorb32(cpu.ip());
+  absorb32(cpu.flags());
+  absorb32(cpu.halted() ? 1 : 0);
+  StoreLe32(word, static_cast<uint32_t>(cpu.cycles()));
+  StoreLe32(word + 4, static_cast<uint32_t>(cpu.cycles() >> 32));
+  hasher.Update(word, 8);
+  std::vector<uint8_t> bytes;
+  platform.bus().HostReadBytes(kSramBase, kSramSize, &bytes);
+  hasher.Update(bytes);
+  platform.bus().HostReadBytes(kDramBase, kDramSize, &bytes);
+  hasher.Update(bytes);
+  absorb32(platform.gpio().out());
+  const std::string& uart = platform.uart().output();
+  hasher.Update(reinterpret_cast<const uint8_t*>(uart.data()), uart.size());
+  return hasher.Finish();
+}
+
+}  // namespace trustlite

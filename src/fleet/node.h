@@ -1,0 +1,86 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// FleetNode: one simulated TrustLite device inside a fleet — a Platform
+// plus the glue that bridges its UART into the link fabric. TX bytes are
+// captured with their emission cycle through the observability layer
+// (UartTxEvent), so fabric messages are stamped with the exact simulated
+// cycle the guest stored to TXDATA; RX bytes delivered by the fabric are
+// pushed into the UART input queue at quantum boundaries.
+//
+// Per-device determinism: the node derives its TRNG seed from
+// (fleet_seed, id) via DeriveDeviceSeed, so devices are decorrelated but
+// the whole fleet replays bit-identically from one seed.
+
+#ifndef TRUSTLITE_SRC_FLEET_NODE_H_
+#define TRUSTLITE_SRC_FLEET_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/platform/platform.h"
+
+namespace trustlite {
+
+class FleetNode {
+ public:
+  // `config` is the fleet-wide platform template; the node overrides
+  // trng_seed with its derived per-device seed.
+  FleetNode(int id, uint64_t fleet_seed, const PlatformConfig& config);
+
+  int id() const { return id_; }
+  uint64_t device_seed() const { return device_seed_; }
+  Platform& platform() { return platform_; }
+  const Platform& platform() const { return platform_; }
+
+  // Advances the node to the global cycle `target` (no-op when halted).
+  // Called from pool worker threads; the platform's thread-affinity latch
+  // is released before returning so the next quantum may run elsewhere.
+  void RunQuantum(uint64_t target_cycle);
+
+  // UART TX bytes captured since the last harvest, as one contiguous burst.
+  // `last_cycle` is the emission cycle of the final byte (the fabric's
+  // send stamp). Empty payload = nothing sent this quantum.
+  struct TxBurst {
+    uint64_t last_cycle = 0;
+    std::string payload;
+  };
+  TxBurst HarvestTx();
+
+  // Queues fabric-delivered bytes into the UART receiver.
+  void PushRx(const std::string& payload);
+
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+
+  // Digest of the node's architectural state: registers, IP/FLAGS, halt
+  // latch, cycle counter, SRAM, DRAM, GPIO output and captured UART output.
+  // Bit-identical across reruns iff execution was deterministic — the
+  // fleet determinism tests compare these across thread counts.
+  Sha256Digest StateDigest() const;
+
+ private:
+  // Captures UartTxEvents (cycle-stamped by the platform hub).
+  class TxCapture : public EventSink {
+   public:
+    void OnUartTx(const UartTxEvent& event) override {
+      last_cycle_ = event.cycle;
+      payload_.push_back(static_cast<char>(event.byte));
+    }
+    uint64_t last_cycle_ = 0;
+    std::string payload_;
+  };
+
+  int id_;
+  uint64_t device_seed_;
+  Platform platform_;
+  TxCapture tx_capture_;
+  uint64_t tx_bytes_ = 0;
+  uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_NODE_H_

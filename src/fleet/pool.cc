@@ -1,0 +1,108 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/pool.h"
+
+namespace trustlite {
+
+QuantumPool::QuantumPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) {
+      threads = 1;
+    }
+  }
+  num_participants_ = threads;
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(threads));
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back(&QuantumPool::WorkerMain, this, i);
+  }
+}
+
+QuantumPool::~QuantumPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void QuantumPool::RunShards(int self, const std::function<void(int)>& fn) {
+  // Own shard first, then cycle through the others stealing leftovers.
+  for (int offset = 0; offset < num_participants_; ++offset) {
+    Shard& shard = shards_[(self + offset) % num_participants_];
+    for (;;) {
+      const int task = shard.next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= shard.end) {
+        break;
+      }
+      fn(task);
+    }
+  }
+}
+
+void QuantumPool::WorkerMain(int participant) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    RunShards(participant, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void QuantumPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (num_participants_ == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Contiguous shards; remainder spread over the leading participants.
+  const int base = n / num_participants_;
+  const int extra = n % num_participants_;
+  int begin = 0;
+  for (int p = 0; p < num_participants_; ++p) {
+    const int size = base + (p < extra ? 1 : 0);
+    shards_[p].next.store(begin, std::memory_order_relaxed);
+    shards_[p].end = begin + size;
+    begin += size;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    workers_done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunShards(0, fn);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return workers_done_ == static_cast<int>(workers_.size());
+    });
+    fn_ = nullptr;
+  }
+}
+
+}  // namespace trustlite

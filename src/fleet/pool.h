@@ -1,0 +1,71 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// QuantumPool: a persistent work-stealing thread pool for the fleet
+// executor. Each ParallelFor round shards the index range [0, n) across
+// participants (the calling thread plus the worker threads); a participant
+// drains its own shard with an atomic cursor and then steals from the
+// other shards, so a node that runs long (e.g. one crunching a SHA absorb
+// loop) does not leave the rest of the pool idle.
+//
+// Correctness: tasks are claimed with fetch_add on per-shard cursors, so
+// every index is executed exactly once; ParallelFor is a full barrier (all
+// tasks complete before it returns). Determinism of the *simulation* does
+// not depend on the pool at all — the fleet executor only hands it
+// independent per-node quanta — which is what makes fleet results
+// bit-identical from --threads 1 to --threads N.
+
+#ifndef TRUSTLITE_SRC_FLEET_POOL_H_
+#define TRUSTLITE_SRC_FLEET_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trustlite {
+
+class QuantumPool {
+ public:
+  // `threads` is the total parallelism including the calling thread;
+  // 0 = std::thread::hardware_concurrency(). threads == 1 runs every
+  // ParallelFor inline with no worker threads and no synchronization.
+  explicit QuantumPool(int threads);
+  ~QuantumPool();
+
+  QuantumPool(const QuantumPool&) = delete;
+  QuantumPool& operator=(const QuantumPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes fn(i) for every i in [0, n) across the pool; blocks until all
+  // calls return. fn must be safe to call concurrently for distinct i.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int> next{0};
+    int end = 0;
+  };
+
+  void WorkerMain(int participant);
+  void RunShards(int self, const std::function<void(int)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Shard[]> shards_;  // One per participant; 0 = caller.
+  int num_participants_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;  // Valid during a round.
+  uint64_t generation_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_POOL_H_

@@ -1,0 +1,159 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/fleet/provision.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/harness/injector.h"
+#include "src/loader/system_image.h"
+#include "src/os/nanos.h"
+#include "src/services/attestation.h"
+#include "src/trustlet/builder.h"
+
+namespace trustlite {
+namespace {
+
+// Domain-separation salts folded into the fleet seed so keys and the tamper
+// plan draw from streams unrelated to the nodes' TRNG seeds.
+constexpr uint64_t kKeySalt = 0x6B65795F73616C74ull;     // "key_salt"
+constexpr uint64_t kTamperSalt = 0x74616D7065720000ull;  // "tamper"
+
+std::string PayloadDirectives(const std::vector<uint8_t>& payload) {
+  if (payload.empty()) {
+    return "";
+  }
+  std::string body = "tl_payload:\n";
+  char line[32];
+  for (size_t i = 0; i < payload.size(); i += 4) {
+    uint32_t word = 0;
+    for (size_t b = 0; b < 4 && i + b < payload.size(); ++b) {
+      word |= static_cast<uint32_t>(payload[i + b]) << (8 * b);
+    }
+    std::snprintf(line, sizeof(line), "    .word 0x%08X\n", word);
+    body += line;
+  }
+  return body;
+}
+
+TrustletBuildSpec FirmwareSpec(const std::vector<uint8_t>& payload) {
+  TrustletBuildSpec spec;
+  spec.name = "FW";
+  spec.code_addr = 0x11000;
+  spec.data_addr = 0x12000;
+  spec.data_size = 0x400;
+  spec.stack_size = 0x100;
+  spec.body = "tl_main:\n    swi 0\n    jmp tl_main\n";
+  spec.body += PayloadDirectives(payload);
+  return spec;
+}
+
+}  // namespace
+
+std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node) {
+  Xoshiro256 rng(
+      DeriveDeviceSeed(fleet_seed ^ kKeySalt, static_cast<uint32_t>(node)));
+  std::array<uint8_t, 32> key{};
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t word = rng.Next64();
+    for (size_t b = 0; b < 8; ++b) {
+      key[i + b] = static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+  return key;
+}
+
+Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
+    Fleet* fleet, const FleetProvisionConfig& config) {
+  std::vector<NodeProvision> provisions;
+  provisions.reserve(static_cast<size_t>(fleet->num_nodes()));
+
+  // Deterministic tamper plan: sample distinct victims from a salted stream.
+  std::set<int> tampered;
+  if (config.tamper_count > 0 && fleet->num_nodes() > 0) {
+    Xoshiro256 rng(DeriveDeviceSeed(fleet->config().seed ^ kTamperSalt, 0));
+    const int want = std::min(config.tamper_count, fleet->num_nodes());
+    while (static_cast<int>(tampered.size()) < want) {
+      tampered.insert(static_cast<int>(
+          rng.NextBelow(static_cast<uint64_t>(fleet->num_nodes()))));
+    }
+  }
+
+  for (int i = 0; i < fleet->num_nodes(); ++i) {
+    FleetNode& node = fleet->node(i);
+    NodeProvision provision;
+    provision.key = DeriveDeviceKey(fleet->config().seed, i);
+    provision.fw_id = MakeTrustletId("FW");
+
+    SystemImage image;
+    Result<TrustletMeta> firmware = BuildTrustlet(FirmwareSpec(config.payload));
+    if (!firmware.ok()) {
+      return firmware.status();
+    }
+    provision.fw_code_addr = firmware->code_addr;
+    provision.fw_code = firmware->code;
+    image.Add(*firmware);
+
+    AttestationSpec attn;
+    attn.code_addr = 0x15000;
+    attn.data_addr = 0x16000;
+    attn.key = provision.key;
+    Result<TrustletMeta> attn_meta = BuildUartAttestationTrustlet(attn);
+    if (!attn_meta.ok()) {
+      return attn_meta.status();
+    }
+    image.Add(*attn_meta);
+
+    NanosConfig os_config;
+    os_config.grant_uart = false;  // Trusted path: the attestor owns the UART.
+    os_config.timer_period = config.timer_period;
+    Result<TrustletMeta> os = BuildNanos(os_config);
+    if (!os.ok()) {
+      return os.status();
+    }
+    image.Add(*os);
+
+    Status installed = fleet->node(i).platform().InstallImage(image);
+    if (!installed.ok()) {
+      return installed;
+    }
+    Result<LoadReport> report = node.platform().BootAndLaunch();
+    if (!report.ok()) {
+      return report.status();
+    }
+
+    // Golden measurement = the LIVE code bytes after loading (the Secure
+    // Loader patches the trustlet scaffold, e.g. the Trustlet-Table slot
+    // word), exactly what the attestation trustlet will hash.
+    if (!node.platform().bus().HostReadBytes(
+            provision.fw_code_addr,
+            static_cast<uint32_t>(provision.fw_code.size()),
+            &provision.fw_code)) {
+      return Internal("cannot read back live FW code");
+    }
+
+    if (tampered.count(i) != 0) {
+      // Flip a bit in the FW tail word (the default call handler, never
+      // executed by this workload): the node keeps running normally but its
+      // live measurement diverges from the golden code.
+      const uint32_t victim =
+          provision.fw_code_addr +
+          static_cast<uint32_t>(provision.fw_code.size()) - 4;
+      if (!FlipRamBit(&node.platform().bus(), victim, 1)) {
+        return Internal("tamper bit-flip failed");
+      }
+      provision.tampered = true;
+    }
+
+    // Provisioning drove the platform from this thread; release the
+    // affinity latch so the first quantum may run on any pool worker.
+    node.platform().ReleaseThreadAffinity();
+    provisions.push_back(std::move(provision));
+  }
+  return provisions;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,59 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet provisioning: boots every node of a fleet with the remote
+// attestation stack of tests/remote_attestation_test.cc — a measured FW
+// trustlet, a per-node-keyed UART attestation trustlet (trusted path, Secs.
+// 1/2.3) and nanOS with the UART withheld from the OS — and optionally
+// tampers a deterministic subset of nodes by flipping a bit in their live
+// FW code (the paper's remote-detection scenario at population scale).
+//
+// Keys model a per-device provisioning secret shared with the verifier:
+// each node's key is drawn from a stream seeded by (fleet_seed, node) with
+// a fixed salt, so the host-side FleetAttestor can re-derive them without
+// any state channel besides the fleet seed.
+
+#ifndef TRUSTLITE_SRC_FLEET_PROVISION_H_
+#define TRUSTLITE_SRC_FLEET_PROVISION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fleet/fleet.h"
+
+namespace trustlite {
+
+struct FleetProvisionConfig {
+  // Extra payload measured as part of the FW trustlet (e.g. an assembled
+  // guest image): emitted as .word data after the idle loop, so a byte
+  // change anywhere in it changes every node's attestation report.
+  std::vector<uint8_t> payload;
+  // Number of nodes to tamper post-boot (deterministic choice from the
+  // fleet seed; one code bit flipped in FW's never-executed tail word).
+  int tamper_count = 0;
+  uint32_t timer_period = 2000;
+};
+
+struct NodeProvision {
+  std::array<uint8_t, 32> key{};     // Device key (verifier re-derives it).
+  uint32_t fw_id = 0;                // MakeTrustletId("FW").
+  uint32_t fw_code_addr = 0;
+  std::vector<uint8_t> fw_code;      // Golden (pre-tamper) code bytes.
+  bool tampered = false;
+};
+
+// Derives node `i`'s device key from the fleet seed (shared derivation
+// with the host verifier).
+std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node);
+
+// Builds, installs and boots the attestation image on every node of
+// `fleet`, then applies the tamper plan. On success the returned vector has
+// one entry per node (fw_code holds the *golden* bytes even for tampered
+// nodes — exactly what the verifier expects).
+Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
+    Fleet* fleet, const FleetProvisionConfig& config);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_PROVISION_H_

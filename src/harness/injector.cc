@@ -259,12 +259,8 @@ void Campaign::InjectRamBitFlip() {
       addr = kOsCode + static_cast<uint32_t>(rng_.NextBelow(0x400));
       break;
   }
-  addr &= ~3u;
-  uint32_t word = 0;
-  if (platform_->bus().HostReadWord(addr, &word)) {
-    word ^= 1u << rng_.NextBelow(32);
-    platform_->bus().HostWriteWord(addr, word);
-  }
+  FlipRamBit(&platform_->bus(), addr,
+             static_cast<uint32_t>(rng_.NextBelow(32)));
 }
 
 void Campaign::InjectRegBitFlip() {
@@ -401,6 +397,15 @@ InjectionCampaignResult RunInjectionCampaign(
   result.secure_entries =
       campaign.platform().cpu().stats().trustlet_interrupts;
   return result;
+}
+
+bool FlipRamBit(Bus* bus, uint32_t addr, uint32_t bit) {
+  addr &= ~3u;
+  uint32_t word = 0;
+  if (!bus->HostReadWord(addr, &word)) {
+    return false;
+  }
+  return bus->HostWriteWord(addr, word ^ (1u << (bit & 31u)));
 }
 
 }  // namespace trustlite

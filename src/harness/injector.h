@@ -63,6 +63,12 @@ struct InjectionCampaignResult {
 InjectionCampaignResult RunInjectionCampaign(
     const InjectionCampaignConfig& config);
 
+// Flips one bit of the word containing `addr` via the host debug port (no
+// protection check, no architectural side effects). Returns false when the
+// address is unmapped. Shared by the campaign's RAM bit-flip events and the
+// fleet attestation harness, which uses it to provision tampered nodes.
+bool FlipRamBit(Bus* bus, uint32_t addr, uint32_t bit);
+
 }  // namespace trustlite
 
 #endif  // TRUSTLITE_SRC_HARNESS_INJECTOR_H_

@@ -78,9 +78,10 @@ void ChromeTraceWriter::CloseSpan(uint64_t end_cycle) {
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"exec\",\"ph\":\"X\",\"ts\":%" PRIu64
                 ",\"dur\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"args\":{\"instructions\":%" PRIu64
+                ",\"pid\":%d,\"tid\":%d,\"args\":{\"instructions\":%" PRIu64
                 "}}",
-                span_start_, end - span_start_, Tid(span_lane_), span_insns_);
+                span_start_, end - span_start_, pid_, Tid(span_lane_),
+                span_insns_);
   Emit(buf);
   span_lane_ = -1;
   span_insns_ = 0;
@@ -108,10 +109,10 @@ void ChromeTraceWriter::OnTrap(const TrapEvent& event) {
   std::snprintf(
       buf, sizeof(buf),
       "{\"name\":\"entry:%s\",\"ph\":\"X\",\"ts\":%" PRIu64 ",\"dur\":%u"
-      ",\"pid\":0,\"tid\":%d,\"args\":{\"class\":%u,\"handler\":%u,"
+      ",\"pid\":%d,\"tid\":%d,\"args\":{\"class\":%u,\"handler\":%u,"
       "\"subject_ip\":%u,\"secure_save\":%s,\"halted\":%s}}",
       ExceptionName(event.exception_class), entry_start, event.entry_cycles,
-      Tid(subject_lane), event.exception_class, event.handler,
+      pid_, Tid(subject_lane), event.exception_class, event.handler,
       event.subject_ip, event.trustlet_path ? "true" : "false",
       event.halted ? "true" : "false");
   Emit(buf);
@@ -121,20 +122,20 @@ void ChromeTraceWriter::OnTrap(const TrapEvent& event) {
     const uint64_t id = next_flow_id_++;
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"dispatch\",\"ph\":\"s\",\"ts\":%" PRIu64
-                  ",\"pid\":0,\"tid\":%d,\"id\":%" PRIu64 "}",
-                  entry_start, Tid(subject_lane), id);
+                  ",\"pid\":%d,\"tid\":%d,\"id\":%" PRIu64 "}",
+                  entry_start, pid_, Tid(subject_lane), id);
     Emit(buf);
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"dispatch\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":%" PRIu64
-                  ",\"pid\":0,\"tid\":%d,\"id\":%" PRIu64 "}",
-                  event.cycle, Tid(handler_lane), id);
+                  ",\"pid\":%d,\"tid\":%d,\"id\":%" PRIu64 "}",
+                  event.cycle, pid_, Tid(handler_lane), id);
     Emit(buf);
     if (event.interrupt && irq_flow_id_ != 0) {
       // Close the raise->recognition arrow opened by OnIrqRaise.
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"irq\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":%" PRIu64
-                    ",\"pid\":0,\"tid\":%d,\"id\":%" PRIu64 "}",
-                    entry_start, Tid(subject_lane), irq_flow_id_);
+                    ",\"pid\":%d,\"tid\":%d,\"id\":%" PRIu64 "}",
+                    entry_start, pid_, Tid(subject_lane), irq_flow_id_);
       Emit(buf);
       irq_flow_id_ = 0;
     }
@@ -146,9 +147,9 @@ void ChromeTraceWriter::OnHalt(const HaltEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"halt\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"g\",\"args\":{\"ip\":%u,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"g\",\"args\":{\"ip\":%u,"
                 "\"trap\":%s,\"trap_class\":%u}}",
-                event.cycle, Tid(map_.LaneFor(event.ip)), event.ip,
+                event.cycle, pid_, Tid(map_.LaneFor(event.ip)), event.ip,
                 event.trap ? "true" : "false", event.trap_class);
   Emit(buf);
 }
@@ -164,9 +165,9 @@ void ChromeTraceWriter::OnUartTx(const UartTxEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"uart:%s\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"byte\":%u,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"t\",\"args\":{\"byte\":%u,"
                 "\"ip\":%u}}",
-                printable, event.cycle, Tid(map_.LaneFor(event.ip)),
+                printable, event.cycle, pid_, Tid(map_.LaneFor(event.ip)),
                 event.byte, event.ip);
   Emit(buf);
 }
@@ -175,9 +176,9 @@ void ChromeTraceWriter::OnMpuFault(const MpuFaultEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"mpu-fault\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"addr\":%u,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"t\",\"args\":{\"addr\":%u,"
                 "\"kind\":%d,\"ip\":%u}}",
-                event.cycle, Tid(map_.LaneFor(event.ip)),
+                event.cycle, pid_, Tid(map_.LaneFor(event.ip)),
                 event.addr, static_cast<int>(event.kind), event.ip);
   Emit(buf);
 }
@@ -188,14 +189,14 @@ void ChromeTraceWriter::OnIrqRaise(const IrqRaiseEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"irq-raise\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"line\":%d,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"t\",\"args\":{\"line\":%d,"
                 "\"handler\":%u}}",
-                event.cycle, kHwTid, event.line, event.handler);
+                event.cycle, pid_, kHwTid, event.line, event.handler);
   Emit(buf);
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"irq\",\"ph\":\"s\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"id\":%" PRIu64 "}",
-                event.cycle, kHwTid, id);
+                ",\"pid\":%d,\"tid\":%d,\"id\":%" PRIu64 "}",
+                event.cycle, pid_, kHwTid, id);
   Emit(buf);
 }
 
@@ -203,9 +204,9 @@ void ChromeTraceWriter::OnBusError(const BusErrorEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"bus-error\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"addr\":%u,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"t\",\"args\":{\"addr\":%u,"
                 "\"kind\":%d,\"ip\":%u}}",
-                event.cycle, Tid(map_.LaneFor(event.ip)),
+                event.cycle, pid_, Tid(map_.LaneFor(event.ip)),
                 event.addr, static_cast<int>(event.kind), event.ip);
   Emit(buf);
 }
@@ -214,9 +215,9 @@ void ChromeTraceWriter::OnDmaTransfer(const DmaTransferEvent& event) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"dma\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"src\":%u,"
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"t\",\"args\":{\"src\":%u,"
                 "\"dst\":%u,\"len\":%u,\"faulted\":%s}}",
-                event.cycle, kHwTid, event.src, event.dst, event.len,
+                event.cycle, pid_, kHwTid, event.src, event.dst, event.len,
                 event.faulted ? "true" : "false");
   Emit(buf);
 }
@@ -226,8 +227,8 @@ void ChromeTraceWriter::OnReset(const ResetEvent& event) {
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"reset\",\"ph\":\"i\",\"ts\":%" PRIu64
-                ",\"pid\":0,\"tid\":%d,\"s\":\"g\"}",
-                event.cycle, kHwTid);
+                ",\"pid\":%d,\"tid\":%d,\"s\":\"g\"}",
+                event.cycle, pid_, kHwTid);
   Emit(buf);
   irq_flow_id_ = 0;
 }
@@ -240,31 +241,44 @@ void ChromeTraceWriter::Finish() {
   finished_ = true;
 }
 
-std::string ChromeTraceWriter::Json() {
+void ChromeTraceWriter::AppendEvents(std::string* out, bool* first) {
   Finish();
-  std::string out = "{\"traceEvents\":[\n";
   char buf[256];
+  auto emit = [&](const std::string& record) {
+    if (!*first) {
+      *out += ",\n";
+    }
+    *first = false;
+    *out += record;
+  };
   // Metadata records first: process name, then one thread name per lane.
   std::snprintf(buf, sizeof(buf),
-                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
-                "\"args\":{\"name\":\"trustlite-sim\"}}");
-  out += buf;
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"args\":{\"name\":\"%s\"}}",
+                pid_, EscapeJson(process_name_).c_str());
+  emit(buf);
   std::snprintf(buf, sizeof(buf),
-                ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                 "\"tid\":%d,\"args\":{\"name\":\"hw\"}}",
-                kHwTid);
-  out += buf;
+                pid_, kHwTid);
+  emit(buf);
   for (int i = 0; i < map_.num_lanes(); ++i) {
     std::snprintf(buf, sizeof(buf),
-                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  Tid(i), EscapeJson(map_.lane(i).name).c_str());
-    out += buf;
+                  pid_, Tid(i), EscapeJson(map_.lane(i).name).c_str());
+    emit(buf);
   }
   for (const std::string& record : records_) {
-    out += ",\n";
-    out += record;
+    emit(record);
   }
+}
+
+std::string ChromeTraceWriter::Json() {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  AppendEvents(&out, &first);
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "\n],\n\"displayTimeUnit\":\"ms\",\"otherData\":{"
                 "\"cycles_per_us\":1,\"dropped\":%zu}}\n",

@@ -41,8 +41,15 @@ namespace trustlite {
 
 class ChromeTraceWriter : public EventSink {
  public:
-  explicit ChromeTraceWriter(size_t max_events = 1u << 20)
-      : max_events_(max_events) {}
+  // `pid` selects the trace process the records land in (default 0). A
+  // multi-device fleet gives every node its own pid so the merged view in
+  // Perfetto shows one process group per node (see FleetTraceAggregator).
+  explicit ChromeTraceWriter(size_t max_events = 1u << 20, int pid = 0)
+      : max_events_(max_events), pid_(pid) {}
+
+  // Process name shown in the viewer ("trustlite-sim" by default;
+  // aggregated fleet traces use "node-<id>").
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
 
   // Lane configuration (before attaching). See LaneMap.
   int AddLane(const std::string& name, uint32_t code_base, uint32_t code_end,
@@ -67,6 +74,13 @@ class ChromeTraceWriter : public EventSink {
   // Complete JSON document (traceEvents + metadata records + otherData).
   std::string Json();
 
+  // Appends this writer's metadata + event records to `out` as ",\n"-joined
+  // array elements (no surrounding envelope). `*first` tracks whether a
+  // separator is needed and is cleared after the first element; the fleet
+  // aggregator uses this to splice several writers into one traceEvents
+  // array. Calls Finish().
+  void AppendEvents(std::string* out, bool* first);
+
   // Serializes to `path`; returns false on I/O error.
   bool WriteFile(const std::string& path);
 
@@ -80,6 +94,8 @@ class ChromeTraceWriter : public EventSink {
 
   LaneMap map_;
   size_t max_events_;
+  int pid_ = 0;
+  std::string process_name_ = "trustlite-sim";
   std::vector<std::string> records_;
   size_t dropped_ = 0;
   bool finished_ = false;

@@ -2,7 +2,25 @@
 
 #include "src/platform/platform.h"
 
+#include <cassert>
+#include <thread>
+
 namespace trustlite {
+
+void Platform::AssertThreadAffinity() const {
+#ifndef NDEBUG
+  size_t self = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  self |= 1;  // Never collides with the open-latch sentinel 0.
+  size_t expected = 0;
+  if (!owner_thread_.compare_exchange_strong(expected, self,
+                                             std::memory_order_acq_rel)) {
+    assert(expected == self &&
+           "Platform driven from a second thread without "
+           "ReleaseThreadAffinity() (one-Platform-per-thread contract, "
+           "see platform.h)");
+  }
+#endif
+}
 
 Platform::Platform(const PlatformConfig& config) : config_(config) {
   prom_ = std::make_unique<Prom>("prom", kPromBase, kPromSize);
@@ -54,6 +72,7 @@ Platform::Platform(const PlatformConfig& config) : config_(config) {
 }
 
 Status Platform::InstallImage(const SystemImage& image, uint32_t directory) {
+  AssertThreadAffinity();
   Result<std::vector<uint8_t>> bytes = image.Build();
   if (!bytes.ok()) {
     return bytes.status();
@@ -67,6 +86,7 @@ Status Platform::InstallImage(const SystemImage& image, uint32_t directory) {
 }
 
 Result<LoadReport> Platform::Boot(const LoaderConfig& loader_config) {
+  AssertThreadAffinity();
   if (mpu_ == nullptr) {
     return FailedPrecondition("platform built without an MPU");
   }
@@ -88,6 +108,7 @@ void Platform::LaunchOs(const LoadReport& report) {
 }
 
 void Platform::HardReset() {
+  AssertThreadAffinity();
   if (!hub_.empty()) {
     // Reported before any state is torn down so sinks can close out the
     // pre-reset epoch with consistent cycle stamps.
@@ -125,7 +146,13 @@ void Platform::RewireEventSinks() {
 }
 
 StepEvent Platform::Run(uint64_t max_instructions) {
+  AssertThreadAffinity();
   return cpu_->Run(max_instructions);
+}
+
+StepEvent Platform::RunUntilCycle(uint64_t target_cycle) {
+  AssertThreadAffinity();
+  return cpu_->RunUntilCycle(target_cycle);
 }
 
 FastPathStats Platform::fast_path_stats() const {
@@ -140,6 +167,7 @@ FastPathStats Platform::fast_path_stats() const {
 }
 
 bool Platform::RunUntilIp(uint32_t target_ip, uint64_t max_steps) {
+  AssertThreadAffinity();
   for (uint64_t i = 0; i < max_steps; ++i) {
     if (cpu_->ip() == target_ip) {
       return true;

@@ -8,6 +8,7 @@
 #ifndef TRUSTLITE_SRC_PLATFORM_PLATFORM_H_
 #define TRUSTLITE_SRC_PLATFORM_PLATFORM_H_
 
+#include <atomic>
 #include <memory>
 
 #include "src/common/status.h"
@@ -106,6 +107,11 @@ class Platform {
   // Steps the CPU until halt or the instruction budget runs out.
   StepEvent Run(uint64_t max_instructions);
 
+  // Steps the CPU until its cycle counter reaches `target_cycle` (the fleet
+  // executor's run-quantum primitive; see Cpu::RunUntilCycle for the
+  // overshoot contract).
+  StepEvent RunUntilCycle(uint64_t target_cycle);
+
   // Steps until the CPU is about to execute `target_ip` (or halts / exceeds
   // `max_steps`). Returns true if the target was reached. Used by benches to
   // measure simulated-cycle intervals between program points.
@@ -126,8 +132,24 @@ class Platform {
   void AddEventSink(EventSink* sink);
   void RemoveEventSink(EventSink* sink);
 
+  // --- Threading contract ---
+  // A Platform is single-threaded state: exactly one thread may drive it at
+  // a time, and nothing inside takes locks. Debug builds enforce this with
+  // a thread-affinity latch — the first affinity-checked call (InstallImage,
+  // Boot, Run, RunUntilCycle, RunUntilIp, HardReset) records the calling
+  // thread, and any later call from a different thread asserts. Ownership
+  // may legally migrate between threads across a synchronization point
+  // (e.g. the fleet executor's quantum barrier hands nodes to whichever
+  // worker steals them next); the finishing owner calls
+  // ReleaseThreadAffinity() to open the latch for the next thread. No-op in
+  // NDEBUG builds.
+  void ReleaseThreadAffinity() {
+    owner_thread_.store(0, std::memory_order_release);
+  }
+
  private:
   void RewireEventSinks();
+  void AssertThreadAffinity() const;
 
   PlatformConfig config_;
   Bus bus_;
@@ -144,6 +166,8 @@ class Platform {
   std::unique_ptr<DmaEngine> dma_;
   std::unique_ptr<Cpu> cpu_;
   EventHub hub_;
+  // One-Platform-per-thread latch (see ReleaseThreadAffinity). 0 = open.
+  mutable std::atomic<size_t> owner_thread_{0};
 };
 
 }  // namespace trustlite

@@ -1,0 +1,295 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Fleet subsystem tests (DESIGN.md §13): link-fabric semantics, the
+// work-stealing quantum pool, and the headline property — a fleet run is
+// bit-identical from --threads 1 to --threads N for a fixed seed, including
+// the remote-attestation transcripts and the quarantine verdicts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/attest.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/link.h"
+#include "src/fleet/pool.h"
+#include "src/fleet/provision.h"
+#include "src/isa/assembler.h"
+#include "src/mem/layout.h"
+
+namespace trustlite {
+namespace {
+
+// --- Link fabric ---------------------------------------------------------
+
+TEST(LinkFabricTest, DeliversAfterLatencyInOrder) {
+  LinkFabric fabric(1);
+  fabric.Connect(0, 1, LinkParams{.latency_cycles = 100});
+  ASSERT_TRUE(fabric.Send(0, 1, 50, "a"));
+  ASSERT_TRUE(fabric.Send(0, 1, 60, "b"));
+  EXPECT_TRUE(fabric.Deliver(1, 100).empty());  // Not yet visible.
+  std::vector<FleetMessage> due = fabric.Deliver(1, 200);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].payload, "a");
+  EXPECT_EQ(due[1].payload, "b");
+  EXPECT_EQ(due[0].deliver_cycle, 150u);
+  EXPECT_EQ(fabric.in_flight(), 0u);
+}
+
+TEST(LinkFabricTest, UnroutableAndLostMessagesDrop) {
+  LinkFabric fabric(1);
+  fabric.Connect(0, 1, LinkParams{.loss_ppm = 1'000'000});
+  EXPECT_FALSE(fabric.Send(0, 2, 0, "x"));  // No such link.
+  EXPECT_FALSE(fabric.Send(0, 1, 0, "y"));  // Certain loss.
+  EXPECT_EQ(fabric.stats().dropped, 2u);
+  EXPECT_EQ(fabric.in_flight(), 0u);
+}
+
+TEST(LinkFabricTest, ImpairmentsAreSeedDeterministic) {
+  const LinkParams lossy{.latency_cycles = 10,
+                         .loss_ppm = 200'000,
+                         .reorder_ppm = 200'000};
+  auto run = [&](uint64_t seed) {
+    LinkFabric fabric(seed);
+    fabric.Connect(0, 1, lossy);
+    std::string outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes += fabric.Send(0, 1, static_cast<uint64_t>(i), "m") ? '1' : '0';
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));          // Replayable.
+  EXPECT_NE(run(7), run(8));          // Seed actually matters.
+  EXPECT_NE(run(7).find('0'), std::string::npos);  // Some losses occurred.
+
+  LinkFabric fabric(7);
+  fabric.Connect(0, 1, lossy);
+  for (int i = 0; i < 200; ++i) {
+    fabric.Send(0, 1, static_cast<uint64_t>(i), "m");
+  }
+  EXPECT_GT(fabric.stats().reordered, 0u);
+}
+
+TEST(LinkFabricTest, RingTopologyLinksNeighboursAndVerifier) {
+  LinkFabric fabric(1);
+  BuildTopologyLinks(&fabric, Topology::kRing, 4, LinkParams{});
+  EXPECT_TRUE(fabric.connected(0, 1));
+  EXPECT_TRUE(fabric.connected(0, 3));
+  EXPECT_FALSE(fabric.connected(0, 2));  // Not a neighbour.
+  EXPECT_TRUE(fabric.connected(2, kVerifierPort));
+  EXPECT_TRUE(fabric.connected(kVerifierPort, 2));
+}
+
+// --- Quantum pool --------------------------------------------------------
+
+TEST(QuantumPoolTest, EveryIndexRunsExactlyOnce) {
+  QuantumPool pool(4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(kTasks, [&](int i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 5) << "index " << i;
+  }
+}
+
+TEST(QuantumPoolTest, SingleThreadRunsInline) {
+  QuantumPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  int sum = 0;
+  pool.ParallelFor(10, [&](int i) { sum += i; });  // Unsynchronized on purpose.
+  EXPECT_EQ(sum, 45);
+}
+
+// --- Fleet workload mode -------------------------------------------------
+
+// Tiny guest: announce over the UART, publish the GPIO pattern, halt.
+constexpr char kChatterGuest[] =
+    "start:\n"
+    "    li   r1, 0xF0003000\n"
+    "    movi r2, 'p'\n"
+    "    stw  r2, [r1]\n"
+    "    movi r2, 'i'\n"
+    "    stw  r2, [r1]\n"
+    "    movi r2, 'n'\n"
+    "    stw  r2, [r1]\n"
+    "    li   r3, 0xF0006000\n"
+    "    movi r4, 0xAB\n"
+    "    stw  r4, [r3]\n"
+    "    halt\n";
+
+void InstallGuest(Fleet* fleet, const std::string& source) {
+  Result<AsmOutput> out = Assemble(source, 0x0003'0000);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (int i = 0; i < fleet->num_nodes(); ++i) {
+    Platform& platform = fleet->node(i).platform();
+    for (const AsmChunk& chunk : out->chunks) {
+      ASSERT_TRUE(platform.bus().HostWriteBytes(chunk.base, chunk.bytes));
+    }
+    platform.cpu().Reset(out->symbols.at("start"));
+    platform.cpu().set_reg(kRegSp, 0x0004'0000);
+    platform.ReleaseThreadAffinity();
+  }
+}
+
+FleetConfig WorkloadConfig(int threads) {
+  FleetConfig config;
+  config.nodes = 5;
+  config.topology = Topology::kRing;
+  config.seed = 42;
+  config.threads = threads;
+  config.quantum = 20'000;
+  config.link.latency_cycles = 1'000;
+  return config;
+}
+
+TEST(FleetWorkloadTest, UartBurstsReachRingNeighbours) {
+  Fleet fleet(WorkloadConfig(1));
+  InstallGuest(&fleet, kChatterGuest);
+  fleet.RunQuanta(4);
+  EXPECT_TRUE(fleet.AllHalted());
+  for (int i = 0; i < fleet.num_nodes(); ++i) {
+    // Both ring neighbours sent one 3-byte burst each.
+    EXPECT_EQ(fleet.node(i).rx_bytes(), 6u) << "node " << i;
+    EXPECT_EQ(fleet.node(i).tx_bytes(), 3u) << "node " << i;
+    // The verifier heard every node's chatter too.
+    EXPECT_EQ(fleet.VerifierRx(i), "pin") << "node " << i;
+  }
+}
+
+TEST(FleetWorkloadTest, GpioBridgedAroundRing) {
+  Fleet fleet(WorkloadConfig(1));
+  InstallGuest(&fleet, kChatterGuest);
+  fleet.RunQuanta(2);
+  for (int i = 0; i < fleet.num_nodes(); ++i) {
+    uint32_t in = 0;
+    ASSERT_TRUE(fleet.node(i).platform().bus().HostReadWord(
+        kGpioBase + kGpioRegIn, &in));
+    EXPECT_EQ(in, 0xABu) << "node " << i;
+  }
+}
+
+TEST(FleetWorkloadTest, DigestIdenticalAcrossThreadCounts) {
+  std::vector<Sha256Digest> node_digests;
+  Sha256Digest fleet_digest{};
+  {
+    Fleet fleet(WorkloadConfig(1));
+    InstallGuest(&fleet, kChatterGuest);
+    fleet.RunQuanta(6);
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      node_digests.push_back(fleet.node(i).StateDigest());
+    }
+    fleet_digest = fleet.FleetDigest();
+  }
+  Fleet fleet(WorkloadConfig(4));
+  InstallGuest(&fleet, kChatterGuest);
+  fleet.RunQuanta(6);
+  for (int i = 0; i < fleet.num_nodes(); ++i) {
+    EXPECT_EQ(fleet.node(i).StateDigest(),
+              node_digests[static_cast<size_t>(i)])
+        << "node " << i;
+  }
+  EXPECT_EQ(fleet.FleetDigest(), fleet_digest);
+}
+
+// --- Fleet-wide remote attestation ---------------------------------------
+
+struct AttestRun {
+  std::vector<AttestNodeState> states;
+  std::vector<bool> tampered;
+  std::string transcript;
+  Sha256Digest digest{};
+  uint64_t quanta = 0;
+};
+
+AttestRun RunAttestedFleet(int nodes, int threads, int tamper,
+                           uint32_t loss_ppm = 0, uint64_t seed = 7) {
+  FleetConfig config;
+  config.nodes = nodes;
+  config.topology = Topology::kStar;
+  config.seed = seed;
+  config.threads = threads;
+  config.quantum = 20'000;
+  config.link.latency_cycles = 1'000;
+  config.link.loss_ppm = loss_ppm;
+  Fleet fleet(config);
+
+  FleetProvisionConfig prov;
+  prov.tamper_count = tamper;
+  Result<std::vector<NodeProvision>> provisions =
+      ProvisionAttestationFleet(&fleet, prov);
+  EXPECT_TRUE(provisions.ok()) << provisions.status().ToString();
+
+  AttestRun run;
+  FleetAttestor attestor(&fleet, *provisions, AttestPolicy{});
+  attestor.Begin();
+  for (uint64_t q = 0; q < 600 && !attestor.Done(); ++q) {
+    fleet.RunQuantum();
+    attestor.OnQuantumBoundary();
+  }
+  EXPECT_TRUE(attestor.Done()) << "attestation unresolved";
+  for (int i = 0; i < nodes; ++i) {
+    run.states.push_back(attestor.state(i));
+    run.tampered.push_back((*provisions)[static_cast<size_t>(i)].tampered);
+  }
+  run.transcript = attestor.transcript();
+  run.digest = fleet.FleetDigest();
+  run.quanta = fleet.quanta_run();
+  return run;
+}
+
+TEST(FleetAttestTest, HealthyFleetFullyVerified) {
+  AttestRun run = RunAttestedFleet(/*nodes=*/4, /*threads=*/1, /*tamper=*/0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.states[static_cast<size_t>(i)], AttestNodeState::kVerified)
+        << "node " << i;
+  }
+  EXPECT_NE(run.transcript.find("verified"), std::string::npos);
+  EXPECT_EQ(run.transcript.find("quarantined"), std::string::npos);
+}
+
+TEST(FleetAttestTest, TamperedNodesQuarantinedHealthyVerified) {
+  AttestRun run = RunAttestedFleet(/*nodes=*/6, /*threads=*/1, /*tamper=*/2);
+  int quarantined = 0;
+  for (int i = 0; i < 6; ++i) {
+    const AttestNodeState want = run.tampered[static_cast<size_t>(i)]
+                                     ? AttestNodeState::kQuarantined
+                                     : AttestNodeState::kVerified;
+    EXPECT_EQ(run.states[static_cast<size_t>(i)], want) << "node " << i;
+    quarantined += run.tampered[static_cast<size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_EQ(quarantined, 2);
+  // Tampered nodes still answered — their reports just never matched.
+  EXPECT_NE(run.transcript.find("report-mismatch"), std::string::npos);
+}
+
+TEST(FleetAttestTest, TranscriptAndDigestIdenticalAcrossThreadCounts) {
+  AttestRun one = RunAttestedFleet(/*nodes=*/6, /*threads=*/1, /*tamper=*/2);
+  AttestRun many = RunAttestedFleet(/*nodes=*/6, /*threads=*/4, /*tamper=*/2);
+  EXPECT_EQ(one.transcript, many.transcript);
+  EXPECT_EQ(one.digest, many.digest);
+  EXPECT_EQ(one.states, many.states);
+  EXPECT_EQ(one.quanta, many.quanta);
+}
+
+TEST(FleetAttestTest, RetriesRideOutLinkLoss) {
+  // 15% per-message loss on every link: some challenges or responses die,
+  // but timeout + backoff re-challenges until every node verifies.
+  AttestRun run = RunAttestedFleet(/*nodes=*/4, /*threads=*/1, /*tamper=*/0,
+                                   /*loss_ppm=*/150'000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.states[static_cast<size_t>(i)], AttestNodeState::kVerified)
+        << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,17 +1,32 @@
 #!/usr/bin/env bash
-# ASan + UBSan build-and-test configuration: cache/invalidation bugs in the
-# simulator fast path (decode cache, EA-MPU decision caches, bus routing
-# memoization) surface as sanitizer failures instead of heisenbugs.
+# Sanitizer build-and-test configurations:
+#  * ASan + UBSan over the full suite: cache/invalidation bugs in the
+#    simulator fast path (decode cache, EA-MPU decision caches, bus routing
+#    memoization) surface as sanitizer failures instead of heisenbugs.
+#  * TSan over the fleet/pool tests: the multi-threaded fleet executor
+#    (QuantumPool work stealing, per-quantum Platform ownership handoff,
+#    DESIGN.md §13) must be race-free at any thread count.
 #
-# usage: tools/ci_sanitize.sh [build-dir]
+# usage: tools/ci_sanitize.sh [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
+SRC_DIR="$(dirname "$0")/.."
 
 # RelWithDebInfo (not Debug): the tier-1 suite runs with NDEBUG — some
 # error-path tests drive Encode() past its debug-only asserts on purpose.
-cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# TSan stage: fleet executor + RNG tests and the tlfleet smoke runs (ctest
+# regex covers the gtest-discovered Fleet*/QuantumPool* cases).
+cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target fleet_test rng_test tlfleet
+ctest --test-dir "$TSAN_DIR" --output-on-failure \
+  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet'

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Runs the simulator bench suite and emits BENCH_sim.json for trend
-# tracking (google-benchmark JSON format, one file per run).
+# tracking (google-benchmark JSON format, one file per run), plus
+# BENCH_fleet.json from the fleet-executor scaling bench (DESIGN.md §13).
 #
-# usage: tools/run_benches.sh [build-dir] [out.json]
+# usage: tools/run_benches.sh [build-dir] [out.json] [fleet-out.json]
 #   BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.2)
 #   BENCH_FILTER     --benchmark_filter regex (default: all)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_sim.json}"
+FLEET_OUT="${3:-BENCH_fleet.json}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 FILTER="${BENCH_FILTER:-.}"
 
@@ -44,3 +46,17 @@ awk '
     }
   }
 ' "$OUT"
+
+# Fleet executor scaling (BM_FleetExecutor: nodes x host threads). Scaling
+# tops out at the host's physical core count; the JSON records the curve
+# either way for trend tracking.
+FLEET_BIN="$BUILD_DIR/bench/bench_fleet"
+if [[ -x "$FLEET_BIN" ]]; then
+  "$FLEET_BIN" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$FLEET_OUT" \
+    --benchmark_out_format=json
+  echo "wrote $FLEET_OUT (host cores: $(nproc))"
+else
+  echo "note: $FLEET_BIN not built; skipping BENCH_fleet.json" >&2
+fi

@@ -1,0 +1,381 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// tlfleet — networked multi-device fleet simulator (DESIGN.md §13).
+//
+//   tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]
+//               [--threads T] [--attest] [--tamper K] [--quantum Q]
+//               [--quanta K] [--latency C] [--loss-ppm P] [--reorder-ppm P]
+//               [--trace-json FILE] [--stats] [--quiet]
+//
+// Two modes:
+//  * --attest: every node boots the remote-attestation stack (FW trustlet +
+//    per-node-keyed UART attestation trustlet + nanOS without the UART);
+//    the host verifier challenges all nodes concurrently, retries with
+//    backoff, and quarantines nodes whose measurements never match. With a
+//    guest.s argument the assembled image is embedded in FW as measured
+//    payload; with --tamper K, K deterministically-chosen nodes get one FW
+//    code bit flipped post-boot — they keep running but fail attestation.
+//  * workload (no --attest, guest.s required): the guest image runs bare on
+//    every node; UART bytes travel the fabric to topology neighbours (and
+//    ring fleets bridge GPIO at quantum boundaries).
+//
+// Results are bit-identical for a fixed --seed regardless of --threads; the
+// fleet digest printed at the end pins the architectural state of every
+// node, so two runs can be compared with string equality.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fleet/attest.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
+#include "src/isa/assembler.h"
+#include "src/platform/observe/fleet_trace.h"
+#include "src/platform/observe/json.h"
+
+namespace trustlite {
+namespace {
+
+constexpr uint32_t kGuestOrigin = 0x0003'0000;
+constexpr uint32_t kGuestSp = 0x0004'0000;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]\n"
+      "              [--threads T] [--attest] [--tamper K] [--quantum Q]\n"
+      "              [--quanta K] [--latency C] [--loss-ppm P]\n"
+      "              [--reorder-ppm P] [--trace-json FILE] [--stats]\n"
+      "              [--quiet]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::string DigestHex(const Sha256Digest& digest) {
+  std::string hex;
+  char byte[4];
+  for (uint8_t b : digest) {
+    std::snprintf(byte, sizeof(byte), "%02x", b);
+    hex += byte;
+  }
+  return hex;
+}
+
+struct Options {
+  std::string guest;
+  int nodes = 4;
+  Topology topology = Topology::kStar;
+  uint64_t seed = 1;
+  int threads = 1;
+  bool attest = false;
+  int tamper = 0;
+  uint64_t quantum = 20'000;
+  uint64_t quanta = 5'000;  // Budget; attest mode stops when resolved.
+  uint32_t latency = 1'000;
+  uint32_t loss_ppm = 0;
+  uint32_t reorder_ppm = 0;
+  std::string trace_json;
+  bool stats = false;
+  bool quiet = false;
+};
+
+bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_u64 = [&](uint64_t* out) {
+      if (i + 1 >= args.size()) {
+        return false;
+      }
+      *out = std::strtoull(args[++i].c_str(), nullptr, 0);
+      return true;
+    };
+    uint64_t value = 0;
+    if (arg == "--nodes" && next_u64(&value)) {
+      opt->nodes = static_cast<int>(value);
+    } else if (arg == "--topology" && i + 1 < args.size()) {
+      const std::string& name = args[++i];
+      if (name == "star") {
+        opt->topology = Topology::kStar;
+      } else if (name == "ring") {
+        opt->topology = Topology::kRing;
+      } else {
+        std::fprintf(stderr, "tlfleet: unknown topology '%s'\n", name.c_str());
+        return false;
+      }
+    } else if (arg == "--seed" && next_u64(&value)) {
+      opt->seed = value;
+    } else if (arg == "--threads" && next_u64(&value)) {
+      opt->threads = static_cast<int>(value);
+    } else if (arg == "--attest") {
+      opt->attest = true;
+    } else if (arg == "--tamper" && next_u64(&value)) {
+      opt->tamper = static_cast<int>(value);
+    } else if (arg == "--quantum" && next_u64(&value)) {
+      opt->quantum = value;
+    } else if (arg == "--quanta" && next_u64(&value)) {
+      opt->quanta = value;
+    } else if (arg == "--latency" && next_u64(&value)) {
+      opt->latency = static_cast<uint32_t>(value);
+    } else if (arg == "--loss-ppm" && next_u64(&value)) {
+      opt->loss_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--reorder-ppm" && next_u64(&value)) {
+      opt->reorder_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--trace-json" && i + 1 < args.size()) {
+      opt->trace_json = args[++i];
+    } else if (arg == "--stats") {
+      opt->stats = true;
+    } else if (arg == "--quiet") {
+      opt->quiet = true;
+    } else if (arg.rfind("--", 0) != 0 && opt->guest.empty()) {
+      opt->guest = arg;
+    } else {
+      std::fprintf(stderr, "tlfleet: bad argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt->nodes < 1 || opt->quantum == 0) {
+    std::fprintf(stderr, "tlfleet: need --nodes >= 1 and --quantum > 0\n");
+    return false;
+  }
+  if (!opt->attest && opt->guest.empty()) {
+    std::fprintf(stderr, "tlfleet: workload mode needs a guest.s program "
+                         "(or pass --attest)\n");
+    return false;
+  }
+  return true;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  Options opt;
+  if (!ParseOptions(args, &opt)) {
+    return 2;
+  }
+
+  // Assemble the guest program (workload image / attestation payload).
+  Result<AsmOutput> guest(Status::Ok());
+  std::vector<uint8_t> guest_image;
+  if (!opt.guest.empty()) {
+    std::string source;
+    if (!ReadFile(opt.guest, &source)) {
+      std::fprintf(stderr, "tlfleet: cannot read %s\n", opt.guest.c_str());
+      return 1;
+    }
+    guest = Assemble(source, kGuestOrigin);
+    if (!guest.ok()) {
+      std::fprintf(stderr, "tlfleet: %s\n",
+                   guest.status().ToString().c_str());
+      return 1;
+    }
+    uint32_t base = 0;
+    guest_image = guest->Flatten(&base);
+  }
+
+  FleetConfig config;
+  config.nodes = opt.nodes;
+  config.topology = opt.topology;
+  config.seed = opt.seed;
+  config.threads = opt.threads;
+  config.quantum = opt.quantum;
+  config.link.latency_cycles = opt.latency;
+  config.link.loss_ppm = opt.loss_ppm;
+  config.link.reorder_ppm = opt.reorder_ppm;
+  Fleet fleet(config);
+
+  std::vector<NodeProvision> provisions;
+  if (opt.attest) {
+    FleetProvisionConfig prov;
+    prov.payload = guest_image;
+    prov.tamper_count = opt.tamper;
+    Result<std::vector<NodeProvision>> provisioned =
+        ProvisionAttestationFleet(&fleet, prov);
+    if (!provisioned.ok()) {
+      std::fprintf(stderr, "tlfleet: provisioning failed: %s\n",
+                   provisioned.status().ToString().c_str());
+      return 1;
+    }
+    provisions = std::move(*provisioned);
+  } else {
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      Platform& platform = fleet.node(i).platform();
+      for (const AsmChunk& chunk : guest->chunks) {
+        if (!platform.bus().HostWriteBytes(chunk.base, chunk.bytes)) {
+          std::fprintf(stderr, "tlfleet: chunk at 0x%08x unmapped\n",
+                       chunk.base);
+          return 1;
+        }
+      }
+      uint32_t entry = guest->chunks.empty() ? 0 : guest->chunks.front().base;
+      auto it = guest->symbols.find("start");
+      if (it != guest->symbols.end()) {
+        entry = it->second;
+      }
+      platform.cpu().Reset(entry);
+      platform.cpu().set_reg(kRegSp, kGuestSp);
+      platform.ReleaseThreadAffinity();
+    }
+  }
+
+  // Fleet trace aggregation: one trace process per node.
+  FleetTraceAggregator aggregator;
+  std::vector<ChromeTraceWriter*> node_writers;
+  if (!opt.trace_json.empty()) {
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      ChromeTraceWriter* writer = aggregator.AddNode(i);
+      node_writers.push_back(writer);
+      if (opt.attest) {
+        writer->AddLane("FW", 0x11000, 0x12000);
+        writer->AddLane("ATTN", 0x15000, 0x16000);
+        writer->AddLane("OS", 0x20000, 0x22000, /*is_os=*/true);
+      } else {
+        for (const AsmChunk& chunk : guest->chunks) {
+          char lane[32];
+          std::snprintf(lane, sizeof(lane), "code@%08x", chunk.base);
+          writer->AddLane(lane, chunk.base,
+                          chunk.base + static_cast<uint32_t>(
+                                           chunk.bytes.size()));
+        }
+      }
+      fleet.node(i).platform().AddEventSink(writer);
+    }
+  }
+
+  FleetAttestor attestor(&fleet, provisions, AttestPolicy{});
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (opt.attest) {
+    attestor.Begin();
+  }
+  uint64_t quanta = 0;
+  for (; quanta < opt.quanta; ++quanta) {
+    fleet.RunQuantum();
+    if (opt.attest) {
+      attestor.OnQuantumBoundary();
+      if (attestor.Done()) {
+        ++quanta;
+        break;
+      }
+    } else if (fleet.AllHalted() && fleet.fabric().in_flight() == 0) {
+      ++quanta;
+      break;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Summary.
+  std::vector<FleetNodeStatsRow> rows = fleet.SummaryRows();
+  int quarantined = 0;
+  int verified = 0;
+  bool plan_ok = true;
+  if (opt.attest) {
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      const AttestNodeState state = attestor.state(i);
+      rows[static_cast<size_t>(i)].state = AttestNodeStateName(state);
+      if (provisions[static_cast<size_t>(i)].tampered) {
+        rows[static_cast<size_t>(i)].state += " (tampered)";
+      }
+      verified += state == AttestNodeState::kVerified ? 1 : 0;
+      quarantined += state == AttestNodeState::kQuarantined ? 1 : 0;
+      const bool want_quarantine =
+          provisions[static_cast<size_t>(i)].tampered;
+      const AttestNodeState want = want_quarantine
+                                       ? AttestNodeState::kQuarantined
+                                       : AttestNodeState::kVerified;
+      plan_ok = plan_ok && state == want;
+    }
+  }
+  if (!opt.quiet) {
+    std::printf("fleet: %d node(s), %s topology, seed %llu, %d thread(s), "
+                "quantum %llu\n",
+                fleet.num_nodes(), TopologyName(config.topology),
+                static_cast<unsigned long long>(opt.seed), opt.threads,
+                static_cast<unsigned long long>(opt.quantum));
+    std::printf("%s", FormatFleetStats(rows, elapsed).c_str());
+    if (opt.attest) {
+      std::printf("attestation: %d verified, %d quarantined (%llu quanta, "
+                  "%llu cycles)\n",
+                  verified, quarantined,
+                  static_cast<unsigned long long>(quanta),
+                  static_cast<unsigned long long>(fleet.now()));
+    }
+    if (opt.stats) {
+      const LinkFabric::Stats& ls = fleet.fabric().stats();
+      std::printf("links: sent %llu delivered %llu dropped %llu reordered "
+                  "%llu bytes %llu in-flight %zu\n",
+                  static_cast<unsigned long long>(ls.sent),
+                  static_cast<unsigned long long>(ls.delivered),
+                  static_cast<unsigned long long>(ls.dropped),
+                  static_cast<unsigned long long>(ls.reordered),
+                  static_cast<unsigned long long>(ls.payload_bytes),
+                  fleet.fabric().in_flight());
+    }
+  }
+  std::printf("fleet-digest: %s\n", DigestHex(fleet.FleetDigest()).c_str());
+
+  if (!opt.trace_json.empty()) {
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      // Writers are owned by the aggregator; detach before it serializes.
+      fleet.node(i).platform().RemoveEventSink(
+          node_writers[static_cast<size_t>(i)]);
+    }
+    if (!aggregator.WriteFile(opt.trace_json)) {
+      std::fprintf(stderr, "tlfleet: cannot write %s\n",
+                   opt.trace_json.c_str());
+      return 1;
+    }
+    std::string json_error;
+    const bool valid = JsonParses(aggregator.Json(), &json_error);
+    if (!opt.quiet) {
+      std::printf("trace-json: wrote %s (%zu nodes, %zu events, %s)\n",
+                  opt.trace_json.c_str(), aggregator.node_count(),
+                  aggregator.event_count(),
+                  valid ? "valid JSON" : json_error.c_str());
+    }
+  }
+
+  if (opt.attest) {
+    if (!attestor.Done()) {
+      std::fprintf(stderr, "tlfleet: attestation unresolved after %llu "
+                           "quanta\n",
+                   static_cast<unsigned long long>(opt.quanta));
+      return 1;
+    }
+    return plan_ok ? 0 : 1;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "run") {
+    return CmdRun(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace trustlite
+
+int main(int argc, char** argv) { return trustlite::Main(argc, argv); }
