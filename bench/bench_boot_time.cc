@@ -13,9 +13,13 @@
 // each module key over the module text at re-protect time (engine cycles
 // measured by executing `protect` on the simulator).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
 #include "src/isa/assembler.h"
 #include "src/loader/system_image.h"
 #include "src/os/nanos.h"
@@ -99,6 +103,35 @@ descriptor:
   return platform.cpu().cycles() - before;
 }
 
+// Host wall time to provision an N-node attestation fleet, cold (N Secure
+// Loader boots) vs warm (boot node 0 once, snapshot, clone + patch per-
+// device secrets; DESIGN.md Sec. 14). Fleet construction is excluded: both
+// modes pay it identically.
+double FleetProvisionMillis(int nodes, bool warm_boot) {
+  // Best of three: the first run pays one-time costs (CRC tables, page
+  // faults on fresh node memory) that BM_FleetProvision* amortize away.
+  double best = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    FleetConfig config;
+    config.nodes = nodes;
+    config.seed = 7;
+    Fleet fleet(config);
+    FleetProvisionConfig prov;
+    prov.warm_boot = warm_boot;
+    const auto start = std::chrono::steady_clock::now();
+    Result<std::vector<NodeProvision>> provisions =
+        ProvisionAttestationFleet(&fleet, prov);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!provisions.ok()) {
+      std::exit(1);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    best = (round == 0) ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
 }  // namespace
 }  // namespace trustlite
 
@@ -150,5 +183,16 @@ int main() {
       static_cast<unsigned long long>(tl6),
       static_cast<unsigned long long>(wipe),
       static_cast<double>(wipe) / static_cast<double>(tl6));
+
+  std::printf(
+      "\nWarm boot from snapshot (host wall time, 64-node attestation\n"
+      "fleet; DESIGN.md Sec. 14 — boot one golden node, clone the rest by\n"
+      "snapshot restore + key/seed patching):\n\n");
+  const double cold_ms = FleetProvisionMillis(64, /*warm_boot=*/false);
+  const double warm_ms = FleetProvisionMillis(64, /*warm_boot=*/true);
+  std::printf("%26s %12s\n", "provisioning mode", "wall ms");
+  std::printf("%26s %12.1f\n", "cold (64 boots)", cold_ms);
+  std::printf("%26s %12.1f\n", "warm (1 boot + 63 clones)", warm_ms);
+  std::printf("warm-boot speedup: %.1fx\n", cold_ms / warm_ms);
   return 0;
 }

@@ -12,7 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
 #include "src/isa/assembler.h"
 
 namespace trustlite {
@@ -73,6 +76,42 @@ BENCHMARK(BM_FleetExecutor)
     ->Args({64, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Fleet provisioning: N cold Secure Loader boots vs warm-boot cloning
+// (boot node 0 once, snapshot, restore + patch per-device secrets on the
+// other N-1 nodes; DESIGN.md §14). Args: {nodes}.
+void BM_FleetProvision(benchmark::State& state, bool warm_boot) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    FleetConfig config;
+    config.nodes = static_cast<int>(state.range(0));
+    config.seed = 7;
+    auto fleet = std::make_unique<Fleet>(config);
+    FleetProvisionConfig prov;
+    prov.warm_boot = warm_boot;
+    state.ResumeTiming();
+
+    Result<std::vector<NodeProvision>> provisions =
+        ProvisionAttestationFleet(fleet.get(), prov);
+    if (!provisions.ok()) {
+      state.SkipWithError(provisions.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(provisions->size());
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+
+void BM_FleetProvisionCold(benchmark::State& state) {
+  BM_FleetProvision(state, /*warm_boot=*/false);
+}
+
+void BM_FleetProvisionWarm(benchmark::State& state) {
+  BM_FleetProvision(state, /*warm_boot=*/true);
+}
+
+BENCHMARK(BM_FleetProvisionCold)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FleetProvisionWarm)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace trustlite

@@ -45,6 +45,92 @@ inline void AppendLe32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v >> 24));
 }
 
+// Appends a little-endian 64-bit value (snapshot serialization).
+inline void AppendLe64(std::vector<uint8_t>& out, uint64_t v) {
+  AppendLe32(out, static_cast<uint32_t>(v));
+  AppendLe32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         (static_cast<uint64_t>(LoadLe32(p + 4)) << 32);
+}
+
+// Bounds-checked sequential reader over a byte buffer. Every Read* returns
+// false (and poisons the reader) on underrun instead of reading past the
+// end, so deserializers can parse a whole record and check ok() once.
+// Shared by the device snapshot hooks and the snapshot chunk parser.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : p_(data), remaining_(size), ok_(true) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return remaining_; }
+  // True when the buffer was fully consumed without underrun.
+  bool Done() const { return ok_ && remaining_ == 0; }
+
+  bool ReadU8(uint8_t* v) {
+    if (!Require(1)) return false;
+    *v = p_[0];
+    Advance(1);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (!Require(4)) return false;
+    *v = LoadLe32(p_);
+    Advance(4);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (!Require(8)) return false;
+    *v = LoadLe64(p_);
+    Advance(8);
+    return true;
+  }
+  bool ReadBytes(uint8_t* out, size_t n) {
+    if (!Require(n)) return false;
+    for (size_t i = 0; i < n; ++i) out[i] = p_[i];
+    Advance(n);
+    return true;
+  }
+  bool ReadBytes(std::vector<uint8_t>* out, size_t n) {
+    if (!Require(n)) return false;
+    out->assign(p_, p_ + n);
+    Advance(n);
+    return true;
+  }
+  bool ReadString(std::string* out, size_t n) {
+    if (!Require(n)) return false;
+    out->assign(reinterpret_cast<const char*>(p_), n);
+    Advance(n);
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (!Require(n)) return false;
+    Advance(n);
+    return true;
+  }
+  const uint8_t* cursor() const { return p_; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || remaining_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void Advance(size_t n) {
+    p_ += n;
+    remaining_ -= n;
+  }
+
+  const uint8_t* p_;
+  size_t remaining_;
+  bool ok_;
+};
+
 // Sign-extends the low `bits` bits of `v`.
 inline int32_t SignExtend(uint32_t v, int bits) {
   const uint32_t m = 1u << (bits - 1);

@@ -1,0 +1,65 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace trustlite {
+namespace {
+
+// Slice-by-8: eight derived tables let the inner loop fold 8 input bytes
+// per iteration instead of 1. Table 0 is the classic byte-at-a-time table;
+// table k folds a byte that sits k positions ahead in the stream. Worth
+// ~6x over the byte loop, which matters because the snapshot restore path
+// CRCs every chunk on each warm-boot clone (DESIGN.md Sec. 14).
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? (c >> 1) ^ 0xEDB88320u : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildTables();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const uint32_t lo = c ^ (static_cast<uint32_t>(data[i]) |
+                             static_cast<uint32_t>(data[i + 1]) << 8 |
+                             static_cast<uint32_t>(data[i + 2]) << 16 |
+                             static_cast<uint32_t>(data[i + 3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(data[i + 4]) |
+                        static_cast<uint32_t>(data[i + 5]) << 8 |
+                        static_cast<uint32_t>(data[i + 6]) << 16 |
+                        static_cast<uint32_t>(data[i + 7]) << 24;
+    c = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+        kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+        kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+  }
+  for (; i < len; ++i) {
+    c = kTables[0][(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace trustlite

@@ -1,0 +1,24 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Integrity check for
+// the snapshot chunk format (docs/SNAPSHOT_FORMAT.md): cheap enough to run
+// over every chunk on save and load, strong enough to catch the truncation
+// and bit-flip corruption the negative tests throw at it. Not a MAC — the
+// snapshot format is a host-side artifact, not an attack surface.
+
+#ifndef TRUSTLITE_SRC_COMMON_CRC32_H_
+#define TRUSTLITE_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trustlite {
+
+// CRC-32 of `data`. `seed` chains partial computations: pass the previous
+// return value to continue a running CRC.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+uint32_t Crc32(const std::vector<uint8_t>& data);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_COMMON_CRC32_H_

@@ -25,7 +25,9 @@ uint64_t DeriveDeviceSeed(uint64_t fleet_seed, uint32_t device_id) {
   return x;
 }
 
-Xoshiro256::Xoshiro256(uint64_t seed) {
+Xoshiro256::Xoshiro256(uint64_t seed) { Reseed(seed); }
+
+void Xoshiro256::Reseed(uint64_t seed) {
   // splitmix64 stream expands the seed into the xoshiro state.
   uint64_t sm = seed;
   for (auto& s : s_) {

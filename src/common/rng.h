@@ -5,6 +5,7 @@
 #ifndef TRUSTLITE_SRC_COMMON_RNG_H_
 #define TRUSTLITE_SRC_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace trustlite {
@@ -37,6 +38,17 @@ class Xoshiro256 {
   }
 
   bool NextBool() { return (Next64() & 1) != 0; }
+
+  // Stream cursor, exported for the platform snapshot: restoring the four
+  // state words resumes the stream at exactly the next unread value.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  }
+
+  // Re-runs the seeding expansion in place (warm-boot provisioning: a
+  // cloned node's TRNG is moved onto its own per-device stream).
+  void Reseed(uint64_t seed);
 
  private:
   uint64_t s_[4];

@@ -709,4 +709,45 @@ StepEvent Cpu::RunUntilCycle(uint64_t target_cycle) {
   return event;
 }
 
+Cpu::ArchState Cpu::SaveArchState() const {
+  ArchState state;
+  for (int i = 0; i < kNumRegisters; ++i) {
+    state.regs[i] = regs_[i];
+  }
+  state.ip = ip_;
+  state.prev_ip = prev_ip_;
+  state.flags = flags_;
+  state.halted = halted_;
+  state.cycles = cycles_;
+  state.last_exception_entry_cycles = last_exception_entry_cycles_;
+  state.trap = trap_;
+  state.instructions = stats_.instructions;
+  state.exceptions = stats_.exceptions;
+  state.interrupts = stats_.interrupts;
+  state.trustlet_interrupts = stats_.trustlet_interrupts;
+  return state;
+}
+
+void Cpu::RestoreArchState(const ArchState& state) {
+  for (int i = 0; i < kNumRegisters; ++i) {
+    regs_[i] = state.regs[i];
+  }
+  ip_ = state.ip;
+  prev_ip_ = state.prev_ip;
+  flags_ = state.flags;
+  halted_ = state.halted;
+  cycles_ = state.cycles;
+  last_exception_entry_cycles_ = state.last_exception_entry_cycles;
+  trap_ = state.trap;
+  stats_.instructions = state.instructions;
+  stats_.exceptions = state.exceptions;
+  stats_.interrupts = state.interrupts;
+  stats_.trustlet_interrupts = state.trustlet_interrupts;
+  // Memory was (or may have been) rewritten out-of-band around this call;
+  // drop every decoded word rather than rely on generation revalidation.
+  for (DecodeEntry& entry : decode_cache_) {
+    entry.valid = false;
+  }
+}
+
 }  // namespace trustlite

@@ -207,6 +207,31 @@ class Cpu {
     return last_exception_entry_cycles_;
   }
 
+  // --- Snapshot support (DESIGN.md §14) ---
+  // Everything guest-visible plus the architectural execution counters.
+  // Decode-cache counters stay host telemetry (cumulative across restores,
+  // like across HardReset); TrapInfo::reason is a static string and travels
+  // only within the process — a restore from disk repoints it at a generic
+  // placeholder (no comparison or digest consumes it).
+  struct ArchState {
+    uint32_t regs[kNumRegisters] = {};
+    uint32_t ip = 0;
+    uint32_t prev_ip = 0;
+    uint32_t flags = 0;
+    bool halted = false;
+    uint64_t cycles = 0;
+    uint32_t last_exception_entry_cycles = 0;
+    TrapInfo trap;
+    uint64_t instructions = 0;
+    uint64_t exceptions = 0;
+    uint64_t interrupts = 0;
+    uint64_t trustlet_interrupts = 0;
+  };
+  ArchState SaveArchState() const;
+  // Installs `state` and invalidates the decode cache (the snapshot restore
+  // path rewrites memory behind the bus).
+  void RestoreArchState(const ArchState& state);
+
  private:
   struct ExecOutcome {
     bool control_transfer = false;

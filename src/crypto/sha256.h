@@ -30,6 +30,31 @@ class Sha256 {
   }
   Sha256Digest Finish();
 
+  // Mid-stream hasher state, exported for the platform snapshot (the SHA
+  // MMIO accelerator may be checkpointed between INIT and FINALIZE). Plain
+  // value copies of the incremental state; restoring reproduces the exact
+  // digest the uninterrupted computation would have produced.
+  struct State {
+    uint32_t h[8];
+    uint8_t buffer[kSha256BlockSize];
+    uint64_t buffer_len;
+    uint64_t total_len;
+  };
+  State SaveState() const {
+    State s{};
+    for (int i = 0; i < 8; ++i) s.h[i] = state_[i];
+    for (size_t i = 0; i < kSha256BlockSize; ++i) s.buffer[i] = buffer_[i];
+    s.buffer_len = buffer_len_;
+    s.total_len = total_len_;
+    return s;
+  }
+  void RestoreState(const State& s) {
+    for (int i = 0; i < 8; ++i) state_[i] = s.h[i];
+    for (size_t i = 0; i < kSha256BlockSize; ++i) buffer_[i] = s.buffer[i];
+    buffer_len_ = static_cast<size_t>(s.buffer_len);
+    total_len_ = s.total_len;
+  }
+
  private:
   void ProcessBlock(const uint8_t* block);
 

@@ -2,6 +2,8 @@
 
 #include "src/dev/dma.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -155,6 +157,45 @@ AccessResult DmaEngine::Write(uint32_t offset, uint32_t width, uint32_t value) {
     default:
       return AccessResult::kBusError;
   }
+}
+
+void DmaEngine::SerializeState(std::vector<uint8_t>* out) const {
+  AppendLe32(*out, src_);
+  AppendLe32(*out, dst_);
+  AppendLe32(*out, len_);
+  AppendLe32(*out, status_);
+  AppendLe32(*out, owner_);
+  out->push_back(owner_locked_ ? 1 : 0);
+  AppendLe64(*out, words_transferred_);
+}
+
+Status DmaEngine::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint32_t len = 0;
+  uint32_t status = 0;
+  uint32_t owner = 0;
+  uint8_t owner_locked = 0;
+  uint64_t words_transferred = 0;
+  reader.ReadU32(&src);
+  reader.ReadU32(&dst);
+  reader.ReadU32(&len);
+  reader.ReadU32(&status);
+  reader.ReadU32(&owner);
+  reader.ReadU8(&owner_locked);
+  reader.ReadU64(&words_transferred);
+  if (!reader.Done()) {
+    return InvalidArgument("dma snapshot payload malformed");
+  }
+  src_ = src;
+  dst_ = dst;
+  len_ = len;
+  status_ = status;
+  owner_ = owner;
+  owner_locked_ = owner_locked != 0;
+  words_transferred_ = words_transferred;
+  return OkStatus();
 }
 
 }  // namespace trustlite

@@ -70,6 +70,10 @@ class DmaEngine : public Device {
   // completes or aborts. Null = off.
   void SetEventSink(EventSink* sink) { sink_ = sink; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   void RunTransfer();
   void NotifyTransfer();

@@ -2,6 +2,8 @@
 
 #include "src/dev/gpio.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -43,6 +45,36 @@ AccessResult Gpio::Write(uint32_t offset, uint32_t width, uint32_t value) {
     default:
       return AccessResult::kBusError;
   }
+}
+
+void Gpio::SerializeState(std::vector<uint8_t>* out) const {
+  AppendLe32(*out, out_);
+  AppendLe32(*out, in_);
+  AppendLe32(*out, static_cast<uint32_t>(out_history_.size()));
+  for (uint32_t word : out_history_) {
+    AppendLe32(*out, word);
+  }
+}
+
+Status Gpio::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint32_t out_word = 0;
+  uint32_t in_word = 0;
+  uint32_t history_len = 0;
+  reader.ReadU32(&out_word);
+  reader.ReadU32(&in_word);
+  reader.ReadU32(&history_len);
+  if (!reader.ok() || reader.remaining() != size_t{history_len} * 4) {
+    return InvalidArgument("gpio snapshot payload malformed");
+  }
+  std::vector<uint32_t> history(history_len);
+  for (uint32_t& word : history) {
+    reader.ReadU32(&word);
+  }
+  out_ = out_word;
+  in_ = in_word;
+  out_history_ = std::move(history);
+  return OkStatus();
 }
 
 }  // namespace trustlite

@@ -32,6 +32,10 @@ class Gpio : public Device {
   const std::vector<uint32_t>& out_history() const { return out_history_; }
   void SetIn(uint32_t value) { in_ = value; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   uint32_t out_ = 0;
   uint32_t in_ = 0;

@@ -2,6 +2,8 @@
 
 #include "src/dev/sha_accel.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -109,6 +111,45 @@ AccessResult ShaAccel::Write(uint32_t offset, uint32_t width, uint32_t value) {
     default:
       return AccessResult::kBusError;
   }
+}
+
+void ShaAccel::SerializeState(std::vector<uint8_t>* out) const {
+  // cycles_per_block_ is construction-time configuration, not state.
+  AppendLe64(*out, absorbed_bytes_);
+  const Sha256::State hasher = hasher_.SaveState();
+  for (uint32_t word : hasher.h) {
+    AppendLe32(*out, word);
+  }
+  out->insert(out->end(), hasher.buffer, hasher.buffer + kSha256BlockSize);
+  AppendLe64(*out, hasher.buffer_len);
+  AppendLe64(*out, hasher.total_len);
+  out->insert(out->end(), digest_.begin(), digest_.end());
+  out->push_back(digest_valid_ ? 1 : 0);
+}
+
+Status ShaAccel::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t absorbed_bytes = 0;
+  Sha256::State hasher{};
+  Sha256Digest digest{};
+  uint8_t digest_valid = 0;
+  reader.ReadU64(&absorbed_bytes);
+  for (uint32_t& word : hasher.h) {
+    reader.ReadU32(&word);
+  }
+  reader.ReadBytes(hasher.buffer, kSha256BlockSize);
+  reader.ReadU64(&hasher.buffer_len);
+  reader.ReadU64(&hasher.total_len);
+  reader.ReadBytes(digest.data(), digest.size());
+  reader.ReadU8(&digest_valid);
+  if (!reader.Done() || hasher.buffer_len > kSha256BlockSize) {
+    return InvalidArgument("sha snapshot payload malformed");
+  }
+  absorbed_bytes_ = absorbed_bytes;
+  hasher_.RestoreState(hasher);
+  digest_ = digest;
+  digest_valid_ = digest_valid != 0;
+  return OkStatus();
 }
 
 }  // namespace trustlite

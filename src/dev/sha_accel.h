@@ -55,6 +55,10 @@ class ShaAccel : public Device {
 
   void set_cycles_per_block(uint32_t cycles) { cycles_per_block_ = cycles; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   uint32_t cycles_per_block_;
   uint64_t absorbed_bytes_ = 0;

@@ -2,6 +2,8 @@
 
 #include "src/dev/sysctl.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -74,6 +76,37 @@ uint32_t SysCtl::HandlerFor(ExceptionClass cls, uint32_t swi_vector) const {
     index += swi_vector & 7;
   }
   return handlers_[index];
+}
+
+void SysCtl::SerializeState(std::vector<uint8_t>* out) const {
+  for (uint32_t handler : handlers_) {
+    AppendLe32(*out, handler);
+  }
+  AppendLe32(*out, scratch_);
+  AppendLe64(*out, cycle_counter_);
+  out->push_back(reset_requested_ ? 1 : 0);
+}
+
+Status SysCtl::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  std::array<uint32_t, kSysCtlNumHandlers> handlers{};
+  uint32_t scratch = 0;
+  uint64_t cycle_counter = 0;
+  uint8_t reset_requested = 0;
+  for (uint32_t& handler : handlers) {
+    reader.ReadU32(&handler);
+  }
+  reader.ReadU32(&scratch);
+  reader.ReadU64(&cycle_counter);
+  reader.ReadU8(&reset_requested);
+  if (!reader.Done()) {
+    return InvalidArgument("sysctl snapshot payload malformed");
+  }
+  handlers_ = handlers;
+  scratch_ = scratch;
+  cycle_counter_ = cycle_counter;
+  reset_requested_ = reset_requested != 0;
+  return OkStatus();
 }
 
 }  // namespace trustlite

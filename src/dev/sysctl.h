@@ -56,6 +56,10 @@ class SysCtl : public Device {
   void ClearResetRequest() { reset_requested_ = false; }
   uint64_t cycle_counter() const { return cycle_counter_; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   std::array<uint32_t, kSysCtlNumHandlers> handlers_{};
   uint32_t scratch_ = 0;

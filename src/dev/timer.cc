@@ -2,6 +2,8 @@
 
 #include "src/dev/timer.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -97,6 +99,41 @@ AccessResult Timer::Write(uint32_t offset, uint32_t width, uint32_t value) {
     default:
       return AccessResult::kBusError;
   }
+}
+
+void Timer::SerializeState(std::vector<uint8_t>* out) const {
+  AppendLe32(*out, ctrl_);
+  AppendLe32(*out, period_);
+  AppendLe64(*out, count_);
+  AppendLe32(*out, handler_);
+  out->push_back(pending_ ? 1 : 0);
+  AppendLe64(*out, fire_count_);
+}
+
+Status Timer::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint32_t ctrl = 0;
+  uint32_t period = 0;
+  uint64_t count = 0;
+  uint32_t handler = 0;
+  uint8_t pending = 0;
+  uint64_t fire_count = 0;
+  reader.ReadU32(&ctrl);
+  reader.ReadU32(&period);
+  reader.ReadU64(&count);
+  reader.ReadU32(&handler);
+  reader.ReadU8(&pending);
+  reader.ReadU64(&fire_count);
+  if (!reader.Done()) {
+    return InvalidArgument("timer snapshot payload malformed");
+  }
+  ctrl_ = ctrl;
+  period_ = period;
+  count_ = count;
+  handler_ = handler;
+  pending_ = pending != 0;
+  fire_count_ = fire_count;
+  return OkStatus();
 }
 
 }  // namespace trustlite

@@ -57,6 +57,10 @@ class Timer : public Device {
   // line goes pending (not when the CPU recognizes it). Null = off.
   void SetEventSink(EventSink* sink) { sink_ = sink; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   EventSink* sink_ = nullptr;
   int irq_line_;

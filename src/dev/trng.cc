@@ -2,6 +2,8 @@
 
 #include "src/dev/trng.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -22,6 +24,27 @@ AccessResult Trng::Write(uint32_t offset, uint32_t width, uint32_t value) {
   (void)width;
   (void)value;
   return AccessResult::kBusError;
+}
+
+void Trng::SerializeState(std::vector<uint8_t>* out) const {
+  // The stream cursor *is* the device state: restoring it resumes the
+  // value sequence exactly where the checkpoint interrupted it.
+  for (uint64_t word : rng_.state()) {
+    AppendLe64(*out, word);
+  }
+}
+
+Status Trng::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  std::array<uint64_t, 4> state{};
+  for (uint64_t& word : state) {
+    reader.ReadU64(&word);
+  }
+  if (!reader.Done()) {
+    return InvalidArgument("trng snapshot payload malformed");
+  }
+  rng_.set_state(state);
+  return OkStatus();
 }
 
 }  // namespace trustlite

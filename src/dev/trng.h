@@ -23,6 +23,14 @@ class Trng : public Device {
   AccessResult Read(uint32_t offset, uint32_t width, uint32_t* value) override;
   AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
 
+  // Warm-boot provisioning: moves a cloned node's stream onto its own
+  // per-device seed (snapshot restore otherwise resumes the donor stream).
+  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
+
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   Xoshiro256 rng_;
 };

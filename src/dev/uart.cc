@@ -2,6 +2,8 @@
 
 #include "src/dev/uart.h"
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -67,6 +69,33 @@ AccessResult Uart::Write(uint32_t offset, uint32_t width, uint32_t value) {
     default:
       return AccessResult::kBusError;
   }
+}
+
+void Uart::SerializeState(std::vector<uint8_t>* out) const {
+  // The host-visible output capture is architectural for our purposes: it
+  // feeds FleetNode::StateDigest, so a restored node must reproduce it.
+  AppendLe32(*out, static_cast<uint32_t>(output_.size()));
+  out->insert(out->end(), output_.begin(), output_.end());
+  AppendLe32(*out, static_cast<uint32_t>(input_.size()));
+  out->insert(out->end(), input_.begin(), input_.end());
+}
+
+Status Uart::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint32_t out_len = 0;
+  std::string output;
+  uint32_t in_len = 0;
+  std::vector<uint8_t> input;
+  reader.ReadU32(&out_len);
+  reader.ReadString(&output, out_len);
+  reader.ReadU32(&in_len);
+  reader.ReadBytes(&input, in_len);
+  if (!reader.Done()) {
+    return InvalidArgument("uart snapshot payload malformed");
+  }
+  output_ = std::move(output);
+  input_.assign(input.begin(), input.end());
+  return OkStatus();
 }
 
 }  // namespace trustlite

@@ -47,6 +47,10 @@ class Uart : public Device {
   // later drains the buffer). Null = off.
   void SetEventSink(EventSink* sink) { sink_ = sink; }
 
+ protected:
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   std::string output_;
   std::deque<uint8_t> input_;

@@ -7,6 +7,7 @@
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/mem/layout.h"
+#include "src/snapshot/snapshot.h"
 
 namespace trustlite {
 namespace {
@@ -47,32 +48,9 @@ void FleetNode::PushRx(const std::string& payload) {
 }
 
 Sha256Digest FleetNode::StateDigest() const {
-  Sha256 hasher;
-  uint8_t word[8];
-  auto absorb32 = [&](uint32_t value) {
-    StoreLe32(word, value);
-    hasher.Update(word, 4);
-  };
-  Platform& platform = const_cast<Platform&>(platform_);
-  const Cpu& cpu = platform.cpu();
-  for (int i = 0; i < kNumRegisters; ++i) {
-    absorb32(cpu.reg(i));
-  }
-  absorb32(cpu.ip());
-  absorb32(cpu.flags());
-  absorb32(cpu.halted() ? 1 : 0);
-  StoreLe32(word, static_cast<uint32_t>(cpu.cycles()));
-  StoreLe32(word + 4, static_cast<uint32_t>(cpu.cycles() >> 32));
-  hasher.Update(word, 8);
-  std::vector<uint8_t> bytes;
-  platform.bus().HostReadBytes(kSramBase, kSramSize, &bytes);
-  hasher.Update(bytes);
-  platform.bus().HostReadBytes(kDramBase, kDramSize, &bytes);
-  hasher.Update(bytes);
-  absorb32(platform.gpio().out());
-  const std::string& uart = platform.uart().output();
-  hasher.Update(reinterpret_cast<const uint8_t*>(uart.data()), uart.size());
-  return hasher.Finish();
+  // Delegates to the snapshot subsystem so the fleet determinism digest and
+  // the snapshot self-digest can never drift apart (DESIGN.md Sec. 14).
+  return PlatformStateDigest(platform_);
 }
 
 }  // namespace trustlite

@@ -10,8 +10,10 @@
 #include "src/common/rng.h"
 #include "src/harness/injector.h"
 #include "src/loader/system_image.h"
+#include "src/mem/layout.h"
 #include "src/os/nanos.h"
 #include "src/services/attestation.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trustlet/builder.h"
 
 namespace trustlite {
@@ -21,6 +23,9 @@ namespace {
 // plan draw from streams unrelated to the nodes' TRNG seeds.
 constexpr uint64_t kKeySalt = 0x6B65795F73616C74ull;     // "key_salt"
 constexpr uint64_t kTamperSalt = 0x74616D7065720000ull;  // "tamper"
+
+constexpr uint32_t kAttnCodeAddr = 0x15000;
+constexpr uint32_t kAttnDataAddr = 0x16000;
 
 std::string PayloadDirectives(const std::vector<uint8_t>& payload) {
   if (payload.empty()) {
@@ -51,6 +56,223 @@ TrustletBuildSpec FirmwareSpec(const std::vector<uint8_t>& payload) {
   return spec;
 }
 
+struct NodeImage {
+  SystemImage image;
+  TrustletMeta firmware;
+  TrustletMeta attn;
+};
+
+Result<NodeImage> BuildNodeImage(const FleetProvisionConfig& config,
+                                 const std::array<uint8_t, 32>& key) {
+  NodeImage built;
+  Result<TrustletMeta> firmware = BuildTrustlet(FirmwareSpec(config.payload));
+  if (!firmware.ok()) {
+    return firmware.status();
+  }
+  built.firmware = *firmware;
+  built.image.Add(*firmware);
+
+  AttestationSpec attn;
+  attn.code_addr = kAttnCodeAddr;
+  attn.data_addr = kAttnDataAddr;
+  attn.key = key;
+  Result<TrustletMeta> attn_meta = BuildUartAttestationTrustlet(attn);
+  if (!attn_meta.ok()) {
+    return attn_meta.status();
+  }
+  built.attn = *attn_meta;
+  built.image.Add(*attn_meta);
+
+  NanosConfig os_config;
+  os_config.grant_uart = false;  // Trusted path: the attestor owns the UART.
+  os_config.timer_period = config.timer_period;
+  Result<TrustletMeta> os = BuildNanos(os_config);
+  if (!os.ok()) {
+    return os.status();
+  }
+  built.image.Add(*os);
+  return built;
+}
+
+// Deterministic tamper plan: sample distinct victims from a salted stream.
+std::set<int> TamperPlan(const Fleet& fleet, int tamper_count) {
+  std::set<int> tampered;
+  if (tamper_count > 0 && fleet.num_nodes() > 0) {
+    Xoshiro256 rng(DeriveDeviceSeed(fleet.config().seed ^ kTamperSalt, 0));
+    const int want = std::min(tamper_count, fleet.num_nodes());
+    while (static_cast<int>(tampered.size()) < want) {
+      tampered.insert(static_cast<int>(
+          rng.NextBelow(static_cast<uint64_t>(fleet.num_nodes()))));
+    }
+  }
+  return tampered;
+}
+
+// Flips a bit in FW's never-executed tail word: the node keeps running
+// normally but its live measurement diverges from the golden code.
+Status ApplyTamper(FleetNode& node, NodeProvision* provision) {
+  const uint32_t victim =
+      provision->fw_code_addr +
+      static_cast<uint32_t>(provision->fw_code.size()) - 4;
+  if (!FlipRamBit(&node.platform().bus(), victim, 1)) {
+    return Internal("tamper bit-flip failed");
+  }
+  provision->tampered = true;
+  return OkStatus();
+}
+
+// Cold-boots `node` through the full Secure Loader path. `built_out`
+// (optional) receives the build products for snapshot-based cloning.
+Status ColdProvisionNode(FleetNode& node, const FleetProvisionConfig& config,
+                         const std::array<uint8_t, 32>& key,
+                         NodeProvision* provision, NodeImage* built_out) {
+  Result<NodeImage> built = BuildNodeImage(config, key);
+  if (!built.ok()) {
+    return built.status();
+  }
+  provision->key = key;
+  provision->fw_id = MakeTrustletId("FW");
+  provision->fw_code_addr = built->firmware.code_addr;
+  provision->fw_code = built->firmware.code;
+
+  Status installed = node.platform().InstallImage(built->image);
+  if (!installed.ok()) {
+    return installed;
+  }
+  Result<LoadReport> report = node.platform().BootAndLaunch();
+  if (!report.ok()) {
+    return report.status();
+  }
+
+  // Golden measurement = the LIVE code bytes after loading (the Secure
+  // Loader patches the trustlet scaffold, e.g. the Trustlet-Table slot
+  // word), exactly what the attestation trustlet will hash.
+  if (!node.platform().bus().HostReadBytes(
+          provision->fw_code_addr,
+          static_cast<uint32_t>(provision->fw_code.size()),
+          &provision->fw_code)) {
+    return Internal("cannot read back live FW code");
+  }
+  if (built_out != nullptr) {
+    *built_out = std::move(*built);
+  }
+  return OkStatus();
+}
+
+// Warm-boots a clone: restore the golden node's post-boot snapshot and
+// patch the per-device state in place. All clones restore the SAME bytes,
+// so every patch site is located once (LocateGoldenPatchSites) and clones
+// write directly — no per-clone searching.
+struct GoldenState {
+  std::vector<uint8_t> snapshot;
+  std::array<uint8_t, 32> key{};
+  uint32_t attn_code_addr = 0;
+  uint32_t attn_code_size = 0;
+  std::vector<uint8_t> attn_code;      // Live post-boot attestation code.
+  uint32_t sram_key_addr = 0;          // Bus address of the key in SRAM.
+  uint32_t prom_key_offset = 0;        // Key offset inside the PROM image.
+  uint32_t tt_measurement_addr = 0;    // Attn row hash in the Trustlet Table.
+};
+
+// Finds the one live SRAM key copy, the PROM image key copy and the
+// Trustlet-Table measurement row on the freshly booted golden node. Run
+// once; WarmProvisionClone reuses the addresses for every clone.
+Status LocateGoldenPatchSites(Platform& platform, GoldenState* golden) {
+  Bus& bus = platform.bus();
+  const std::vector<uint8_t> key(golden->key.begin(), golden->key.end());
+
+  if (!bus.HostReadBytes(golden->attn_code_addr, golden->attn_code_size,
+                         &golden->attn_code)) {
+    return Internal("cannot read golden attestation code");
+  }
+  auto key_it = std::search(golden->attn_code.begin(), golden->attn_code.end(),
+                            key.begin(), key.end());
+  if (key_it == golden->attn_code.end()) {
+    return Internal("golden key not found in live attestation code");
+  }
+  golden->sram_key_addr =
+      golden->attn_code_addr +
+      static_cast<uint32_t>(std::distance(golden->attn_code.begin(), key_it));
+  if (std::search(key_it + 1, golden->attn_code.end(), key.begin(),
+                  key.end()) != golden->attn_code.end()) {
+    return Internal("multiple live key copies in attestation code");
+  }
+
+  const std::vector<uint8_t>& rom = platform.prom().data();
+  auto rom_it = std::search(rom.begin(), rom.end(), key.begin(), key.end());
+  if (rom_it == rom.end()) {
+    return Internal("golden key not found in PROM image");
+  }
+  golden->prom_key_offset =
+      static_cast<uint32_t>(std::distance(rom.begin(), rom_it));
+
+  // The Secure Loader stored SHA-256(live attn code) in the trustlet's
+  // Trustlet-Table row; find that row so clones can re-measure in place.
+  const Sha256Digest measurement = Sha256Hash(golden->attn_code);
+  std::vector<uint8_t> table;
+  if (!bus.HostReadBytes(kTrustletTableBase, 0x1000, &table)) {
+    return Internal("cannot read Trustlet Table");
+  }
+  auto tt_it = std::search(table.begin(), table.end(), measurement.begin(),
+                           measurement.end());
+  if (tt_it == table.end()) {
+    return Internal("attestation measurement not found in Trustlet Table");
+  }
+  golden->tt_measurement_addr =
+      kTrustletTableBase +
+      static_cast<uint32_t>(std::distance(table.begin(), tt_it));
+  if (std::search(tt_it + 1, table.end(), measurement.begin(),
+                  measurement.end()) != table.end()) {
+    return Internal("ambiguous attestation measurement in Trustlet Table");
+  }
+  return OkStatus();
+}
+
+Status WarmProvisionClone(FleetNode& node, const GoldenState& golden,
+                          const std::array<uint8_t, 32>& key,
+                          NodeProvision* provision) {
+  // High-frequency path: per-chunk CRCs already guard the bytes, so skip
+  // the SHA digest check on every clone (the property tests cover it).
+  SnapshotRestoreOptions restore_options;
+  restore_options.verify_digest = false;
+  TL_RETURN_IF_ERROR(
+      RestorePlatform(&node.platform(), golden.snapshot, restore_options));
+  provision->key = key;
+
+  Bus& bus = node.platform().bus();
+  const std::vector<uint8_t> node_key(key.begin(), key.end());
+
+  // 1. Patch the key: live SRAM copy (what the trustlet reads at run time)
+  //    and the PROM image (what a re-boot would reload). PROM rejects bus
+  //    writes by design, so its backing store goes through the host-side
+  //    loader path with an explicit cache invalidation.
+  if (!bus.HostWriteBytes(golden.sram_key_addr, node_key)) {
+    return Internal("cannot patch live key copy");
+  }
+  node.platform().prom().LoadBytes(golden.prom_key_offset, node_key);
+  bus.NoteHostMutation();
+
+  // 2. Fix up the trustlet's Trustlet-Table row: hash the golden code with
+  //    the clone key spliced in (identical to re-reading the patched SRAM,
+  //    without the bus round-trip).
+  std::vector<uint8_t> patched_code = golden.attn_code;
+  std::copy(node_key.begin(), node_key.end(),
+            patched_code.begin() +
+                (golden.sram_key_addr - golden.attn_code_addr));
+  const Sha256Digest new_measurement = Sha256Hash(patched_code);
+  if (!bus.HostWriteBytes(
+          golden.tt_measurement_addr,
+          std::vector<uint8_t>(new_measurement.begin(),
+                               new_measurement.end()))) {
+    return Internal("cannot patch Trustlet-Table measurement");
+  }
+
+  // 3. Per-device randomness: the clone must draw from its own stream, not
+  //    the golden node's.
+  node.platform().trng().Reseed(node.device_seed());
+  return OkStatus();
+}
+
 }  // namespace
 
 std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node) {
@@ -70,82 +292,47 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
     Fleet* fleet, const FleetProvisionConfig& config) {
   std::vector<NodeProvision> provisions;
   provisions.reserve(static_cast<size_t>(fleet->num_nodes()));
+  const std::set<int> tampered = TamperPlan(*fleet, config.tamper_count);
 
-  // Deterministic tamper plan: sample distinct victims from a salted stream.
-  std::set<int> tampered;
-  if (config.tamper_count > 0 && fleet->num_nodes() > 0) {
-    Xoshiro256 rng(DeriveDeviceSeed(fleet->config().seed ^ kTamperSalt, 0));
-    const int want = std::min(config.tamper_count, fleet->num_nodes());
-    while (static_cast<int>(tampered.size()) < want) {
-      tampered.insert(static_cast<int>(
-          rng.NextBelow(static_cast<uint64_t>(fleet->num_nodes()))));
-    }
-  }
-
+  GoldenState golden;
   for (int i = 0; i < fleet->num_nodes(); ++i) {
     FleetNode& node = fleet->node(i);
     NodeProvision provision;
-    provision.key = DeriveDeviceKey(fleet->config().seed, i);
-    provision.fw_id = MakeTrustletId("FW");
+    const std::array<uint8_t, 32> key =
+        DeriveDeviceKey(fleet->config().seed, i);
 
-    SystemImage image;
-    Result<TrustletMeta> firmware = BuildTrustlet(FirmwareSpec(config.payload));
-    if (!firmware.ok()) {
-      return firmware.status();
-    }
-    provision.fw_code_addr = firmware->code_addr;
-    provision.fw_code = firmware->code;
-    image.Add(*firmware);
-
-    AttestationSpec attn;
-    attn.code_addr = 0x15000;
-    attn.data_addr = 0x16000;
-    attn.key = provision.key;
-    Result<TrustletMeta> attn_meta = BuildUartAttestationTrustlet(attn);
-    if (!attn_meta.ok()) {
-      return attn_meta.status();
-    }
-    image.Add(*attn_meta);
-
-    NanosConfig os_config;
-    os_config.grant_uart = false;  // Trusted path: the attestor owns the UART.
-    os_config.timer_period = config.timer_period;
-    Result<TrustletMeta> os = BuildNanos(os_config);
-    if (!os.ok()) {
-      return os.status();
-    }
-    image.Add(*os);
-
-    Status installed = fleet->node(i).platform().InstallImage(image);
-    if (!installed.ok()) {
-      return installed;
-    }
-    Result<LoadReport> report = node.platform().BootAndLaunch();
-    if (!report.ok()) {
-      return report.status();
-    }
-
-    // Golden measurement = the LIVE code bytes after loading (the Secure
-    // Loader patches the trustlet scaffold, e.g. the Trustlet-Table slot
-    // word), exactly what the attestation trustlet will hash.
-    if (!node.platform().bus().HostReadBytes(
-            provision.fw_code_addr,
-            static_cast<uint32_t>(provision.fw_code.size()),
-            &provision.fw_code)) {
-      return Internal("cannot read back live FW code");
+    const bool warm_clone = config.warm_boot && i > 0;
+    if (!warm_clone) {
+      NodeImage built;
+      TL_RETURN_IF_ERROR(
+          ColdProvisionNode(node, config, key, &provision,
+                            config.warm_boot ? &built : nullptr));
+      if (config.warm_boot) {
+        // This is the golden node: capture its post-Secure-Loader state
+        // once, then clone it into every other node.
+        golden.key = key;
+        golden.attn_code_addr = built.attn.code_addr;
+        golden.attn_code_size = static_cast<uint32_t>(built.attn.code.size());
+        TL_RETURN_IF_ERROR(LocateGoldenPatchSites(node.platform(), &golden));
+        SnapshotSaveOptions save_options;
+        save_options.include_digest = false;
+        Result<std::vector<uint8_t>> snapshot =
+            SavePlatform(node.platform(), save_options);
+        if (!snapshot.ok()) {
+          return snapshot.status();
+        }
+        golden.snapshot = std::move(*snapshot);
+      }
+    } else {
+      TL_RETURN_IF_ERROR(WarmProvisionClone(node, golden, key, &provision));
+      // Warm clones share the golden node's FW trustlet bytes.
+      provision.fw_id = provisions[0].fw_id;
+      provision.fw_code_addr = provisions[0].fw_code_addr;
+      provision.fw_code = provisions[0].fw_code;
     }
 
     if (tampered.count(i) != 0) {
-      // Flip a bit in the FW tail word (the default call handler, never
-      // executed by this workload): the node keeps running normally but its
-      // live measurement diverges from the golden code.
-      const uint32_t victim =
-          provision.fw_code_addr +
-          static_cast<uint32_t>(provision.fw_code.size()) - 4;
-      if (!FlipRamBit(&node.platform().bus(), victim, 1)) {
-        return Internal("tamper bit-flip failed");
-      }
-      provision.tampered = true;
+      TL_RETURN_IF_ERROR(ApplyTamper(node, &provision));
     }
 
     // Provisioning drove the platform from this thread; release the

@@ -33,6 +33,14 @@ struct FleetProvisionConfig {
   // fleet seed; one code bit flipped in FW's never-executed tail word).
   int tamper_count = 0;
   uint32_t timer_period = 2000;
+  // Warm-boot cloning: run the Secure Loader once on node 0 ("golden"
+  // node), snapshot its post-boot state, and provision every other node by
+  // restoring the snapshot and patching the per-device secrets in place —
+  // the attestation key bytes (SRAM code + PROM image), the Trustlet-Table
+  // measurement of the patched attestation trustlet, and the TRNG seed.
+  // Attestation still verifies on every node; fleet digests are NOT
+  // expected to match a cold boot (TRNG cursors differ by construction).
+  bool warm_boot = false;
 };
 
 struct NodeProvision {

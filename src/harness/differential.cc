@@ -2,12 +2,14 @@
 
 #include "src/harness/differential.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/isa/isa.h"
 #include "src/mem/layout.h"
+#include "src/snapshot/snapshot.h"
 
 namespace trustlite {
 
@@ -169,6 +171,114 @@ std::optional<Divergence> DifferentialExecutor::Run(uint64_t max_steps) {
     }
   }
   return CompareFinalState(max_steps);
+}
+
+namespace {
+
+// Advances the CPU by `n` Step() calls (NOT retired instructions — this
+// must count exactly like the lockstep loop so replayed step indices line
+// up). Stepping a halted CPU is a no-op, so windows stay aligned even when
+// one side halts mid-window.
+void StepN(Platform& platform, uint64_t n) {
+  for (uint64_t i = 0; i < n && !platform.cpu().halted(); ++i) {
+    platform.cpu().Step();
+  }
+}
+
+// Record-replay checkpoints carry no digest: the two platforms are
+// in-process and the snapshot round-trips through memory, so per-chunk
+// CRCs are already more than the transport needs.
+std::vector<uint8_t> Checkpoint(Platform& platform) {
+  SnapshotSaveOptions options;
+  options.include_digest = false;
+  Result<std::vector<uint8_t>> snapshot = SavePlatform(platform, options);
+  return snapshot.ok() ? std::move(*snapshot) : std::vector<uint8_t>{};
+}
+
+bool RestoreCheckpoint(Platform* platform,
+                       const std::vector<uint8_t>& snapshot) {
+  SnapshotRestoreOptions options;
+  options.verify_digest = false;
+  return RestorePlatform(platform, snapshot, options).ok();
+}
+
+}  // namespace
+
+DifferentialExecutor::CheckpointReplay DifferentialExecutor::RunCheckpointed(
+    uint64_t max_steps, uint64_t checkpoint_interval) {
+  CheckpointReplay report;
+  if (checkpoint_interval == 0) {
+    checkpoint_interval = 1;
+  }
+  std::vector<uint8_t> mark_fast = Checkpoint(*fast_);
+  std::vector<uint8_t> mark_ref = Checkpoint(*ref_);
+  ++report.checkpoints;
+
+  uint64_t done = 0;
+  while (done < max_steps) {
+    if (fast_->cpu().halted() && ref_->cpu().halted()) {
+      break;
+    }
+    const uint64_t window = std::min(checkpoint_interval, max_steps - done);
+    StepN(*fast_, window);
+    StepN(*ref_, window);
+    done += window;
+
+    if (CompareFinalState(done).has_value()) {
+      // Dirty window: replay it from the last checkpoint, binary-searching
+      // for the smallest k whose full-state comparison already mismatches.
+      report.window_start = done - window;
+      report.window_end = done;
+      uint64_t lo = 1;        // Smallest candidate first-bad step count.
+      uint64_t hi = window;   // Known bad.
+      while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (!RestoreCheckpoint(fast_.get(), mark_fast) ||
+            !RestoreCheckpoint(ref_.get(), mark_ref)) {
+          report.divergence = Divergence{done, "checkpoint restore failed"};
+          return report;
+        }
+        StepN(*fast_, mid);
+        StepN(*ref_, mid);
+        report.replayed_steps += 2 * mid;
+        if (CompareFinalState(report.window_start + mid).has_value()) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      // Re-run to just before the first bad step and take it in lockstep,
+      // so the report names the step exactly as Run() would.
+      if (!RestoreCheckpoint(fast_.get(), mark_fast) ||
+          !RestoreCheckpoint(ref_.get(), mark_ref)) {
+        report.divergence = Divergence{done, "checkpoint restore failed"};
+        return report;
+      }
+      StepN(*fast_, lo - 1);
+      StepN(*ref_, lo - 1);
+      report.replayed_steps += 2 * (lo - 1);
+      const uint64_t bad_step = report.window_start + lo - 1;
+      report.divergence = StepBoth(bad_step);
+      ++report.replayed_steps;
+      if (!report.divergence.has_value()) {
+        // The step itself looked clean architecturally; the difference is
+        // in memory or another latched register.
+        report.divergence = CompareFinalState(bad_step + 1);
+      }
+      if (!report.divergence.has_value()) {
+        report.divergence =
+            Divergence{bad_step, "divergence vanished during replay "
+                                 "(non-deterministic harness state?)"};
+      }
+      return report;
+    }
+
+    mark_fast = Checkpoint(*fast_);
+    mark_ref = Checkpoint(*ref_);
+    ++report.checkpoints;
+  }
+  report.divergence = CompareFinalState(done);
+  return report;
 }
 
 namespace {

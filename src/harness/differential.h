@@ -59,6 +59,26 @@ class DifferentialExecutor {
   // Full end-state comparison: memories, MPU fault registers, stats, trap.
   std::optional<Divergence> CompareFinalState(uint64_t step);
 
+  // Checkpointed record-replay (DESIGN.md Sec. 14): instead of comparing
+  // after every step, both platforms run windows of `checkpoint_interval`
+  // steps independently, snapshotting at each boundary; only the boundary
+  // states are compared. On a boundary mismatch the dirty window is
+  // replayed from its checkpoint, binary-searching for the first diverging
+  // step, and the exact per-step divergence is reported. For clean runs
+  // this trades the per-step architectural diff for two snapshots per
+  // window; for dirty runs it localizes the divergence to the step.
+  struct CheckpointReplay {
+    // First divergence, exactly as Run() would report it (nullopt = the
+    // runs stayed identical through the final-state check).
+    std::optional<Divergence> divergence;
+    uint64_t checkpoints = 0;       // Boundary snapshots taken per platform.
+    uint64_t window_start = 0;      // Dirty window (steps), when diverged.
+    uint64_t window_end = 0;
+    uint64_t replayed_steps = 0;    // Steps re-executed while bisecting.
+  };
+  CheckpointReplay RunCheckpointed(uint64_t max_steps,
+                                   uint64_t checkpoint_interval = 16384);
+
  private:
   std::optional<Divergence> CompareArchState(uint64_t step);
 

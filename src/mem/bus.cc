@@ -210,6 +210,10 @@ void Bus::TickDevices(uint64_t cycles) {
 void Bus::ResetDevices() {
   for (Device* device : devices_) {
     device->Reset();
+    // Power-on state includes the snapshot epoch: a reset device no longer
+    // carries restored-snapshot state, so the stamp must not survive (same
+    // stale-telemetry bug class as last_exception_entry_cycles in the CPU).
+    device->ClearSnapshotGeneration();
   }
   if (protection_ != nullptr) {
     protection_->Reset();

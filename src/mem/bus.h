@@ -83,6 +83,13 @@ class Bus {
   // change as "any instruction word may have changed".
   uint64_t memory_generation() const { return memory_generation_; }
 
+  // Records an out-of-band mutation of memory contents performed directly
+  // on a device's backing store, bypassing the bus write path (snapshot
+  // restore uses Ram::LoadBytes for speed, and PROM rejects bus writes
+  // entirely). Callers must invoke this after such mutations so decode
+  // caches revalidate.
+  void NoteHostMutation() { ++memory_generation_; }
+
   // Host-side switch for the last-device routing memo (differential
   // harness). Routing results are identical either way.
   void SetRouteMemo(bool enabled) {

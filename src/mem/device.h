@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/common/status.h"
 #include "src/mem/access.h"
 
 namespace trustlite {
@@ -78,10 +80,52 @@ class Device {
   // the Secure Loader re-establishes protection instead; Sec. 3.5).
   virtual void Reset() {}
 
+  // --- Snapshot hook (DESIGN.md §14, docs/SNAPSHOT_FORMAT.md) ---
+  // Appends the device's architectural state *beyond* any memory backing
+  // store (memory contents travel in their own snapshot chunks) in the
+  // device's byte-stable little-endian layout. Devices with no state beyond
+  // their backing store append nothing.
+  void SaveState(std::vector<uint8_t>* out) {
+    SerializeState(out);
+    ++snapshot_generation_;
+  }
+  // Applies a payload produced by SaveState. Implementations parse the
+  // whole payload (rejecting trailing or missing bytes) before mutating any
+  // field, so a failed load leaves the device untouched.
+  Status LoadState(const uint8_t* data, size_t size) {
+    const Status status = RestoreState(data, size);
+    if (status.ok()) {
+      ++snapshot_generation_;
+    }
+    return status;
+  }
+
+  // Count of snapshot events (saves + applied restores) on this device.
+  // Host-side telemetry stamping which snapshot epoch the state belongs to;
+  // cleared by platform reset (Bus::ResetDevices) along with the rest of
+  // the device's power-on state.
+  uint64_t snapshot_generation() const { return snapshot_generation_; }
+  void ClearSnapshotGeneration() { snapshot_generation_ = 0; }
+
+ protected:
+  // Virtual halves of the snapshot hook; see SaveState/LoadState for the
+  // contract. Default: stateless device (empty payload in, empty out).
+  virtual void SerializeState(std::vector<uint8_t>* out) const { (void)out; }
+  virtual Status RestoreState(const uint8_t* data, size_t size) {
+    (void)data;
+    if (size != 0) {
+      return InvalidArgument("device '" + name_ +
+                             "' carries no snapshot state but payload is "
+                             "non-empty");
+    }
+    return OkStatus();
+  }
+
  private:
   std::string name_;
   uint32_t base_;
   uint32_t size_;
+  uint64_t snapshot_generation_ = 0;
 };
 
 }  // namespace trustlite

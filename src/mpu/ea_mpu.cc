@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/bytes.h"
+
 #include "src/mem/layout.h"
 
 namespace trustlite {
@@ -550,6 +552,85 @@ uint32_t EncodeMpuRule(uint32_t subject, uint32_t object, bool r, bool w,
   }
   rule |= (priv_filter & 0x3) << kMpuRulePrivShift;
   return rule;
+}
+
+void EaMpu::SerializeState(std::vector<uint8_t>* out) const {
+  AppendLe32(*out, ctrl_);
+  AppendLe32(*out, fault_ip_);
+  AppendLe32(*out, fault_addr_);
+  AppendLe32(*out, fault_info_);
+  out->push_back(hardwired_enable_ ? 1 : 0);
+  AppendLe32(*out, static_cast<uint32_t>(regions_.size()));
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    AppendLe32(*out, regions_[i].base);
+    AppendLe32(*out, regions_[i].end);
+    AppendLe32(*out, regions_[i].attr);
+    AppendLe32(*out, regions_[i].sp_slot);
+    out->push_back(region_hardwired_[i] ? 1 : 0);
+  }
+  AppendLe32(*out, static_cast<uint32_t>(rules_.size()));
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    AppendLe32(*out, rules_[i]);
+    out->push_back(rule_hardwired_[i] ? 1 : 0);
+  }
+}
+
+Status EaMpu::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint32_t ctrl = 0;
+  uint32_t fault_ip = 0;
+  uint32_t fault_addr = 0;
+  uint32_t fault_info = 0;
+  uint8_t hardwired_enable = 0;
+  uint32_t num_regions = 0;
+  reader.ReadU32(&ctrl);
+  reader.ReadU32(&fault_ip);
+  reader.ReadU32(&fault_addr);
+  reader.ReadU32(&fault_info);
+  reader.ReadU8(&hardwired_enable);
+  reader.ReadU32(&num_regions);
+  if (!reader.ok() || num_regions != regions_.size()) {
+    return InvalidArgument("mpu snapshot region bank size mismatch");
+  }
+  std::vector<MpuRegion> regions(regions_.size());
+  std::vector<bool> region_hardwired(regions_.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    uint8_t hardwired = 0;
+    reader.ReadU32(&regions[i].base);
+    reader.ReadU32(&regions[i].end);
+    reader.ReadU32(&regions[i].attr);
+    reader.ReadU32(&regions[i].sp_slot);
+    reader.ReadU8(&hardwired);
+    region_hardwired[i] = hardwired != 0;
+  }
+  uint32_t num_rules = 0;
+  reader.ReadU32(&num_rules);
+  if (!reader.ok() || num_rules != rules_.size()) {
+    return InvalidArgument("mpu snapshot rule bank size mismatch");
+  }
+  std::vector<uint32_t> rules(rules_.size());
+  std::vector<bool> rule_hardwired(rules_.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    uint8_t hardwired = 0;
+    reader.ReadU32(&rules[i]);
+    reader.ReadU8(&hardwired);
+    rule_hardwired[i] = hardwired != 0;
+  }
+  if (!reader.Done()) {
+    return InvalidArgument("mpu snapshot payload malformed");
+  }
+  ctrl_ = ctrl;
+  fault_ip_ = fault_ip;
+  fault_addr_ = fault_addr;
+  fault_info_ = fault_info;
+  hardwired_enable_ = hardwired_enable != 0;
+  regions_ = std::move(regions);
+  rules_ = std::move(rules);
+  region_hardwired_ = std::move(region_hardwired);
+  rule_hardwired_ = std::move(rule_hardwired);
+  // Everything memoized from the old configuration is now wrong.
+  BumpConfigGen();
+  return OkStatus();
 }
 
 }  // namespace trustlite

@@ -180,6 +180,15 @@ class EaMpu : public Device, public ProtectionUnit {
     check_sink_ = want_checks ? sink : nullptr;
   }
 
+ protected:
+  // Snapshot hook: the full programmable state (CTRL, fault latches, region
+  // bank with lock bits, rule bank, hardwired masks). Restore bypasses the
+  // MMIO write path on purpose — lock bits forbid guest reprogramming but
+  // must not forbid reinstating a checkpoint — and bumps the config
+  // generation so every memoized decision is invalidated.
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
+
  private:
   bool RegisterWriteAllowed(uint32_t offset) const;
   bool RuleAllows(const AccessContext& ctx, std::optional<int> subject,

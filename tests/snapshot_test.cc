@@ -1,0 +1,371 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Snapshot/restore subsystem tests (DESIGN.md §14): byte-stability of the
+// on-disk format, the restore-equals-live digest invariant at random
+// checkpoints across the differential corpus, fail-closed handling of
+// truncated/bit-flipped snapshots, the per-device snapshot-generation
+// counters across HardReset, checkpointed record-replay bisection, and
+// warm-boot fleet provisioning.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/fleet/attest.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
+#include "src/harness/differential.h"
+#include "src/isa/assembler.h"
+#include "src/mem/layout.h"
+#include "src/platform/platform.h"
+#include "src/snapshot/snapshot.h"
+
+namespace trustlite {
+namespace {
+
+void LoadAt(Platform& platform, const std::string& source, uint32_t origin) {
+  Result<AsmOutput> out = Assemble(source, origin);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const AsmChunk& chunk : out->chunks) {
+    ASSERT_TRUE(platform.bus().HostWriteBytes(chunk.base, chunk.bytes));
+  }
+}
+
+// A small guest that exercises RAM, the UART, the timer and the SHA engine
+// so most device snapshot chunks carry real state.
+constexpr char kBusyGuest[] = R"(
+start:
+    li   r1, 0xF0003000       ; uart
+    movi r2, 65               ; 'A'
+    movi r3, 0
+    li   r6, 0xF0002000       ; timer
+    movi r7, 500
+    stw  r7, [r6 + 4]         ; period
+    movi r7, 1
+    stw  r7, [r6 + 0]         ; enable
+loop:
+    stw  r2, [r1 + 0]         ; uart tx
+    addi r2, r2, 1
+    movi r4, 90               ; 'Z'
+    bltu r2, r4, no_wrap
+    movi r2, 65
+no_wrap:
+    li   r5, 0x00120000       ; dram scribble
+    shli r8, r3, 2
+    add  r5, r5, r8
+    stw  r2, [r5]
+    addi r3, r3, 1
+    movi r4, 2000
+    bltu r3, r4, loop
+    halt
+)";
+
+Platform* NewBusyPlatform() {
+  Platform* platform = new Platform();
+  Result<AsmOutput> out = Assemble(kBusyGuest, 0x00030000);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  for (const AsmChunk& chunk : out->chunks) {
+    EXPECT_TRUE(platform->bus().HostWriteBytes(chunk.base, chunk.bytes));
+  }
+  platform->cpu().Reset(0x00030000);
+  platform->cpu().set_reg(kRegSp, 0x00040000);
+  return platform;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip byte identity and the restore invariant.
+
+TEST(SnapshotFormatTest, SaveIsByteStable) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(1000);
+  Result<std::vector<uint8_t>> a = SavePlatform(*platform);
+  Result<std::vector<uint8_t>> b = SavePlatform(*platform);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b) << "saving the same state twice must be bit-identical";
+}
+
+TEST(SnapshotFormatTest, SaveRestoreSaveRoundTripsExactly) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(1234);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*platform);
+  ASSERT_TRUE(saved.ok());
+
+  Platform other;
+  ASSERT_TRUE(RestorePlatform(&other, *saved).ok());
+  Result<std::vector<uint8_t>> resaved = SavePlatform(other);
+  ASSERT_TRUE(resaved.ok());
+  EXPECT_EQ(*saved, *resaved);
+  EXPECT_EQ(PlatformStateDigest(*platform), PlatformStateDigest(other));
+}
+
+TEST(SnapshotFormatTest, RestoredRunContinuesBitIdentically) {
+  std::unique_ptr<Platform> live(NewBusyPlatform());
+  live->Run(700);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*live);
+  ASSERT_TRUE(saved.ok());
+
+  Platform resumed;
+  ASSERT_TRUE(RestorePlatform(&resumed, *saved).ok());
+
+  // The subsequent execution transcript must be bit-identical: run both to
+  // completion and compare the full state digests.
+  live->Run(1'000'000);
+  resumed.Run(1'000'000);
+  EXPECT_TRUE(live->cpu().halted());
+  EXPECT_TRUE(resumed.cpu().halted());
+  EXPECT_EQ(PlatformStateDigest(*live), PlatformStateDigest(resumed));
+  EXPECT_EQ(live->cpu().cycles(), resumed.cpu().cycles());
+  EXPECT_EQ(live->uart().output(), resumed.uart().output());
+}
+
+TEST(SnapshotFormatTest, ConfigRoundTrips) {
+  PlatformConfig config;
+  config.with_mpu = true;
+  config.mpu_regions = 12;
+  config.mpu_rules = 48;
+  config.with_dma = true;
+  config.dram_wait_states = 3;
+  Platform platform(config);
+  Result<std::vector<uint8_t>> saved = SavePlatform(platform);
+  ASSERT_TRUE(saved.ok());
+  Result<PlatformConfig> read = SnapshotPlatformConfig(*saved);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->with_mpu, config.with_mpu);
+  EXPECT_EQ(read->mpu_regions, config.mpu_regions);
+  EXPECT_EQ(read->mpu_rules, config.mpu_rules);
+  EXPECT_EQ(read->with_dma, config.with_dma);
+  EXPECT_EQ(read->dram_wait_states, config.dram_wait_states);
+
+  // A platform built from the read-back config accepts the snapshot.
+  Platform clone(*read);
+  EXPECT_TRUE(RestorePlatform(&clone, *saved).ok());
+}
+
+TEST(SnapshotFormatTest, MismatchedPlatformShapeFailsClosed) {
+  Platform small_mpu(PlatformConfig{.mpu_regions = 8, .mpu_rules = 16});
+  Result<std::vector<uint8_t>> saved = SavePlatform(small_mpu);
+  ASSERT_TRUE(saved.ok());
+  Platform default_shape;
+  const Status status = RestorePlatform(&default_shape, *saved);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Negative tests: corrupted snapshots must fail closed (Status error, the
+// target platform untouched).
+
+TEST(SnapshotCorruptionTest, TruncationsNeverPartiallyRestore) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(900);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*platform);
+  ASSERT_TRUE(saved.ok());
+
+  Xoshiro256 rng(0xDEAD);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<uint8_t> truncated(
+        saved->begin(),
+        saved->begin() + static_cast<long>(rng.NextBelow(saved->size())));
+    Platform target;
+    const Sha256Digest before = PlatformStateDigest(target);
+    EXPECT_FALSE(RestorePlatform(&target, truncated).ok())
+        << "truncation to " << truncated.size() << " bytes was accepted";
+    EXPECT_EQ(before, PlatformStateDigest(target))
+        << "failed restore mutated the target platform";
+  }
+}
+
+TEST(SnapshotCorruptionTest, BitFlipsNeverPartiallyRestore) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(900);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*platform);
+  ASSERT_TRUE(saved.ok());
+
+  Xoshiro256 rng(0xBEEF);
+  for (int trial = 0; trial < 128; ++trial) {
+    std::vector<uint8_t> flipped = *saved;
+    const size_t byte = rng.NextBelow(flipped.size());
+    flipped[byte] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    Platform target;
+    const Sha256Digest before = PlatformStateDigest(target);
+    EXPECT_FALSE(RestorePlatform(&target, flipped).ok())
+        << "bit flip at byte " << byte << " was accepted";
+    EXPECT_EQ(before, PlatformStateDigest(target))
+        << "failed restore mutated the target platform";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: at random checkpoints across the differential corpus,
+// save -> restore -> save is byte-identical and the restored platform's
+// digest matches the live one.
+
+TEST(SnapshotPropertyTest, RestoreEqualsLiveAcrossDifferentialCorpus) {
+  Xoshiro256 rng(0x534E4150);  // 'SNAP'
+  int checkpoints = 0;
+  for (uint64_t seed = 1; checkpoints < 1000; ++seed) {
+    DifferentialExecutor diff;
+    BuildRandomScenario(diff, seed, RandomProgramOptions{});
+    Platform& live = diff.fast();
+    // A handful of random checkpoints per scenario.
+    for (int k = 0; k < 25 && !live.cpu().halted(); ++k) {
+      for (uint64_t s = rng.NextBelow(200) + 1;
+           s > 0 && !live.cpu().halted(); --s) {
+        live.cpu().Step();
+      }
+      Result<std::vector<uint8_t>> saved = SavePlatform(live);
+      ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+
+      Platform clone;
+      ASSERT_TRUE(RestorePlatform(&clone, *saved).ok())
+          << "seed " << seed << " checkpoint " << k;
+      EXPECT_EQ(PlatformStateDigest(live), PlatformStateDigest(clone))
+          << "seed " << seed << " checkpoint " << k;
+      Result<std::vector<uint8_t>> resaved = SavePlatform(clone);
+      ASSERT_TRUE(resaved.ok());
+      EXPECT_EQ(*saved, *resaved)
+          << "seed " << seed << " checkpoint " << k
+          << ": save -> restore -> save is not byte-identical";
+      ++checkpoints;
+    }
+  }
+  EXPECT_GE(checkpoints, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Regression (PR 3 bug class): HardReset must clear the per-device
+// snapshot-generation counters along with the rest of the device state.
+
+TEST(SnapshotGenerationTest, HardResetClearsGenerationCounters) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(500);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*platform);
+  ASSERT_TRUE(saved.ok());
+  ASSERT_TRUE(RestorePlatform(platform.get(), *saved).ok());
+  EXPECT_EQ(platform->uart().snapshot_generation(), 2u)
+      << "one SaveState + one LoadState";
+  EXPECT_EQ(platform->timer().snapshot_generation(), 2u);
+
+  platform->HardReset();
+  for (Device* device : platform->bus().devices()) {
+    EXPECT_EQ(device->snapshot_generation(), 0u)
+        << "device '" << device->name()
+        << "' kept a stale snapshot generation across HardReset";
+  }
+}
+
+TEST(SnapshotGenerationTest, FailedLoadDoesNotBumpGeneration) {
+  Platform platform;
+  const std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(platform.uart().LoadState(garbage.data(), garbage.size()).ok());
+  EXPECT_EQ(platform.uart().snapshot_generation(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed record-replay.
+
+TEST(CheckpointReplayTest, CleanRunMatchesLockstep) {
+  DifferentialExecutor diff;
+  BuildRandomScenario(diff, 42, RandomProgramOptions{});
+  DifferentialExecutor::CheckpointReplay report =
+      diff.RunCheckpointed(20'000, 1'000);
+  EXPECT_FALSE(report.divergence.has_value())
+      << report.divergence->what << " at step " << report.divergence->step;
+  EXPECT_GE(report.checkpoints, 1u);
+  EXPECT_EQ(report.replayed_steps, 0u);
+}
+
+TEST(CheckpointReplayTest, BisectsPlantedDivergenceToTheExactStep) {
+  // Two identical spin loops; plant a divergence by making the "fast"
+  // platform see a different operand at a known instruction count.
+  DifferentialExecutor diff;
+  const char* program = R"(
+start:
+    li   r1, 0x00120000
+    movi r2, 0
+loop:
+    ldw  r3, [r1]            ; r3 = poisoned cell
+    add  r2, r2, r3
+    addi r2, r2, 1
+    jmp  loop
+)";
+  diff.ForBoth([&](Platform& p) { LoadAt(p, program, 0x00030000); });
+  diff.ForBoth([](Platform& p) {
+    p.cpu().Reset(0x00030000);
+    p.cpu().set_reg(kRegSp, 0x00040000);
+  });
+  // Let both run identically for a while, then poison one platform's DRAM
+  // cell out-of-band: the next `ldw` (within the current window) diverges.
+  for (int i = 0; i < 2500; ++i) {
+    diff.fast().cpu().Step();
+    diff.reference().cpu().Step();
+  }
+  ASSERT_TRUE(diff.fast().bus().HostWriteWord(0x00120000, 7));
+
+  DifferentialExecutor::CheckpointReplay report =
+      diff.RunCheckpointed(10'000, 512);
+  ASSERT_TRUE(report.divergence.has_value());
+  // The divergence must land in the first window and be localized to a
+  // step index inside it (the first diverging ldw/add).
+  EXPECT_EQ(report.window_start, 0u);
+  EXPECT_EQ(report.window_end, 512u);
+  EXPECT_LT(report.divergence->step, 512u);
+  EXPECT_GT(report.replayed_steps, 0u);
+  EXPECT_NE(report.divergence->what.find("fast="), std::string::npos)
+      << report.divergence->what;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-boot fleet provisioning.
+
+TEST(WarmBootTest, WarmFleetAttestsLikeColdFleet) {
+  for (int threads : {1, 4}) {
+    FleetConfig config;
+    config.nodes = 6;
+    config.seed = 11;
+    config.threads = threads;
+    Fleet fleet(config);
+    FleetProvisionConfig prov;
+    prov.warm_boot = true;
+    prov.tamper_count = 1;
+    Result<std::vector<NodeProvision>> provisions =
+        ProvisionAttestationFleet(&fleet, prov);
+    ASSERT_TRUE(provisions.ok()) << provisions.status().ToString();
+    ASSERT_EQ(provisions->size(), 6u);
+
+    FleetAttestor attestor(&fleet, *provisions, AttestPolicy{});
+    attestor.Begin();
+    for (uint64_t quantum = 0; !attestor.Done() && quantum < 4000;
+         ++quantum) {
+      fleet.RunQuanta(1);
+      attestor.OnQuantumBoundary();
+    }
+    ASSERT_TRUE(attestor.Done()) << "threads=" << threads;
+    EXPECT_EQ(attestor.Verified().size(), 5u) << "threads=" << threads;
+    EXPECT_EQ(attestor.Quarantined().size(), 1u) << "threads=" << threads;
+  }
+}
+
+TEST(WarmBootTest, CloneKeysAndSeedsAreNodeSpecific) {
+  FleetConfig config;
+  config.nodes = 3;
+  config.seed = 77;
+  Fleet fleet(config);
+  FleetProvisionConfig prov;
+  prov.warm_boot = true;
+  Result<std::vector<NodeProvision>> provisions =
+      ProvisionAttestationFleet(&fleet, prov);
+  ASSERT_TRUE(provisions.ok()) << provisions.status().ToString();
+
+  // Keys differ per node and match the shared derivation.
+  EXPECT_NE((*provisions)[0].key, (*provisions)[1].key);
+  EXPECT_EQ((*provisions)[2].key, DeriveDeviceKey(77, 2));
+  // Clones are distinguishable state-wise (key bytes live in SRAM).
+  EXPECT_NE(fleet.node(1).StateDigest(), fleet.node(2).StateDigest());
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Docs CI gate (tier-2 ctest `ci_docs`): keeps the prose honest.
+#
+#   1. Markdown link integrity: every relative link in the root *.md files
+#      and docs/ must resolve to an existing file.
+#   2. CLI doc drift, both directions: every `--flag` named in README.md
+#      must exist in some tool's --help, and every --help flag must be
+#      named in README.md unless allowlisted below.
+#   3. ROADMAP.md freshness: the "Open items" section must be non-empty
+#      (the re-anchor contract; a placeholder list fails).
+#
+# usage: tools/ci_docs.sh [src-dir] [tools-bin-dir]
+set -uo pipefail
+
+SRC="${1:-.}"
+BIN="${2:-$SRC/build/tools}"
+fail=0
+
+note() { echo "ci_docs: $*" >&2; fail=1; }
+
+# --- 1. relative markdown links -------------------------------------------
+for md in "$SRC"/*.md "$SRC"/docs/*.md; do
+  [[ -f "$md" ]] || continue
+  dir="$(dirname "$md")"
+  # [text](target) minus absolute URLs, mailto and pure anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      note "broken link in ${md#"$SRC"/}: ($target)"
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" | sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/')
+done
+
+# --- 2. README flags vs tool --help ---------------------------------------
+flags_of() { grep -oE '(^|[^-[:alnum:]])--[a-z][a-z0-9-]*' | grep -oE -- '--[a-z][a-z0-9-]*' | sort -u; }
+
+HELP_FLAGS=""
+for tool in tlsim tlfleet tlsnap; do
+  if [[ ! -x "$BIN/$tool" ]]; then
+    note "$BIN/$tool not built (needed for the --help drift check)"
+    continue
+  fi
+  HELP_FLAGS+=$'\n'"$("$BIN/$tool" --help | flags_of)"
+done
+HELP_FLAGS="$(echo "$HELP_FLAGS" | sort -u | grep . || true)"
+
+README_FLAGS="$(flags_of < "$SRC/README.md" || true)"
+
+# Flags README uses that are not ours (cmake/ctest invocations).
+README_ALLOW="--build --test-dir"
+# Niche knobs documented in --help only.
+HELP_ALLOW="--origin --entry --sp --max --uart-in --no-mpu
+            --quantum --quanta --latency --quiet"
+
+for f in $README_FLAGS; do
+  if ! grep -qxF -- "$f" <<<"$HELP_FLAGS" && ! grep -qwF -- "$f" <<<"$README_ALLOW"; then
+    note "README.md names $f but no tool --help mentions it (stale docs?)"
+  fi
+done
+for f in $HELP_FLAGS; do
+  if ! grep -qxF -- "$f" <<<"$README_FLAGS" && ! grep -qwF -- "$f" <<<"$HELP_ALLOW"; then
+    note "tool --help has $f but README.md never names it (undocumented flag?)"
+  fi
+done
+
+# --- 3. ROADMAP Open items non-empty --------------------------------------
+open_items="$(awk '/^## Open items/{grab=1; next} /^## /{grab=0} grab' "$SRC/ROADMAP.md" \
+              | grep -cE '^- ' || true)"
+if [[ "${open_items:-0}" -lt 1 ]]; then
+  note "ROADMAP.md 'Open items' is empty — re-anchor it"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "ci_docs: FAILED"
+  exit 1
+fi
+echo "ci_docs: all checks passed (links, --help drift, ROADMAP open items: $open_items)"

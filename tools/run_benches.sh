@@ -57,6 +57,25 @@ if [[ -x "$FLEET_BIN" ]]; then
     --benchmark_out="$FLEET_OUT" \
     --benchmark_out_format=json
   echo "wrote $FLEET_OUT (host cores: $(nproc))"
+
+  # Warm-boot provisioning summary (BM_FleetProvisionCold/Warm at 64
+  # nodes): snapshot cloning must beat N cold Secure Loader boots by >=5x
+  # (DESIGN.md §14; EXPERIMENTS.md warm-boot row).
+  awk '
+    /"name": "BM_FleetProvisionCold\/64"/ { want = 1 }
+    /"name": "BM_FleetProvisionWarm\/64"/ { want = 2 }
+    /"real_time"/ && want {
+      gsub(/[^0-9.e+]/, "", $2)
+      ms[want] = $2 + 0
+      want = 0
+    }
+    END {
+      if (ms[1] > 0 && ms[2] > 0) {
+        printf "provision 64 nodes: cold %.1f ms   warm %.1f ms   speedup: %.1fx\n",
+               ms[1], ms[2], ms[1] / ms[2]
+      }
+    }
+  ' "$FLEET_OUT"
 else
   echo "note: $FLEET_BIN not built; skipping BENCH_fleet.json" >&2
 fi

@@ -3,9 +3,9 @@
 // tlfleet — networked multi-device fleet simulator (DESIGN.md §13).
 //
 //   tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]
-//               [--threads T] [--attest] [--tamper K] [--quantum Q]
-//               [--quanta K] [--latency C] [--loss-ppm P] [--reorder-ppm P]
-//               [--trace-json FILE] [--stats] [--quiet]
+//               [--threads T] [--attest] [--warm-boot] [--tamper K]
+//               [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]
+//               [--reorder-ppm P] [--trace-json FILE] [--stats] [--quiet]
 //
 // Two modes:
 //  * --attest: every node boots the remote-attestation stack (FW trustlet +
@@ -45,16 +45,20 @@ namespace {
 constexpr uint32_t kGuestOrigin = 0x0003'0000;
 constexpr uint32_t kGuestSp = 0x0004'0000;
 
-int Usage() {
+int Usage(bool help = false) {
   std::fprintf(
-      stderr,
+      help ? stdout : stderr,
       "usage:\n"
       "  tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]\n"
-      "              [--threads T] [--attest] [--tamper K] [--quantum Q]\n"
-      "              [--quanta K] [--latency C] [--loss-ppm P]\n"
+      "              [--threads T] [--attest] [--warm-boot] [--tamper K]\n"
+      "              [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]\n"
       "              [--reorder-ppm P] [--trace-json FILE] [--stats]\n"
-      "              [--quiet]\n");
-  return 2;
+      "              [--quiet]\n"
+      "\n"
+      "  --warm-boot  attest mode: Secure-Loader-boot node 0 once, then\n"
+      "               provision the other nodes by snapshot restore +\n"
+      "               per-device key/seed patching (DESIGN.md Sec. 14)\n");
+  return help ? 0 : 2;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -85,6 +89,7 @@ struct Options {
   uint64_t seed = 1;
   int threads = 1;
   bool attest = false;
+  bool warm_boot = false;
   int tamper = 0;
   uint64_t quantum = 20'000;
   uint64_t quanta = 5'000;  // Budget; attest mode stops when resolved.
@@ -125,6 +130,8 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
       opt->threads = static_cast<int>(value);
     } else if (arg == "--attest") {
       opt->attest = true;
+    } else if (arg == "--warm-boot") {
+      opt->warm_boot = true;
     } else if (arg == "--tamper" && next_u64(&value)) {
       opt->tamper = static_cast<int>(value);
     } else if (arg == "--quantum" && next_u64(&value)) {
@@ -152,6 +159,10 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
   }
   if (opt->nodes < 1 || opt->quantum == 0) {
     std::fprintf(stderr, "tlfleet: need --nodes >= 1 and --quantum > 0\n");
+    return false;
+  }
+  if (opt->warm_boot && !opt->attest) {
+    std::fprintf(stderr, "tlfleet: --warm-boot requires --attest\n");
     return false;
   }
   if (!opt->attest && opt->guest.empty()) {
@@ -203,6 +214,7 @@ int CmdRun(const std::vector<std::string>& args) {
     FleetProvisionConfig prov;
     prov.payload = guest_image;
     prov.tamper_count = opt.tamper;
+    prov.warm_boot = opt.warm_boot;
     Result<std::vector<NodeProvision>> provisioned =
         ProvisionAttestationFleet(&fleet, prov);
     if (!provisioned.ok()) {
@@ -368,6 +380,9 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    return Usage(/*help=*/true);
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "run") {
     return CmdRun(args);

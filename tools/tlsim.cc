@@ -7,11 +7,17 @@
 //   tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]
 //               [--trace] [--uart-in TEXT] [--no-mpu] [--stats]
 //               [--profile] [--trace-json FILE]
+//               [--snapshot-every N] [--snapshot-out PREFIX]
+//   tlsim run   --resume-from FILE [file.s] [--max N] ...
 //   tlsim debug <file.s> [--entry ADDR|symbol] [--sp ADDR]
 //
 // `run` assembles the program, loads every chunk into the reference
 // platform, executes it, and reports UART output, halt state, registers and
-// simulated cycles. With --trace every retired instruction is disassembled
+// simulated cycles. --snapshot-every N writes a platform snapshot
+// (docs/SNAPSHOT_FORMAT.md) every N retired instructions to
+// PREFIX-NNNN.tlsnap; --resume-from restores one and continues executing,
+// bit-identically to the uninterrupted run (no file.s needed — the program
+// travels inside the snapshot). With --trace every retired instruction is disassembled
 // to stderr. --profile prints a per-lane cycle-accounting table (one lane
 // per assembled chunk) and --trace-json exports a Chrome trace-event file
 // viewable at https://ui.perfetto.dev (DESIGN.md §12).
@@ -43,20 +49,28 @@
 #include "src/platform/observe/json.h"
 #include "src/platform/observe/profiler.h"
 #include "src/platform/platform.h"
+#include "src/snapshot/snapshot.h"
 
 namespace trustlite {
 namespace {
 
-int Usage() {
+int Usage(bool help = false) {
   std::fprintf(
-      stderr,
+      help ? stdout : stderr,
       "usage:\n"
       "  tlsim asm   <file.s> [-o out.bin] [--origin ADDR] [--symbols]\n"
       "  tlsim disas <file.bin> [--base ADDR]\n"
       "  tlsim run   <file.s> [--entry ADDR|symbol] [--sp ADDR] [--max N]\n"
       "              [--trace] [--uart-in TEXT] [--no-mpu] [--stats]\n"
-      "              [--profile] [--trace-json FILE]\n");
-  return 2;
+      "              [--profile] [--trace-json FILE]\n"
+      "              [--snapshot-every N] [--snapshot-out PREFIX]\n"
+      "  tlsim run   --resume-from FILE [file.s] [--max N] ...\n"
+      "  tlsim debug <file.s> [--entry ADDR|symbol] [--sp ADDR]\n"
+      "\n"
+      "  --snapshot-every N   write a snapshot every N retired instructions\n"
+      "  --snapshot-out P     snapshot filename prefix (default tlsim-snap)\n"
+      "  --resume-from FILE   restore FILE and continue the run\n");
+  return help ? 0 : 2;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -168,6 +182,9 @@ int CmdRun(const std::vector<std::string>& args) {
   bool profile = false;
   std::string trace_json;
   std::string uart_in;
+  uint64_t snapshot_every = 0;
+  std::string snapshot_out = "tlsim-snap";
+  std::string resume_from;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--entry" && i + 1 < args.size()) {
       entry_text = args[++i];
@@ -187,45 +204,89 @@ int CmdRun(const std::vector<std::string>& args) {
       trace_json = args[++i];
     } else if (args[i] == "--uart-in" && i + 1 < args.size()) {
       uart_in = args[++i];
+    } else if (args[i] == "--snapshot-every" && i + 1 < args.size()) {
+      snapshot_every = std::strtoull(args[++i].c_str(), nullptr, 0);
+    } else if (args[i] == "--snapshot-out" && i + 1 < args.size()) {
+      snapshot_out = args[++i];
+    } else if (args[i] == "--resume-from" && i + 1 < args.size()) {
+      resume_from = args[++i];
     } else if (input.empty()) {
       input = args[i];
     } else {
       return Usage();
     }
   }
-  if (input.empty()) {
+  if (input.empty() && resume_from.empty()) {
     return Usage();
   }
-  std::string source;
-  if (!ReadFile(input, &source)) {
-    std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
-    return 1;
-  }
-  Result<AsmOutput> out = Assemble(source, 0x0003'0000);
-  if (!out.ok()) {
-    std::fprintf(stderr, "tlsim: %s\n", out.status().ToString().c_str());
-    return 1;
-  }
 
-  PlatformConfig config;
-  config.with_mpu = !no_mpu;
-  Platform platform(config);
-  for (const AsmChunk& chunk : out->chunks) {
-    if (!platform.bus().HostWriteBytes(chunk.base, chunk.bytes)) {
-      std::fprintf(stderr, "tlsim: chunk at %s does not map to any device\n",
-                   Hex32(chunk.base).c_str());
+  // The program either comes from file.s (cold run) or travels inside the
+  // snapshot (--resume-from; a file.s argument is then ignored).
+  Result<AsmOutput> out(Status::Ok());
+  if (resume_from.empty()) {
+    std::string source;
+    if (!ReadFile(input, &source)) {
+      std::fprintf(stderr, "tlsim: cannot read %s\n", input.c_str());
+      return 1;
+    }
+    out = Assemble(source, 0x0003'0000);
+    if (!out.ok()) {
+      std::fprintf(stderr, "tlsim: %s\n", out.status().ToString().c_str());
       return 1;
     }
   }
 
-  uint32_t entry = out->chunks.empty() ? 0 : out->chunks.front().base;
-  if (!entry_text.empty()) {
-    auto it = out->symbols.find(entry_text);
-    entry = it != out->symbols.end() ? it->second : ParseAddr(entry_text);
+  PlatformConfig config;
+  config.with_mpu = !no_mpu;
+  std::vector<uint8_t> resume_bytes;
+  if (!resume_from.empty()) {
+    Result<std::vector<uint8_t>> bytes = ReadSnapshotFile(resume_from);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "tlsim: %s\n", bytes.status().ToString().c_str());
+      return 1;
+    }
+    resume_bytes = std::move(*bytes);
+    // The snapshot records the platform shape it was taken on; the platform
+    // must be rebuilt to match or the restore fails closed.
+    Result<PlatformConfig> snap_config = SnapshotPlatformConfig(resume_bytes);
+    if (!snap_config.ok()) {
+      std::fprintf(stderr, "tlsim: %s\n",
+                   snap_config.status().ToString().c_str());
+      return 1;
+    }
+    config = *snap_config;
+  }
+  Platform platform(config);
+  if (resume_from.empty()) {
+    for (const AsmChunk& chunk : out->chunks) {
+      if (!platform.bus().HostWriteBytes(chunk.base, chunk.bytes)) {
+        std::fprintf(stderr, "tlsim: chunk at %s does not map to any device\n",
+                     Hex32(chunk.base).c_str());
+        return 1;
+      }
+    }
   } else {
-    auto it = out->symbols.find("start");
-    if (it != out->symbols.end()) {
-      entry = it->second;
+    Status restored = RestorePlatform(&platform, resume_bytes);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "tlsim: %s\n", restored.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed from %s at %llu instructions\n", resume_from.c_str(),
+                static_cast<unsigned long long>(
+                    platform.cpu().stats().instructions));
+  }
+
+  uint32_t entry = 0;
+  if (resume_from.empty()) {
+    entry = out->chunks.empty() ? 0 : out->chunks.front().base;
+    if (!entry_text.empty()) {
+      auto it = out->symbols.find(entry_text);
+      entry = it != out->symbols.end() ? it->second : ParseAddr(entry_text);
+    } else {
+      auto it = out->symbols.find("start");
+      if (it != out->symbols.end()) {
+        entry = it->second;
+      }
     }
   }
   if (!uart_in.empty()) {
@@ -242,7 +303,7 @@ int CmdRun(const std::vector<std::string>& args) {
   // program with a separate .org'd ISR or data island profiles per region.
   TrustletProfiler profiler;
   ChromeTraceWriter trace_writer;
-  if (profile || !trace_json.empty()) {
+  if ((profile || !trace_json.empty()) && resume_from.empty()) {
     for (const AsmChunk& chunk : out->chunks) {
       char lane_name[32];
       std::snprintf(lane_name, sizeof(lane_name), "code@%08x", chunk.base);
@@ -259,9 +320,40 @@ int CmdRun(const std::vector<std::string>& args) {
     }
   }
 
-  platform.cpu().Reset(entry);
-  platform.cpu().set_reg(kRegSp, sp);
-  platform.Run(max_instructions);
+  if (resume_from.empty()) {
+    platform.cpu().Reset(entry);
+    platform.cpu().set_reg(kRegSp, sp);
+  }
+  if (snapshot_every > 0) {
+    // Periodic checkpointing: run in slices, snapshotting at each boundary.
+    uint64_t executed = 0;
+    int sequence = 0;
+    while (!platform.cpu().halted() && executed < max_instructions) {
+      const uint64_t before = platform.cpu().stats().instructions;
+      platform.Run(std::min(snapshot_every, max_instructions - executed));
+      const uint64_t retired = platform.cpu().stats().instructions - before;
+      if (retired == 0) {
+        break;  // No forward progress (immediate halt): stop checkpointing.
+      }
+      executed += retired;
+      char path[512];
+      std::snprintf(path, sizeof(path), "%s-%04d.tlsnap",
+                    snapshot_out.c_str(), ++sequence);
+      Result<std::vector<uint8_t>> snapshot = SavePlatform(platform);
+      Status written =
+          snapshot.ok() ? WriteSnapshotFile(path, *snapshot)
+                        : snapshot.status();
+      if (!written.ok()) {
+        std::fprintf(stderr, "tlsim: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::printf("snapshot: wrote %s at %llu instructions\n", path,
+                  static_cast<unsigned long long>(
+                      platform.cpu().stats().instructions));
+    }
+  } else {
+    platform.Run(max_instructions);
+  }
 
   const Cpu& cpu = platform.cpu();
   if (!platform.uart().output().empty()) {
@@ -516,10 +608,16 @@ int CmdDebug(const std::vector<std::string>& args) {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    return Usage(/*help=*/true);
+  }
+  if (argc < 3 && !(command == "run")) {
+    return Usage();
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "asm") {
     return CmdAsm(args);
