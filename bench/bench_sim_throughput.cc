@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha256_engine.h"
 #include "src/isa/assembler.h"
 #include "src/loader/system_image.h"
 #include "src/os/nanos.h"
@@ -73,6 +75,36 @@ void BM_InterpreterWithMpu(benchmark::State& state) {
       static_cast<int64_t>(platform.cpu().stats().instructions));
 }
 BENCHMARK(BM_InterpreterWithMpu);
+
+// Dispatch ladder (DESIGN.md §15), middle rung: same workload and MPU
+// layout with superinstruction fusion switched off, isolating the fusion
+// layer's contribution on top of threaded dispatch + decode cache. The top
+// rung is BM_InterpreterWithMpu above; the bottom (portable switch) rung is
+// the same binary rebuilt with -DTRUSTLITE_PORTABLE_DISPATCH=ON
+// (tools/ci_dispatch.sh builds that configuration).
+void BM_InterpreterWithMpuNoFusion(benchmark::State& state) {
+  PlatformConfig config;
+  config.fusion = false;
+  Platform platform(config);
+  Bus& bus = platform.bus();
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t reg = kMpuMmioBase + kMpuRegionBank +
+                         static_cast<uint32_t>(i) * kMpuRegionStride;
+    bus.HostWriteWord(reg + 0, 0x40000 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 4, 0x40080 + static_cast<uint32_t>(i) * 0x100);
+    bus.HostWriteWord(reg + 8, kMpuAttrEnable);
+  }
+  bus.HostWriteWord(kMpuMmioBase + kMpuRegCtrl, kMpuCtrlEnable);
+  uint32_t entry = 0;
+  bus.HostWriteBytes(0x30000, WorkloadImage(&entry));
+  platform.cpu().Reset(entry);
+  for (auto _ : state) {
+    platform.Run(10000);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(platform.cpu().stats().instructions));
+}
+BENCHMARK(BM_InterpreterWithMpuNoFusion);
 
 // Same workload with the observability layer live: a TrustletProfiler
 // registered as an event sink, so every retire takes the InsnEvent path
@@ -257,6 +289,47 @@ void BM_Assembler(benchmark::State& state) {
                           static_cast<int64_t>(source.size()));
 }
 BENCHMARK(BM_Assembler);
+
+// Host-side SHA-256 hot paths (attestation measurements, fleet digests,
+// snapshot state digests). Single-stream throughput of the resolved engine
+// (SHA-NI / NEON / scalar) and the batched API that fleet provisioning and
+// FleetDigest use — on hosts without hardware SHA the batch runs 4
+// lane-parallel streams, so the two rows bracket the dispatch ladder for
+// digests the same way the interpreter rows do for the CPU loop.
+void BM_HostSha256(benchmark::State& state) {
+  std::vector<uint8_t> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  for (auto _ : state) {
+    Sha256Digest digest = Sha256Hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.SetLabel(Sha256EngineName());
+}
+BENCHMARK(BM_HostSha256);
+
+void BM_HostSha256Batch(benchmark::State& state) {
+  // 64 messages of the size of a small trustlet measurement region.
+  std::vector<std::vector<uint8_t>> msgs(64);
+  for (size_t m = 0; m < msgs.size(); ++m) {
+    msgs[m].resize(600);
+    for (size_t i = 0; i < msgs[m].size(); ++i) {
+      msgs[m][i] = static_cast<uint8_t>(m * 131 + i * 31 + 7);
+    }
+  }
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<Sha256Digest> digests = Sha256BatchHash(msgs);
+    benchmark::DoNotOptimize(digests);
+    bytes += static_cast<int64_t>(msgs.size() * msgs[0].size());
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetLabel(Sha256EngineName());
+}
+BENCHMARK(BM_HostSha256Batch);
 
 }  // namespace
 }  // namespace trustlite

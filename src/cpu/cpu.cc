@@ -1,17 +1,264 @@
 // Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Interpreter core. The instruction semantics live in the TL_SEMANTICS
+// X-macro below, which is expanded twice: once into the portable switch
+// inside Execute() (used by Step(), the fused-group executor, and the
+// portable-dispatch build), and once into the computed-goto label bodies of
+// RunLoop() (token-threaded dispatch, GCC/Clang only). Both expansions share
+// the exact same token sequence per opcode, so the two dispatch strategies
+// cannot drift apart; the differential harness additionally verifies them
+// against each other (tests/differential_test.cc).
 
 #include "src/cpu/cpu.h"
 
 #include <algorithm>
 #include <cassert>
 
+// Dispatch strategy selection (DESIGN.md §15). TRUSTLITE_PORTABLE_DISPATCH
+// (CMake option of the same name) forces the portable switch even under
+// compilers that support the GNU computed-goto extension.
+#if !defined(TRUSTLITE_PORTABLE_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define TRUSTLITE_COMPUTED_GOTO 1
+#else
+#define TRUSTLITE_COMPUTED_GOTO 0
+#endif
+
 namespace trustlite {
+
+namespace {
+
+// Maps a bus access result onto the exception class ladder used everywhere
+// an access can fault (loads, stores, IRET pops, fetches).
+constexpr uint32_t ExcClassOf(AccessResult r) {
+  return r == AccessResult::kProtFault    ? kExcMpuFault
+         : r == AccessResult::kAlignFault ? kExcAlign
+         : r == AccessResult::kReset      ? kExcReset
+                                          : kExcBusError;
+}
+
+// Guest memory is little-endian; fused-entry revalidation reassembles the
+// instruction word from the device's host backing bytes, and the data-access
+// windows read/write guest memory through the same stable pointers.
+inline uint32_t LoadWordLe(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreWordLe(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// Opcodes allowed in the interior of a fused group: straight-line, cannot
+// redirect control, and any fault they raise is delivered precisely by
+// FinishExecute. SWI is excluded (it is an exception by construction), as
+// are IRET (restores FLAGS, may change privilege mid-group) and the Sancus
+// pseudo-instructions (their hook may reconfigure protection or memory).
+constexpr bool FusableInterior(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+    case Opcode::kMul:
+    case Opcode::kSltu:
+    case Opcode::kSlt:
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kShli:
+    case Opcode::kShri:
+    case Opcode::kSrai:
+    case Opcode::kMovi:
+    case Opcode::kLui:
+    case Opcode::kLdw:
+    case Opcode::kLdb:
+    case Opcode::kStw:
+    case Opcode::kStb:
+    case Opcode::kCli:
+    case Opcode::kSti:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Opcodes that may terminate a fused group: they end the straight-line run
+// (control transfer or halt), so nothing is prefetched past them.
+inline bool FusableTail(Opcode op) {
+  return IsBranch(op) || IsJump(op) || op == Opcode::kHalt;
+}
+
+}  // namespace
+
+// Per-opcode semantics, single-sourced for both dispatch strategies. The
+// expansion context provides: `insn` (the decoded instruction), `out` (the
+// ExecOutcome being built, pre-initialized to {cycles = c.alu}), `c` (the
+// cycle model), and the `rs1()`/`rs2()` register readers. Bodies must not
+// contain a bare `break` (they expand into goto-label blocks as well as
+// switch cases); multi-way outcomes are expressed with if/else.
+#define TL_BRANCH_BODY(cond)                      \
+  const uint32_t a = regs_[insn.rd];              \
+  const uint32_t b = regs_[insn.rs1];             \
+  if (cond) {                                     \
+    ip_ += static_cast<uint32_t>(insn.imm);       \
+    out.control_transfer = true;                  \
+    out.cycles = c.control_taken;                 \
+  } else {                                        \
+    out.cycles = c.control_not_taken;             \
+  }
+
+#define TL_LOAD_BODY(W)                                                       \
+  const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);              \
+  if (((W) == 1 || (addr & 3) == 0) && WindowCovers(read_window_, addr, (W))) { \
+    ++stats_.data_window_hits;                                                \
+    regs_[insn.rd] =                                                          \
+        (W) == 4 ? LoadWordLe(read_window_.ro + (addr - read_window_.lo))     \
+                 : read_window_.ro[addr - read_window_.lo];                   \
+    out.cycles = c.memory + read_window_.wait_states;                         \
+  } else {                                                                    \
+    uint32_t value = 0;                                                       \
+    uint32_t wait = 0;                                                        \
+    const AccessResult r =                                                    \
+        bus_->Read(DataContext(AccessKind::kRead), addr, (W), &value, &wait); \
+    if (r != AccessResult::kOk) {                                             \
+      out.fault_class = ExcClassOf(r);                                        \
+      out.fault_addr = addr;                                                  \
+    } else {                                                                  \
+      regs_[insn.rd] = value;                                                 \
+      out.cycles = c.memory + wait;                                           \
+      if (data_window_enabled_) {                                             \
+        TryBuildDataWindow(/*is_write=*/false, addr);                         \
+      }                                                                       \
+    }                                                                         \
+  }
+
+#define TL_STORE_BODY(W)                                                      \
+  const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);              \
+  if (((W) == 1 || (addr & 3) == 0) &&                                        \
+      WindowCovers(write_window_, addr, (W))) {                               \
+    ++stats_.data_window_hits;                                                \
+    uint8_t* p = write_window_.rw + (addr - write_window_.lo);                \
+    if ((W) == 4) {                                                           \
+      StoreWordLe(p, regs_[insn.rd]);                                         \
+    } else {                                                                  \
+      p[0] = static_cast<uint8_t>(regs_[insn.rd]);                            \
+    }                                                                         \
+    /* The store bypassed Bus::Write: bump the memory generation so the    */ \
+    /* decode and fusion caches revalidate, exactly as a bus store would.  */ \
+    bus_->NoteHostMutation();                                                 \
+    out.cycles = c.memory + write_window_.wait_states;                        \
+  } else {                                                                    \
+    uint32_t wait = 0;                                                        \
+    const AccessResult r = bus_->Write(DataContext(AccessKind::kWrite),       \
+                                       addr, (W), regs_[insn.rd], &wait);     \
+    if (r != AccessResult::kOk) {                                             \
+      out.fault_class = ExcClassOf(r);                                        \
+      out.fault_addr = addr;                                                  \
+    } else {                                                                  \
+      out.cycles = c.memory + wait;                                           \
+      if (data_window_enabled_) {                                             \
+        TryBuildDataWindow(/*is_write=*/true, addr);                          \
+      }                                                                       \
+    }                                                                         \
+  }
+
+#define TL_SANCUS_BODY                             \
+  if (!(sancus_hook_ && sancus_hook_(insn, this))) { \
+    out.fault_class = kExcIllegal;                 \
+    out.fault_addr = ip_;                          \
+  }
+
+#define TL_SEMANTICS(X)                                                       \
+  X(kNop, ;)                                                                  \
+  X(kHalt, out.halted = true;)                                                \
+  X(kAdd, regs_[insn.rd] = rs1() + rs2();)                                    \
+  X(kSub, regs_[insn.rd] = rs1() - rs2();)                                    \
+  X(kAnd, regs_[insn.rd] = rs1() & rs2();)                                    \
+  X(kOr, regs_[insn.rd] = rs1() | rs2();)                                     \
+  X(kXor, regs_[insn.rd] = rs1() ^ rs2();)                                    \
+  X(kShl, regs_[insn.rd] = rs1() << (rs2() & 31);)                            \
+  X(kShr, regs_[insn.rd] = rs1() >> (rs2() & 31);)                            \
+  X(kSra, regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >> \
+                                                 (rs2() & 31));)              \
+  X(kMul, regs_[insn.rd] = rs1() * rs2(); out.cycles = c.mul;)                \
+  X(kSltu, regs_[insn.rd] = rs1() < rs2() ? 1 : 0;)                           \
+  X(kSlt, regs_[insn.rd] = static_cast<int32_t>(rs1()) <                      \
+                                   static_cast<int32_t>(rs2())                \
+                               ? 1                                            \
+                               : 0;)                                          \
+  X(kAddi, regs_[insn.rd] = rs1() + static_cast<uint32_t>(insn.imm);)         \
+  X(kAndi, regs_[insn.rd] = rs1() & static_cast<uint32_t>(insn.imm);)         \
+  X(kOri, regs_[insn.rd] = rs1() | static_cast<uint32_t>(insn.imm);)          \
+  X(kXori, regs_[insn.rd] = rs1() ^ static_cast<uint32_t>(insn.imm);)         \
+  X(kShli, regs_[insn.rd] = rs1() << (insn.imm & 31);)                        \
+  X(kShri, regs_[insn.rd] = rs1() >> (insn.imm & 31);)                        \
+  X(kSrai, regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >> \
+                                                  (insn.imm & 31));)          \
+  X(kMovi, regs_[insn.rd] = static_cast<uint32_t>(insn.imm);)                 \
+  X(kLui, regs_[insn.rd] = static_cast<uint32_t>(insn.imm) << 10;)            \
+  X(kLdw, TL_LOAD_BODY(4))                                                    \
+  X(kLdb, TL_LOAD_BODY(1))                                                    \
+  X(kStw, TL_STORE_BODY(4))                                                   \
+  X(kStb, TL_STORE_BODY(1))                                                   \
+  X(kBeq, TL_BRANCH_BODY(a == b))                                             \
+  X(kBne, TL_BRANCH_BODY(a != b))                                             \
+  X(kBlt, TL_BRANCH_BODY(static_cast<int32_t>(a) < static_cast<int32_t>(b)))  \
+  X(kBge, TL_BRANCH_BODY(static_cast<int32_t>(a) >= static_cast<int32_t>(b))) \
+  X(kBltu, TL_BRANCH_BODY(a < b))                                             \
+  X(kBgeu, TL_BRANCH_BODY(a >= b))                                            \
+  X(kJmp, ip_ += static_cast<uint32_t>(insn.imm); out.control_transfer = true; \
+    out.cycles = c.control_taken;)                                            \
+  X(kJal, regs_[kRegLr] = ip_ + 4; ip_ += static_cast<uint32_t>(insn.imm);    \
+    out.control_transfer = true; out.cycles = c.control_taken;)               \
+  X(kJr, ip_ = rs1(); out.control_transfer = true;                            \
+    out.cycles = c.control_taken;)                                            \
+  X(kJalr, const uint32_t target = rs1(); regs_[kRegLr] = ip_ + 4;            \
+    ip_ = target; out.control_transfer = true; out.cycles = c.control_taken;) \
+  X(kSwi,                                                                     \
+    out.fault_class = kExcSwiBase + (static_cast<uint32_t>(insn.imm) & 7);)   \
+  X(kIret,                                                                    \
+    uint32_t new_ip = 0;                                                      \
+    uint32_t new_flags = 0;                                                   \
+    const uint32_t sp = regs_[kRegSp];                                        \
+    const AccessContext ctx = DataContext(AccessKind::kRead);                 \
+    AccessResult r = bus_->Read(ctx, sp, 4, &new_ip);                         \
+    if (r == AccessResult::kOk) {                                             \
+      r = bus_->Read(ctx, sp + 4, 4, &new_flags);                             \
+    }                                                                         \
+    if (r != AccessResult::kOk) {                                             \
+      out.fault_class = ExcClassOf(r);                                        \
+      out.fault_addr = sp;                                                    \
+    } else {                                                                  \
+      regs_[kRegSp] = sp + 8;                                                 \
+      ip_ = new_ip;                                                           \
+      flags_ = new_flags;                                                     \
+      out.control_transfer = true;                                            \
+      out.cycles = c.iret;                                                    \
+    })                                                                        \
+  X(kCli, flags_ &= ~kFlagIf;)                                                \
+  X(kSti, flags_ |= kFlagIf;)                                                 \
+  X(kProtect, TL_SANCUS_BODY)                                                 \
+  X(kUnprotect, TL_SANCUS_BODY)                                               \
+  X(kAttest, TL_SANCUS_BODY)
 
 Cpu::Cpu(Bus* bus, SysCtl* sysctl, const CpuConfig& config)
     : bus_(bus), sysctl_(sysctl), config_(config) {
   assert(bus_ != nullptr);
   assert(sysctl_ != nullptr);
   decode_cache_.resize(kDecodeCacheSize);
+  fusion_cache_.resize(kFusionCacheSize);
+  data_window_enabled_ = config_.fast_dispatch;
 }
 
 void Cpu::AddIrqSource(Device* device) {
@@ -42,6 +289,10 @@ void Cpu::Reset(uint32_t reset_vector) {
   last_exception_entry_cycles_ = 0;
   // Cycle counter and stats persist across reset so boot-cost benches can
   // measure the re-initialization itself (see CpuStats in cpu.h).
+  // Decode and fusion caches survive too: both revalidate against the
+  // fetched word / memory generation / MPU generation, and the EA-MPU's
+  // Reset() bumps its config generation, which alone invalidates every
+  // fused group built under the pre-reset protection layout.
 }
 
 AccessContext Cpu::DataContext(AccessKind kind) const {
@@ -299,322 +550,76 @@ Cpu::ExecOutcome Cpu::Execute(const Instruction& insn) {
   auto rs2 = [&]() { return regs_[insn.rs2]; };
 
   switch (insn.opcode) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kHalt:
-      out.halted = true;
-      break;
-    case Opcode::kAdd:
-      regs_[insn.rd] = rs1() + rs2();
-      break;
-    case Opcode::kSub:
-      regs_[insn.rd] = rs1() - rs2();
-      break;
-    case Opcode::kAnd:
-      regs_[insn.rd] = rs1() & rs2();
-      break;
-    case Opcode::kOr:
-      regs_[insn.rd] = rs1() | rs2();
-      break;
-    case Opcode::kXor:
-      regs_[insn.rd] = rs1() ^ rs2();
-      break;
-    case Opcode::kShl:
-      regs_[insn.rd] = rs1() << (rs2() & 31);
-      break;
-    case Opcode::kShr:
-      regs_[insn.rd] = rs1() >> (rs2() & 31);
-      break;
-    case Opcode::kSra:
-      regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >>
-                                             (rs2() & 31));
-      break;
-    case Opcode::kMul:
-      regs_[insn.rd] = rs1() * rs2();
-      out.cycles = c.mul;
-      break;
-    case Opcode::kSltu:
-      regs_[insn.rd] = rs1() < rs2() ? 1 : 0;
-      break;
-    case Opcode::kSlt:
-      regs_[insn.rd] =
-          static_cast<int32_t>(rs1()) < static_cast<int32_t>(rs2()) ? 1 : 0;
-      break;
-    case Opcode::kAddi:
-      regs_[insn.rd] = rs1() + static_cast<uint32_t>(insn.imm);
-      break;
-    case Opcode::kAndi:
-      regs_[insn.rd] = rs1() & static_cast<uint32_t>(insn.imm);
-      break;
-    case Opcode::kOri:
-      regs_[insn.rd] = rs1() | static_cast<uint32_t>(insn.imm);
-      break;
-    case Opcode::kXori:
-      regs_[insn.rd] = rs1() ^ static_cast<uint32_t>(insn.imm);
-      break;
-    case Opcode::kShli:
-      regs_[insn.rd] = rs1() << (insn.imm & 31);
-      break;
-    case Opcode::kShri:
-      regs_[insn.rd] = rs1() >> (insn.imm & 31);
-      break;
-    case Opcode::kSrai:
-      regs_[insn.rd] = static_cast<uint32_t>(static_cast<int32_t>(rs1()) >>
-                                             (insn.imm & 31));
-      break;
-    case Opcode::kMovi:
-      regs_[insn.rd] = static_cast<uint32_t>(insn.imm);
-      break;
-    case Opcode::kLui:
-      regs_[insn.rd] = static_cast<uint32_t>(insn.imm) << 10;
-      break;
-    case Opcode::kLdw:
-    case Opcode::kLdb: {
-      const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);
-      const uint32_t width = insn.opcode == Opcode::kLdw ? 4 : 1;
-      uint32_t value = 0;
-      uint32_t wait = 0;
-      const AccessResult r =
-          bus_->Read(DataContext(AccessKind::kRead), addr, width, &value, &wait);
-      if (r != AccessResult::kOk) {
-        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
-                          : r == AccessResult::kAlignFault ? kExcAlign
-                          : r == AccessResult::kReset     ? kExcReset
-                                                          : kExcBusError;
-        out.fault_addr = addr;
-        break;
-      }
-      regs_[insn.rd] = value;
-      out.cycles = c.memory + wait;
-      break;
-    }
-    case Opcode::kStw:
-    case Opcode::kStb: {
-      const uint32_t addr = rs1() + static_cast<uint32_t>(insn.imm);
-      const uint32_t width = insn.opcode == Opcode::kStw ? 4 : 1;
-      uint32_t wait = 0;
-      const AccessResult r = bus_->Write(DataContext(AccessKind::kWrite), addr,
-                                         width, regs_[insn.rd], &wait);
-      if (r != AccessResult::kOk) {
-        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
-                          : r == AccessResult::kAlignFault ? kExcAlign
-                          : r == AccessResult::kReset     ? kExcReset
-                                                          : kExcBusError;
-        out.fault_addr = addr;
-        break;
-      }
-      out.cycles = c.memory + wait;
-      break;
-    }
-    case Opcode::kBeq:
-    case Opcode::kBne:
-    case Opcode::kBlt:
-    case Opcode::kBge:
-    case Opcode::kBltu:
-    case Opcode::kBgeu: {
-      // Branch operands travel in the rd/rs1 fields (see decoder).
-      const uint32_t a = regs_[insn.rd];
-      const uint32_t b = regs_[insn.rs1];
-      bool taken = false;
-      switch (insn.opcode) {
-        case Opcode::kBeq: taken = a == b; break;
-        case Opcode::kBne: taken = a != b; break;
-        case Opcode::kBlt:
-          taken = static_cast<int32_t>(a) < static_cast<int32_t>(b);
-          break;
-        case Opcode::kBge:
-          taken = static_cast<int32_t>(a) >= static_cast<int32_t>(b);
-          break;
-        case Opcode::kBltu: taken = a < b; break;
-        case Opcode::kBgeu: taken = a >= b; break;
-        default: break;
-      }
-      if (taken) {
-        ip_ += static_cast<uint32_t>(insn.imm);
-        out.control_transfer = true;
-        out.cycles = c.control_taken;
-      } else {
-        out.cycles = c.control_not_taken;
-      }
-      break;
-    }
-    case Opcode::kJmp:
-      ip_ += static_cast<uint32_t>(insn.imm);
-      out.control_transfer = true;
-      out.cycles = c.control_taken;
-      break;
-    case Opcode::kJal:
-      regs_[kRegLr] = ip_ + 4;
-      ip_ += static_cast<uint32_t>(insn.imm);
-      out.control_transfer = true;
-      out.cycles = c.control_taken;
-      break;
-    case Opcode::kJr:
-      ip_ = rs1();
-      out.control_transfer = true;
-      out.cycles = c.control_taken;
-      break;
-    case Opcode::kJalr: {
-      const uint32_t target = rs1();
-      regs_[kRegLr] = ip_ + 4;
-      ip_ = target;
-      out.control_transfer = true;
-      out.cycles = c.control_taken;
-      break;
-    }
-    case Opcode::kSwi:
-      out.fault_class = kExcSwiBase + (static_cast<uint32_t>(insn.imm) & 7);
-      break;
-    case Opcode::kIret: {
-      uint32_t new_ip = 0;
-      uint32_t new_flags = 0;
-      const uint32_t sp = regs_[kRegSp];
-      const AccessContext ctx = DataContext(AccessKind::kRead);
-      AccessResult r = bus_->Read(ctx, sp, 4, &new_ip);
-      if (r == AccessResult::kOk) {
-        r = bus_->Read(ctx, sp + 4, 4, &new_flags);
-      }
-      if (r != AccessResult::kOk) {
-        out.fault_class = r == AccessResult::kProtFault ? kExcMpuFault
-                          : r == AccessResult::kAlignFault ? kExcAlign
-                          : r == AccessResult::kReset     ? kExcReset
-                                                          : kExcBusError;
-        out.fault_addr = sp;
-        break;
-      }
-      regs_[kRegSp] = sp + 8;
-      ip_ = new_ip;
-      flags_ = new_flags;
-      out.control_transfer = true;
-      out.cycles = c.iret;
-      break;
-    }
-    case Opcode::kCli:
-      flags_ &= ~kFlagIf;
-      break;
-    case Opcode::kSti:
-      flags_ |= kFlagIf;
-      break;
-    case Opcode::kProtect:
-    case Opcode::kUnprotect:
-    case Opcode::kAttest:
-      if (sancus_hook_ && sancus_hook_(insn, this)) {
-        break;
-      }
-      out.fault_class = kExcIllegal;
-      out.fault_addr = ip_;
-      break;
+#define TL_CASE(name, ...) \
+  case Opcode::name: {     \
+    __VA_ARGS__            \
+  } break;
+    TL_SEMANTICS(TL_CASE)
+#undef TL_CASE
   }
   return out;
 }
 
-StepEvent Cpu::Step() {
-  if (halted_) {
+bool Cpu::RecognizeIrq(StepEvent* event, uint64_t cycles_before) {
+  // IRQ-pending is device state: deferred ticks must land before the poll or
+  // a timer expiry inside the deferred span would be missed.
+  bus_->FlushTicks();
+  Device* source = nullptr;
+  if (!PendingIrq(&source)) {
+    return false;
+  }
+  if (interrupt_guard_ && !interrupt_guard_(ip_)) {
+    // The architecture cannot interrupt protected code: force a reset.
+    source->IrqAck();
+    HaltWithTrap(kExcReset, ip_, "interrupt in protected module");
+    bus_->TickDevices(cycles_ - cycles_before);
+    *event = StepEvent::kHalted;
+    return true;
+  }
+  const uint32_t handler = source->IrqHandler();
+  source->IrqAck();
+  if (handler != 0) {
+    ++stats_.interrupts;
+    const uint32_t cls =
+        kExcIrqBase + static_cast<uint32_t>(source->irq_line());
+    EnterException(cls, handler, 0, ip_, ip_);
+    bus_->TickDevices(cycles_ - cycles_before);
+    *event = halted_ ? StepEvent::kHalted : StepEvent::kInterrupt;
+    return true;
+  }
+  // Spurious interrupt (no handler programmed): acknowledged and dropped;
+  // the step proceeds to fetch as if nothing were pending.
+  return false;
+}
+
+StepEvent Cpu::TakeFetchFault(uint32_t exception_class,
+                              uint64_t cycles_before) {
+  if (exception_class == kExcReset) {
+    HaltWithTrap(kExcReset, ip_, "protection unit reset");
+    bus_->TickDevices(cycles_ - cycles_before);
     return StepEvent::kHalted;
   }
-  const uint64_t cycles_before = cycles_;
+  const uint32_t handler = sysctl_->HandlerFor(
+      exception_class == kExcMpuFault ? ExceptionClass::kMpuFault
+      : exception_class == kExcAlign  ? ExceptionClass::kAlignmentFault
+                                      : ExceptionClass::kBusError);
+  // A fetch fault: the target never began executing, so the interrupted
+  // subject is the instruction that attempted the transfer (prev_ip_).
+  EnterException(exception_class, handler, ip_, ip_, prev_ip_);
+  bus_->TickDevices(cycles_ - cycles_before);
+  return halted_ ? StepEvent::kHalted : StepEvent::kException;
+}
 
-  // Interrupt recognition happens between instructions.
-  if ((flags_ & kFlagIf) != 0) {
-    Device* source = nullptr;
-    if (PendingIrq(&source)) {
-      if (interrupt_guard_ && !interrupt_guard_(ip_)) {
-        // The architecture cannot interrupt protected code: force a reset.
-        source->IrqAck();
-        HaltWithTrap(kExcReset, ip_, "interrupt in protected module");
-        bus_->TickDevices(cycles_ - cycles_before);
-        return StepEvent::kHalted;
-      }
-      const uint32_t handler = source->IrqHandler();
-      source->IrqAck();
-      if (handler != 0) {
-        ++stats_.interrupts;
-        const uint32_t cls =
-            kExcIrqBase + static_cast<uint32_t>(source->irq_line());
-        EnterException(cls, handler, 0, ip_, ip_);
-        bus_->TickDevices(cycles_ - cycles_before);
-        return halted_ ? StepEvent::kHalted : StepEvent::kInterrupt;
-      }
-      // Spurious interrupt (no handler programmed): acknowledged and dropped.
-    }
-  }
+StepEvent Cpu::TakeIllegal(uint64_t cycles_before) {
+  const uint32_t handler =
+      sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
+  EnterException(kExcIllegal, handler, ip_, ip_, ip_);
+  bus_->TickDevices(cycles_ - cycles_before);
+  return halted_ ? StepEvent::kHalted : StepEvent::kException;
+}
 
-  // A misaligned IP faults before anything else — in particular before the
-  // decode-cache lookup, whose index drops the low two bits: without this
-  // latch a 4-unaligned IP would alias the entry of a different aligned
-  // address. (The bus rejects misaligned word reads too; this makes the
-  // ordering explicit and independent of the bus.)
-  if ((ip_ & 3u) != 0) {
-    const uint32_t handler =
-        sysctl_->HandlerFor(ExceptionClass::kAlignmentFault);
-    EnterException(kExcAlign, handler, ip_, ip_, prev_ip_);
-    bus_->TickDevices(cycles_ - cycles_before);
-    return halted_ ? StepEvent::kHalted : StepEvent::kException;
-  }
-
-  // Fetch. The access subject is the instruction that transferred control
-  // here (prev_ip_), not the target itself — this is the execution-aware
-  // check that confines cross-region entry to entry vectors.
-  AccessContext fetch_ctx;
-  fetch_ctx.curr_ip = prev_ip_;
-  fetch_ctx.kind = AccessKind::kFetch;
-  fetch_ctx.privileged = (flags_ & kFlagUser) == 0;
-  uint32_t word = 0;
-  const AccessResult fetch = bus_->Read(fetch_ctx, ip_, 4, &word);
-  if (fetch != AccessResult::kOk) {
-    const uint32_t cls = fetch == AccessResult::kProtFault ? kExcMpuFault
-                         : fetch == AccessResult::kAlignFault ? kExcAlign
-                         : fetch == AccessResult::kReset     ? kExcReset
-                                                             : kExcBusError;
-    if (cls == kExcReset) {
-      HaltWithTrap(kExcReset, ip_, "protection unit reset");
-      bus_->TickDevices(cycles_ - cycles_before);
-      return StepEvent::kHalted;
-    }
-    const uint32_t handler = sysctl_->HandlerFor(
-        static_cast<ExceptionClass>(cls == kExcMpuFault
-                                        ? ExceptionClass::kMpuFault
-                                    : cls == kExcAlign
-                                        ? ExceptionClass::kAlignmentFault
-                                        : ExceptionClass::kBusError));
-    // A fetch fault: the target never began executing, so the interrupted
-    // subject is the instruction that attempted the transfer (prev_ip_).
-    EnterException(cls, handler, ip_, ip_, prev_ip_);
-    bus_->TickDevices(cycles_ - cycles_before);
-    return halted_ ? StepEvent::kHalted : StepEvent::kException;
-  }
-
-  // Decode, via the direct-mapped decode cache. The fetched word is always
-  // compared against the cached one, so a store that rewrote this address
-  // (self-modifying code, loader) can never replay a stale decode; the
-  // generation check additionally re-stamps entries after memory writes.
-  const uint64_t mem_gen = bus_->memory_generation();
-  DecodeEntry& cached = decode_cache_[(ip_ >> 2) & (kDecodeCacheSize - 1)];
-  const Instruction* insn = nullptr;
-  if (config_.decode_cache && cached.valid && cached.addr == ip_ &&
-      cached.word == word) {
-    cached.generation = mem_gen;  // Revalidated against the fresh word.
-    ++stats_.decode_hits;
-    insn = &cached.insn;
-  } else {
-    ++stats_.decode_misses;
-    const std::optional<Instruction> decoded = Decode(word);
-    if (!decoded.has_value()) {
-      const uint32_t handler =
-          sysctl_->HandlerFor(ExceptionClass::kIllegalInstruction);
-      EnterException(kExcIllegal, handler, ip_, ip_, ip_);
-      bus_->TickDevices(cycles_ - cycles_before);
-      return halted_ ? StepEvent::kHalted : StepEvent::kException;
-    }
-    cached = DecodeEntry{ip_, word, mem_gen, true, *decoded};
-    insn = &cached.insn;
-  }
-
-  const uint32_t insn_addr = ip_;
-  if (trace_hook_) {
-    trace_hook_(insn_addr, *insn);
-  }
-  const ExecOutcome out = Execute(*insn);
+StepEvent Cpu::FinishExecute(const ExecOutcome& out, uint32_t insn_addr,
+                             uint32_t word, uint64_t cycles_before) {
   cycles_ += out.cycles;
   prev_ip_ = insn_addr;
 
@@ -671,7 +676,497 @@ StepEvent Cpu::Step() {
   return StepEvent::kExecuted;
 }
 
+StepEvent Cpu::Step() {
+  const StepEvent event = StepOnce();
+  // Single-stepping hands control back to a caller who may inspect devices
+  // directly; deferred ticks must not be visible across the boundary.
+  bus_->FlushTicks();
+  return event;
+}
+
+StepEvent Cpu::StepOnce() {
+  if (halted_) {
+    return StepEvent::kHalted;
+  }
+  const uint64_t cycles_before = cycles_;
+
+  // Interrupt recognition happens between instructions.
+  if ((flags_ & kFlagIf) != 0) {
+    StepEvent event = StepEvent::kExecuted;
+    if (RecognizeIrq(&event, cycles_before)) {
+      return event;
+    }
+  }
+
+  // A misaligned IP faults before anything else — in particular before the
+  // decode-cache lookup, whose index drops the low two bits: without this
+  // latch a 4-unaligned IP would alias the entry of a different aligned
+  // address. (The bus rejects misaligned word reads too; this makes the
+  // ordering explicit and independent of the bus.)
+  if ((ip_ & 3u) != 0) {
+    return TakeFetchFault(kExcAlign, cycles_before);
+  }
+
+  // Fetch. The access subject is the instruction that transferred control
+  // here (prev_ip_), not the target itself — this is the execution-aware
+  // check that confines cross-region entry to entry vectors.
+  AccessContext fetch_ctx;
+  fetch_ctx.curr_ip = prev_ip_;
+  fetch_ctx.kind = AccessKind::kFetch;
+  fetch_ctx.privileged = (flags_ & kFlagUser) == 0;
+  uint32_t word = 0;
+  const AccessResult fetch = bus_->Read(fetch_ctx, ip_, 4, &word);
+  if (fetch != AccessResult::kOk) {
+    return TakeFetchFault(ExcClassOf(fetch), cycles_before);
+  }
+
+  // Decode, via the direct-mapped decode cache. The fetched word is always
+  // compared against the cached one, so a store that rewrote this address
+  // (self-modifying code, loader) can never replay a stale decode; the
+  // generation check additionally re-stamps entries after memory writes.
+  const uint64_t mem_gen = bus_->memory_generation();
+  DecodeEntry& cached = decode_cache_[(ip_ >> 2) & (kDecodeCacheSize - 1)];
+  const Instruction* insn = nullptr;
+  if (config_.decode_cache && cached.valid && cached.addr == ip_ &&
+      cached.word == word) {
+    cached.generation = mem_gen;  // Revalidated against the fresh word.
+    ++stats_.decode_hits;
+    insn = &cached.insn;
+  } else {
+    ++stats_.decode_misses;
+    const std::optional<Instruction> decoded = Decode(word);
+    if (!decoded.has_value()) {
+      return TakeIllegal(cycles_before);
+    }
+    cached = DecodeEntry{ip_, word, mem_gen, true, *decoded};
+    insn = &cached.insn;
+  }
+
+  const uint32_t insn_addr = ip_;
+  if (trace_hook_) {
+    trace_hook_(insn_addr, *insn);
+  }
+  return FinishExecute(Execute(*insn), insn_addr, word, cycles_before);
+}
+
+StepEvent Cpu::RunLoop(uint64_t max_instructions, uint64_t target_cycle,
+                       bool cycle_bound) {
+  const uint64_t start = stats_.instructions;
+  // Exception storms do not retire instructions (and zero-cost storms do not
+  // advance the clock); bound them separately, exactly like the Step loops.
+  const uint64_t budget =
+      cycle_bound ? (target_cycle > cycles_ ? target_cycle - cycles_ : 0)
+                  : max_instructions;
+  const uint64_t safety_limit = budget * 8 + 1024;
+  uint64_t safety = 0;
+  StepEvent event = StepEvent::kExecuted;
+
+  while (!halted_ &&
+         (cycle_bound ? cycles_ < target_cycle
+                      : stats_.instructions - start < max_instructions)) {
+    const uint64_t cycles_before = cycles_;
+
+    // Interrupt recognition happens between instructions.
+    if ((flags_ & kFlagIf) != 0) {
+      StepEvent irq_event = StepEvent::kExecuted;
+      if (RecognizeIrq(&irq_event, cycles_before)) {
+        event = irq_event;
+        if (event == StepEvent::kHalted) {
+          break;
+        }
+        if (++safety > safety_limit) {
+          HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+          return StepEvent::kHalted;
+        }
+        continue;
+      }
+    }
+
+    // Misaligned IP faults before the (index-truncating) cache lookups.
+    if ((ip_ & 3u) != 0) {
+      event = TakeFetchFault(kExcAlign, cycles_before);
+      if (event == StepEvent::kHalted) {
+        break;
+      }
+      if (++safety > safety_limit) {
+        HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+        return StepEvent::kHalted;
+      }
+      continue;
+    }
+
+    // Fetch, subject = prev_ip_ (entry-vector rule), exactly as in Step().
+    AccessContext fetch_ctx;
+    fetch_ctx.curr_ip = prev_ip_;
+    fetch_ctx.kind = AccessKind::kFetch;
+    fetch_ctx.privileged = (flags_ & kFlagUser) == 0;
+    uint32_t word = 0;
+    const AccessResult fetch = bus_->Read(fetch_ctx, ip_, 4, &word);
+    if (fetch != AccessResult::kOk) {
+      event = TakeFetchFault(ExcClassOf(fetch), cycles_before);
+      if (event == StepEvent::kHalted) {
+        break;
+      }
+      if (++safety > safety_limit) {
+        HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+        return StepEvent::kHalted;
+      }
+      continue;
+    }
+
+    const uint64_t mem_gen = bus_->memory_generation();
+    DecodeEntry& cached = decode_cache_[(ip_ >> 2) & (kDecodeCacheSize - 1)];
+    const Instruction* insn_ptr = nullptr;
+    if (config_.decode_cache && cached.valid && cached.addr == ip_ &&
+        cached.word == word) {
+      cached.generation = mem_gen;  // Revalidated against the fresh word.
+      ++stats_.decode_hits;
+      insn_ptr = &cached.insn;
+    } else {
+      ++stats_.decode_misses;
+      const std::optional<Instruction> decoded = Decode(word);
+      if (!decoded.has_value()) {
+        event = TakeIllegal(cycles_before);
+        if (event == StepEvent::kHalted) {
+          break;
+        }
+        if (++safety > safety_limit) {
+          HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+          return StepEvent::kHalted;
+        }
+        continue;
+      }
+      cached = DecodeEntry{ip_, word, mem_gen, true, *decoded};
+      insn_ptr = &cached.insn;
+    }
+
+    // Superinstruction fusion: execute a validated straight-line group from
+    // one cache entry. Suppressed while a consumer wants per-fetch
+    // MpuCheckEvents (tail fetch checks are precomputed, so the per-check
+    // event stream would under-report).
+    if (config_.fusion && config_.decode_cache && !fusion_suppressed_) {
+      FusionEntry& fe = fusion_cache_[(ip_ >> 2) & (kFusionCacheSize - 1)];
+      const bool user_now = (flags_ & kFlagUser) != 0;
+      bool run_group = false;
+      if (fe.valid && fe.head_addr == ip_ && fe.ops[0].word == word &&
+          fe.user_mode == user_now &&
+          fe.mpu_generation == CurrentMpuGeneration() &&
+          fe.topology_generation == bus_->topology_generation()) {
+        if (fe.count >= 2) {
+          // Re-compare the tail words through their stable host backing on
+          // every dispatch (the head's word is the fresh fetch above). Like
+          // the decode cache's always-compare rule, this stays exact even
+          // for out-of-band host mutations that never bumped the bus memory
+          // generation (Ram::LoadBytes program reloads in tests/tools).
+          bool intact = true;
+          for (int i = 1; i < fe.count; ++i) {
+            if (LoadWordLe(fe.ops[i].backing) != fe.ops[i].word) {
+              intact = false;
+              break;
+            }
+          }
+          if (intact) {
+            fe.mem_generation = mem_gen;
+            run_group = true;
+          } else {
+            ++stats_.fusion_invalidations;
+            fe.valid = false;
+          }
+        }
+        // count == 1 is a tombstone: the head is not fusable under the
+        // current word/MPU configuration — fall through to single dispatch.
+      } else {
+        if (fe.valid) {
+          ++stats_.fusion_invalidations;
+        }
+        BuildFusionGroup(fe, ip_, word, *insn_ptr, mem_gen);
+        run_group = fe.count >= 2;
+      }
+      if (run_group) {
+        event = ExecuteFusedGroup(fe, max_instructions, target_cycle,
+                                  cycle_bound, start, &safety);
+        if (event == StepEvent::kHalted) {
+          break;
+        }
+        if (safety > safety_limit) {
+          HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+          return StepEvent::kHalted;
+        }
+        continue;
+      }
+    }
+
+    // Single-instruction dispatch.
+    const uint32_t insn_addr = ip_;
+    if (trace_hook_) {
+      trace_hook_(insn_addr, *insn_ptr);
+    }
+#if TRUSTLITE_COMPUTED_GOTO
+    {
+      // Token-threaded dispatch: one indirect jump straight into the opcode
+      // body, no switch bounds check, and the table lives in one function so
+      // the branch predictor sees per-opcode jump sites. The bodies are the
+      // same TL_SEMANTICS expansion the portable switch uses.
+      static const void* const kOps[64] = {
+          &&op_kNop,       &&op_kHalt,  &&op_kAdd,  &&op_kSub,  &&op_kAnd,
+          &&op_kOr,        &&op_kXor,   &&op_kShl,  &&op_kShr,  &&op_kSra,
+          &&op_kMul,       &&op_kSltu,  &&op_kSlt,  &&op_kAddi, &&op_kAndi,
+          &&op_kOri,       &&op_kXori,  &&op_kShli, &&op_kShri, &&op_kSrai,
+          &&op_kMovi,      &&op_kLui,   &&op_kLdw,  &&op_kLdb,  &&op_kStw,
+          &&op_kStb,       &&op_kBeq,   &&op_kBne,  &&op_kBlt,  &&op_kBge,
+          &&op_kBltu,      &&op_kBgeu,  &&op_kJmp,  &&op_kJal,  &&op_kJr,
+          &&op_kJalr,      &&op_kSwi,   &&op_kIret, &&op_kCli,  &&op_kSti,
+          &&op_bad,        &&op_bad,    &&op_bad,   &&op_bad,   &&op_bad,
+          &&op_bad,        &&op_bad,    &&op_bad,   &&op_kProtect,
+          &&op_kUnprotect, &&op_kAttest,
+          &&op_bad,        &&op_bad,    &&op_bad,   &&op_bad,   &&op_bad,
+          &&op_bad,        &&op_bad,    &&op_bad,   &&op_bad,   &&op_bad,
+          &&op_bad,        &&op_bad,    &&op_bad,
+      };
+      static_assert(static_cast<int>(Opcode::kSti) == 39,
+                    "dispatch table layout");
+      static_assert(static_cast<int>(Opcode::kProtect) == 48,
+                    "dispatch table layout");
+      static_assert(static_cast<int>(Opcode::kAttest) == 50,
+                    "dispatch table layout");
+
+      ExecOutcome out;
+      out.cycles = config_.cycles.alu;
+      const Instruction& insn = *insn_ptr;
+      const auto& c = config_.cycles;
+      auto rs1 = [&]() { return regs_[insn.rs1]; };
+      auto rs2 = [&]() { return regs_[insn.rs2]; };
+      goto* kOps[static_cast<uint8_t>(insn.opcode)];
+
+#define TL_GOTO_TARGET(name, ...) \
+  op_##name : {                   \
+    __VA_ARGS__                   \
+  }                               \
+  goto tl_retire;
+      TL_SEMANTICS(TL_GOTO_TARGET)
+#undef TL_GOTO_TARGET
+
+    op_bad:
+      // Decode() never produces these opcodes; kept as a hard backstop so a
+      // decoder bug cannot jump through a wild pointer.
+      out.fault_class = kExcIllegal;
+      out.fault_addr = ip_;
+
+    tl_retire:
+      event = FinishExecute(out, insn_addr, word, cycles_before);
+    }
+#else
+    event = FinishExecute(Execute(*insn_ptr), insn_addr, word, cycles_before);
+#endif
+    if (event == StepEvent::kHalted) {
+      break;
+    }
+    if (++safety > safety_limit) {
+      HaltWithTrap(0, ip_, "run watchdog expired (exception storm?)");
+      return StepEvent::kHalted;
+    }
+  }
+  return event;
+}
+
+void Cpu::BuildFusionGroup(FusionEntry& entry, uint32_t head_ip,
+                           uint32_t head_word, const Instruction& head,
+                           uint64_t mem_gen) {
+  ++stats_.fusion_builds;
+  entry = FusionEntry{};
+  entry.head_addr = head_ip;
+  entry.mem_generation = mem_gen;
+  entry.mpu_generation = CurrentMpuGeneration();
+  entry.topology_generation = bus_->topology_generation();
+  entry.user_mode = (flags_ & kFlagUser) != 0;
+  entry.valid = true;
+  entry.count = 1;  // Tombstone unless a group forms below.
+  entry.ops[0].insn = head;
+  entry.ops[0].addr = head_ip;
+  entry.ops[0].word = head_word;
+  entry.ops[0].backing = nullptr;  // Head word is validated by the real fetch.
+
+  if (!FusableInterior(head.opcode)) {
+    return;
+  }
+  // Tail fetch permissions are precomputed with the EA-MPU's advisory query
+  // and pinned to its config generation. A foreign protection unit (the
+  // SMART/Sancus overlays) has no such query — fusion stays off under them
+  // so every fetch keeps its real Check().
+  ProtectionUnit* prot = bus_->protection_unit();
+  const bool check_mpu = prot != nullptr;
+  if (check_mpu && prot != static_cast<ProtectionUnit*>(mpu_)) {
+    return;
+  }
+  const bool privileged = (flags_ & kFlagUser) == 0;
+  uint32_t prev_addr = head_ip;
+  for (int i = 1; i < kMaxFusedOps; ++i) {
+    const uint32_t addr = prev_addr + 4;
+    if (addr < prev_addr) {  // Wrapped past the top of the address space.
+      break;
+    }
+    const uint8_t* backing = bus_->HostMemSpan(addr, 4);
+    if (backing == nullptr) {  // MMIO, unmapped, or straddling a device.
+      break;
+    }
+    // Sequential fetch: the subject of constituent i's fetch is constituent
+    // i-1, exactly as prev_ip_ would be in the Step path.
+    if (check_mpu && !mpu_->FetchWouldPass(prev_addr, addr, privileged)) {
+      break;
+    }
+    const uint32_t w = LoadWordLe(backing);
+    const std::optional<Instruction> decoded = Decode(w);
+    if (!decoded.has_value()) {
+      break;
+    }
+    const bool interior = FusableInterior(decoded->opcode);
+    const bool tail = FusableTail(decoded->opcode);
+    if (!interior && !tail) {
+      break;
+    }
+    FusedOp& op = entry.ops[entry.count];
+    op.insn = *decoded;
+    op.addr = addr;
+    op.word = w;
+    op.backing = backing;
+    ++entry.count;
+    if (tail) {
+      break;
+    }
+    prev_addr = addr;
+  }
+}
+
+void Cpu::TryBuildDataWindow(bool is_write, uint32_t addr) {
+  ++stats_.data_window_misses;
+  DataWindow& dw = is_write ? write_window_ : read_window_;
+  dw = DataWindow{};
+  // Windows precompute EA-MPU data decisions; a foreign protection unit
+  // (SMART/Sancus overlay) has no advisory query, so every access keeps its
+  // real Check() — same rule as the fusion builder.
+  ProtectionUnit* prot = bus_->protection_unit();
+  if (prot != nullptr && prot != static_cast<ProtectionUnit*>(mpu_)) {
+    return;
+  }
+  Bus::MemWindow mem;
+  if (!bus_->MemWindowFor(addr, &mem)) {
+    return;  // MMIO or unmapped: never windowed.
+  }
+  if (is_write && mem.rw == nullptr) {
+    return;  // Guest-read-only memory (PROM): stores must keep faulting.
+  }
+  uint32_t lo = mem.lo;
+  uint64_t hi = uint64_t{mem.lo} + mem.len;
+  uint32_t subj_lo = 0;
+  uint64_t subj_hi = uint64_t{1} << 32;
+  if (prot != nullptr) {
+    uint32_t mpu_lo = 0;
+    uint64_t mpu_hi = 0;
+    if (!mpu_->DataWindowFor(ip_, (flags_ & kFlagUser) == 0, is_write, addr,
+                             &mpu_lo, &mpu_hi, &subj_lo, &subj_hi)) {
+      return;  // Denied or too tangled: the full path decides every access.
+    }
+    lo = std::max(lo, mpu_lo);
+    hi = std::min(hi, mpu_hi);
+  }
+  if (addr < lo || addr >= hi) {
+    return;
+  }
+  dw.lo = lo;
+  dw.len = static_cast<uint32_t>(hi - lo);  // <= device size, fits.
+  dw.subj_lo = subj_lo;
+  dw.subj_hi = subj_hi;
+  dw.ro = mem.ro + (lo - mem.lo);
+  dw.rw = is_write ? mem.rw + (lo - mem.lo) : nullptr;
+  dw.wait_states = mem.wait_states;
+  dw.mpu_generation = CurrentMpuGeneration();
+  dw.topology_generation = bus_->topology_generation();
+  dw.user_mode = (flags_ & kFlagUser) != 0;
+}
+
+StepEvent Cpu::ExecuteFusedGroup(FusionEntry& entry, uint64_t max_instructions,
+                                 uint64_t target_cycle, bool cycle_bound,
+                                 uint64_t start_instructions,
+                                 uint64_t* safety) {
+  ++stats_.fusion_groups;
+  StepEvent event = StepEvent::kExecuted;
+  for (int i = 0; i < entry.count; ++i) {
+    if (i > 0) {
+      // Between constituents the architecture is at an instruction boundary:
+      // honor every event the Step loop would honor there, in the same
+      // order, by handing control back to the outer loop.
+      if (halted_) {
+        break;
+      }
+      if (cycle_bound
+              ? cycles_ >= target_cycle
+              : stats_.instructions - start_instructions >= max_instructions) {
+        break;
+      }
+      if ((flags_ & kFlagIf) != 0) {
+        bus_->FlushTicks();  // Pending-IRQ poll observes device time.
+        Device* source = nullptr;
+        if (PendingIrq(&source)) {
+          break;  // Outer loop runs full interrupt recognition.
+        }
+      }
+      if (ip_ != entry.ops[i].addr) {
+        break;  // A hook or fault redirected control mid-group.
+      }
+      if (entry.mpu_generation != CurrentMpuGeneration()) {
+        // A constituent reconfigured protection (engine-port store): the
+        // precomputed tail fetch permissions are void.
+        ++stats_.fusion_invalidations;
+        entry.valid = false;
+        break;
+      }
+      const uint64_t mem_gen = bus_->memory_generation();
+      if (entry.mem_generation != mem_gen) {
+        // A constituent stored to memory: re-compare the remaining words so
+        // self-modifying code inside the group is executed from the fresh
+        // bytes, never the fused decode.
+        bool intact = true;
+        for (int j = i; j < entry.count; ++j) {
+          if (LoadWordLe(entry.ops[j].backing) != entry.ops[j].word) {
+            intact = false;
+            break;
+          }
+        }
+        if (!intact) {
+          ++stats_.fusion_invalidations;
+          entry.valid = false;
+          break;
+        }
+        entry.mem_generation = mem_gen;
+      }
+    }
+    const FusedOp& op = entry.ops[i];
+    const uint64_t cycles_before = cycles_;
+    if (i > 0) {
+      // A validated tail constituent executes from its cached decode — the
+      // same reuse the decode cache counts as a hit in the Step path.
+      ++stats_.decode_hits;
+    }
+    if (trace_hook_) {
+      trace_hook_(op.addr, op.insn);
+    }
+    const ExecOutcome out = Execute(op.insn);
+    event = FinishExecute(out, op.addr, op.word, cycles_before);
+    ++*safety;
+    if (event != StepEvent::kExecuted) {
+      break;
+    }
+    ++stats_.fusion_retired;
+  }
+  return event;
+}
+
 StepEvent Cpu::Run(uint64_t max_instructions) {
+  if (config_.fast_dispatch) {
+    const StepEvent event = RunLoop(max_instructions, 0, false);
+    bus_->FlushTicks();  // Callers observe device state after a run.
+    return event;
+  }
   const uint64_t start = stats_.instructions;
   uint64_t safety = 0;
   StepEvent event = StepEvent::kExecuted;
@@ -690,6 +1185,11 @@ StepEvent Cpu::Run(uint64_t max_instructions) {
 }
 
 StepEvent Cpu::RunUntilCycle(uint64_t target_cycle) {
+  if (config_.fast_dispatch) {
+    const StepEvent event = RunLoop(0, target_cycle, true);
+    bus_->FlushTicks();  // Callers observe device state after a run.
+    return event;
+  }
   StepEvent event = StepEvent::kExecuted;
   uint64_t safety = 0;
   const uint64_t budget =
@@ -748,6 +1248,17 @@ void Cpu::RestoreArchState(const ArchState& state) {
   for (DecodeEntry& entry : decode_cache_) {
     entry.valid = false;
   }
+  // Fused groups likewise: their word-compare revalidation only runs when
+  // the memory generation moved, and out-of-band rewrites may not have
+  // bumped it at the moment entries were last stamped.
+  for (FusionEntry& entry : fusion_cache_) {
+    entry.valid = false;
+  }
+  // Data windows map addresses, not contents, so a rewrite alone cannot
+  // stale them — but a restore may also land in a different subject/mode
+  // context; dropping them is free and removes the reasoning burden.
+  read_window_ = DataWindow{};
+  write_window_ = DataWindow{};
 }
 
 }  // namespace trustlite

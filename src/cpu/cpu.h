@@ -109,6 +109,16 @@ struct CpuConfig {
   // Host-side switch for the decoded-instruction cache (differential
   // harness). Guest-visible behavior must be identical either way.
   bool decode_cache = true;
+  // Host-side switch for the threaded-dispatch run loop: Run()/
+  // RunUntilCycle() execute through Cpu::RunLoop (token-threaded dispatch,
+  // superinstruction fusion) instead of repeated Step() calls. Step() itself
+  // always takes the plain path, so the differential harness's lockstep
+  // reference is untouched. Guest-visible behavior must be identical.
+  bool fast_dispatch = true;
+  // Host-side switch for superinstruction fusion over the decode cache
+  // (pairs-and-quads of straight-line instructions retired from one fused
+  // entry). Only effective inside RunLoop with the decode cache on.
+  bool fusion = true;
   CycleModel cycles;
 };
 
@@ -126,6 +136,17 @@ struct CpuStats {
   // Decoded-instruction cache counters (host-side simulation detail).
   uint64_t decode_hits = 0;
   uint64_t decode_misses = 0;
+  // Superinstruction fusion counters (host-side simulation detail, like the
+  // decode counters: not architectural, not compared by the differential
+  // harness, not part of ArchState).
+  uint64_t fusion_groups = 0;         // Fused groups dispatched.
+  uint64_t fusion_retired = 0;        // Instructions retired inside groups.
+  uint64_t fusion_builds = 0;         // Build attempts (incl. tombstones).
+  uint64_t fusion_invalidations = 0;  // Entries dropped by revalidation.
+  // Data-access window counters (host-side simulation detail): loads/stores
+  // served from a resolved window vs through the full bus path.
+  uint64_t data_window_hits = 0;
+  uint64_t data_window_misses = 0;
 };
 
 class Cpu {
@@ -167,6 +188,20 @@ class Cpu {
   void SetEventSink(EventSink* sink, bool want_insn) {
     sink_ = sink;
     insn_sink_ = want_insn ? sink : nullptr;
+  }
+
+  // Disables superinstruction fusion and the data-access windows while a
+  // consumer wants per-access MpuCheckEvents: both precompute protection
+  // decisions (fused tail fetches at build time, window loads/stores at
+  // window-build time), so the per-check event stream would under-report.
+  // Wired by Platform::RewireEventSinks.
+  void SetFusionSuppressed(bool suppressed) {
+    fusion_suppressed_ = suppressed;
+    data_window_enabled_ = config_.fast_dispatch && !suppressed;
+    if (suppressed) {
+      read_window_ = DataWindow{};
+      write_window_ = DataWindow{};
+    }
   }
 
   // Power-on / platform reset: registers cleared, IP at the PROM reset
@@ -246,6 +281,36 @@ class Cpu {
 
   ExecOutcome Execute(const Instruction& insn);
 
+  // --- Shared step machinery (used by Step() and RunLoop()) ---
+  // Step() minus the lazy-tick flush: the public wrapper flushes deferred
+  // device ticks so external single-steppers always observe eager state.
+  StepEvent StepOnce();
+  // Interrupt recognition after the kFlagIf gate: returns true when the
+  // step was consumed (guard reset or exception entry), with *event set;
+  // false for no-pending and for the spurious ack-and-drop case.
+  bool RecognizeIrq(StepEvent* event, uint64_t cycles_before);
+  // Fetch-side fault entry (misaligned IP, fetch MPU/bus fault). The
+  // interrupted subject is prev_ip_ (the jumper), per the entry-vector rule.
+  StepEvent TakeFetchFault(uint32_t exception_class, uint64_t cycles_before);
+  // Undecodable word at ip_ (the subject is the instruction itself).
+  StepEvent TakeIllegal(uint64_t cycles_before);
+  // Everything after Execute(): cycle/prev_ip bookkeeping, fault dispatch,
+  // retire accounting, events, IP advance, device ticks.
+  StepEvent FinishExecute(const ExecOutcome& out, uint32_t insn_addr,
+                          uint32_t word, uint64_t cycles_before);
+
+  // Threaded-dispatch interpreter loop backing Run()/RunUntilCycle() when
+  // config_.fast_dispatch is set. `cycle_bound` selects the RunUntilCycle
+  // contract (no instruction starts at or after target_cycle) over the
+  // retired-instruction budget. Guest-visible behavior is identical to the
+  // equivalent Step() loop; verified by the differential harness.
+  StepEvent RunLoop(uint64_t max_instructions, uint64_t target_cycle,
+                    bool cycle_bound);
+
+  uint64_t CurrentMpuGeneration() const {
+    return mpu_ != nullptr ? mpu_->config_generation() : 0;
+  }
+
   // Takes an exception or interrupt. `resume_ip` is where execution should
   // continue (the faulting instruction for faults, the next instruction for
   // IRQs/SWIs); `subject_ip` identifies the interrupted code (for fetch
@@ -280,6 +345,82 @@ class Cpu {
   };
   static constexpr uint32_t kDecodeCacheSize = 1024;  // Power of two.
 
+  // Superinstruction cache (DESIGN.md §15). A fused entry covers 2..4
+  // consecutive straight-line instructions starting at head_addr; only the
+  // head pays the real bus fetch (and its MPU fetch check) — the tail
+  // constituents' fetch permissions are precomputed with the EA-MPU's
+  // advisory query and pinned to mpu_generation, and their instruction
+  // words are revalidated through stable host backing pointers whenever the
+  // bus memory generation moved (self-modifying code, loaders, snapshot
+  // restore). count == 1 marks a tombstone: the head is not fusable, don't
+  // retry until its word or the MPU configuration changes.
+  static constexpr int kMaxFusedOps = 4;
+  struct FusedOp {
+    Instruction insn;
+    uint32_t addr = 0;
+    uint32_t word = 0;
+    const uint8_t* backing = nullptr;  // Host pointer to the word's bytes.
+  };
+  struct FusionEntry {
+    uint32_t head_addr = 0;
+    uint64_t mem_generation = 0;  // Bus memory generation at build/revalidate.
+    uint64_t mpu_generation = 0;  // EA-MPU config generation at build.
+    uint64_t topology_generation = 0;  // Bus topology generation at build.
+    bool valid = false;
+    bool user_mode = false;  // FLAGS.User at build (fetch privilege).
+    uint8_t count = 0;       // 1 = tombstone; 2..4 = fused group.
+    FusedOp ops[kMaxFusedOps];
+  };
+  static constexpr uint32_t kFusionCacheSize = 512;  // Power of two.
+
+  // Builds (or tombstones) the fusion entry for the instruction at
+  // `head_ip`, already fetched as `head_word` and decoded as `head`.
+  void BuildFusionGroup(FusionEntry& entry, uint32_t head_ip,
+                        uint32_t head_word, const Instruction& head,
+                        uint64_t mem_gen);
+  // Executes a validated group; retires constituents until the group ends
+  // or an architectural event (fault, IRQ window, budget/cycle bound,
+  // invalidation) stops it. Returns the last per-instruction event and
+  // bumps *safety once per constituent (matching the Step-loop watchdog).
+  StepEvent ExecuteFusedGroup(FusionEntry& entry, uint64_t max_instructions,
+                              uint64_t target_cycle, bool cycle_bound,
+                              uint64_t start_instructions, uint64_t* safety);
+
+  // Data-access window (DESIGN.md §15): a resolved guest address range,
+  // inside one memory device, over which a load (read window) or store
+  // (write window) by the current subject is uniformly allowed — the
+  // intersection of the device's span and the EA-MPU's homogeneous-decision
+  // interval (EaMpu::DataWindowFor). A covered access bypasses the bus
+  // entirely: no protection Check, no routing, no virtual dispatch. Validity
+  // is re-established per access: the accessing IP must sit in the subject
+  // interval, FLAGS.User, the EA-MPU config generation and the bus topology
+  // generation must match the build. Window stores go straight to host
+  // memory, so they bump the bus memory generation themselves (the decode
+  // and fusion caches revalidate through it). len == 0 means invalid.
+  struct DataWindow {
+    uint32_t lo = 0;
+    uint32_t len = 0;
+    uint32_t subj_lo = 0;
+    uint64_t subj_hi = 0;          // Exclusive; 2^32 expressible.
+    const uint8_t* ro = nullptr;   // Host pointer at lo.
+    uint8_t* rw = nullptr;         // Non-null only for the write window.
+    uint32_t wait_states = 0;
+    uint64_t mpu_generation = 0;
+    uint64_t topology_generation = 0;
+    bool user_mode = false;
+  };
+  bool WindowCovers(const DataWindow& w, uint32_t addr, uint32_t width) const {
+    return width <= w.len && addr - w.lo <= w.len - width &&
+           ip_ >= w.subj_lo && ip_ < w.subj_hi &&
+           w.user_mode == ((flags_ & kFlagUser) != 0) &&
+           w.mpu_generation == CurrentMpuGeneration() &&
+           w.topology_generation == bus_->topology_generation();
+  }
+  // Rebuilds the read or write window around `addr` after a successful
+  // full-path access (no-op when ineligible: window disabled, foreign
+  // protection unit, non-memory target, denied or untangled coverage).
+  void TryBuildDataWindow(bool is_write, uint32_t addr);
+
   Bus* bus_;
   SysCtl* sysctl_;
   EaMpu* mpu_ = nullptr;
@@ -305,6 +446,11 @@ class Cpu {
   CpuStats stats_;
   TrapInfo trap_;
   std::vector<DecodeEntry> decode_cache_;
+  std::vector<FusionEntry> fusion_cache_;
+  bool fusion_suppressed_ = false;
+  bool data_window_enabled_ = false;
+  DataWindow read_window_;
+  DataWindow write_window_;
 };
 
 }  // namespace trustlite

@@ -1,0 +1,568 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/crypto/sha256_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TRUSTLITE_SHA_NI_BUILD 1
+#include <immintrin.h>
+#endif
+
+#if defined(__ARM_FEATURE_SHA2)
+#define TRUSTLITE_SHA_NEON_BUILD 1
+#include <arm_neon.h>
+#endif
+
+namespace trustlite {
+namespace {
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+#if defined(TRUSTLITE_SHA_NI_BUILD)
+
+// Single-stream compression through the SHA extension. Canonical two-lane
+// layout: STATE0 = {A,B,E,F}, STATE1 = {C,D,G,H}, message schedule advanced
+// four rounds at a time by SHA256MSG1/MSG2.
+__attribute__((target("sha,sse4.1,ssse3"))) void ShaNiCompress(
+    uint32_t state[8], const uint8_t* blocks, size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msg0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 0));
+    __m128i msg1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16));
+    __m128i msg2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32));
+    __m128i msg3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48));
+    msg0 = _mm_shuffle_epi8(msg0, kShuffle);
+    msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+    msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+    msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+
+    __m128i msg;
+
+    // Rounds 0-3.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xe9b5dba5b5c0fbcfULL, 0x71374491428a2f98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xab1c5ed5923f82a4ULL, 0x59f111f13956c25bULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550c7dc3243185beULL, 0x12835b01d807aa98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xc19bf1749bdc06a7ULL, 0x80deb1fe72be5d74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240ca1cc0fc19dc6ULL, 0xefbe4786e49b69c1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76f988da5cb0a9dcULL, 0x4a7484aa2de92c6fULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xbf597fc7b00327c8ULL, 0xa831c66d983e5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706ca6351ULL, 0xd5a79147c6e00bf3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380d134d2c6dfcULL, 0x2e1b213827b70a85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722c8581c2c92eULL, 0x766a0abb650a7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xc76c51a3c24b8b70ULL, 0xa81a664ba2bfe8a1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106aa070f40e3585ULL, 0xd6990624d192e819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34b0bcb52748774cULL, 0x1e376c0819a4c116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682e6ff35b9cca4fULL, 0x4ed8aa4a391c0cb3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8cc7020884c87814ULL, 0x78a5636f748f82eeULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xc67178f2bef9a3f7ULL, 0xa4506ceb90befffaULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += kSha256BlockSize;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool HostHasShaNi() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+
+#endif  // TRUSTLITE_SHA_NI_BUILD
+
+#if defined(TRUSTLITE_SHA_NEON_BUILD)
+
+void NeonCompress(uint32_t state[8], const uint8_t* blocks, size_t nblocks) {
+  uint32x4_t abcd = vld1q_u32(&state[0]);
+  uint32x4_t efgh = vld1q_u32(&state[4]);
+  while (nblocks-- > 0) {
+    const uint32x4_t abcd_save = abcd;
+    const uint32x4_t efgh_save = efgh;
+    uint32x4_t w[4];
+    for (int i = 0; i < 4; ++i) {
+      w[i] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks + 16 * i)));
+    }
+    for (int r = 0; r < 16; ++r) {
+      const uint32x4_t wk = vaddq_u32(w[0], vld1q_u32(&kK[4 * r]));
+      if (r < 12) {
+        // Schedule update for rounds 16.. while the current quad retires.
+        const uint32x4_t t = vsha256su0q_u32(w[0], w[1]);
+        w[0] = vsha256su1q_u32(t, w[2], w[3]);
+      }
+      const uint32x4_t abcd_prev = abcd;
+      abcd = vsha256hq_u32(abcd, efgh, wk);
+      efgh = vsha256h2q_u32(efgh, abcd_prev, wk);
+      // Rotate the schedule window.
+      const uint32x4_t w0 = w[0];
+      w[0] = w[1];
+      w[1] = w[2];
+      w[2] = w[3];
+      w[3] = w0;
+    }
+    abcd = vaddq_u32(abcd, abcd_save);
+    efgh = vaddq_u32(efgh, efgh_save);
+    blocks += kSha256BlockSize;
+  }
+  vst1q_u32(&state[0], abcd);
+  vst1q_u32(&state[4], efgh);
+}
+
+#endif  // TRUSTLITE_SHA_NEON_BUILD
+
+// ---------------------------------------------------------------------------
+// 4-way lane-parallel portable engine.
+//
+// Four independent streams share one round sequence; every working variable
+// becomes a 4-lane vector and the compiler lowers the lane math to SSE2/NEON
+// arithmetic it can prove safe (no hardware SHA needed). Used only through
+// the batch API — single-stream callers gain nothing from idle lanes.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TRUSTLITE_SHA_LANES_BUILD 1
+
+typedef uint32_t U32x4 __attribute__((vector_size(16)));
+
+inline U32x4 Rotr4(U32x4 x, int n) { return (x >> n) | (x << (32 - n)); }
+
+void LaneCompress4(uint32_t* const states[4], const uint8_t* const blocks[4]) {
+  U32x4 w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = U32x4{LoadBe32(blocks[0] + 4 * i), LoadBe32(blocks[1] + 4 * i),
+                 LoadBe32(blocks[2] + 4 * i), LoadBe32(blocks[3] + 4 * i)};
+  }
+  for (int i = 16; i < 64; ++i) {
+    const U32x4 s0 =
+        Rotr4(w[i - 15], 7) ^ Rotr4(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const U32x4 s1 =
+        Rotr4(w[i - 2], 17) ^ Rotr4(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  U32x4 a, b, c, d, e, f, g, h;
+  for (int l = 0; l < 4; ++l) {
+    a[l] = states[l][0];
+    b[l] = states[l][1];
+    c[l] = states[l][2];
+    d[l] = states[l][3];
+    e[l] = states[l][4];
+    f[l] = states[l][5];
+    g[l] = states[l][6];
+    h[l] = states[l][7];
+  }
+  for (int i = 0; i < 64; ++i) {
+    const U32x4 s1 = Rotr4(e, 6) ^ Rotr4(e, 11) ^ Rotr4(e, 25);
+    const U32x4 ch = (e & f) ^ (~e & g);
+    const U32x4 t1 = h + s1 + ch + kK[i] + w[i];
+    const U32x4 s0 = Rotr4(a, 2) ^ Rotr4(a, 13) ^ Rotr4(a, 22);
+    const U32x4 maj = (a & b) ^ (a & c) ^ (b & c);
+    const U32x4 t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  for (int l = 0; l < 4; ++l) {
+    states[l][0] += a[l];
+    states[l][1] += b[l];
+    states[l][2] += c[l];
+    states[l][3] += d[l];
+    states[l][4] += e[l];
+    states[l][5] += f[l];
+    states[l][6] += g[l];
+    states[l][7] += h[l];
+  }
+}
+
+#endif  // lanes
+
+// One message stream being walked block by block: the body blocks come
+// straight from the caller's buffer, the final 1-2 padded blocks from
+// `tail`. BlockPtr(i) is valid for i in [0, total_blocks).
+struct BatchStream {
+  const uint8_t* data = nullptr;
+  size_t full_blocks = 0;
+  size_t total_blocks = 0;
+  uint8_t tail[2 * kSha256BlockSize];
+  uint32_t h[8];
+
+  void Init(const uint8_t* msg, size_t len) {
+    data = msg;
+    full_blocks = len / kSha256BlockSize;
+    const size_t rem = len % kSha256BlockSize;
+    const size_t tail_blocks = (rem >= kSha256BlockSize - 8) ? 2 : 1;
+    total_blocks = full_blocks + tail_blocks;
+    std::memset(tail, 0, sizeof(tail));
+    if (rem != 0) {  // msg may be null for the empty message
+      std::memcpy(tail, msg + full_blocks * kSha256BlockSize, rem);
+    }
+    tail[rem] = 0x80;
+    const uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+    uint8_t* end = tail + tail_blocks * kSha256BlockSize;
+    for (int i = 0; i < 8; ++i) {
+      end[-8 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    h[0] = 0x6a09e667;
+    h[1] = 0xbb67ae85;
+    h[2] = 0x3c6ef372;
+    h[3] = 0xa54ff53a;
+    h[4] = 0x510e527f;
+    h[5] = 0x9b05688c;
+    h[6] = 0x1f83d9ab;
+    h[7] = 0x5be0cd19;
+  }
+
+  const uint8_t* BlockPtr(size_t i) const {
+    return i < full_blocks ? data + i * kSha256BlockSize
+                           : tail + (i - full_blocks) * kSha256BlockSize;
+  }
+
+  void Emit(Sha256Digest* out) const {
+    for (int i = 0; i < 8; ++i) {
+      StoreBe32(out->data() + 4 * i, h[i]);
+    }
+  }
+};
+
+void HashOneStream(BatchStream* s) {
+  Sha256CompressFn compress = Sha256Compress();
+  // Body blocks are contiguous; hand them to the engine in one call.
+  if (s->full_blocks > 0) {
+    compress(s->h, s->data, s->full_blocks);
+  }
+  compress(s->h, s->tail, s->total_blocks - s->full_blocks);
+}
+
+}  // namespace
+
+void Sha256ScalarCompress(uint32_t state[8], const uint8_t* blocks,
+                          size_t nblocks) {
+  while (nblocks-- > 0) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = LoadBe32(blocks + 4 * i);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    blocks += kSha256BlockSize;
+  }
+}
+
+namespace {
+
+struct ResolvedEngine {
+  Sha256CompressFn fn;
+  const char* name;
+};
+
+ResolvedEngine ResolveEngine() {
+#if defined(TRUSTLITE_SHA_NI_BUILD)
+  if (HostHasShaNi()) {
+    return {&ShaNiCompress, "sha-ni"};
+  }
+#endif
+#if defined(TRUSTLITE_SHA_NEON_BUILD)
+  return {&NeonCompress, "neon-sha2"};
+#endif
+  return {&Sha256ScalarCompress, "scalar"};
+}
+
+const ResolvedEngine& Engine() {
+  static const ResolvedEngine engine = ResolveEngine();
+  return engine;
+}
+
+}  // namespace
+
+Sha256CompressFn Sha256Compress() { return Engine().fn; }
+
+const char* Sha256EngineName() { return Engine().name; }
+
+void Sha256BatchHash(const uint8_t* const* msgs, const size_t* lens,
+                     size_t count, Sha256Digest* out) {
+#if defined(TRUSTLITE_SHA_LANES_BUILD)
+  // With a hardware engine, back-to-back single streams beat lane packing;
+  // lanes only pay when the best engine is scalar.
+  const bool use_lanes = Engine().fn == &Sha256ScalarCompress;
+#else
+  const bool use_lanes = false;
+#endif
+  size_t i = 0;
+#if defined(TRUSTLITE_SHA_LANES_BUILD)
+  if (use_lanes) {
+    for (; i + 4 <= count; i += 4) {
+      BatchStream s[4];
+      for (int l = 0; l < 4; ++l) {
+        s[l].Init(msgs[i + l], lens[i + l]);
+      }
+      // Lockstep while all four lanes still have blocks; a lane that runs
+      // out (shorter message) finishes scalar below.
+      const size_t common = std::min(
+          std::min(s[0].total_blocks, s[1].total_blocks),
+          std::min(s[2].total_blocks, s[3].total_blocks));
+      for (size_t blk = 0; blk < common; ++blk) {
+        uint32_t* const states[4] = {s[0].h, s[1].h, s[2].h, s[3].h};
+        const uint8_t* const blocks[4] = {s[0].BlockPtr(blk), s[1].BlockPtr(blk),
+                                          s[2].BlockPtr(blk),
+                                          s[3].BlockPtr(blk)};
+        LaneCompress4(states, blocks);
+      }
+      for (int l = 0; l < 4; ++l) {
+        for (size_t blk = common; blk < s[l].total_blocks; ++blk) {
+          Sha256ScalarCompress(s[l].h, s[l].BlockPtr(blk), 1);
+        }
+        s[l].Emit(&out[i + l]);
+      }
+    }
+  }
+#endif
+  for (; i < count; ++i) {
+    BatchStream s;
+    s.Init(msgs[i], lens[i]);
+    HashOneStream(&s);
+    s.Emit(&out[i]);
+  }
+}
+
+std::vector<Sha256Digest> Sha256BatchHash(
+    const std::vector<std::vector<uint8_t>>& msgs) {
+  std::vector<const uint8_t*> ptrs(msgs.size());
+  std::vector<size_t> lens(msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    ptrs[i] = msgs[i].data();
+    lens[i] = msgs[i].size();
+  }
+  std::vector<Sha256Digest> out(msgs.size());
+  Sha256BatchHash(ptrs.data(), lens.data(), msgs.size(), out.data());
+  return out;
+}
+
+}  // namespace trustlite

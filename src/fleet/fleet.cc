@@ -4,6 +4,9 @@
 
 #include <utility>
 
+#include "src/crypto/sha256_engine.h"
+#include "src/snapshot/snapshot.h"
+
 namespace trustlite {
 
 Fleet::Fleet(const FleetConfig& config)
@@ -93,9 +96,17 @@ bool Fleet::SendToNode(int node, std::string payload) {
 }
 
 Sha256Digest Fleet::FleetDigest() const {
+  // One state stream per node, hashed as a single batch (lane-parallel on
+  // hosts without hardware SHA, back-to-back hardware streams otherwise),
+  // then folded in node order. Identical bytes — and therefore identical
+  // digest — to hashing node->StateDigest() one at a time.
+  std::vector<std::vector<uint8_t>> streams(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    AppendPlatformStateBytes(nodes_[i]->platform(), &streams[i]);
+  }
+  const std::vector<Sha256Digest> digests = Sha256BatchHash(streams);
   Sha256 hasher;
-  for (const auto& node : nodes_) {
-    Sha256Digest digest = node->StateDigest();
+  for (const Sha256Digest& digest : digests) {
     hasher.Update(digest.data(), digest.size());
   }
   return hasher.Finish();

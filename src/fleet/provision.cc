@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/crypto/sha256_engine.h"
 #include "src/harness/injector.h"
 #include "src/loader/system_image.h"
 #include "src/mem/layout.h"
@@ -230,11 +231,15 @@ Status LocateGoldenPatchSites(Platform& platform, GoldenState* golden) {
 
 Status WarmProvisionClone(FleetNode& node, const GoldenState& golden,
                           const std::array<uint8_t, 32>& key,
-                          NodeProvision* provision) {
-  // High-frequency path: per-chunk CRCs already guard the bytes, so skip
-  // the SHA digest check on every clone (the property tests cover it).
+                          const Sha256Digest& measurement,
+                          bool first_clone, NodeProvision* provision) {
+  // High-frequency path: skip the SHA digest check on every clone (the
+  // property tests cover it), and only CRC the golden buffer on the first
+  // clone — every later restore re-reads the same in-memory bytes, so
+  // re-checksumming them per clone is pure waste (DESIGN.md §14).
   SnapshotRestoreOptions restore_options;
   restore_options.verify_digest = false;
+  restore_options.verify_checksums = first_clone;
   TL_RETURN_IF_ERROR(
       RestorePlatform(&node.platform(), golden.snapshot, restore_options));
   provision->key = key;
@@ -252,18 +257,12 @@ Status WarmProvisionClone(FleetNode& node, const GoldenState& golden,
   node.platform().prom().LoadBytes(golden.prom_key_offset, node_key);
   bus.NoteHostMutation();
 
-  // 2. Fix up the trustlet's Trustlet-Table row: hash the golden code with
-  //    the clone key spliced in (identical to re-reading the patched SRAM,
-  //    without the bus round-trip).
-  std::vector<uint8_t> patched_code = golden.attn_code;
-  std::copy(node_key.begin(), node_key.end(),
-            patched_code.begin() +
-                (golden.sram_key_addr - golden.attn_code_addr));
-  const Sha256Digest new_measurement = Sha256Hash(patched_code);
+  // 2. Fix up the trustlet's Trustlet-Table row with this clone's
+  //    precomputed measurement (all clone measurements are hashed in one
+  //    batch before the clone loop; see ProvisionAttestationFleet).
   if (!bus.HostWriteBytes(
           golden.tt_measurement_addr,
-          std::vector<uint8_t>(new_measurement.begin(),
-                               new_measurement.end()))) {
+          std::vector<uint8_t>(measurement.begin(), measurement.end()))) {
     return Internal("cannot patch Trustlet-Table measurement");
   }
 
@@ -295,6 +294,9 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
   const std::set<int> tampered = TamperPlan(*fleet, config.tamper_count);
 
   GoldenState golden;
+  // Warm-clone Trustlet-Table measurements, hashed as one batch once the
+  // golden patch sites are known; entry i-1 belongs to clone node i.
+  std::vector<Sha256Digest> clone_measurements;
   for (int i = 0; i < fleet->num_nodes(); ++i) {
     FleetNode& node = fleet->node(i);
     NodeProvision provision;
@@ -322,9 +324,25 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
           return snapshot.status();
         }
         golden.snapshot = std::move(*snapshot);
+        // Every clone hashes the same golden code with only its 32-byte key
+        // spliced in — batch all of those measurements now, in one pass.
+        const size_t key_offset = golden.sram_key_addr - golden.attn_code_addr;
+        std::vector<std::vector<uint8_t>> patched(
+            static_cast<size_t>(fleet->num_nodes() - 1));
+        for (int clone = 1; clone < fleet->num_nodes(); ++clone) {
+          const std::array<uint8_t, 32> clone_key =
+              DeriveDeviceKey(fleet->config().seed, clone);
+          patched[clone - 1] = golden.attn_code;
+          std::copy(clone_key.begin(), clone_key.end(),
+                    patched[clone - 1].begin() + key_offset);
+        }
+        clone_measurements = Sha256BatchHash(patched);
       }
     } else {
-      TL_RETURN_IF_ERROR(WarmProvisionClone(node, golden, key, &provision));
+      TL_RETURN_IF_ERROR(WarmProvisionClone(node, golden, key,
+                                            clone_measurements[i - 1],
+                                            /*first_clone=*/i == 1,
+                                            &provision));
       // Warm clones share the golden node's FW trustlet bytes.
       provision.fw_id = provisions[0].fw_id;
       provision.fw_code_addr = provisions[0].fw_code_addr;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -159,6 +160,55 @@ std::optional<Divergence> DifferentialExecutor::CompareFinalState(
                                 "," + Hex(tb.addr) + ")"};
   }
   return std::nullopt;
+}
+
+std::optional<Divergence> DifferentialExecutor::RunWindowed(uint64_t max_steps,
+                                                            uint64_t window) {
+  if (window == 0) {
+    window = 1;
+  }
+  uint64_t done = 0;
+  while (done < max_steps &&
+         !(fast_->cpu().halted() && ref_->cpu().halted())) {
+    const uint64_t quota = std::min(window, max_steps - done);
+    if (!fast_->cpu().halted()) {
+      fast_->cpu().Run(quota);
+    }
+    // Cpu::Run's exception-storm watchdog is a host-side DoS bound, not
+    // architecture: where exactly it halts inside a storm depends on the
+    // run-call quantum, which the Step()-driven reference does not share.
+    // Every window before the storm has already been compared; stop here
+    // rather than report a phase mismatch inside the storm as a fast-path
+    // bug. (Storm-free scenarios never hit this.)
+    if (fast_->cpu().halted() && fast_->cpu().trap().valid &&
+        std::string_view(fast_->cpu().trap().reason).find("watchdog") !=
+            std::string_view::npos) {
+      return std::nullopt;
+    }
+    // Chase the fast side's *cycle* counter, not its retire counter:
+    // faulting instructions and trap-halts advance cycles without retiring,
+    // so a retire-count chase stops short whenever the fast side's window
+    // ended on exception entries. Every step costs at least one cycle and
+    // both sides must be cycle-identical, so equal cycles means the same
+    // instruction boundary. The step bound only guards against a divergence
+    // where the reference's cycle stream falls behind forever.
+    const uint64_t target_cycle = fast_->cpu().cycles();
+    uint64_t chase_guard = 16 * quota + 4096;
+    while (!ref_->cpu().halted() && ref_->cpu().cycles() < target_cycle) {
+      ref_->cpu().Step();
+      if (--chase_guard == 0) {
+        Divergence d;
+        d.step = done;
+        d.what = "reference failed to reach the fast side's cycle count";
+        return d;
+      }
+    }
+    done += quota;
+    if (std::optional<Divergence> d = CompareArchState(done)) {
+      return d;
+    }
+  }
+  return CompareFinalState(max_steps);
 }
 
 std::optional<Divergence> DifferentialExecutor::Run(uint64_t max_steps) {
@@ -499,6 +549,14 @@ std::optional<Divergence> RunRandomProgramDiff(
   DifferentialExecutor diff(config);
   BuildRandomScenario(diff, seed, options);
   return diff.Run(max_steps);
+}
+
+std::optional<Divergence> RunRandomProgramDiffWindowed(
+    uint64_t seed, uint64_t max_steps, uint64_t window,
+    const RandomProgramOptions& options, const PlatformConfig& config) {
+  DifferentialExecutor diff(config);
+  BuildRandomScenario(diff, seed, options);
+  return diff.RunWindowed(max_steps, window);
 }
 
 }  // namespace trustlite

@@ -56,6 +56,19 @@ class DifferentialExecutor {
   // own perturbations). `step` is only used for reporting.
   std::optional<Divergence> StepBoth(uint64_t step);
 
+  // Windowed lockstep: the fast platform advances through Cpu::Run — the
+  // threaded-dispatch run loop, superinstruction fusion and data-access
+  // windows all engaged, none of which Step()-based lockstep exercises —
+  // then the reference single-steps until its cycle counter catches up
+  // (cycles advance on every instruction and exception entry, unlike the
+  // retire counter, and both sides must be cycle-identical). Architectural
+  // state is compared at every window boundary and the full final-state
+  // check runs at the end. Fused groups may retire past an instruction
+  // budget mid-group, so the reference chases the fast side's actual
+  // position rather than the nominal window size.
+  std::optional<Divergence> RunWindowed(uint64_t max_steps,
+                                        uint64_t window = 256);
+
   // Full end-state comparison: memories, MPU fault registers, stats, trap.
   std::optional<Divergence> CompareFinalState(uint64_t step);
 
@@ -113,6 +126,15 @@ uint32_t BuildRandomScenario(DifferentialExecutor& diff, uint64_t seed,
 // `config` should leave `fast_path` at its default (it is overridden).
 std::optional<Divergence> RunRandomProgramDiff(
     uint64_t seed, uint64_t max_steps,
+    const RandomProgramOptions& options = {},
+    const PlatformConfig& config = {});
+
+// Windowed variant: same scenario, but the fast platform advances through
+// the fused threaded-dispatch run loop instead of Step() (see RunWindowed).
+// This is the corpus entry point that actually exercises superinstruction
+// fusion and the data-access windows.
+std::optional<Divergence> RunRandomProgramDiffWindowed(
+    uint64_t seed, uint64_t max_steps, uint64_t window = 256,
     const RandomProgramOptions& options = {},
     const PlatformConfig& config = {});
 

@@ -23,6 +23,7 @@ void Bus::Attach(Device* device) {
   if (device->WantsTick()) {
     tick_devices_.push_back(device);
   }
+  ++topology_generation_;
 }
 
 Device* Bus::FindDevice(uint32_t addr) const {
@@ -83,6 +84,9 @@ AccessResult Bus::Read(const AccessContext& ctx, uint32_t addr, uint32_t width,
     EmitBusError(ctx, addr);
     return AccessResult::kBusError;
   }
+  if (lazy_ticks_ && !device->IsMemory()) {
+    FlushTicks();  // MMIO reads observe device time (timer count, sysctl).
+  }
   if (wait_states != nullptr) {
     *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
   }
@@ -113,6 +117,9 @@ AccessResult Bus::Write(const AccessContext& ctx, uint32_t addr, uint32_t width,
     EmitBusError(ctx, addr);
     return AccessResult::kBusError;
   }
+  if (lazy_ticks_ && !device->IsMemory()) {
+    FlushTicks();  // MMIO writes interact with device time (timer ctrl).
+  }
   if (wait_states != nullptr) {
     *wait_states = device->WaitStates(addr - device->base(), width, ctx.kind);
   }
@@ -131,6 +138,9 @@ bool Bus::HostReadWord(uint32_t addr, uint32_t* value) {
   if (device == nullptr || (addr & 3) != 0) {
     return false;
   }
+  if (lazy_ticks_ && !device->IsMemory()) {
+    FlushTicks();
+  }
   return device->Read(addr - device->base(), 4, value) == AccessResult::kOk;
 }
 
@@ -138,6 +148,9 @@ bool Bus::HostWriteWord(uint32_t addr, uint32_t value) {
   Device* device = FindDevice(addr);
   if (device == nullptr || (addr & 3) != 0) {
     return false;
+  }
+  if (lazy_ticks_ && !device->IsMemory()) {
+    FlushTicks();
   }
   if (device->IsMemory()) {
     ++memory_generation_;
@@ -161,6 +174,9 @@ bool Bus::HostReadBytes(uint32_t addr, uint32_t count,
     Device* device = FindDevice(static_cast<uint32_t>(pos));
     if (device == nullptr) {
       return false;
+    }
+    if (lazy_ticks_ && !device->IsMemory()) {
+      FlushTicks();
     }
     // Read the whole run that falls inside this device without re-routing.
     const uint64_t run_end = std::min<uint64_t>(end, device->end());
@@ -187,6 +203,9 @@ bool Bus::HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
     if (device == nullptr) {
       return false;
     }
+    if (lazy_ticks_ && !device->IsMemory()) {
+      FlushTicks();
+    }
     if (device->IsMemory()) {
       ++memory_generation_;
     }
@@ -201,13 +220,62 @@ bool Bus::HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
   return true;
 }
 
-void Bus::TickDevices(uint64_t cycles) {
+const uint8_t* Bus::HostMemSpan(uint32_t addr, uint32_t len) const {
+  // Deliberately bypasses FindDevice: that helper updates the routing memo
+  // and counters, and this query must stay free of side effects so the CPU
+  // can call it on the superinstruction validate path.
+  auto it = std::upper_bound(devices_.begin(), devices_.end(), addr,
+                             [](uint32_t a, const Device* d) {
+                               return a < d->base();
+                             });
+  if (it == devices_.begin()) {
+    return nullptr;
+  }
+  const Device* device = *(it - 1);
+  if (!device->IsMemory() || !device->Contains(addr) ||
+      uint64_t{addr} + len > device->end()) {
+    return nullptr;
+  }
+  return device->HostSpan(addr - device->base(), len);
+}
+
+bool Bus::MemWindowFor(uint32_t addr, MemWindow* out) const {
+  // Same side-effect-free routing rationale as HostMemSpan (the CPU calls
+  // this while building access caches; the memo and counters must not move).
+  auto it = std::upper_bound(devices_.begin(), devices_.end(), addr,
+                             [](uint32_t a, const Device* d) {
+                               return a < d->base();
+                             });
+  if (it == devices_.begin()) {
+    return false;
+  }
+  Device* device = *(it - 1);
+  if (!device->IsMemory() || !device->Contains(addr)) {
+    return false;
+  }
+  const uint8_t* ro = device->HostSpan(0, device->size());
+  if (ro == nullptr) {
+    return false;
+  }
+  out->lo = device->base();
+  out->len = device->size();
+  out->ro = ro;
+  out->rw = device->HostMutableSpan(0, device->size());
+  out->wait_states =
+      device->WaitStates(addr - device->base(), 4, AccessKind::kRead);
+  return true;
+}
+
+void Bus::TickDevicesNow(uint64_t cycles) {
   for (Device* device : tick_devices_) {
     device->Tick(cycles);
   }
 }
 
 void Bus::ResetDevices() {
+  // Power-on wipes deferred time along with device state: applying pre-reset
+  // debt to freshly reset devices would be a time leak across the reset.
+  tick_debt_ = 0;
   for (Device* device : devices_) {
     device->Reset();
     // Power-on state includes the snapshot epoch: a reset device no longer

@@ -49,8 +49,17 @@ class Bus {
   // base address regardless of attach order.
   void Attach(Device* device);
 
-  void SetProtectionUnit(ProtectionUnit* unit) { protection_ = unit; }
+  void SetProtectionUnit(ProtectionUnit* unit) {
+    protection_ = unit;
+    ++topology_generation_;
+  }
   ProtectionUnit* protection_unit() const { return protection_; }
+
+  // Bumped whenever the access-path topology changes (device attached,
+  // protection unit swapped). CPU-side access caches (data windows, fused
+  // groups) key on it so a SMART/Sancus overlay installed mid-run instantly
+  // invalidates every precomputed access decision.
+  uint64_t topology_generation() const { return topology_generation_; }
 
   // Observability: bus-error telemetry on the guest/engine access paths
   // (alignment, unmapped address, device-rejected access). Null = off.
@@ -73,6 +82,29 @@ class Bus {
   bool HostWriteWord(uint32_t addr, uint32_t value);
   bool HostReadBytes(uint32_t addr, uint32_t count, std::vector<uint8_t>* out);
   bool HostWriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+
+  // Stable host pointer to [addr, addr+len) when the range lies entirely
+  // inside one memory-backed device, else null. No protection check and no
+  // side effects (in particular the routing memo is untouched); the CPU's
+  // superinstruction cache uses the pointer to revalidate fused instruction
+  // words against self-modifying stores.
+  const uint8_t* HostMemSpan(uint32_t addr, uint32_t len) const;
+
+  // Resolved description of the memory-backed device containing `addr`, for
+  // the CPU's data-access windows: guest address range, host backing
+  // pointers (rw null when the device rejects guest stores, e.g. PROM), and
+  // the device's wait states. Assumes memory devices insert offset- and
+  // width-independent wait states (true for Ram/Prom; a future memory device
+  // violating this must not be window-eligible). Side-effect-free routing,
+  // like HostMemSpan. Returns false for unmapped or non-memory addresses.
+  struct MemWindow {
+    uint32_t lo = 0;
+    uint32_t len = 0;
+    const uint8_t* ro = nullptr;
+    uint8_t* rw = nullptr;
+    uint32_t wait_states = 0;
+  };
+  bool MemWindowFor(uint32_t addr, MemWindow* out) const;
 
   Device* FindDevice(uint32_t addr) const;
   // Devices in base-address order.
@@ -100,18 +132,52 @@ class Bus {
   const BusStats& stats() const { return stats_; }
 
   // Ticks every time-keeping device (Device::WantsTick) and resets them all
-  // (platform reset).
-  void TickDevices(uint64_t cycles);
+  // (platform reset). In lazy mode (below) the cycles are accumulated as
+  // debt instead and applied in batch at the next observation point.
+  void TickDevices(uint64_t cycles) {
+    if (lazy_ticks_) {
+      tick_debt_ += cycles;
+      return;
+    }
+    TickDevicesNow(cycles);
+  }
   void ResetDevices();
+
+  // Lazy device ticking (DESIGN.md §15). Every tick-driven device on this
+  // bus advances linearly — Tick(a) then Tick(b) lands in exactly the state
+  // Tick(a+b) does (the timer's expiry loop handles multi-period spans) —
+  // so per-instruction ticks can be deferred and applied in one batch right
+  // before anything can observe device state: an access routed to a
+  // non-memory device, an IRQ-pending poll, or the run loop returning to
+  // the caller. Enabled only while no event sink is attached (the hub
+  // stamps IrqRaiseEvents with the emission-time cycle, so deferral would
+  // shift trace timestamps); disabling flushes any accumulated debt.
+  void SetLazyTicks(bool enabled) {
+    if (!enabled) {
+      FlushTicks();
+    }
+    lazy_ticks_ = enabled;
+  }
+  void FlushTicks() {
+    if (tick_debt_ != 0) {
+      const uint64_t debt = tick_debt_;
+      tick_debt_ = 0;
+      TickDevicesNow(debt);
+    }
+  }
 
  private:
   void EmitBusError(const AccessContext& ctx, uint32_t addr);
+  void TickDevicesNow(uint64_t cycles);
 
   std::vector<Device*> devices_;       // Sorted by base address.
   std::vector<Device*> tick_devices_;  // Subset with WantsTick().
   ProtectionUnit* protection_ = nullptr;
   EventSink* sink_ = nullptr;
   uint64_t memory_generation_ = 1;
+  uint64_t topology_generation_ = 1;
+  uint64_t tick_debt_ = 0;  // Deferred tick cycles (lazy mode only).
+  bool lazy_ticks_ = false;
   bool route_memo_ = true;
   mutable Device* last_device_ = nullptr;
   mutable BusStats stats_;

@@ -66,6 +66,28 @@ class Device {
   // generation counter (consumed by the CPU's decode cache).
   virtual bool IsMemory() const { return false; }
 
+  // Stable host pointer to the device's backing bytes at `offset`, or null
+  // when the device has no byte-addressable backing store (MMIO). The
+  // pointer stays valid for the device's lifetime and observes in-place
+  // content mutations; callers (the CPU's superinstruction cache) use it to
+  // revalidate cached instruction words without a bus transaction.
+  virtual const uint8_t* HostSpan(uint32_t offset, uint32_t len) const {
+    (void)offset;
+    (void)len;
+    return nullptr;
+  }
+
+  // Mutable variant of HostSpan, non-null only when the device additionally
+  // accepts guest *stores* over the whole span (RAM yes, PROM no — PROM's
+  // backing bytes are host-writable but guest writes are bus errors, so a
+  // store fast path must never bypass that rejection). Same lifetime and
+  // aliasing contract as HostSpan.
+  virtual uint8_t* HostMutableSpan(uint32_t offset, uint32_t len) {
+    (void)offset;
+    (void)len;
+    return nullptr;
+  }
+
   // Interrupt interface. A device on an IRQ line reports pending state and
   // its programmed handler address (device-provided vectoring: the paper's
   // timer exposes a `handler(ISR)` MMIO register, Fig. 3).

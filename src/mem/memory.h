@@ -34,6 +34,16 @@ class Ram : public Device {
 
   bool IsMemory() const override { return true; }
 
+  const uint8_t* HostSpan(uint32_t offset, uint32_t len) const override {
+    return uint64_t{offset} + len <= data_.size() ? data_.data() + offset
+                                                  : nullptr;
+  }
+
+  uint8_t* HostMutableSpan(uint32_t offset, uint32_t len) override {
+    return uint64_t{offset} + len <= data_.size() ? data_.data() + offset
+                                                  : nullptr;
+  }
+
   // Host-side (non-guest) raw access for loaders and tests.
   void LoadBytes(uint32_t offset, const std::vector<uint8_t>& bytes);
   std::vector<uint8_t> ReadBytes(uint32_t offset, uint32_t count) const;
@@ -57,6 +67,13 @@ class Prom : public Ram {
       : Ram(std::move(name), base, size) {}
 
   AccessResult Write(uint32_t offset, uint32_t width, uint32_t value) override;
+
+  // Guest stores are rejected above, so no store fast path may exist either.
+  uint8_t* HostMutableSpan(uint32_t offset, uint32_t len) override {
+    (void)offset;
+    (void)len;
+    return nullptr;
+  }
 };
 
 }  // namespace trustlite

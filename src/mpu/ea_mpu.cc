@@ -452,6 +452,92 @@ bool EaMpu::FetchCheckPasses(const AccessContext& ctx, int subject,
   return pass;
 }
 
+bool EaMpu::FetchWouldPass(uint32_t subject_ip, uint32_t addr,
+                           bool privileged) const {
+  if (!enabled()) {
+    return true;
+  }
+  AccessContext ctx;
+  ctx.curr_ip = subject_ip;
+  ctx.kind = AccessKind::kFetch;
+  ctx.privileged = privileged;
+  return FetchAllowed(ctx, FindCodeRegion(subject_ip), addr);
+}
+
+bool EaMpu::DataWindowFor(uint32_t subject_ip, bool privileged, bool is_write,
+                          uint32_t addr, uint32_t* lo, uint64_t* hi,
+                          uint32_t* subj_lo, uint64_t* subj_hi) const {
+  *lo = 0;
+  *hi = uint64_t{1} << 32;
+  *subj_lo = 0;
+  *subj_hi = uint64_t{1} << 32;
+  if (!enabled()) {
+    // Everything passes; any later CTRL.enable write bumps the config
+    // generation, so the full-address window cannot outlive the disable.
+    return true;
+  }
+  // Subject resolution with its constancy interval — the uncached twin of
+  // SubjectFor (this query must not move the shared caches or stats).
+  int subject = -1;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const MpuRegion& r = regions_[i];
+    if (!r.enabled() || (r.attr & kMpuAttrCode) == 0) {
+      continue;
+    }
+    if (r.Contains(subject_ip)) {
+      subject = static_cast<int>(i);
+      *subj_lo = std::max(*subj_lo, r.base);
+      *subj_hi = std::min<uint64_t>(*subj_hi, r.end);
+      break;
+    }
+    if (r.base > subject_ip) {
+      *subj_hi = std::min<uint64_t>(*subj_hi, r.base);
+    } else {
+      *subj_lo = std::max(*subj_lo, r.end);
+    }
+  }
+  // Coverage of `addr` with its constancy interval — the uncached twin of
+  // CoverageFor. Within [lo, hi) the covering-region set is constant and
+  // data rules never consult the address, so one decision settles the whole
+  // interval.
+  int covering[kMaxCoverage];
+  int count = 0;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const MpuRegion& r = regions_[i];
+    if (!r.enabled()) {
+      continue;
+    }
+    if (r.Contains(addr)) {
+      if (count == kMaxCoverage) {
+        return false;  // Too tangled to summarize; callers use the full path.
+      }
+      covering[count++] = static_cast<int>(i);
+      *lo = std::max(*lo, r.base);
+      *hi = std::min<uint64_t>(*hi, r.end);
+    } else if (r.base > addr) {
+      *hi = std::min<uint64_t>(*hi, r.base);
+    } else {
+      *lo = std::max(*lo, r.end);
+    }
+  }
+  if (count == 0) {
+    return true;  // Uncovered background memory is open.
+  }
+  AccessContext ctx;
+  ctx.curr_ip = subject_ip;
+  ctx.kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
+  ctx.privileged = privileged;
+  const std::optional<int> subj =
+      subject >= 0 ? std::optional<int>(subject) : std::nullopt;
+  for (int i = 0; i < count; ++i) {
+    if (RuleAllows(ctx, subj, covering[i],
+                   regions_[static_cast<size_t>(covering[i])].base)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 AccessResult EaMpu::Check(const AccessContext& ctx, uint32_t addr,
                           uint32_t width) {
   if (!enabled()) {

@@ -167,6 +167,28 @@ class EaMpu : public Device, public ProtectionUnit {
   // locking, hardwiring or Reset() invalidates every memoized decision.
   uint64_t config_generation() const { return config_gen_; }
 
+  // Advisory fetch decision for the interpreter's superinstruction builder:
+  // would a fetch of `addr` issued by the instruction at `subject_ip` pass
+  // under the current configuration and privilege state? Side-effect-free —
+  // no stats, no fault latching, no check events — and valid only until
+  // config_generation() changes (the fusion cache keys on it).
+  bool FetchWouldPass(uint32_t subject_ip, uint32_t addr,
+                      bool privileged) const;
+
+  // Advisory data-access window for the interpreter's load/store fast path:
+  // when a read (or write, per `is_write`) of `addr` by the subject at
+  // `subject_ip` is allowed, returns true with [*lo, *hi) set to the widest
+  // address interval around `addr` over which that decision is uniform
+  // (constant covering-region set; data rules are address-independent), and
+  // [*subj_lo, *subj_hi) to the IP interval over which the subject
+  // resolution holds. Returns false when the access is denied or the
+  // coverage is too tangled to summarize. Side-effect-free like
+  // FetchWouldPass — no stats, no fault latching, no check events — and
+  // valid only until config_generation() changes.
+  bool DataWindowFor(uint32_t subject_ip, bool privileged, bool is_write,
+                     uint32_t addr, uint32_t* lo, uint64_t* hi,
+                     uint32_t* subj_lo, uint64_t* subj_hi) const;
+
   // Host-side fast-path switch (differential-execution harness). When
   // disabled, every Check() runs the uncached reference decision procedure;
   // guest-visible behavior must be bit-identical either way.

@@ -57,11 +57,16 @@ Platform::Platform(const PlatformConfig& config) : config_(config) {
     bus_.SetProtectionUnit(mpu_.get());
   }
   bus_.SetRouteMemo(config.fast_path);
+  // Lazy ticking is legal only while no event sink is attached (see bus.h);
+  // the hub starts empty, and RewireEventSinks re-evaluates on every change.
+  bus_.SetLazyTicks(config.fast_path);
 
   CpuConfig cpu_config;
   cpu_config.secure_exceptions = config.secure_exceptions;
   cpu_config.sanitize_faulting_ip = config.sanitize_faulting_ip;
   cpu_config.decode_cache = config.fast_path;
+  cpu_config.fast_dispatch = config.fast_path;
+  cpu_config.fusion = config.fast_path && config.fusion;
   cpu_config.cycles = config.cycles;
   cpu_ = std::make_unique<Cpu>(&bus_, sysctl_.get(), cpu_config);
   cpu_->AttachMpu(mpu_.get());
@@ -133,6 +138,13 @@ void Platform::RemoveEventSink(EventSink* sink) {
 void Platform::RewireEventSinks() {
   EventSink* sink = hub_.empty() ? nullptr : &hub_;
   cpu_->SetEventSink(sink, sink != nullptr && hub_.AnyWantsInstructionEvents());
+  // Fused groups precompute tail fetch permissions, which would starve a
+  // per-fetch MpuCheckEvent consumer; fall back to unfused dispatch while
+  // one is attached.
+  cpu_->SetFusionSuppressed(sink != nullptr && hub_.AnyWantsMpuCheckEvents());
+  // The hub stamps IrqRaiseEvents at emission time, so deferring device
+  // ticks would skew trace timestamps; eager ticking while any sink is on.
+  bus_.SetLazyTicks(config_.fast_path && sink == nullptr);
   bus_.SetEventSink(sink);
   uart_->SetEventSink(sink);
   timer_->SetEventSink(sink);
@@ -160,6 +172,12 @@ FastPathStats Platform::fast_path_stats() const {
   stats.bus = bus_.stats();
   stats.decode_hits = cpu_->stats().decode_hits;
   stats.decode_misses = cpu_->stats().decode_misses;
+  stats.fusion_groups = cpu_->stats().fusion_groups;
+  stats.fusion_retired = cpu_->stats().fusion_retired;
+  stats.fusion_builds = cpu_->stats().fusion_builds;
+  stats.fusion_invalidations = cpu_->stats().fusion_invalidations;
+  stats.data_window_hits = cpu_->stats().data_window_hits;
+  stats.data_window_misses = cpu_->stats().data_window_misses;
   if (mpu_ != nullptr) {
     stats.mpu = mpu_->stats();
   }

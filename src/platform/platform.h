@@ -49,10 +49,15 @@ struct PlatformConfig {
   bool with_dma = false;
   DmaEngine::Mode dma_mode = DmaEngine::Mode::kExecutionAware;
   // Host-side simulator fast path (decode cache, EA-MPU decision caches,
-  // bus routing memo). Disabled by the differential-execution harness to
-  // pit the cached interpreter against the uncached reference; guest-visible
-  // behavior must be identical either way (DESIGN.md Sec. 10/11).
+  // bus routing memo, threaded-dispatch run loop). Disabled by the
+  // differential-execution harness to pit the cached interpreter against the
+  // uncached reference; guest-visible behavior must be identical either way
+  // (DESIGN.md Sec. 10/11).
   bool fast_path = true;
+  // Superinstruction fusion on top of the fast path (DESIGN.md §15). Split
+  // out so the dispatch-ladder benches can measure threaded dispatch alone
+  // vs dispatch + fusion; no effect when fast_path is off.
+  bool fusion = true;
 };
 
 // Aggregated fast-path cache counters (bus routing, decode cache, EA-MPU
@@ -62,6 +67,14 @@ struct FastPathStats {
   BusStats bus;
   uint64_t decode_hits = 0;
   uint64_t decode_misses = 0;
+  // Superinstruction fusion counters (see CpuStats in cpu.h).
+  uint64_t fusion_groups = 0;
+  uint64_t fusion_retired = 0;
+  uint64_t fusion_builds = 0;
+  uint64_t fusion_invalidations = 0;
+  // Data-access window counters (see CpuStats in cpu.h).
+  uint64_t data_window_hits = 0;
+  uint64_t data_window_misses = 0;
   MpuStats mpu;  // Zeroed when the platform has no MPU.
 };
 

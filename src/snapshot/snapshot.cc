@@ -50,8 +50,10 @@ struct ChunkSpan {
 // Structural validation of the container: magic, version, chunk framing,
 // per-chunk CRC, terminator. Everything here fails before any state is
 // touched — this is the fail-closed half of the format contract.
+// `verify_crc` = false skips only the checksum comparison (framing is
+// always validated); see SnapshotRestoreOptions::verify_checksums.
 Status ParseChunks(const std::vector<uint8_t>& snapshot,
-                   std::vector<ChunkSpan>* chunks) {
+                   std::vector<ChunkSpan>* chunks, bool verify_crc = true) {
   chunks->clear();
   if (snapshot.size() < kHeaderSize) {
     return InvalidArgument("snapshot truncated: shorter than the header");
@@ -86,7 +88,7 @@ Status ParseChunks(const std::vector<uint8_t>& snapshot,
     pos += payload_len;
     const uint32_t stored_crc = LoadLe32(snapshot.data() + pos);
     pos += 4;
-    if (Crc32(chunk.data, chunk.size) != stored_crc) {
+    if (verify_crc && Crc32(chunk.data, chunk.size) != stored_crc) {
       return InvalidArgument("snapshot chunk '" + TagName(chunk.tag) +
                              "' failed its CRC check (corrupted file)");
     }
@@ -398,17 +400,20 @@ Device* FindDeviceByName(Platform& platform, const std::string& name) {
 
 }  // namespace
 
-Sha256Digest PlatformStateDigest(const Platform& platform) {
+void AppendPlatformStateBytes(const Platform& platform,
+                              std::vector<uint8_t>* out) {
   // Byte stream kept identical to the original FleetNode::StateDigest so
   // fleet determinism digests stay comparable across the refactor.
   Platform& p = const_cast<Platform&>(platform);
-  Sha256 hasher;
   uint8_t word[8];
   auto absorb32 = [&](uint32_t value) {
     StoreLe32(word, value);
-    hasher.Update(word, 4);
+    out->insert(out->end(), word, word + 4);
   };
   const Cpu& cpu = p.cpu();
+  const std::string& uart = p.uart().output();
+  out->reserve(out->size() + 19 * 4 + 8 + p.sram().data().size() +
+               p.dram().data().size() + uart.size());
   for (int i = 0; i < kNumRegisters; ++i) {
     absorb32(cpu.reg(i));
   }
@@ -417,13 +422,17 @@ Sha256Digest PlatformStateDigest(const Platform& platform) {
   absorb32(cpu.halted() ? 1 : 0);
   StoreLe32(word, static_cast<uint32_t>(cpu.cycles()));
   StoreLe32(word + 4, static_cast<uint32_t>(cpu.cycles() >> 32));
-  hasher.Update(word, 8);
-  hasher.Update(p.sram().data());
-  hasher.Update(p.dram().data());
+  out->insert(out->end(), word, word + 8);
+  out->insert(out->end(), p.sram().data().begin(), p.sram().data().end());
+  out->insert(out->end(), p.dram().data().begin(), p.dram().data().end());
   absorb32(p.gpio().out());
-  const std::string& uart = p.uart().output();
-  hasher.Update(reinterpret_cast<const uint8_t*>(uart.data()), uart.size());
-  return hasher.Finish();
+  out->insert(out->end(), uart.begin(), uart.end());
+}
+
+Sha256Digest PlatformStateDigest(const Platform& platform) {
+  std::vector<uint8_t> bytes;
+  AppendPlatformStateBytes(platform, &bytes);
+  return Sha256Hash(bytes);
 }
 
 Result<std::vector<uint8_t>> SavePlatform(Platform& platform,
@@ -474,7 +483,8 @@ Status RestorePlatform(Platform* platform,
                        const std::vector<uint8_t>& snapshot,
                        const SnapshotRestoreOptions& options) {
   std::vector<ChunkSpan> chunks;
-  TL_RETURN_IF_ERROR(ParseChunks(snapshot, &chunks));
+  TL_RETURN_IF_ERROR(
+      ParseChunks(snapshot, &chunks, options.verify_checksums));
 
   // Stage and validate everything before the first mutation.
   PlatformShape shape;

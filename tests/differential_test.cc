@@ -44,6 +44,44 @@ TEST_P(DifferentialCorpusTest, CachedAndUncachedExecutionAgree) {
 INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialCorpusTest,
                          ::testing::Range(0, static_cast<int>(kShardCount)));
 
+// Windowed corpus: the fast platform advances through Cpu::Run, so the
+// threaded-dispatch loop, superinstruction fusion and data-access windows
+// are all live — none of which the Step()-lockstep corpus above exercises.
+// The reference side stays on the plain uncached interpreter and chases the
+// fast side's retire count.
+class WindowedDifferentialCorpusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowedDifferentialCorpusTest, FusedRunLoopMatchesReference) {
+  constexpr uint64_t kWindowShardSize = 250;
+  const uint64_t seed0 =
+      1 + static_cast<uint64_t>(GetParam()) * kWindowShardSize;
+  for (uint64_t i = 0; i < kWindowShardSize; ++i) {
+    const uint64_t seed = seed0 + i;
+    const std::optional<Divergence> d =
+        RunRandomProgramDiffWindowed(seed, 2000, /*window=*/64);
+    ASSERT_FALSE(d.has_value())
+        << "seed=" << seed << " step=" << d->step << ": " << d->what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, WindowedDifferentialCorpusTest,
+                         ::testing::Range(0, 4));
+
+// Window sizes bracketing the fusion group length (1..4 constituents):
+// window=1 forces a fused group to start on every Run() call, window=3
+// makes budgets expire mid-quad, large windows let groups go hot.
+TEST(WindowedDifferentialTest, WindowSizesBracketFusionGroupLength) {
+  for (const uint64_t window : {1ull, 3ull, 5ull, 1024ull}) {
+    for (const uint64_t seed : {11ull, 23ull, 47ull}) {
+      const std::optional<Divergence> d =
+          RunRandomProgramDiffWindowed(seed, 3000, window);
+      ASSERT_FALSE(d.has_value())
+          << "seed=" << seed << " window=" << window << " step=" << d->step
+          << ": " << d->what;
+    }
+  }
+}
+
 // The divergence class the harness actually caught: accesses straddling the
 // top of the 32-bit address space, where the fast path's end-of-access
 // arithmetic used to wrap. Random MPU layouts near 0xFFFFF000 are part of

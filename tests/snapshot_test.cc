@@ -198,6 +198,44 @@ TEST(SnapshotCorruptionTest, BitFlipsNeverPartiallyRestore) {
   }
 }
 
+TEST(SnapshotCorruptionTest, SkippedChecksumsStillFailClosedOnFraming) {
+  std::unique_ptr<Platform> platform(NewBusyPlatform());
+  platform->Run(900);
+  Result<std::vector<uint8_t>> saved = SavePlatform(*platform);
+  ASSERT_TRUE(saved.ok());
+
+  // verify_checksums=false (the warm-boot amortization) restores a clean
+  // buffer correctly...
+  SnapshotRestoreOptions no_crc;
+  no_crc.verify_digest = false;
+  no_crc.verify_checksums = false;
+  Platform clean;
+  ASSERT_TRUE(RestorePlatform(&clean, *saved, no_crc).ok());
+  EXPECT_EQ(PlatformStateDigest(*platform), PlatformStateDigest(clean));
+
+  // ...and structural corruption (truncation, bad magic, bad chunk sizes)
+  // is still rejected by framing checks alone; only payload bit rot relies
+  // on the CRC, which the first (verifying) restore of a warm-boot batch
+  // covers.
+  Xoshiro256 rng(0xCAFE);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<uint8_t> truncated(
+        saved->begin(),
+        saved->begin() + static_cast<long>(rng.NextBelow(saved->size())));
+    Platform target;
+    const Sha256Digest before = PlatformStateDigest(target);
+    EXPECT_FALSE(RestorePlatform(&target, truncated, no_crc).ok())
+        << "truncation to " << truncated.size()
+        << " bytes was accepted with checksums off";
+    EXPECT_EQ(before, PlatformStateDigest(target))
+        << "failed restore mutated the target platform";
+  }
+  std::vector<uint8_t> bad_magic = *saved;
+  bad_magic[0] ^= 0xFF;
+  Platform target;
+  EXPECT_FALSE(RestorePlatform(&target, bad_magic, no_crc).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Property test: at random checkpoints across the differential corpus,
 // save -> restore -> save is byte-identical and the restored platform's

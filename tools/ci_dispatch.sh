@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Dispatch-ladder CI gate (DESIGN.md §15): the interpreter must behave
+# bit-identically under both dispatch strategies.
+#
+#  1. Portable-switch stage: configure a build with
+#     -DTRUSTLITE_PORTABLE_DISPATCH=ON (the token-threaded computed-goto
+#     loop compiled out, plain switch dispatch in its place) and run the
+#     dispatch-sensitive suites there — CPU semantics, fast-path
+#     invalidation, superinstruction fusion, and the differential corpus
+#     including the windowed fused-run-loop corpus.
+#
+#  2. Threaded stage: against the default (computed-goto) build, re-run the
+#     fusion suite and the windowed differential corpus, which drives the
+#     fast platform through Cpu::Run so threaded dispatch, fusion and the
+#     data-access windows are all live, plus a tlfuzz differential smoke.
+#
+# usage: tools/ci_dispatch.sh [portable-build-dir] [threaded-build-dir]
+set -euo pipefail
+
+PORTABLE_DIR="${1:-build-portable-dispatch}"
+THREADED_DIR="${2:-build}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
+
+echo "== stage 1: portable switch dispatch (TRUSTLITE_PORTABLE_DISPATCH=ON) =="
+cmake -B "$PORTABLE_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DTRUSTLITE_PORTABLE_DISPATCH=ON >/dev/null
+cmake --build "$PORTABLE_DIR" -j "$JOBS" \
+  --target cpu_test fastpath_test fusion_test differential_test
+"$PORTABLE_DIR"/tests/cpu_test --gtest_brief=1
+"$PORTABLE_DIR"/tests/fastpath_test --gtest_brief=1
+"$PORTABLE_DIR"/tests/fusion_test --gtest_brief=1
+"$PORTABLE_DIR"/tests/differential_test --gtest_brief=1 \
+  --gtest_filter='*Windowed*:DifferentialRegression*:*/DifferentialCorpusTest.*/0'
+
+echo "== stage 2: threaded dispatch (default build) =="
+cmake --build "$THREADED_DIR" -j "$JOBS" \
+  --target fusion_test differential_test tlfuzz
+"$THREADED_DIR"/tests/fusion_test --gtest_brief=1
+"$THREADED_DIR"/tests/differential_test --gtest_brief=1 \
+  --gtest_filter='*Windowed*'
+"$THREADED_DIR"/tools/tlfuzz diff --programs 200 --seed 7
+
+echo "ci_dispatch: all checks passed"

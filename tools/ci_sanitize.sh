@@ -2,10 +2,15 @@
 # Sanitizer build-and-test configurations:
 #  * ASan + UBSan over the full suite: cache/invalidation bugs in the
 #    simulator fast path (decode cache, EA-MPU decision caches, bus routing
-#    memoization) surface as sanitizer failures instead of heisenbugs.
+#    memoization, superinstruction fusion's host backing pointers, the
+#    data-access windows, and the SHA-256 engine ladder incl. the 4-way
+#    batch hasher's tail padding) surface as sanitizer failures instead of
+#    heisenbugs. The fusion/windowed-differential and sha256_engine suites
+#    run here like everything else.
 #  * TSan over the fleet/pool tests: the multi-threaded fleet executor
 #    (QuantumPool work stealing, per-quantum Platform ownership handoff,
-#    DESIGN.md §13) must be race-free at any thread count.
+#    DESIGN.md §13) must be race-free at any thread count; FleetDigest's
+#    batched state hashing runs in these tests too.
 #
 # usage: tools/ci_sanitize.sh [asan-build-dir] [tsan-build-dir]
 set -euo pipefail

@@ -388,6 +388,20 @@ int CmdRun(const std::vector<std::string>& args) {
     std::printf("--- fast-path stats ---\n");
     print_cache("bus-route", fp.bus.route_hits, fp.bus.route_misses);
     print_cache("decode", fp.decode_hits, fp.decode_misses);
+    print_cache("data-window", fp.data_window_hits, fp.data_window_misses);
+    // Fusion "hit rate" = share of all retired instructions that retired
+    // from inside a fused group (DESIGN.md §15).
+    const uint64_t retired_total = cpu.stats().instructions;
+    std::printf(
+        "  %-12s groups %-11llu retired %-11llu fused-rate %5.1f%%\n",
+        "fusion", static_cast<unsigned long long>(fp.fusion_groups),
+        static_cast<unsigned long long>(fp.fusion_retired),
+        retired_total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(fp.fusion_retired) /
+                                 static_cast<double>(retired_total));
+    std::printf("  %-12s builds %-11llu invalidations %llu\n", "fusion-cache",
+                static_cast<unsigned long long>(fp.fusion_builds),
+                static_cast<unsigned long long>(fp.fusion_invalidations));
     if (!no_mpu) {
       print_cache("mpu-subject", fp.mpu.subject_hits, fp.mpu.subject_misses);
       print_cache("mpu-decision", fp.mpu.decision_hits, fp.mpu.decision_misses);
@@ -399,6 +413,10 @@ int CmdRun(const std::vector<std::string>& args) {
     }
   }
   if (profile) {
+    const FastPathStats fp = platform.fast_path_stats();
+    profiler.SetFastPathCounters(fp.decode_hits, fp.decode_misses,
+                                 fp.fusion_groups, fp.fusion_retired,
+                                 cpu.stats().instructions);
     std::printf("--- profile ---\n%s", profiler.ToString().c_str());
     platform.RemoveEventSink(&profiler);
   }
