@@ -14,6 +14,27 @@ namespace {
 // streams in provision.cc and the nodes' TRNG seeds).
 constexpr uint64_t kChallengeSalt = 0x6368616C6C656E67ull;  // "challeng"
 
+// Retired challenges kept per node for stale-report diagnostics (on top of
+// the one live challenge). Evictions beyond the cap are counted and
+// surfaced in the node's resolution line.
+constexpr size_t kRetiredTrail = 4;
+
+std::string RejectSummary(uint64_t mismatches, uint64_t stale_hits,
+                          uint64_t noise_bytes, uint64_t retired_dropped) {
+  if (mismatches == 0 && stale_hits == 0 && noise_bytes == 0 &&
+      retired_dropped == 0) {
+    return "";
+  }
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                " mismatches=%llu stale=%llu noise=%llu retired-dropped=%llu",
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(stale_hits),
+                static_cast<unsigned long long>(noise_bytes),
+                static_cast<unsigned long long>(retired_dropped));
+  return buf;
+}
+
 }  // namespace
 
 const char* AttestNodeStateName(AttestNodeState state) {
@@ -39,9 +60,12 @@ FleetAttestor::FleetAttestor(Fleet* fleet,
   nodes_.resize(provisions_.size());
 }
 
-uint32_t FleetAttestor::ChallengeFor(int node, int attempt) const {
+uint32_t FleetAttestor::ChallengeFor(int node, int issue_index) const {
+  // `issue_index` counts every challenge ever issued to the node — across
+  // retries AND re-attestation rounds — so nonces are never reissued and a
+  // captured report can never be fresh twice.
   const uint64_t lane =
-      (static_cast<uint64_t>(node) << 8) | static_cast<uint64_t>(attempt);
+      (static_cast<uint64_t>(node) << 8) | static_cast<uint64_t>(issue_index);
   return static_cast<uint32_t>(DeriveDeviceSeed(
       fleet_->config().seed ^ kChallengeSalt, static_cast<uint32_t>(lane)));
 }
@@ -58,10 +82,19 @@ void FleetAttestor::Log(int node, const std::string& event) {
 void FleetAttestor::SendChallenge(int node) {
   NodeState& state = nodes_[static_cast<size_t>(node)];
   const NodeProvision& provision = provisions_[static_cast<size_t>(node)];
-  const uint32_t challenge = ChallengeFor(node, state.attempts);
+  const uint32_t challenge = ChallengeFor(node, state.issued);
+  ++state.issued;
   ++state.attempts;
+  // Issuing a new challenge retires every earlier one: from here on only
+  // the just-issued nonce can verify (the PR7 replay-window fix). Retired
+  // digests stay behind as a bounded diagnostics trail so stale-report
+  // replays are recognized; evictions are counted, not silent.
   state.expected.push_back(ExpectedAttestationReport(
       provision.key, challenge, provision.fw_code));
+  while (state.expected.size() > kRetiredTrail + 1) {
+    state.expected.erase(state.expected.begin());
+    ++state.retired_dropped;
+  }
   state.state = AttestNodeState::kAwaitingResponse;
   state.deadline = fleet_->now() + policy_.timeout_cycles;
   const bool routed = fleet_->SendToNode(
@@ -73,7 +106,9 @@ void FleetAttestor::SendChallenge(int node) {
 }
 
 void FleetAttestor::Begin() {
+  ++rounds_;
   for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    nodes_[static_cast<size_t>(i)].attempts = 0;  // Fresh round budget.
     SendChallenge(i);
   }
 }
@@ -83,40 +118,94 @@ void FleetAttestor::PumpNode(int node) {
   const uint64_t now = fleet_->now();
 
   if (state.state == AttestNodeState::kAwaitingResponse) {
-    // Drain every decodable frame; a report matching any challenge we
-    // issued to this node verifies it, anything else is line noise.
+    // Drain every decodable frame. Only a report for the LATEST outstanding
+    // challenge verifies; reports for retired challenges are suspected
+    // replays, anything else is mismatch or line noise. The scanner tells
+    // us exactly how far the cursor may advance, so corrupted/reflected
+    // garbage costs O(new bytes) and is reclaimed from the fleet below.
     const std::string& rx = fleet_->VerifierRx(node);
     uint32_t status = 0;
     Sha256Digest report{};
-    while (state.state == AttestNodeState::kAwaitingResponse &&
-           DecodeAttestationResponse(rx, state.rx_offset, &status, &report)) {
-      const size_t start = rx.find('R', state.rx_offset);
-      state.rx_offset = start + (status == kAttestStatusOk ? 34 : 2);
+    while (state.state == AttestNodeState::kAwaitingResponse) {
+      size_t frame_start = 0;
+      size_t next_offset = 0;
+      const AttestScan scan = ScanAttestationResponse(
+          rx, state.rx_offset, &frame_start, &next_offset, &status, &report);
+      if (scan == AttestScan::kNoFrame) {
+        state.noise_bytes += rx.size() - state.rx_offset;
+        state.rx_offset = rx.size();
+        break;
+      }
+      if (scan == AttestScan::kNeedMore) {
+        state.noise_bytes += frame_start - state.rx_offset;
+        state.rx_offset = frame_start;
+        break;
+      }
+      state.noise_bytes += frame_start - state.rx_offset;
+      state.rx_offset = next_offset;
       if (status != kAttestStatusOk) {
-        char event[48];
-        std::snprintf(event, sizeof(event), "response status=%u", status);
+        // Error frames ride the same flood-control budget as rejected
+        // reports: an adversary can mint 2-byte error frames even more
+        // cheaply than forged 34-byte reports.
+        ++state.mismatches;
+        if (state.reject_logs < policy_.max_reject_logs) {
+          ++state.reject_logs;
+          char event[48];
+          std::snprintf(event, sizeof(event), "response status=%u", status);
+          Log(node, event);
+        } else if (state.reject_logs == policy_.max_reject_logs) {
+          ++state.reject_logs;
+          Log(node, "reject-log cap reached; counting until resolution");
+        }
+        continue;
+      }
+      const bool fresh =
+          !state.expected.empty() && report == state.expected.back();
+      bool stale = false;
+      if (!fresh) {
+        for (size_t k = 0; k + 1 < state.expected.size(); ++k) {
+          if (report == state.expected[k]) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (fresh || (stale && policy_.accept_stale_reports)) {
+        state.state = AttestNodeState::kVerified;
+        std::string event = fresh ? "verified" : "verified (STALE REPORT "
+                                                 "honored: vulnerable mode)";
+        event += RejectSummary(state.mismatches, state.stale_hits,
+                               state.noise_bytes, state.retired_dropped);
         Log(node, event);
         continue;
       }
-      bool matched = false;
-      for (const Sha256Digest& expected : state.expected) {
-        if (report == expected) {
-          matched = true;
-          break;
-        }
-      }
-      if (matched) {
-        state.state = AttestNodeState::kVerified;
-        Log(node, "verified");
+      // Rejected report: count always, log up to the per-node cap, then
+      // one explicit suppression line — never silent.
+      if (stale) {
+        ++state.stale_hits;
       } else {
-        Log(node, "report-mismatch");
+        ++state.mismatches;
+      }
+      if (state.reject_logs < policy_.max_reject_logs) {
+        ++state.reject_logs;
+        Log(node, stale ? "stale-report rejected (replay suspected)"
+                        : "report-mismatch");
+      } else if (state.reject_logs == policy_.max_reject_logs) {
+        ++state.reject_logs;
+        Log(node, "reject-log cap reached; counting until resolution");
       }
     }
+    // Everything before the cursor is consumed or noise: hand it back to
+    // the fleet so a garbage flood cannot grow the RX stream unboundedly.
+    state.rx_offset -= fleet_->ConsumeVerifierRx(node, state.rx_offset);
     if (state.state == AttestNodeState::kAwaitingResponse &&
         now >= state.deadline) {
       if (state.attempts >= policy_.max_attempts) {
         state.state = AttestNodeState::kQuarantined;
-        Log(node, "quarantined");
+        Log(node, "quarantined" +
+                      RejectSummary(state.mismatches, state.stale_hits,
+                                    state.noise_bytes,
+                                    state.retired_dropped));
       } else {
         state.state = AttestNodeState::kBackoff;
         state.resume =

@@ -8,12 +8,27 @@
 // (Secs. 1/2.3): a remote party validating a cryptographic hash of each
 // device's program code.
 //
-// Robustness policy. Frames that decode but do not match any challenge the
-// verifier issued to that node are treated as line noise (ring fleets can
-// echo attestation bursts to neighbours), not as failures; only *timeouts*
-// consume attempts. A healthy node therefore verifies as soon as one
-// correct report arrives, while a tampered node — whose reports never match
-// the golden measurement — exhausts its attempts and is quarantined.
+// Robustness policy (PR7 hostile-link hardening). The verifier assumes an
+// active adversary on the wire, not just a lossy one. What counts as what:
+//   * Line noise: bytes that never frame as a response (corrupted frames,
+//     reflected challenge echoes, neighbour chatter on ring fleets). The
+//     scanner skips them in O(new bytes) and reclaims the stream; noise is
+//     counted, never fatal.
+//   * Attack evidence: a decoded report matching a *retired* challenge (a
+//     nonce this verifier superseded by a re-challenge) is a suspected
+//     stale-report replay — rejected and counted separately from plain
+//     mismatches. Only the latest outstanding challenge can verify; its
+//     report is unforgeable without the device key and unreplayable
+//     because every challenge nonce is fresh across attempts AND rounds.
+//   * Failures: only *timeouts* consume attempts; mismatching or stale
+//     reports merely keep the node awaiting. A healthy node verifies as
+//     soon as one fresh correct report arrives; a tampered node — whose
+//     reports never match the golden measurement — exhausts its attempts
+//     and is quarantined.
+// Flood control: the per-node expected set is bounded (retired nonces kept
+// only as a short diagnostics trail), reject logging is capped per node
+// with an explicit suppression line, and every suppressed/dropped count is
+// surfaced in the node's resolution line — no silent truncation.
 //
 // Determinism. The attestor acts only at quantum boundaries and only on
 // fleet-owned state (VerifierRx streams, SendToNode), in node-id order, so
@@ -36,6 +51,17 @@ struct AttestPolicy {
   uint64_t timeout_cycles = 1'000'000;     // Challenge -> response deadline.
   int max_attempts = 4;                    // Timeouts before quarantine.
   uint64_t backoff_base_cycles = 100'000;  // Doubles per failed attempt.
+  // Transcript flood control: per node, at most this many rejected-report
+  // lines (mismatch or stale) are logged verbatim; one explicit suppression
+  // line follows and further rejects are counted, with the totals surfaced
+  // in the node's resolution line.
+  int max_reject_logs = 8;
+  // PRE-PR7 VULNERABLE MODE — accept a report matching *any* challenge ever
+  // issued to the node, including retired ones. A stale report captured
+  // from an earlier attempt then verifies a since-tampered node. Exists
+  // only so regression tests can demonstrate the replay-window bug against
+  // the fixed default; leave false.
+  bool accept_stale_reports = false;
 };
 
 enum class AttestNodeState {
@@ -55,7 +81,12 @@ class FleetAttestor {
   FleetAttestor(Fleet* fleet, std::vector<NodeProvision> provisions,
                 const AttestPolicy& policy);
 
-  // Issues the first challenge to every node (at the fleet's current cycle).
+  // Starts an attestation round: issues a fresh challenge to every node at
+  // the fleet's current cycle. May be called again on a running fleet for
+  // periodic re-attestation — per-round state (attempts, verdicts) resets,
+  // challenge nonces stay fresh across rounds (never reissued), and
+  // superseded challenges are retired so reports captured in an earlier
+  // round can never verify a node again.
   void Begin();
 
   // Pumps every per-node state machine; call once after each RunQuantum.
@@ -70,6 +101,17 @@ class FleetAttestor {
   int attempts(int node) const {
     return nodes_[static_cast<size_t>(node)].attempts;
   }
+  // Hostile-link telemetry (all per node, cumulative across rounds).
+  uint64_t mismatches(int node) const {
+    return nodes_[static_cast<size_t>(node)].mismatches;
+  }
+  uint64_t stale_hits(int node) const {
+    return nodes_[static_cast<size_t>(node)].stale_hits;
+  }
+  uint64_t noise_bytes(int node) const {
+    return nodes_[static_cast<size_t>(node)].noise_bytes;
+  }
+  int rounds() const { return rounds_; }
   std::vector<int> Verified() const;
   std::vector<int> Quarantined() const;
 
@@ -80,23 +122,37 @@ class FleetAttestor {
  private:
   struct NodeState {
     AttestNodeState state = AttestNodeState::kIdle;
-    int attempts = 0;
+    int attempts = 0;            // Timeouts this round.
+    int issued = 0;              // Challenges ever issued (never resets:
+                                 // keeps nonces fresh across rounds).
     size_t rx_offset = 0;        // Scan cursor into fleet->VerifierRx(node).
     uint64_t deadline = 0;       // Timeout cycle while awaiting.
     uint64_t resume = 0;         // Re-challenge cycle while backing off.
-    std::vector<Sha256Digest> expected;  // One per issued challenge.
+    // Expected reports, oldest first; back() is the only live challenge.
+    // Earlier entries are retired — kept as a bounded diagnostics trail so
+    // stale-report replays are recognized (and, in the vulnerable
+    // accept_stale_reports mode, wrongly honored).
+    std::vector<Sha256Digest> expected;
+    // Flood accounting — surfaced in the resolution line, never dropped
+    // silently.
+    uint64_t mismatches = 0;       // Well-formed reports matching nothing.
+    uint64_t stale_hits = 0;       // Reports matching a retired challenge.
+    uint64_t noise_bytes = 0;      // Unframeable bytes skipped and reclaimed.
+    uint64_t retired_dropped = 0;  // Retired digests evicted by the cap.
+    int reject_logs = 0;           // Lines logged against max_reject_logs.
   };
 
   void SendChallenge(int node);
   void PumpNode(int node);
   void Log(int node, const std::string& event);
-  uint32_t ChallengeFor(int node, int attempt) const;
+  uint32_t ChallengeFor(int node, int issue_index) const;
 
   Fleet* fleet_;
   std::vector<NodeProvision> provisions_;
   AttestPolicy policy_;
   std::vector<NodeState> nodes_;
   std::string transcript_;
+  int rounds_ = 0;
 };
 
 }  // namespace trustlite

@@ -2,6 +2,7 @@
 
 #include "src/fleet/fleet.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/crypto/sha256_engine.h"
@@ -93,6 +94,13 @@ bool Fleet::AllHalted() const {
 
 bool Fleet::SendToNode(int node, std::string payload) {
   return fabric_.Send(kVerifierPort, node, now_, std::move(payload));
+}
+
+size_t Fleet::ConsumeVerifierRx(int node, size_t upto) {
+  std::string& rx = verifier_rx_[static_cast<size_t>(node)];
+  upto = std::min(upto, rx.size());
+  rx.erase(0, upto);
+  return upto;
 }
 
 Sha256Digest Fleet::FleetDigest() const {

@@ -71,11 +71,17 @@ class Fleet {
   // Sends `payload` from the verifier port toward `node` at the current
   // global cycle. Returns false when the link lost the message.
   bool SendToNode(int node, std::string payload);
-  // Byte stream received from `node` at the verifier (grows monotonically;
-  // consumers track their own scan offsets).
+  // Byte stream received from `node` at the verifier. Grows as frames are
+  // delivered; the (single) consumer tracks its own scan offset and hands
+  // consumed bytes back via ConsumeVerifierRx.
   const std::string& VerifierRx(int node) const {
     return verifier_rx_[static_cast<size_t>(node)];
   }
+  // Reclaims the first `upto` bytes of VerifierRx(node) — everything the
+  // consumer has scanned past. Returns the bytes actually trimmed (the
+  // consumer rebases its offsets by that amount). This bounds verifier-side
+  // memory even when a hostile link floods the stream with garbage.
+  size_t ConsumeVerifierRx(int node, size_t upto);
 
   // Digest over every node's StateDigest, in node order — one hash pinning
   // the architectural state of the whole fleet.

@@ -7,6 +7,14 @@
 namespace trustlite {
 namespace {
 
+// Domain-separation salt for the adversary's roll stream: hostile modes
+// must never perturb the loss/reorder pattern of an existing fleet seed.
+constexpr uint64_t kHostileSalt = 0x686F7374696C6500ull;  // "hostile"
+
+// Adversary capture depth per link: how many recently transmitted frames
+// are available for stale replay.
+constexpr size_t kReplayHistoryFrames = 8;
+
 // Folds a directed link id into the fleet seed. Ports are small ints
 // (kVerifierPort = -1); shift them into disjoint lanes of the device-id
 // space so (a, b) and (b, a) draw independent streams.
@@ -24,6 +32,9 @@ void LinkFabric::Connect(int src, int dst, const LinkParams& params) {
   if (inserted) {
     it->second.rng =
         Xoshiro256(DeriveDeviceSeed(fleet_seed_, LinkId(src, dst)));
+    it->second.hostile_rng =
+        Xoshiro256(DeriveDeviceSeed(fleet_seed_ ^ kHostileSalt,
+                                    LinkId(src, dst)));
   }
 }
 
@@ -51,10 +62,19 @@ bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
   }
   Link& link = it->second;
   ++stats_.sent;
+  ++link.sent;
   // Draw both rolls unconditionally so the stream position (and hence every
   // later message's fate) does not depend on parameter settings.
   const bool lost = link.rng.NextBelow(1'000'000) < link.params.loss_ppm;
   const bool reorder = link.rng.NextBelow(1'000'000) < link.params.reorder_ppm;
+  // The adversary's mode rolls come from a separate stream, also drawn
+  // unconditionally, so enabling one attack never re-times another.
+  const bool corrupt =
+      link.hostile_rng.NextBelow(1'000'000) < link.params.corrupt_ppm;
+  const bool replay =
+      link.hostile_rng.NextBelow(1'000'000) < link.params.replay_ppm;
+  const bool reflect =
+      link.hostile_rng.NextBelow(1'000'000) < link.params.reflect_ppm;
   if (lost) {
     ++stats_.dropped;
     return false;
@@ -72,8 +92,71 @@ bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
   }
   stats_.payload_bytes += payload.size();
   message.payload = std::move(payload);
+  if (corrupt && !message.payload.empty()) {
+    // 1-3 bit flips at adversary-chosen offsets in the transmitted bytes.
+    const int flips = 1 + static_cast<int>(link.hostile_rng.NextBelow(3));
+    for (int f = 0; f < flips; ++f) {
+      const size_t byte = link.hostile_rng.NextBelow(message.payload.size());
+      message.payload[byte] = static_cast<char>(
+          static_cast<uint8_t>(message.payload[byte]) ^
+          (1u << link.hostile_rng.NextBelow(8)));
+    }
+    ++stats_.corrupted;
+    ++link.corrupted;
+  }
+  // The adversary captures what was actually on the wire (post-corruption).
+  link.history.push_back(message.payload);
+  if (link.history.size() > kReplayHistoryFrames) {
+    link.history.erase(link.history.begin());
+  }
+  if (reflect) {
+    // Echo the frame back toward its sender, masquerading as traffic from
+    // the destination (a verifier's challenge lands in its own RX stream
+    // attributed to the node it challenged).
+    FleetMessage echo;
+    echo.src = dst;
+    echo.dst = src;
+    echo.seq = next_seq_++;
+    echo.send_cycle = send_cycle;
+    echo.deliver_cycle = send_cycle + link.params.latency_cycles;
+    echo.payload = message.payload;
+    in_flight_[echo.dst].push_back(std::move(echo));
+    ++stats_.reflected;
+    ++link.reflected;
+  }
+  if (replay && link.history.size() > 1) {
+    // Re-deliver a stale captured frame (never the one just sent), landing
+    // just after the fresh frame so both arrive in the same window.
+    const size_t pick = link.hostile_rng.NextBelow(link.history.size() - 1);
+    FleetMessage stale;
+    stale.src = src;
+    stale.dst = dst;
+    stale.seq = next_seq_++;
+    stale.send_cycle = send_cycle;
+    stale.deliver_cycle = send_cycle + link.params.latency_cycles + 1;
+    stale.payload = link.history[pick];
+    in_flight_[dst].push_back(std::move(stale));
+    ++stats_.replayed;
+    ++link.replayed;
+  }
   in_flight_[dst].push_back(std::move(message));
   return true;
+}
+
+std::vector<LinkFabric::LinkStatsRow> LinkFabric::PerLinkStats() const {
+  std::vector<LinkStatsRow> rows;
+  rows.reserve(links_.size());
+  for (const auto& [key, link] : links_) {
+    LinkStatsRow row;
+    row.src = key.first;
+    row.dst = key.second;
+    row.sent = link.sent;
+    row.corrupted = link.corrupted;
+    row.replayed = link.replayed;
+    row.reflected = link.reflected;
+    rows.push_back(row);
+  }
+  return rows;  // std::map iteration order == ascending (src, dst).
 }
 
 std::vector<FleetMessage> LinkFabric::Deliver(int dst, uint64_t now) {

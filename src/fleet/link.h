@@ -21,6 +21,18 @@
 // is delayed past messages sent after it on the same link, which at the
 // byte-stream level is exactly an out-of-order arrival. Loss drops the
 // whole message (one UART burst ~ one network frame).
+//
+// Hostile modes. Beyond passive line impairments, a link can model an
+// *active* adversary on the wire (paper Secs. 1/2.3 assume one):
+// corruption (seeded bit-flips in the delivered bytes), stale-frame replay
+// (a previously transmitted frame on the same link is re-delivered) and
+// reflection (the frame is echoed back toward its sender, so e.g. a
+// verifier's challenge shows up in its own RX stream attributed to the
+// node). Hostile rolls draw from a *separate* per-link stream from the
+// loss/reorder rolls, so enabling an attack never perturbs the passive
+// impairment pattern of an existing seed — and like everything else in the
+// fabric they are cycle-stamped and consumed in deterministic Send() order,
+// keeping transcripts bit-identical across host thread counts.
 
 #ifndef TRUSTLITE_SRC_FLEET_LINK_H_
 #define TRUSTLITE_SRC_FLEET_LINK_H_
@@ -49,6 +61,10 @@ struct LinkParams {
   uint32_t latency_cycles = 1000;  // Per-hop transit time.
   uint32_t loss_ppm = 0;           // Per-message drop rate, parts/million.
   uint32_t reorder_ppm = 0;        // Per-message reorder rate, parts/million.
+  // Active adversary (per-message rates, parts/million; see header note).
+  uint32_t corrupt_ppm = 0;  // Bit-flips in the delivered payload.
+  uint32_t replay_ppm = 0;   // Re-deliver a previously transmitted frame.
+  uint32_t reflect_ppm = 0;  // Echo the frame back toward its sender.
 };
 
 struct FleetMessage {
@@ -90,14 +106,38 @@ class LinkFabric {
     uint64_t delivered = 0;
     uint64_t dropped = 0;
     uint64_t reordered = 0;
-    uint64_t payload_bytes = 0;
+    uint64_t payload_bytes = 0;  // Offered (non-lost) sender payload only.
+    // Hostile-mode events actually applied (a replay roll with an empty
+    // link history, for example, does not count).
+    uint64_t corrupted = 0;
+    uint64_t replayed = 0;
+    uint64_t reflected = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  // Per-link counters in ascending (src, dst) order, for `tlfleet --stats`.
+  struct LinkStatsRow {
+    int src = 0;
+    int dst = 0;
+    uint64_t sent = 0;
+    uint64_t corrupted = 0;
+    uint64_t replayed = 0;
+    uint64_t reflected = 0;
+  };
+  std::vector<LinkStatsRow> PerLinkStats() const;
 
  private:
   struct Link {
     LinkParams params;
-    Xoshiro256 rng{0};
+    Xoshiro256 rng{0};          // Passive impairments (loss/reorder).
+    Xoshiro256 hostile_rng{0};  // Adversary rolls (corrupt/replay/reflect).
+    // Recently transmitted frames, oldest first (the adversary's capture
+    // buffer for replay; bounded at kReplayHistoryFrames).
+    std::vector<std::string> history;
+    uint64_t sent = 0;
+    uint64_t corrupted = 0;
+    uint64_t replayed = 0;
+    uint64_t reflected = 0;
   };
 
   std::map<std::pair<int, int>, Link> links_;

@@ -109,19 +109,6 @@ std::set<int> TamperPlan(const Fleet& fleet, int tamper_count) {
   return tampered;
 }
 
-// Flips a bit in FW's never-executed tail word: the node keeps running
-// normally but its live measurement diverges from the golden code.
-Status ApplyTamper(FleetNode& node, NodeProvision* provision) {
-  const uint32_t victim =
-      provision->fw_code_addr +
-      static_cast<uint32_t>(provision->fw_code.size()) - 4;
-  if (!FlipRamBit(&node.platform().bus(), victim, 1)) {
-    return Internal("tamper bit-flip failed");
-  }
-  provision->tampered = true;
-  return OkStatus();
-}
-
 // Cold-boots `node` through the full Secure Loader path. `built_out`
 // (optional) receives the build products for snapshot-based cloning.
 Status ColdProvisionNode(FleetNode& node, const FleetProvisionConfig& config,
@@ -274,6 +261,19 @@ Status WarmProvisionClone(FleetNode& node, const GoldenState& golden,
 
 }  // namespace
 
+// Flips a bit in FW's never-executed tail word: the node keeps running
+// normally but its live measurement diverges from the golden code.
+Status TamperNode(FleetNode& node, NodeProvision* provision) {
+  const uint32_t victim =
+      provision->fw_code_addr +
+      static_cast<uint32_t>(provision->fw_code.size()) - 4;
+  if (!FlipRamBit(&node.platform().bus(), victim, 1)) {
+    return Internal("tamper bit-flip failed");
+  }
+  provision->tampered = true;
+  return OkStatus();
+}
+
 std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node) {
   Xoshiro256 rng(
       DeriveDeviceSeed(fleet_seed ^ kKeySalt, static_cast<uint32_t>(node)));
@@ -350,7 +350,7 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
     }
 
     if (tampered.count(i) != 0) {
-      TL_RETURN_IF_ERROR(ApplyTamper(node, &provision));
+      TL_RETURN_IF_ERROR(TamperNode(node, &provision));
     }
 
     // Provisioning drove the platform from this thread; release the

@@ -62,6 +62,13 @@ std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node);
 Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
     Fleet* fleet, const FleetProvisionConfig& config);
 
+// Flips one bit in the never-executed tail word of the node's live FW code:
+// the node keeps running but its measurement diverges from the golden
+// bytes. Safe mid-run between fleet quanta (the hostile-link campaigns
+// tamper nodes after their first verified report this way) as well as at
+// provision time. Marks the provision tampered.
+Status TamperNode(FleetNode& node, NodeProvision* provision);
+
 }  // namespace trustlite
 
 #endif  // TRUSTLITE_SRC_FLEET_PROVISION_H_

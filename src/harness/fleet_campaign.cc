@@ -1,0 +1,256 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/harness/fleet_campaign.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/harness/injector.h"
+
+namespace trustlite {
+namespace {
+
+// Salts for the campaign's own streams (distinct from the fleet seed's
+// key/tamper/challenge/hostile lanes).
+constexpr uint64_t kVictimSalt = 0x76696374696D7300ull;   // "victims"
+constexpr uint64_t kPayloadSalt = 0x7061796C6F616400ull;  // "payload"
+constexpr uint64_t kVariantSalt = 0x76617269616E7400ull;  // "variant"
+
+std::vector<uint8_t> DeterministicPayload(uint64_t seed, uint32_t bytes) {
+  Xoshiro256 rng(DeriveDeviceSeed(seed ^ kPayloadSalt, 0));
+  std::vector<uint8_t> payload(bytes);
+  for (uint8_t& b : payload) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  return payload;
+}
+
+// Distinct victim nodes, deterministic in the campaign seed.
+std::set<int> PickVictims(int nodes, int victims, uint64_t seed) {
+  std::set<int> picked;
+  if (victims <= 0 || nodes <= 0) {
+    return picked;
+  }
+  Xoshiro256 rng(DeriveDeviceSeed(seed ^ kVictimSalt, 0));
+  const int want = std::min(victims, nodes);
+  while (static_cast<int>(picked.size()) < want) {
+    picked.insert(static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(nodes))));
+  }
+  return picked;
+}
+
+// Runs quanta until the attestor resolves or the budget runs out.
+bool RunRound(Fleet* fleet, FleetAttestor* attestor, uint64_t max_quanta) {
+  attestor->Begin();
+  for (uint64_t q = 0; q < max_quanta; ++q) {
+    fleet->RunQuantum();
+    attestor->OnQuantumBoundary();
+    if (attestor->Done()) {
+      return true;
+    }
+  }
+  return attestor->Done();
+}
+
+}  // namespace
+
+const char* HostileModeName(HostileMode mode) {
+  switch (mode) {
+    case HostileMode::kNone:
+      return "none";
+    case HostileMode::kCorrupt:
+      return "corrupt";
+    case HostileMode::kReplay:
+      return "replay";
+    case HostileMode::kReflect:
+      return "reflect";
+    case HostileMode::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+LinkParams ApplyHostileMode(LinkParams base, HostileMode mode, uint32_t ppm) {
+  switch (mode) {
+    case HostileMode::kNone:
+      break;
+    case HostileMode::kCorrupt:
+      base.corrupt_ppm = ppm;
+      break;
+    case HostileMode::kReplay:
+      base.replay_ppm = ppm;
+      break;
+    case HostileMode::kReflect:
+      base.reflect_ppm = ppm;
+      break;
+    case HostileMode::kAll:
+      base.corrupt_ppm = ppm;
+      base.replay_ppm = ppm;
+      base.reflect_ppm = ppm;
+      break;
+  }
+  return base;
+}
+
+const char* TamperVariantName(TamperVariant variant) {
+  switch (variant) {
+    case TamperVariant::kTailBitFlip:
+      return "tail-bit-flip";
+    case TamperVariant::kWindowBitFlip:
+      return "window-bit-flip";
+    case TamperVariant::kByteRewrite:
+      return "byte-rewrite";
+    case TamperVariant::kBurst:
+      return "burst";
+    case TamperVariant::kNumVariants:
+      break;
+  }
+  return "?";
+}
+
+Status ApplyTamperVariant(FleetNode& node, NodeProvision* provision,
+                          TamperVariant variant, uint64_t seed,
+                          uint32_t tail_window) {
+  const uint32_t code_size =
+      static_cast<uint32_t>(provision->fw_code.size());
+  if (code_size < 8) {
+    return Internal("FW code region too small to tamper");
+  }
+  // Clamp the attack window to the never-executed tail so victims keep
+  // answering (word-aligned; always at least the final word).
+  uint32_t window = std::min(tail_window, code_size - 8) & ~3u;
+  window = std::max<uint32_t>(window, 4);
+  const uint32_t window_base = provision->fw_code_addr + code_size - window;
+  Bus* bus = &node.platform().bus();
+  Xoshiro256 rng(DeriveDeviceSeed(seed ^ kVariantSalt,
+                                  static_cast<uint32_t>(node.id())));
+
+  switch (variant) {
+    case TamperVariant::kTailBitFlip:
+      return TamperNode(node, provision);
+    case TamperVariant::kWindowBitFlip: {
+      const uint32_t addr = window_base + static_cast<uint32_t>(
+          rng.NextBelow(window));
+      if (!FlipRamBit(bus, addr, static_cast<uint32_t>(rng.NextBelow(32)))) {
+        return Internal("window bit-flip failed");
+      }
+      break;
+    }
+    case TamperVariant::kByteRewrite: {
+      const uint32_t addr =
+          (window_base + static_cast<uint32_t>(rng.NextBelow(window))) & ~3u;
+      uint32_t word = 0;
+      if (!bus->HostReadWord(addr, &word)) {
+        return Internal("byte-rewrite read failed");
+      }
+      const uint32_t shift = 8 * static_cast<uint32_t>(rng.NextBelow(4));
+      // XOR with a non-zero byte so the rewrite always changes the word.
+      const uint32_t delta =
+          (static_cast<uint32_t>(rng.NextBelow(255)) + 1) << shift;
+      if (!bus->HostWriteWord(addr, word ^ delta)) {
+        return Internal("byte-rewrite write failed");
+      }
+      break;
+    }
+    case TamperVariant::kBurst: {
+      // Bit-flips in four consecutive words at the window start (wrapping
+      // inside the window when it is smaller).
+      for (uint32_t w = 0; w < 4; ++w) {
+        const uint32_t addr = window_base + (w * 4) % window;
+        if (!FlipRamBit(bus, addr,
+                        static_cast<uint32_t>(rng.NextBelow(32)))) {
+          return Internal("burst bit-flip failed");
+        }
+      }
+      break;
+    }
+    case TamperVariant::kNumVariants:
+      return Internal("invalid tamper variant");
+  }
+  provision->tampered = true;
+  return OkStatus();
+}
+
+HostileCampaignResult RunHostileAttestCampaign(
+    const HostileCampaignConfig& config) {
+  HostileCampaignResult result;
+
+  FleetConfig fleet_config;
+  fleet_config.nodes = config.nodes;
+  fleet_config.topology = Topology::kStar;
+  fleet_config.seed = config.seed;
+  fleet_config.threads = config.threads;
+  fleet_config.quantum = 20'000;
+  fleet_config.link.latency_cycles = 1'000;
+  fleet_config.link.loss_ppm = config.loss_ppm;
+  fleet_config.link =
+      ApplyHostileMode(fleet_config.link, config.mode, config.hostile_ppm);
+  Fleet fleet(fleet_config);
+
+  FleetProvisionConfig prov;
+  prov.payload = DeterministicPayload(config.seed, config.payload_bytes);
+  prov.warm_boot = config.warm_boot;
+  Result<std::vector<NodeProvision>> provisions =
+      ProvisionAttestationFleet(&fleet, prov);
+  if (!provisions.ok()) {
+    return result;
+  }
+  result.provision_ok = true;
+
+  FleetAttestor attestor(&fleet, *provisions, config.policy);
+
+  // Round 1: a healthy fleet must fully verify across the hostile link.
+  result.round1_resolved =
+      RunRound(&fleet, &attestor, config.max_quanta_per_round);
+  result.round1_verified = static_cast<int>(attestor.Verified().size());
+
+  // Mid-run MVAM tampers: each victim gets the next attack variant, all
+  // inside the measured payload tail so victims keep answering.
+  const std::set<int> victims =
+      PickVictims(config.nodes, config.victims, config.seed);
+  result.tampered.assign(static_cast<size_t>(config.nodes), false);
+  result.variants.assign(static_cast<size_t>(config.nodes),
+                         TamperVariant::kNumVariants);
+  int variant_cursor = 0;
+  for (int victim : victims) {
+    const TamperVariant variant = static_cast<TamperVariant>(
+        variant_cursor % static_cast<int>(TamperVariant::kNumVariants));
+    ++variant_cursor;
+    const Status tampered = ApplyTamperVariant(
+        fleet.node(victim), &(*provisions)[static_cast<size_t>(victim)],
+        variant, config.seed, config.payload_bytes);
+    if (!tampered.ok()) {
+      return result;
+    }
+    result.tampered[static_cast<size_t>(victim)] = true;
+    result.variants[static_cast<size_t>(victim)] = variant;
+  }
+
+  // Round 2: same attestor, same fleet, same hostile links. Victims must
+  // quarantine (stale round-1 reports replayed by the link must NOT
+  // verify them); healthy nodes must verify again.
+  result.round2_resolved =
+      RunRound(&fleet, &attestor, config.max_quanta_per_round);
+
+  result.states.reserve(static_cast<size_t>(config.nodes));
+  bool verdicts_ok = true;
+  for (int i = 0; i < config.nodes; ++i) {
+    const AttestNodeState state = attestor.state(i);
+    result.states.push_back(state);
+    const AttestNodeState want = result.tampered[static_cast<size_t>(i)]
+                                     ? AttestNodeState::kQuarantined
+                                     : AttestNodeState::kVerified;
+    verdicts_ok = verdicts_ok && state == want;
+  }
+  result.transcript = attestor.transcript();
+  result.link_stats = fleet.fabric().stats();
+  result.quanta = fleet.quanta_run();
+  result.verdict_ok = result.round1_resolved &&
+                      result.round1_verified == config.nodes &&
+                      result.round2_resolved && verdicts_ok;
+  return result;
+}
+
+}  // namespace trustlite

@@ -1,0 +1,107 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Hostile-link attestation campaigns (DESIGN.md §13): MVAM-style
+// multi-variant memory-attack campaigns (PAPERS.md) driven through the §11
+// injector primitives against whole fleets on hostile links. One campaign:
+//
+//   1. Round 1 — attest a freshly provisioned fleet across links running a
+//      hostile mode (corruption / stale replay / challenge reflection).
+//      Every node is healthy and must verify despite the adversary.
+//   2. Mid-run tamper — a deterministic set of victim nodes is hit, each
+//      with a *different* memory-attack variant (the multi-variant part:
+//      single bit flip, multi-bit burst, byte rewrite, tail-word flip), via
+//      the injector's host debug port. Victims keep running.
+//   3. Round 2 — the SAME attestor re-attests the SAME fleet over the same
+//      hostile links. Every victim must quarantine — in particular, a
+//      stale report captured by the link in round 1 and replayed in round 2
+//      must not verify a since-tampered node — and every healthy node must
+//      verify again.
+//
+// Everything is deterministic in the campaign seed; transcripts are
+// bit-identical across host thread counts.
+
+#ifndef TRUSTLITE_SRC_HARNESS_FLEET_CAMPAIGN_H_
+#define TRUSTLITE_SRC_HARNESS_FLEET_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/attest.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/link.h"
+#include "src/fleet/provision.h"
+
+namespace trustlite {
+
+// Hostile-link mode selector (maps onto LinkParams::*_ppm).
+enum class HostileMode {
+  kNone = 0,
+  kCorrupt,  // Seeded bit-flips in delivered bytes.
+  kReplay,   // Stale captured frames re-delivered.
+  kReflect,  // Frames echoed back toward their sender.
+  kAll,      // All three at once.
+};
+
+const char* HostileModeName(HostileMode mode);
+
+// Returns `base` with the ppm rates of the selected mode(s) set.
+LinkParams ApplyHostileMode(LinkParams base, HostileMode mode, uint32_t ppm);
+
+// Memory-attack variants applied to a victim's live FW code region. All
+// variants stay inside the never-executed tail window so the victim keeps
+// answering challenges — its reports just stop matching the golden code.
+enum class TamperVariant : int {
+  kTailBitFlip = 0,  // The provisioning classic: one bit in the tail word.
+  kWindowBitFlip,    // One bit at a seeded offset in the tail window.
+  kByteRewrite,      // One byte at a seeded offset replaced wholesale.
+  kBurst,            // Bit-flips in four consecutive tail words.
+  kNumVariants,
+};
+
+const char* TamperVariantName(TamperVariant variant);
+
+// Applies `variant` to the node's live FW code, deterministically in
+// `seed`. Offsets are drawn from the last `tail_window` bytes of the code
+// region (clamped to skip the executed head); marks the provision tampered.
+Status ApplyTamperVariant(FleetNode& node, NodeProvision* provision,
+                          TamperVariant variant, uint64_t seed,
+                          uint32_t tail_window);
+
+struct HostileCampaignConfig {
+  int nodes = 6;
+  uint64_t seed = 1;
+  int threads = 1;
+  HostileMode mode = HostileMode::kNone;
+  uint32_t hostile_ppm = 200'000;  // Rate for the selected mode(s).
+  uint32_t loss_ppm = 0;           // Optional passive impairment on top.
+  int victims = 2;                 // Nodes tampered between the rounds.
+  uint32_t payload_bytes = 64;     // Measured FW payload = tamper window.
+  bool warm_boot = true;           // Snapshot-clone provisioning (fast).
+  AttestPolicy policy;
+  uint64_t max_quanta_per_round = 4'000;
+};
+
+struct HostileCampaignResult {
+  bool provision_ok = false;
+  bool round1_resolved = false;
+  int round1_verified = 0;
+  bool round2_resolved = false;
+  std::vector<AttestNodeState> states;  // Final (round 2) verdicts.
+  std::vector<bool> tampered;           // Mid-run victim flags.
+  std::vector<TamperVariant> variants;  // Variant per node (victims only).
+  std::string transcript;               // Both rounds, deterministic.
+  LinkFabric::Stats link_stats;
+  uint64_t quanta = 0;
+
+  // True iff both rounds resolved, every victim quarantined and every
+  // healthy node verified in round 2.
+  bool verdict_ok = false;
+};
+
+HostileCampaignResult RunHostileAttestCampaign(
+    const HostileCampaignConfig& config);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_HARNESS_FLEET_CAMPAIGN_H_

@@ -333,26 +333,43 @@ std::string EncodeAttestationRequest(uint32_t target_id, uint32_t challenge) {
   return frame;
 }
 
-bool DecodeAttestationResponse(const std::string& uart_output, size_t offset,
-                               uint32_t* status, Sha256Digest* report) {
+AttestScan ScanAttestationResponse(const std::string& uart_output,
+                                   size_t offset, size_t* frame_start,
+                                   size_t* next_offset, uint32_t* status,
+                                   Sha256Digest* report) {
   if (offset >= uart_output.size()) {
-    return false;
+    return AttestScan::kNoFrame;
   }
   const size_t start = uart_output.find('R', offset);
-  if (start == std::string::npos || start + 2 > uart_output.size()) {
-    return false;
+  if (start == std::string::npos) {
+    return AttestScan::kNoFrame;
+  }
+  *frame_start = start;
+  if (start + 2 > uart_output.size()) {
+    return AttestScan::kNeedMore;  // Status byte still streaming.
   }
   *status = static_cast<uint8_t>(uart_output[start + 1]);
   if (*status != kAttestStatusOk) {
-    return true;
+    *next_offset = start + 2;
+    return AttestScan::kFrame;
   }
   if (start + 2 + 32 > uart_output.size()) {
-    return false;  // Report still streaming.
+    return AttestScan::kNeedMore;  // Report still streaming.
   }
   for (size_t i = 0; i < 32; ++i) {
     (*report)[i] = static_cast<uint8_t>(uart_output[start + 2 + i]);
   }
-  return true;
+  *next_offset = start + 2 + 32;
+  return AttestScan::kFrame;
+}
+
+bool DecodeAttestationResponse(const std::string& uart_output, size_t offset,
+                               uint32_t* status, Sha256Digest* report) {
+  size_t frame_start = 0;
+  size_t next_offset = 0;
+  return ScanAttestationResponse(uart_output, offset, &frame_start,
+                                 &next_offset, status, report) ==
+         AttestScan::kFrame;
 }
 
 }  // namespace trustlite

@@ -18,6 +18,7 @@
 #include "src/fleet/provision.h"
 #include "src/isa/assembler.h"
 #include "src/mem/layout.h"
+#include "src/services/attestation.h"
 
 namespace trustlite {
 namespace {
@@ -70,6 +71,77 @@ TEST(LinkFabricTest, ImpairmentsAreSeedDeterministic) {
     fabric.Send(0, 1, static_cast<uint64_t>(i), "m");
   }
   EXPECT_GT(fabric.stats().reordered, 0u);
+}
+
+TEST(LinkFabricTest, CorruptionIsSeededAndIsolatedFromPassiveStreams) {
+  const std::string payload = "attestation-report-bytes";
+  auto run = [&](uint64_t seed) {
+    LinkFabric fabric(seed);
+    fabric.Connect(0, 1, LinkParams{.latency_cycles = 10,
+                                    .corrupt_ppm = 1'000'000});
+    fabric.Send(0, 1, 0, payload);
+    std::vector<FleetMessage> due = fabric.Deliver(1, 100);
+    EXPECT_EQ(due.size(), 1u);
+    EXPECT_EQ(fabric.stats().corrupted, 1u);
+    return due.empty() ? std::string() : due[0].payload;
+  };
+  EXPECT_NE(run(7), payload);  // Bytes actually flipped...
+  EXPECT_EQ(run(7), run(7));   // ...at seed-deterministic offsets.
+  EXPECT_NE(run(7), run(8));
+
+  // The adversary rolls come from a separate stream: arming corruption must
+  // not re-time the passive loss pattern of the same fleet seed.
+  auto losses = [&](uint32_t corrupt_ppm) {
+    LinkFabric fabric(7);
+    fabric.Connect(0, 1, LinkParams{.loss_ppm = 200'000,
+                                    .corrupt_ppm = corrupt_ppm});
+    std::string outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes += fabric.Send(0, 1, static_cast<uint64_t>(i), "m") ? '1' : '0';
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(losses(0), losses(1'000'000));
+}
+
+TEST(LinkFabricTest, ReplayRedeliversStaleCapturedFrames) {
+  LinkFabric fabric(1);
+  fabric.Connect(0, 1, LinkParams{.latency_cycles = 10,
+                                  .replay_ppm = 1'000'000});
+  fabric.Send(0, 1, 0, "f0");  // Nothing captured yet: no replay possible.
+  fabric.Send(0, 1, 1, "f1");
+  fabric.Send(0, 1, 2, "f2");
+  std::vector<FleetMessage> due = fabric.Deliver(1, 100);
+  EXPECT_EQ(fabric.stats().replayed, 2u);
+  ASSERT_EQ(due.size(), 5u);  // 3 fresh + 2 stale re-deliveries.
+  int stale = 0;
+  for (const FleetMessage& m : due) {
+    // A stale copy is always of an OLDER frame, never the one being sent.
+    stale += (m.payload == "f0" || m.payload == "f1") ? 1 : 0;
+  }
+  EXPECT_EQ(stale, 2 + 2);  // f0/f1 originals + 2 stale copies.
+}
+
+TEST(LinkFabricTest, ReflectionEchoesFramesBackToSender) {
+  LinkFabric fabric(1);
+  fabric.Connect(0, 1, LinkParams{.latency_cycles = 10,
+                                  .reflect_ppm = 1'000'000});
+  fabric.Send(0, 1, 0, "challenge");
+  std::vector<FleetMessage> forward = fabric.Deliver(1, 100);
+  ASSERT_EQ(forward.size(), 1u);  // The real frame still goes through.
+  std::vector<FleetMessage> echoed = fabric.Deliver(0, 100);
+  ASSERT_EQ(echoed.size(), 1u);   // ...and an echo lands on the sender,
+  EXPECT_EQ(echoed[0].payload, "challenge");
+  EXPECT_EQ(echoed[0].src, 1);    // masquerading as the destination.
+  EXPECT_EQ(echoed[0].dst, 0);
+  EXPECT_EQ(fabric.stats().reflected, 1u);
+
+  std::vector<LinkFabric::LinkStatsRow> rows = fabric.PerLinkStats();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].src, 0);
+  EXPECT_EQ(rows[0].dst, 1);
+  EXPECT_EQ(rows[0].sent, 1u);
+  EXPECT_EQ(rows[0].reflected, 1u);
 }
 
 TEST(LinkFabricTest, RingTopologyLinksNeighboursAndVerifier) {
@@ -278,6 +350,57 @@ TEST(FleetAttestTest, TranscriptAndDigestIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.digest, many.digest);
   EXPECT_EQ(one.states, many.states);
   EXPECT_EQ(one.quanta, many.quanta);
+}
+
+TEST(FleetAttestTest, MismatchFloodIsBoundedAndLogged) {
+  // An adversary shovels forged reports at the verifier. The verifier must
+  // (a) count every forgery, (b) log only the first policy.max_reject_logs
+  // of them plus one explicit suppression line — no silent truncation, no
+  // unbounded transcript — and (c) reclaim the consumed RX bytes so the
+  // stream buffer does not grow with the flood.
+  FleetConfig config;
+  config.nodes = 1;
+  config.topology = Topology::kStar;
+  config.seed = 7;
+  config.quantum = 20'000;
+  config.link.latency_cycles = 1'000;
+  Fleet fleet(config);
+  Result<std::vector<NodeProvision>> provisions =
+      ProvisionAttestationFleet(&fleet, FleetProvisionConfig{});
+  ASSERT_TRUE(provisions.ok()) << provisions.status().ToString();
+
+  AttestPolicy policy;
+  FleetAttestor attestor(&fleet, *provisions, policy);
+  attestor.Begin();
+  constexpr int kForged = 40;
+  std::string forged(1, 'R');
+  forged += static_cast<char>(kAttestStatusOk);
+  forged += std::string(32, 'x');    // Report matching no challenge.
+  for (int i = 0; i < kForged; ++i) {
+    ASSERT_TRUE(fleet.fabric().Send(0, kVerifierPort, 0, forged));
+  }
+  for (uint64_t q = 0; q < 600 && !attestor.Done(); ++q) {
+    fleet.RunQuantum();
+    attestor.OnQuantumBoundary();
+  }
+  ASSERT_TRUE(attestor.Done());
+  // The genuine report still verifies through the flood.
+  EXPECT_EQ(attestor.state(0), AttestNodeState::kVerified);
+  EXPECT_EQ(attestor.mismatches(0), static_cast<uint64_t>(kForged));
+
+  const std::string& transcript = attestor.transcript();
+  size_t mismatch_lines = 0;
+  for (size_t at = transcript.find("report-mismatch");
+       at != std::string::npos;
+       at = transcript.find("report-mismatch", at + 1)) {
+    ++mismatch_lines;
+  }
+  EXPECT_EQ(mismatch_lines, static_cast<size_t>(policy.max_reject_logs));
+  EXPECT_NE(transcript.find("reject-log cap reached"), std::string::npos);
+  EXPECT_NE(transcript.find("mismatches=40"), std::string::npos);
+  // Consumed stream prefix was handed back: the buffer holds at most the
+  // unconsumed tail, not the whole flood.
+  EXPECT_LT(fleet.VerifierRx(0).size(), forged.size() * 2);
 }
 
 TEST(FleetAttestTest, RetriesRideOutLinkLoss) {

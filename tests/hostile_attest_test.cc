@@ -1,0 +1,182 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Hostile-link attestation campaigns (DESIGN.md §13): MVAM-style
+// multi-variant tamper campaigns run across links under active attack —
+// corruption, stale replay, challenge reflection — plus the replay-window
+// regression: the pre-PR7 verifier demonstrably honors a stale report the
+// link replays for a since-tampered node, the fixed verifier quarantines.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fleet/attest.h"
+#include "src/harness/fleet_campaign.h"
+
+namespace trustlite {
+namespace {
+
+// Per-mode rates that keep healthy nodes live within the attempt budget:
+// corruption hits every byte of every frame, so its rate stays moderate;
+// replay/reflection never damage the fresh frame and can run flat out.
+uint32_t RateFor(HostileMode mode) {
+  switch (mode) {
+    case HostileMode::kCorrupt:
+    case HostileMode::kAll:
+      return 100'000;
+    case HostileMode::kReplay:
+    case HostileMode::kReflect:
+      return 1'000'000;
+    case HostileMode::kNone:
+      break;
+  }
+  return 0;
+}
+
+HostileCampaignConfig CampaignConfig(HostileMode mode, int threads) {
+  HostileCampaignConfig config;
+  config.nodes = 6;
+  config.seed = 7;
+  config.threads = threads;
+  config.mode = mode;
+  config.hostile_ppm = RateFor(mode);
+  config.victims = 2;
+  return config;
+}
+
+// The tentpole property: every hostile mode resolves to the correct
+// verdicts, and the whole campaign — transcript included — is bit-identical
+// from --threads 1 to --threads 8.
+TEST(HostileCampaignTest, MatrixBitIdenticalAcrossThreadCounts) {
+  const HostileMode kModes[] = {HostileMode::kCorrupt, HostileMode::kReplay,
+                                HostileMode::kReflect, HostileMode::kAll};
+  for (HostileMode mode : kModes) {
+    SCOPED_TRACE(HostileModeName(mode));
+    HostileCampaignResult base =
+        RunHostileAttestCampaign(CampaignConfig(mode, /*threads=*/1));
+    ASSERT_TRUE(base.provision_ok);
+    EXPECT_TRUE(base.verdict_ok) << base.transcript;
+    for (int threads : {4, 8}) {
+      SCOPED_TRACE(threads);
+      HostileCampaignResult run =
+          RunHostileAttestCampaign(CampaignConfig(mode, threads));
+      EXPECT_EQ(run.transcript, base.transcript);
+      EXPECT_EQ(run.states, base.states);
+      EXPECT_EQ(run.quanta, base.quanta);
+      EXPECT_EQ(run.link_stats.corrupted, base.link_stats.corrupted);
+      EXPECT_EQ(run.link_stats.replayed, base.link_stats.replayed);
+      EXPECT_EQ(run.link_stats.reflected, base.link_stats.reflected);
+    }
+  }
+}
+
+// Each hostile mode must actually fire on the wire — a campaign that
+// "survives" an attack that never happened proves nothing.
+TEST(HostileCampaignTest, AttacksActuallyFire) {
+  HostileCampaignResult corrupt =
+      RunHostileAttestCampaign(CampaignConfig(HostileMode::kCorrupt, 1));
+  EXPECT_GT(corrupt.link_stats.corrupted, 0u);
+  HostileCampaignResult replay =
+      RunHostileAttestCampaign(CampaignConfig(HostileMode::kReplay, 1));
+  EXPECT_GT(replay.link_stats.replayed, 0u);
+  HostileCampaignResult reflect =
+      RunHostileAttestCampaign(CampaignConfig(HostileMode::kReflect, 1));
+  EXPECT_GT(reflect.link_stats.reflected, 0u);
+}
+
+// Anti-reflection: with every verifier TX echoed straight back into the
+// verifier's own RX stream, no echo may ever verify a node — echoes carry
+// no report matching any expected digest, so they are counted as noise or
+// rejects, and every node still resolves on its genuine report.
+TEST(HostileCampaignTest, ReflectedChallengesNeverVerify) {
+  HostileCampaignConfig config = CampaignConfig(HostileMode::kReflect, 1);
+  config.victims = 0;  // Healthy fleet: everything must verify.
+  HostileCampaignResult run = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(run.provision_ok);
+  EXPECT_TRUE(run.verdict_ok) << run.transcript;
+  EXPECT_GT(run.link_stats.reflected, 0u);
+  // No verdict was reached on anything but a fresh genuine report.
+  EXPECT_EQ(run.transcript.find("STALE REPORT honored"), std::string::npos);
+}
+
+// Multi-variant coverage: across the campaign's victims every applied
+// variant is recorded, and distinct variants appear (MVAM-style).
+TEST(HostileCampaignTest, TamperVariantsCycleAcrossVictims) {
+  HostileCampaignConfig config = CampaignConfig(HostileMode::kAll, 1);
+  config.victims = 4;
+  HostileCampaignResult run = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(run.provision_ok);
+  EXPECT_TRUE(run.verdict_ok) << run.transcript;
+  std::vector<TamperVariant> used;
+  for (int i = 0; i < config.nodes; ++i) {
+    if (run.tampered[static_cast<size_t>(i)]) {
+      used.push_back(run.variants[static_cast<size_t>(i)]);
+    }
+  }
+  ASSERT_EQ(used.size(), 4u);
+  for (size_t a = 0; a < used.size(); ++a) {
+    for (size_t b = a + 1; b < used.size(); ++b) {
+      EXPECT_NE(used[a], used[b]);  // 4 victims -> all 4 variants.
+    }
+  }
+}
+
+// The replay-window regression (the PR's bugfix). Round 1 verifies a
+// healthy fleet; the link captures those reports. Victims are tampered
+// mid-run; in round 2 the link replays the captured round-1 reports.
+//  * Pre-fix verifier (accept_stale_reports): a report matching ANY
+//    previously issued challenge verified — the replayed round-1 report
+//    wrongly re-verifies a node whose code has since been tampered.
+//  * Fixed verifier: only the latest outstanding challenge verifies; the
+//    replay is rejected as stale and the victim quarantines.
+TEST(ReplayWindowRegressionTest, StaleReportRejectedByFixedVerifierOnly) {
+  HostileCampaignConfig config = CampaignConfig(HostileMode::kReplay, 1);
+
+  HostileCampaignResult fixed = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(fixed.provision_ok);
+  EXPECT_TRUE(fixed.verdict_ok) << fixed.transcript;
+  // The attack was live and the fix visibly exercised.
+  EXPECT_NE(fixed.transcript.find("stale-report rejected (replay suspected)"),
+            std::string::npos);
+  EXPECT_EQ(fixed.transcript.find("STALE REPORT honored"), std::string::npos);
+
+  config.policy.accept_stale_reports = true;  // Pre-PR7 vulnerable window.
+  HostileCampaignResult vulnerable = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(vulnerable.provision_ok);
+  EXPECT_FALSE(vulnerable.verdict_ok);
+  bool tampered_node_wrongly_verified = false;
+  for (int i = 0; i < config.nodes; ++i) {
+    if (vulnerable.tampered[static_cast<size_t>(i)] &&
+        vulnerable.states[static_cast<size_t>(i)] ==
+            AttestNodeState::kVerified) {
+      tampered_node_wrongly_verified = true;
+    }
+  }
+  EXPECT_TRUE(tampered_node_wrongly_verified) << vulnerable.transcript;
+  EXPECT_NE(vulnerable.transcript.find("STALE REPORT honored"),
+            std::string::npos);
+}
+
+// Challenge nonces must never repeat across retries OR re-attestation
+// rounds — a repeated nonce would make a replayed old report "fresh".
+TEST(ReplayWindowRegressionTest, NoncesUniqueAcrossRounds) {
+  HostileCampaignConfig config = CampaignConfig(HostileMode::kNone, 1);
+  config.victims = 1;
+  HostileCampaignResult run = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(run.provision_ok);
+  std::vector<std::string> nonces;
+  const std::string& t = run.transcript;
+  for (size_t at = t.find("nonce="); at != std::string::npos;
+       at = t.find("nonce=", at + 1)) {
+    nonces.push_back(t.substr(at + 6, 8));
+  }
+  ASSERT_GT(nonces.size(), 6u);  // Two rounds over six nodes.
+  for (size_t a = 0; a < nonces.size(); ++a) {
+    for (size_t b = a + 1; b < nonces.size(); ++b) {
+      EXPECT_NE(nonces[a], nonces[b]) << "repeated challenge nonce";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -273,6 +273,52 @@ TEST(SnapshotPropertyTest, RestoreEqualsLiveAcrossDifferentialCorpus) {
   EXPECT_GE(checkpoints, 1000);
 }
 
+// Platform-shape matrix: the round-trip invariants must hold for every
+// supported combination of {with_mpu, secure_exceptions, DMA off /
+// unchecked / execution-aware}, not just the default shape — optional
+// devices and security features may not silently drop snapshot chunks.
+TEST(SnapshotPropertyTest, RoundTripHoldsAcrossPlatformConfigMatrix) {
+  const DmaEngine::Mode kDmaModes[] = {DmaEngine::Mode::kUnchecked,
+                                       DmaEngine::Mode::kExecutionAware};
+  for (bool with_mpu : {true, false}) {
+    for (bool secure_exceptions : {true, false}) {
+      for (int dma = 0; dma < 3; ++dma) {
+        PlatformConfig config;
+        config.with_mpu = with_mpu;
+        config.secure_exceptions = secure_exceptions;
+        config.with_dma = dma > 0;
+        if (config.with_dma) {
+          config.dma_mode = kDmaModes[dma - 1];
+        }
+        SCOPED_TRACE(testing::Message()
+                     << "mpu=" << with_mpu << " sec-exc=" << secure_exceptions
+                     << " dma=" << dma);
+
+        Platform live(config);
+        LoadAt(live, kBusyGuest, 0x00030000);
+        live.cpu().Reset(0x00030000);
+        live.cpu().set_reg(kRegSp, 0x00040000);
+        live.Run(1234);
+
+        Result<std::vector<uint8_t>> saved = SavePlatform(live);
+        ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+        Platform clone(config);
+        ASSERT_TRUE(RestorePlatform(&clone, *saved).ok());
+        EXPECT_EQ(PlatformStateDigest(live), PlatformStateDigest(clone));
+        Result<std::vector<uint8_t>> resaved = SavePlatform(clone);
+        ASSERT_TRUE(resaved.ok());
+        EXPECT_EQ(*saved, *resaved);
+
+        // Continued execution stays bit-identical to the live platform.
+        live.Run(20'000);
+        clone.Run(20'000);
+        EXPECT_EQ(PlatformStateDigest(live), PlatformStateDigest(clone));
+        EXPECT_EQ(live.uart().output(), clone.uart().output());
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Regression (PR 3 bug class): HardReset must clear the per-device
 // snapshot-generation counters along with the rest of the device state.

@@ -54,7 +54,8 @@ README_FLAGS="$(flags_of < "$SRC/README.md" || true)"
 README_ALLOW="--build --test-dir"
 # Niche knobs documented in --help only.
 HELP_ALLOW="--origin --entry --sp --max --uart-in --no-mpu
-            --quantum --quanta --latency --quiet"
+            --quantum --quanta --latency --quiet
+            --corrupt-ppm --replay-ppm --reflect-ppm"
 
 for f in $README_FLAGS; do
   if ! grep -qxF -- "$f" <<<"$HELP_FLAGS" && ! grep -qwF -- "$f" <<<"$README_ALLOW"; then

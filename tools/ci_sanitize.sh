@@ -27,11 +27,15 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# TSan stage: fleet executor + RNG tests and the tlfleet smoke runs (ctest
-# regex covers the gtest-discovered Fleet*/QuantumPool* cases).
+# TSan stage: fleet executor + RNG tests, the tlfleet smoke runs, and the
+# hostile-link campaigns — multi-threaded quanta with mid-run host-port
+# tampering and an active link adversary are exactly where a data race
+# would hide (ctest regex covers the gtest-discovered Fleet*/QuantumPool*/
+# HostileCampaign*/ReplayWindow* cases plus the ci_hostile gate).
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target fleet_test rng_test tlfleet
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+  --target fleet_test hostile_attest_test rng_test tlfleet
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet'
+  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet|Hostile|ReplayWindow|ci_hostile'

@@ -5,7 +5,10 @@
 //   tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]
 //               [--threads T] [--attest] [--warm-boot] [--tamper K]
 //               [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]
-//               [--reorder-ppm P] [--trace-json FILE] [--stats] [--quiet]
+//               [--reorder-ppm P] [--hostile corrupt|replay|reflect|all]
+//               [--hostile-ppm P] [--corrupt-ppm P] [--replay-ppm P]
+//               [--reflect-ppm P] [--transcript FILE] [--trace-json FILE]
+//               [--stats] [--quiet]
 //
 // Two modes:
 //  * --attest: every node boots the remote-attestation stack (FW trustlet +
@@ -34,7 +37,9 @@
 
 #include "src/fleet/attest.h"
 #include "src/fleet/fleet.h"
+#include "src/fleet/link.h"
 #include "src/fleet/provision.h"
+#include "src/harness/fleet_campaign.h"
 #include "src/isa/assembler.h"
 #include "src/platform/observe/fleet_trace.h"
 #include "src/platform/observe/json.h"
@@ -52,12 +57,20 @@ int Usage(bool help = false) {
       "  tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]\n"
       "              [--threads T] [--attest] [--warm-boot] [--tamper K]\n"
       "              [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]\n"
-      "              [--reorder-ppm P] [--trace-json FILE] [--stats]\n"
+      "              [--reorder-ppm P] [--hostile MODE] [--hostile-ppm P]\n"
+      "              [--corrupt-ppm P] [--replay-ppm P] [--reflect-ppm P]\n"
+      "              [--transcript FILE] [--trace-json FILE] [--stats]\n"
       "              [--quiet]\n"
       "\n"
       "  --warm-boot  attest mode: Secure-Loader-boot node 0 once, then\n"
       "               provision the other nodes by snapshot restore +\n"
-      "               per-device key/seed patching (DESIGN.md Sec. 14)\n");
+      "               per-device key/seed patching (DESIGN.md Sec. 14)\n"
+      "  --hostile MODE  arm every link with an active attack\n"
+      "               (corrupt|replay|reflect|all) at --hostile-ppm per\n"
+      "               message; --corrupt-ppm/--replay-ppm/--reflect-ppm set\n"
+      "               individual rates (DESIGN.md Sec. 13)\n"
+      "  --transcript FILE  attest mode: write the verifier transcript\n"
+      "               (bit-identical across --threads for a fixed seed)\n");
   return help ? 0 : 2;
 }
 
@@ -96,6 +109,12 @@ struct Options {
   uint32_t latency = 1'000;
   uint32_t loss_ppm = 0;
   uint32_t reorder_ppm = 0;
+  HostileMode hostile = HostileMode::kNone;
+  uint32_t hostile_ppm = 150'000;
+  uint32_t corrupt_ppm = 0;
+  uint32_t replay_ppm = 0;
+  uint32_t reflect_ppm = 0;
+  std::string transcript;
   std::string trace_json;
   bool stats = false;
   bool quiet = false;
@@ -144,6 +163,31 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
       opt->loss_ppm = static_cast<uint32_t>(value);
     } else if (arg == "--reorder-ppm" && next_u64(&value)) {
       opt->reorder_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--hostile" && i + 1 < args.size()) {
+      const std::string& name = args[++i];
+      if (name == "corrupt") {
+        opt->hostile = HostileMode::kCorrupt;
+      } else if (name == "replay") {
+        opt->hostile = HostileMode::kReplay;
+      } else if (name == "reflect") {
+        opt->hostile = HostileMode::kReflect;
+      } else if (name == "all") {
+        opt->hostile = HostileMode::kAll;
+      } else {
+        std::fprintf(stderr, "tlfleet: unknown hostile mode '%s'\n",
+                     name.c_str());
+        return false;
+      }
+    } else if (arg == "--hostile-ppm" && next_u64(&value)) {
+      opt->hostile_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--corrupt-ppm" && next_u64(&value)) {
+      opt->corrupt_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--replay-ppm" && next_u64(&value)) {
+      opt->replay_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--reflect-ppm" && next_u64(&value)) {
+      opt->reflect_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--transcript" && i + 1 < args.size()) {
+      opt->transcript = args[++i];
     } else if (arg == "--trace-json" && i + 1 < args.size()) {
       opt->trace_json = args[++i];
     } else if (arg == "--stats") {
@@ -207,6 +251,16 @@ int CmdRun(const std::vector<std::string>& args) {
   config.link.latency_cycles = opt.latency;
   config.link.loss_ppm = opt.loss_ppm;
   config.link.reorder_ppm = opt.reorder_ppm;
+  config.link = ApplyHostileMode(config.link, opt.hostile, opt.hostile_ppm);
+  if (opt.corrupt_ppm != 0) {
+    config.link.corrupt_ppm = opt.corrupt_ppm;
+  }
+  if (opt.replay_ppm != 0) {
+    config.link.replay_ppm = opt.replay_ppm;
+  }
+  if (opt.reflect_ppm != 0) {
+    config.link.reflect_ppm = opt.reflect_ppm;
+  }
   Fleet fleet(config);
 
   std::vector<NodeProvision> provisions;
@@ -338,9 +392,41 @@ int CmdRun(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(ls.reordered),
                   static_cast<unsigned long long>(ls.payload_bytes),
                   fleet.fabric().in_flight());
+      std::printf("hostile: corrupted %llu replayed %llu reflected %llu\n",
+                  static_cast<unsigned long long>(ls.corrupted),
+                  static_cast<unsigned long long>(ls.replayed),
+                  static_cast<unsigned long long>(ls.reflected));
+      // Per-link rows only for links the adversary actually touched.
+      for (const LinkFabric::LinkStatsRow& row :
+           fleet.fabric().PerLinkStats()) {
+        if (row.corrupted == 0 && row.replayed == 0 && row.reflected == 0) {
+          continue;
+        }
+        std::printf("link %d->%d: sent %llu corrupted %llu replayed %llu "
+                    "reflected %llu\n",
+                    row.src, row.dst,
+                    static_cast<unsigned long long>(row.sent),
+                    static_cast<unsigned long long>(row.corrupted),
+                    static_cast<unsigned long long>(row.replayed),
+                    static_cast<unsigned long long>(row.reflected));
+      }
     }
   }
   std::printf("fleet-digest: %s\n", DigestHex(fleet.FleetDigest()).c_str());
+
+  if (!opt.transcript.empty()) {
+    std::ofstream out(opt.transcript, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tlfleet: cannot write %s\n",
+                   opt.transcript.c_str());
+      return 1;
+    }
+    out << attestor.transcript();
+    if (!opt.quiet) {
+      std::printf("transcript: wrote %s (%zu bytes)\n",
+                  opt.transcript.c_str(), attestor.transcript().size());
+    }
+  }
 
   if (!opt.trace_json.empty()) {
     for (int i = 0; i < fleet.num_nodes(); ++i) {
