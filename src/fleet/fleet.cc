@@ -3,6 +3,7 @@
 #include "src/fleet/fleet.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "src/crypto/sha256_engine.h"
@@ -14,7 +15,13 @@ Fleet::Fleet(const FleetConfig& config)
     : config_(config),
       fabric_(config.seed),
       pool_(config.threads),
-      verifier_rx_(static_cast<size_t>(config.nodes)) {
+      verifier_rx_(static_cast<size_t>(config.nodes)),
+      deliver_scratch_(static_cast<size_t>(config.nodes)),
+      burst_scratch_(static_cast<size_t>(config.nodes)),
+      gpio_out_scratch_(static_cast<size_t>(config.nodes)) {
+  // Node ids must fit the fabric's per-link RNG lanes (LinkId folds ports
+  // into 16-bit halves); kMaxFleetPort leaves headroom well past 10k nodes.
+  assert(config_.nodes >= 0 && config_.nodes <= kMaxFleetPort + 1);
   nodes_.reserve(static_cast<size_t>(config_.nodes));
   for (int i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(
@@ -24,54 +31,73 @@ Fleet::Fleet(const FleetConfig& config)
 }
 
 void Fleet::RunQuantum() {
-  // Phase 1 — deliver everything visible at the quantum's start cycle.
-  // Single-threaded, node-id order; the verifier port drains last so its
-  // streams also grow in a thread-independent order.
-  for (int i = 0; i < num_nodes(); ++i) {
-    for (FleetMessage& message : fabric_.Deliver(i, now_)) {
-      nodes_[static_cast<size_t>(i)]->PushRx(message.payload);
-    }
-  }
-  for (FleetMessage& message : fabric_.Deliver(kVerifierPort, now_)) {
-    if (message.src >= 0 && message.src < num_nodes()) {
+  const int n = num_nodes();
+  const uint64_t target = now_ + config_.quantum;
+
+  // Phase 1 — drain the verifier port (serial). The due-queue pops frames
+  // in (deliver_cycle, seq) order — a total order — so the per-source RX
+  // streams grow identically at every thread count.
+  fabric_.DeliverInto(kVerifierPort, now_, &verifier_scratch_);
+  for (FleetMessage& message : verifier_scratch_) {
+    if (message.src >= 0 && message.src < n) {
       verifier_rx_[static_cast<size_t>(message.src)] += message.payload;
     }
   }
 
-  // Phase 2 — the only parallel section: each node runs to the quantum end
-  // touching nothing but its own Platform.
-  const uint64_t target = now_ + config_.quantum;
-  pool_.ParallelFor(num_nodes(), [&](int i) {
-    nodes_[static_cast<size_t>(i)]->RunQuantum(target);
-  });
+  // Phase 2 — one fused parallel round: deliver node i's due frames, run
+  // node i to the quantum end, collect its TX burst. Shard i touches only
+  // node i's due-queue, Platform and scratch slots, so the host schedule
+  // cannot leak into results. Grain keeps cursor traffic sublinear in n.
+  const int grain = std::max(1, n / (pool_.threads() * 16));
+  pool_.ParallelFor(
+      n,
+      [&](int i) {
+        FleetNode& node = *nodes_[static_cast<size_t>(i)];
+        std::vector<FleetMessage>& due =
+            deliver_scratch_[static_cast<size_t>(i)];
+        fabric_.DeliverInto(i, now_, &due);
+        for (FleetMessage& message : due) {
+          node.PushRx(message.payload);
+        }
+        node.RunQuantum(target);
+        burst_scratch_[static_cast<size_t>(i)] =
+            node.HarvestTx(config_.harvest_batch_quanta);
+      },
+      grain);
 
-  // Phase 3 — harvest TX bursts in node-id order so the per-link impairment
-  // streams advance identically regardless of host scheduling.
-  for (int i = 0; i < num_nodes(); ++i) {
-    FleetNode::TxBurst burst = nodes_[static_cast<size_t>(i)]->HarvestTx();
+  // Phase 3 — sends stay serial, in node-id order: every Send advances the
+  // per-link impairment/hostile RNG streams, and that consumption order is
+  // the fleet's determinism anchor.
+  for (int i = 0; i < n; ++i) {
+    FleetNode::TxBurst& burst = burst_scratch_[static_cast<size_t>(i)];
     if (burst.payload.empty()) {
       continue;
     }
-    for (int dst : fabric_.OutLinks(i)) {
+    for (int dst : fabric_.OutLinksOf(i)) {
       fabric_.Send(i, dst, burst.last_cycle, burst.payload);
     }
+    burst.payload.clear();
   }
-  if (config_.topology == Topology::kRing && config_.bridge_gpio &&
-      num_nodes() > 1) {
+  if (config_.topology == Topology::kRing && config_.bridge_gpio && n > 1) {
     // Latch each node's GPIO OUT into its clockwise neighbour's IN. Reads
     // complete before any write lands (out() snapshots below), matching a
     // wired bus sampled at the quantum boundary.
-    std::vector<uint32_t> outs(static_cast<size_t>(num_nodes()));
-    for (int i = 0; i < num_nodes(); ++i) {
-      outs[static_cast<size_t>(i)] =
+    for (int i = 0; i < n; ++i) {
+      gpio_out_scratch_[static_cast<size_t>(i)] =
           nodes_[static_cast<size_t>(i)]->platform().gpio().out();
     }
-    for (int i = 0; i < num_nodes(); ++i) {
-      const int next = (i + 1) % num_nodes();
+    for (int i = 0; i < n; ++i) {
+      const int next = (i + 1) % n;
       nodes_[static_cast<size_t>(next)]->platform().gpio().SetIn(
-          outs[static_cast<size_t>(i)]);
+          gpio_out_scratch_[static_cast<size_t>(i)]);
     }
   }
+
+#ifndef NDEBUG
+  // Satellite invariant: the O(1) in-flight counter must track the queues
+  // exactly, including hostile replay/reflect injections and batch flushes.
+  assert(fabric_.in_flight() == fabric_.RecountInFlight());
+#endif
 
   now_ = target;
   ++quanta_run_;

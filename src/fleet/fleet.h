@@ -4,18 +4,22 @@
 // across a host thread pool while keeping results bit-identical to the
 // single-threaded schedule for a fixed fleet seed.
 //
-// Execution model — synchronized run-quanta:
-//   1. Deliver: all fabric messages visible at the quantum's start cycle
-//     are pushed into node UART receivers (node-id order) and the verifier
-//     RX streams (deterministic (deliver, seq) order).
-//   2. Execute: every live node runs to the quantum's end cycle on the
-//     work-stealing pool. Nodes share nothing during this phase — each
-//     touches only its own Platform — so the schedule cannot leak into
-//     results, and the phase is the only parallel section in the system.
-//   3. Harvest: each node's captured TX burst is sent on every out-link in
-//     node-id order, consuming the per-link impairment streams in a
-//     thread-independent order. Ring fleets also bridge GPIO here
-//     (node i's OUT latched into node i+1's IN).
+// Execution model — synchronized run-quanta, fused per node:
+//   1. Verifier drain (serial): fabric messages due at the verifier port
+//     are appended to the per-source RX streams in (deliver_cycle, seq)
+//     order — the fabric's due-queues pop a total order, so the transcript
+//     is thread-independent by construction.
+//   2. Sharded deliver + execute + harvest-collect: ONE ParallelFor round
+//     per quantum. Shard i pops node i's due frames from its private
+//     due-queue into node i's UART, runs the node to the quantum end, and
+//     collects its TX burst into a per-node scratch slot. Every step
+//     touches only node i's state (per-dst due-queue, Platform, scratch
+//     slot), so host scheduling cannot leak into results.
+//   3. Serial sends: collected bursts enter the fabric in node-id order,
+//     consuming the per-link impairment/hostile RNG streams in a
+//     thread-independent order — this is the determinism anchor and the
+//     only reason the send phase stays serial. Ring fleets also bridge
+//     GPIO here (node i's OUT latched into node i+1's IN).
 //
 // The verifier (FleetAttestor, or any host driver) interacts strictly at
 // quantum boundaries through SendToNode / VerifierRx, which keeps the
@@ -44,6 +48,10 @@ struct FleetConfig {
   uint64_t quantum = 20'000;  // Cycles per synchronized run-quantum.
   LinkParams link;            // Per-hop link parameters.
   bool bridge_gpio = true;    // Ring only: latch OUT into neighbour's IN.
+  // TX batching horizon in quanta (FleetNode::HarvestTx). 1 = flush every
+  // quantum (bit-identical to pre-batching fleets); K > 1 lets a growing
+  // burst accumulate across up to K quanta before it enters the fabric.
+  uint32_t harvest_batch_quanta = 1;
   PlatformConfig platform;    // Per-node template (trng_seed is derived).
 };
 
@@ -99,6 +107,14 @@ class Fleet {
   std::vector<std::unique_ptr<FleetNode>> nodes_;
   QuantumPool pool_;
   std::vector<std::string> verifier_rx_;
+  // Per-quantum scratch, sized once in the constructor and reused every
+  // round so a 10k-node fleet does not churn thousands of vector
+  // allocations per quantum. deliver_scratch_[i] and burst_scratch_[i] are
+  // written only by the shard running node i.
+  std::vector<std::vector<FleetMessage>> deliver_scratch_;
+  std::vector<FleetNode::TxBurst> burst_scratch_;
+  std::vector<FleetMessage> verifier_scratch_;
+  std::vector<uint32_t> gpio_out_scratch_;
   uint64_t now_ = 0;
   uint64_t quanta_run_ = 0;
 };

@@ -3,6 +3,7 @@
 #include "src/fleet/link.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace trustlite {
 namespace {
@@ -17,16 +18,31 @@ constexpr size_t kReplayHistoryFrames = 8;
 
 // Folds a directed link id into the fleet seed. Ports are small ints
 // (kVerifierPort = -1); shift them into disjoint lanes of the device-id
-// space so (a, b) and (b, a) draw independent streams.
+// space so (a, b) and (b, a) draw independent streams. Connect() bounds
+// ports to [kVerifierPort, kMaxFleetPort] so the 16-bit lanes never alias
+// even at 10k-node fleets.
 uint32_t LinkId(int src, int dst) {
   const uint32_t a = static_cast<uint32_t>(src + 1) & 0xFFFFu;
   const uint32_t b = static_cast<uint32_t>(dst + 1) & 0xFFFFu;
   return (a << 16) | b;
 }
 
+// Min-heap comparator: "a comes later than b" — std::*_heap keep the
+// (deliver_cycle, seq) minimum at the front. `seq` is unique, so this is a
+// total order: pop order can never depend on heap internals the way the
+// old non-stable sort could on equal-cycle frames.
+struct LaterFirst {
+  bool operator()(const FleetMessage& a, const FleetMessage& b) const {
+    return a.deliver_cycle != b.deliver_cycle ? a.deliver_cycle > b.deliver_cycle
+                                              : a.seq > b.seq;
+  }
+};
+
 }  // namespace
 
 void LinkFabric::Connect(int src, int dst, const LinkParams& params) {
+  assert(src >= kVerifierPort && src <= kMaxFleetPort);
+  assert(dst >= kVerifierPort && dst <= kMaxFleetPort);
   auto [it, inserted] = links_.try_emplace(std::make_pair(src, dst));
   it->second.params = params;
   if (inserted) {
@@ -35,6 +51,7 @@ void LinkFabric::Connect(int src, int dst, const LinkParams& params) {
     it->second.hostile_rng =
         Xoshiro256(DeriveDeviceSeed(fleet_seed_ ^ kHostileSalt,
                                     LinkId(src, dst)));
+    adjacency_stale_ = true;
   }
 }
 
@@ -42,15 +59,35 @@ bool LinkFabric::connected(int src, int dst) const {
   return links_.count(std::make_pair(src, dst)) != 0;
 }
 
-std::vector<int> LinkFabric::OutLinks(int src) const {
-  std::vector<int> out;
-  for (const auto& [key, link] : links_) {
-    (void)link;
-    if (key.first == src) {
-      out.push_back(key.second);
+const std::vector<int>& LinkFabric::OutLinksOf(int src) const {
+  if (adjacency_stale_) {
+    out_links_.clear();
+    for (const auto& [key, link] : links_) {
+      (void)link;
+      const size_t idx = static_cast<size_t>(key.first + 1);
+      if (out_links_.size() <= idx) {
+        out_links_.resize(idx + 1);
+      }
+      // std::map iteration is ascending in (src, dst), so each adjacency
+      // list comes out already sorted by destination port.
+      out_links_[idx].push_back(key.second);
     }
+    adjacency_stale_ = false;
   }
-  return out;  // std::map iteration is already ascending in dst.
+  static const std::vector<int> kEmpty;
+  const size_t idx = static_cast<size_t>(src + 1);
+  return idx < out_links_.size() ? out_links_[idx] : kEmpty;
+}
+
+void LinkFabric::Enqueue(FleetMessage message) {
+  const size_t idx = static_cast<size_t>(message.dst + 1);
+  if (due_.size() <= idx) {
+    due_.resize(idx + 1);
+  }
+  std::vector<FleetMessage>& heap = due_[idx].heap;
+  heap.push_back(std::move(message));
+  std::push_heap(heap.begin(), heap.end(), LaterFirst{});
+  in_flight_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
@@ -120,7 +157,7 @@ bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
     echo.send_cycle = send_cycle;
     echo.deliver_cycle = send_cycle + link.params.latency_cycles;
     echo.payload = message.payload;
-    in_flight_[echo.dst].push_back(std::move(echo));
+    Enqueue(std::move(echo));
     ++stats_.reflected;
     ++link.reflected;
   }
@@ -135,11 +172,11 @@ bool LinkFabric::Send(int src, int dst, uint64_t send_cycle,
     stale.send_cycle = send_cycle;
     stale.deliver_cycle = send_cycle + link.params.latency_cycles + 1;
     stale.payload = link.history[pick];
-    in_flight_[dst].push_back(std::move(stale));
+    Enqueue(std::move(stale));
     ++stats_.replayed;
     ++link.replayed;
   }
-  in_flight_[dst].push_back(std::move(message));
+  Enqueue(std::move(message));
   return true;
 }
 
@@ -159,42 +196,44 @@ std::vector<LinkFabric::LinkStatsRow> LinkFabric::PerLinkStats() const {
   return rows;  // std::map iteration order == ascending (src, dst).
 }
 
+size_t LinkFabric::DeliverInto(int dst, uint64_t now,
+                               std::vector<FleetMessage>* out) {
+  out->clear();
+  const size_t idx = static_cast<size_t>(dst + 1);
+  if (idx >= due_.size()) {
+    return 0;
+  }
+  std::vector<FleetMessage>& heap = due_[idx].heap;
+  while (!heap.empty() && heap.front().deliver_cycle <= now) {
+    std::pop_heap(heap.begin(), heap.end(), LaterFirst{});
+    out->push_back(std::move(heap.back()));
+    heap.pop_back();
+  }
+  if (!out->empty()) {
+    in_flight_count_.fetch_sub(out->size(), std::memory_order_relaxed);
+    delivered_.fetch_add(out->size(), std::memory_order_relaxed);
+  }
+  return out->size();
+}
+
 std::vector<FleetMessage> LinkFabric::Deliver(int dst, uint64_t now) {
   std::vector<FleetMessage> due;
-  auto it = in_flight_.find(dst);
-  if (it == in_flight_.end()) {
-    return due;
-  }
-  std::vector<FleetMessage>& queue = it->second;
-  auto keep = queue.begin();
-  for (auto cursor = queue.begin(); cursor != queue.end(); ++cursor) {
-    if (cursor->deliver_cycle <= now) {
-      due.push_back(std::move(*cursor));
-    } else {
-      if (keep != cursor) {
-        *keep = std::move(*cursor);
-      }
-      ++keep;
-    }
-  }
-  queue.erase(keep, queue.end());
-  std::sort(due.begin(), due.end(),
-            [](const FleetMessage& a, const FleetMessage& b) {
-              return a.deliver_cycle != b.deliver_cycle
-                         ? a.deliver_cycle < b.deliver_cycle
-                         : a.seq < b.seq;
-            });
-  stats_.delivered += due.size();
+  DeliverInto(dst, now, &due);
   return due;
 }
 
-size_t LinkFabric::in_flight() const {
+size_t LinkFabric::RecountInFlight() const {
   size_t total = 0;
-  for (const auto& [dst, queue] : in_flight_) {
-    (void)dst;
-    total += queue.size();
+  for (const DueQueue& queue : due_) {
+    total += queue.heap.size();
   }
   return total;
+}
+
+LinkFabric::Stats LinkFabric::stats() const {
+  Stats snapshot = stats_;
+  snapshot.delivered = delivered_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 void BuildTopologyLinks(LinkFabric* fabric, Topology topology, int nodes,

@@ -11,11 +11,27 @@
 // Messages are stamped with the global cycle of their last payload byte;
 // link impairments are drawn from a per-link xoshiro stream seeded from
 // (fleet_seed, src, dst) in Send() order, which the executor keeps
-// deterministic (harvest in node-id order at every quantum barrier). A
+// deterministic (sends in node-id order at every quantum barrier). A
 // message becomes *visible* to its destination at the first quantum
 // boundary >= send_cycle + latency — the conservative-lookahead rule of
 // classic parallel discrete-event simulation, which makes delivery (and
 // hence every node's input stream) independent of host thread scheduling.
+//
+// Due-queues (the 1k–10k-node hot path). In-flight messages live in one
+// min-heap *per destination*, keyed by (deliver_cycle, seq). Delivery pops
+// incrementally from the front until the head is not yet due, so a quantum
+// costs O(due · log in-flight) per destination instead of rescanning (and
+// re-sorting) everything still in transit — the difference between O(due)
+// and O(total) matters on ring fleets, where hop-scaled verifier latency
+// keeps frames in flight for hundreds of quanta. Distinct destinations own
+// disjoint heaps, so the executor delivers to all nodes in parallel.
+//
+// Equal-cycle ordering contract. Frames due at the same cycle for the same
+// destination (warm-boot clones emit at identical cycles; replay/reflect
+// inject extra frames at the send cycle) are ordered by `seq`, a monotonic
+// global send counter — per-link monotonic by construction, assigned in
+// the executor's deterministic node-id send order, and unique, so heap pops
+// are a total order and no run can depend on container or sort stability.
 //
 // Reordering is modelled as an extra-latency penalty: a "reordered" message
 // is delayed past messages sent after it on the same link, which at the
@@ -37,6 +53,7 @@
 #ifndef TRUSTLITE_SRC_FLEET_LINK_H_
 #define TRUSTLITE_SRC_FLEET_LINK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -49,6 +66,10 @@ namespace trustlite {
 
 // Port id of the host-side remote verifier in the fabric.
 inline constexpr int kVerifierPort = -1;
+
+// Largest usable port id: port+1 must fit the 16-bit lane LinkId folds it
+// into when deriving per-link RNG streams (kVerifierPort maps to lane 0).
+inline constexpr int kMaxFleetPort = 0xFFFE - 1;
 
 enum class Topology {
   kStar,  // Every node has a direct up/down link to the verifier.
@@ -81,25 +102,49 @@ class LinkFabric {
   explicit LinkFabric(uint64_t fleet_seed) : fleet_seed_(fleet_seed) {}
 
   // Declares a directed link. Duplicate Connect overwrites the parameters
-  // but keeps the link's RNG stream.
+  // but keeps the link's RNG stream. Ports must be in
+  // [kVerifierPort, kMaxFleetPort].
   void Connect(int src, int dst, const LinkParams& params);
   bool connected(int src, int dst) const;
 
-  // Destinations of every out-link of `src`, in ascending port order.
-  std::vector<int> OutLinks(int src) const;
+  // Destinations of every out-link of `src`, in ascending port order. The
+  // reference flavour serves from a cached adjacency table (rebuilt lazily
+  // after Connect), so the executor's harvest loop costs O(out-degree) per
+  // node instead of scanning the whole link map.
+  const std::vector<int>& OutLinksOf(int src) const;
+  std::vector<int> OutLinks(int src) const { return OutLinksOf(src); }
 
   // Stamps and enqueues one message; applies loss/latency/reordering from
   // the link's deterministic stream. No-op (drop) when the link does not
-  // exist. Returns false iff the message was lost or unroutable.
+  // exist. Returns false iff the message was lost or unroutable. Send is
+  // serial-only (it advances per-link RNG streams); the executor calls it
+  // in node-id order at the quantum barrier.
   bool Send(int src, int dst, uint64_t send_cycle, std::string payload);
 
-  // Pops every message for `dst` visible at global cycle `now`, ordered by
-  // (deliver_cycle, seq). The executor calls this exactly once per node per
-  // quantum with the quantum's start cycle.
+  // Pops every message for `dst` visible at global cycle `now` into *out
+  // (cleared first; its capacity is reused — the executor passes per-node
+  // scratch so the steady state allocates nothing), ordered by
+  // (deliver_cycle, seq). Returns the number of messages popped. Safe to
+  // call concurrently for DISTINCT destinations; the executor calls it
+  // exactly once per destination per quantum with the quantum's start
+  // cycle.
+  size_t DeliverInto(int dst, uint64_t now, std::vector<FleetMessage>* out);
+
+  // Allocating convenience wrapper around DeliverInto (tests, one-shot
+  // drivers).
   std::vector<FleetMessage> Deliver(int dst, uint64_t now);
 
-  // Messages still in flight (all destinations).
-  size_t in_flight() const;
+  // Messages still in flight (all destinations). O(1): maintained
+  // incrementally by Send/DeliverInto — `tlfleet` polls this every quantum.
+  size_t in_flight() const {
+    return in_flight_count_.load(std::memory_order_relaxed);
+  }
+
+  // Ground truth for the incremental counter: walks every due-queue.
+  // O(destinations); debug builds assert it against in_flight() at each
+  // quantum barrier (hostile replay/reflect frames must be neither double-
+  // nor under-counted).
+  size_t RecountInFlight() const;
 
   struct Stats {
     uint64_t sent = 0;
@@ -113,7 +158,9 @@ class LinkFabric {
     uint64_t replayed = 0;
     uint64_t reflected = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // By value: `delivered` is folded in from an atomic that parallel
+  // DeliverInto calls update; everything else advances only under Send.
+  Stats stats() const;
 
   // Per-link counters in ascending (src, dst) order, for `tlfleet --stats`.
   struct LinkStatsRow {
@@ -140,11 +187,25 @@ class LinkFabric {
     uint64_t reflected = 0;
   };
 
+  // One min-heap of in-flight messages per destination, keyed by
+  // (deliver_cycle, seq); index = dst + 1 (kVerifierPort lives at 0).
+  struct DueQueue {
+    std::vector<FleetMessage> heap;
+  };
+
+  void Enqueue(FleetMessage message);
+
   std::map<std::pair<int, int>, Link> links_;
-  std::map<int, std::vector<FleetMessage>> in_flight_;  // Keyed by dst.
+  std::vector<DueQueue> due_;  // Indexed by dst + 1; resized under Send.
   uint64_t fleet_seed_ = 0;
   uint64_t next_seq_ = 1;
-  Stats stats_;
+  Stats stats_;  // Send-side fields only; `delivered` lives below.
+  // Updated by parallel DeliverInto calls (relaxed: counters only).
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<size_t> in_flight_count_{0};
+  // Cached adjacency (index src + 1), rebuilt lazily after Connect.
+  mutable std::vector<std::vector<int>> out_links_;
+  mutable bool adjacency_stale_ = true;
 };
 
 // Wires `fabric` for `nodes` devices in the given topology. Verifier links

@@ -33,12 +33,34 @@ void FleetNode::RunQuantum(uint64_t target_cycle) {
   platform_.ReleaseThreadAffinity();
 }
 
-FleetNode::TxBurst FleetNode::HarvestTx() {
+FleetNode::TxBurst FleetNode::HarvestTx(uint32_t batch_quanta) {
+  const bool fresh = !tx_capture_.payload_.empty();
+  if (fresh) {
+    if (pending_.payload.empty()) {
+      pending_quanta_ = 0;
+    }
+    tx_bytes_ += tx_capture_.payload_.size();
+    pending_.payload += tx_capture_.payload_;
+    pending_.last_cycle = tx_capture_.last_cycle_;
+    tx_capture_.payload_.clear();
+  }
   TxBurst burst;
-  burst.last_cycle = tx_capture_.last_cycle_;
-  burst.payload = std::move(tx_capture_.payload_);
-  tx_capture_.payload_.clear();
-  tx_bytes_ += burst.payload.size();
+  if (pending_.payload.empty()) {
+    return burst;
+  }
+  ++pending_quanta_;
+  // Flush rule (pure simulated state, so batching is schedule-independent):
+  // horizon disabled or reached, the burst stopped growing, or the guest
+  // halted (no further bytes can ever arrive).
+  const bool flush = batch_quanta <= 1 || !fresh ||
+                     pending_quanta_ >= batch_quanta ||
+                     platform_.cpu().halted();
+  if (flush) {
+    burst = std::move(pending_);
+    pending_.payload.clear();
+    pending_.last_cycle = 0;
+    pending_quanta_ = 0;
+  }
   return burst;
 }
 

@@ -7,6 +7,18 @@
 // cycle the guest stored to TXDATA; RX bytes delivered by the fabric are
 // pushed into the UART input queue at quantum boundaries.
 //
+// TX burst batching. Bytes captured within one quantum always coalesce
+// into a single multi-byte burst stamped with the last byte's cycle. A
+// batching horizon > 1 additionally holds a *growing* burst across up to
+// that many quanta before handing it to the fabric, so a guest that trickles
+// out one byte per quantum (a timer-paced echo, a slow attestation report)
+// produces one multi-byte frame instead of a train of 1-byte frames
+// inflating the fabric's in-flight counts. The flush rule is a pure
+// function of simulated state (horizon reached, burst went idle for a
+// quantum, or the CPU halted), so batching never perturbs cross-thread
+// determinism — it only trades up to horizon-1 quanta of delivery latency
+// for fewer, larger frames.
+//
 // Per-device determinism: the node derives its TRNG seed from
 // (fleet_seed, id) via DeriveDeviceSeed, so devices are decorrelated but
 // the whole fleet replays bit-identically from one seed.
@@ -40,14 +52,22 @@ class FleetNode {
   // is released before returning so the next quantum may run elsewhere.
   void RunQuantum(uint64_t target_cycle);
 
-  // UART TX bytes captured since the last harvest, as one contiguous burst.
+  // UART TX bytes ready for the fabric, as one contiguous burst.
   // `last_cycle` is the emission cycle of the final byte (the fabric's
-  // send stamp). Empty payload = nothing sent this quantum.
+  // send stamp). Empty payload = nothing to send this quantum.
   struct TxBurst {
     uint64_t last_cycle = 0;
     std::string payload;
   };
-  TxBurst HarvestTx();
+  // Harvests the bytes captured since the last call, batched across quanta
+  // up to `batch_quanta` (1 = flush every quantum, the pre-batching
+  // behaviour; see header note for the flush rule). Call exactly once per
+  // quantum. Touches only this node's state — the executor harvests all
+  // nodes in parallel and serializes only the fabric sends.
+  TxBurst HarvestTx(uint32_t batch_quanta = 1);
+
+  // Bytes captured but still held back by the batching horizon.
+  size_t pending_tx_bytes() const { return pending_.payload.size(); }
 
   // Queues fabric-delivered bytes into the UART receiver.
   void PushRx(const std::string& payload);
@@ -77,6 +97,8 @@ class FleetNode {
   uint64_t device_seed_;
   Platform platform_;
   TxCapture tx_capture_;
+  TxBurst pending_;              // Burst held back by the batching horizon.
+  uint32_t pending_quanta_ = 0;  // Harvests since the burst started.
   uint64_t tx_bytes_ = 0;
   uint64_t rx_bytes_ = 0;
 };

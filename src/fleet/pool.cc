@@ -2,6 +2,8 @@
 
 #include "src/fleet/pool.h"
 
+#include <algorithm>
+
 namespace trustlite {
 
 QuantumPool::QuantumPool(int threads) {
@@ -32,14 +34,20 @@ QuantumPool::~QuantumPool() {
 
 void QuantumPool::RunShards(int self, const std::function<void(int)>& fn) {
   // Own shard first, then cycle through the others stealing leftovers.
+  // Claims advance in blocks of grain_ indices to keep cursor traffic off
+  // the hot path at multi-thousand-node fleets.
+  const int grain = grain_;
   for (int offset = 0; offset < num_participants_; ++offset) {
     Shard& shard = shards_[(self + offset) % num_participants_];
     for (;;) {
-      const int task = shard.next.fetch_add(1, std::memory_order_relaxed);
+      const int task = shard.next.fetch_add(grain, std::memory_order_relaxed);
       if (task >= shard.end) {
         break;
       }
-      fn(task);
+      const int stop = std::min(task + grain, shard.end);
+      for (int i = task; i < stop; ++i) {
+        fn(i);
+      }
     }
   }
 }
@@ -68,7 +76,8 @@ void QuantumPool::WorkerMain(int participant) {
   }
 }
 
-void QuantumPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+void QuantumPool::ParallelFor(int n, const std::function<void(int)>& fn,
+                              int grain) {
   if (n <= 0) {
     return;
   }
@@ -78,6 +87,7 @@ void QuantumPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     }
     return;
   }
+  grain_ = std::max(1, grain);
   // Contiguous shards; remainder spread over the leading participants.
   const int base = n / num_participants_;
   const int extra = n % num_participants_;

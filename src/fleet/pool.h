@@ -13,6 +13,11 @@
 // not depend on the pool at all — the fleet executor only hands it
 // independent per-node quanta — which is what makes fleet results
 // bit-identical from --threads 1 to --threads N.
+//
+// Granularity: at 1k–10k indices a per-index fetch_add is pure cursor
+// traffic, so ParallelFor takes a claim `grain` — each fetch_add claims a
+// block of that many consecutive indices. Stealing still works at block
+// granularity; grain 1 preserves the classic fine-grained behaviour.
 
 #ifndef TRUSTLITE_SRC_FLEET_POOL_H_
 #define TRUSTLITE_SRC_FLEET_POOL_H_
@@ -42,7 +47,9 @@ class QuantumPool {
 
   // Invokes fn(i) for every i in [0, n) across the pool; blocks until all
   // calls return. fn must be safe to call concurrently for distinct i.
-  void ParallelFor(int n, const std::function<void(int)>& fn);
+  // `grain` is the number of consecutive indices claimed per cursor bump
+  // (clamped to >= 1); results never depend on it.
+  void ParallelFor(int n, const std::function<void(int)>& fn, int grain = 1);
 
  private:
   struct alignas(64) Shard {
@@ -56,6 +63,7 @@ class QuantumPool {
   std::vector<std::thread> workers_;
   std::unique_ptr<Shard[]> shards_;  // One per participant; 0 = caller.
   int num_participants_ = 1;
+  int grain_ = 1;  // Claim block size for the current round.
 
   std::mutex mu_;
   std::condition_variable start_cv_;

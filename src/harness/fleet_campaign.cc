@@ -183,7 +183,8 @@ HostileCampaignResult RunHostileAttestCampaign(
   fleet_config.seed = config.seed;
   fleet_config.threads = config.threads;
   fleet_config.quantum = 20'000;
-  fleet_config.link.latency_cycles = 1'000;
+  fleet_config.harvest_batch_quanta = config.harvest_batch_quanta;
+  fleet_config.link.latency_cycles = config.latency_cycles;
   fleet_config.link.loss_ppm = config.loss_ppm;
   fleet_config.link =
       ApplyHostileMode(fleet_config.link, config.mode, config.hostile_ppm);

@@ -75,6 +75,10 @@ struct HostileCampaignConfig {
   HostileMode mode = HostileMode::kNone;
   uint32_t hostile_ppm = 200'000;  // Rate for the selected mode(s).
   uint32_t loss_ppm = 0;           // Optional passive impairment on top.
+  uint32_t latency_cycles = 1'000;  // Per-hop link latency.
+  // TX batching horizon handed to the fleet (FleetConfig). >1 coalesces
+  // cross-quantum bursts; campaigns stay deterministic at any setting.
+  uint32_t harvest_batch_quanta = 1;
   int victims = 2;                 // Nodes tampered between the rounds.
   uint32_t payload_bytes = 64;     // Measured FW payload = tamper window.
   bool warm_boot = true;           // Snapshot-clone provisioning (fast).

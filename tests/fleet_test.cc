@@ -144,6 +144,59 @@ TEST(LinkFabricTest, ReflectionEchoesFramesBackToSender) {
   EXPECT_EQ(rows[0].reflected, 1u);
 }
 
+TEST(LinkFabricTest, EqualCycleFramesOrderedBySendSequence) {
+  // Frames from different links landing at the SAME deliver cycle must pop
+  // in global send order (`seq`) — the due-queue's total order. The old
+  // scan-and-sort path left equal-cycle order to sort stability; this is
+  // the regression guard for warm-boot clones (identical emit cycles) and
+  // replay/reflect injections colliding with fresh traffic.
+  LinkFabric fabric(1);
+  fabric.Connect(0, 2, LinkParams{.latency_cycles = 100});
+  fabric.Connect(1, 2, LinkParams{.latency_cycles = 50});
+  ASSERT_TRUE(fabric.Send(0, 2, 50, "A"));    // Due at 150.
+  ASSERT_TRUE(fabric.Send(1, 2, 100, "B"));   // Due at 150.
+  ASSERT_TRUE(fabric.Send(1, 2, 100, "C"));   // Due at 150, same link as B.
+  std::vector<FleetMessage> due = fabric.Deliver(2, 150);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].payload, "A");
+  EXPECT_EQ(due[1].payload, "B");
+  EXPECT_EQ(due[2].payload, "C");
+  EXPECT_LT(due[0].seq, due[1].seq);
+  EXPECT_LT(due[1].seq, due[2].seq);
+  EXPECT_EQ(due[0].deliver_cycle, due[2].deliver_cycle);
+}
+
+TEST(LinkFabricTest, InFlightCounterMatchesRecountUnderHostileTraffic) {
+  // The O(1) incremental in-flight counter must track the queues exactly
+  // through hostile injections: every replay/reflect frame adds one, every
+  // popped frame subtracts one, nothing is double- or under-counted.
+  LinkFabric fabric(3);
+  fabric.Connect(0, 1, LinkParams{.latency_cycles = 100,
+                                  .replay_ppm = 1'000'000,
+                                  .reflect_ppm = 1'000'000});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fabric.Send(0, 1, static_cast<uint64_t>(i) * 10, "frame"));
+  }
+  EXPECT_EQ(fabric.in_flight(), fabric.RecountInFlight());
+  EXPECT_GT(fabric.in_flight(), 10u);  // Fresh + injected frames.
+
+  // Partial delivery: early frames pop, late ones (and the +1-cycle replay
+  // stragglers) stay queued.
+  fabric.Deliver(1, 120);
+  EXPECT_EQ(fabric.in_flight(), fabric.RecountInFlight());
+  fabric.Deliver(0, 120);  // Reflected echoes land on the sender.
+  EXPECT_EQ(fabric.in_flight(), fabric.RecountInFlight());
+
+  fabric.Deliver(1, 10'000);
+  fabric.Deliver(0, 10'000);
+  EXPECT_EQ(fabric.in_flight(), 0u);
+  EXPECT_EQ(fabric.RecountInFlight(), 0u);
+  const LinkFabric::Stats stats = fabric.stats();
+  // Everything that entered a queue came out: fresh survivors + injections.
+  EXPECT_EQ(stats.delivered,
+            stats.sent - stats.dropped + stats.replayed + stats.reflected);
+}
+
 TEST(LinkFabricTest, RingTopologyLinksNeighboursAndVerifier) {
   LinkFabric fabric(1);
   BuildTopologyLinks(&fabric, Topology::kRing, 4, LinkParams{});
@@ -170,6 +223,26 @@ TEST(QuantumPoolTest, EveryIndexRunsExactlyOnce) {
   }
   for (int i = 0; i < kTasks; ++i) {
     EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 5) << "index " << i;
+  }
+}
+
+TEST(QuantumPoolTest, GrainedClaimsCoverEveryIndexExactlyOnce) {
+  QuantumPool pool(4);
+  constexpr int kTasks = 1000;
+  // Grain 0 clamps to 1; 997 leaves a ragged final block; 5000 > n makes
+  // one participant claim a whole shard at once.
+  for (int grain : {0, 1, 3, 64, 997, 5000}) {
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    pool.ParallelFor(
+        kTasks, [&](int i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+        grain);
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " grain " << grain;
+    }
   }
 }
 
@@ -270,6 +343,109 @@ TEST(FleetWorkloadTest, DigestIdenticalAcrossThreadCounts) {
         << "node " << i;
   }
   EXPECT_EQ(fleet.FleetDigest(), fleet_digest);
+}
+
+TEST(FleetWorkloadTest, SameCycleCollisionsIdenticalAcrossThreadCounts) {
+  // Every node runs the identical guest, so all five emit at exactly the
+  // same cycles: each node's due-queue holds same-cycle frames from both
+  // ring neighbours, and the armed reflect/replay adversary injects more
+  // frames at colliding cycles. The equal-cycle seq tiebreak must keep the
+  // whole run bit-identical across host thread counts.
+  auto run = [](int threads) {
+    FleetConfig config = WorkloadConfig(threads);
+    config.link.reflect_ppm = 500'000;
+    config.link.replay_ppm = 500'000;
+    Fleet fleet(config);
+    InstallGuest(&fleet, kChatterGuest);
+    fleet.RunQuanta(8);
+    std::string verifier_streams;
+    for (int i = 0; i < fleet.num_nodes(); ++i) {
+      verifier_streams += fleet.VerifierRx(i);
+      verifier_streams += '|';
+    }
+    return std::make_pair(fleet.FleetDigest(), verifier_streams);
+  };
+  const auto one = run(1);
+  const auto many = run(4);
+  EXPECT_EQ(one.first, many.first);
+  EXPECT_EQ(one.second, many.second);
+}
+
+// --- TX burst batching ---------------------------------------------------
+
+// Trickle guest: 26 UART bytes a few cycles apart, so with a small quantum
+// the burst grows across several consecutive quanta — the shape that used
+// to flood the fabric with tiny frames.
+constexpr char kTrickleGuest[] =
+    "start:\n"
+    "    li   r1, 0xF0003000\n"
+    "    movi r2, 'a'\n"
+    "    movi r4, 0\n"
+    "    movi r5, 26\n"
+    "loop:\n"
+    "    stw  r2, [r1]\n"
+    "    addi r2, r2, 1\n"
+    "    addi r5, r5, -1\n"
+    "    bne  r5, r4, loop\n"
+    "    halt\n";
+
+FleetConfig TrickleConfig(int threads, uint32_t batch_quanta) {
+  FleetConfig config;
+  config.nodes = 2;
+  config.topology = Topology::kStar;
+  config.seed = 11;
+  config.threads = threads;
+  config.quantum = 64;  // Small quantum: the 26-byte emission spans several.
+  config.harvest_batch_quanta = batch_quanta;
+  config.link.latency_cycles = 100;
+  return config;
+}
+
+TEST(FleetBatchingTest, HorizonCoalescesCrossQuantumTrickle) {
+  auto frames_sent = [](uint32_t batch_quanta, std::string* rx) {
+    Fleet fleet(TrickleConfig(1, batch_quanta));
+    InstallGuest(&fleet, kTrickleGuest);
+    fleet.RunQuanta(64);
+    EXPECT_TRUE(fleet.AllHalted());
+    EXPECT_EQ(fleet.fabric().in_flight(), 0u);
+    *rx = fleet.VerifierRx(0);
+    return fleet.fabric().stats().sent;
+  };
+  std::string rx_unbatched;
+  std::string rx_batched;
+  const uint64_t unbatched = frames_sent(1, &rx_unbatched);
+  const uint64_t batched = frames_sent(8, &rx_batched);
+  // Same bytes on the wire, strictly fewer frames carrying them.
+  EXPECT_EQ(rx_unbatched, "abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(rx_batched, rx_unbatched);
+  EXPECT_LT(batched, unbatched);
+  EXPECT_GT(unbatched, 4u);  // The trickle really did span several quanta.
+}
+
+TEST(FleetBatchingTest, BatchedDigestsIdenticalAcrossThreadCounts) {
+  // The flush rule is a pure function of simulated state, so batching must
+  // not cost any cross-thread determinism.
+  auto run = [](int threads) {
+    Fleet fleet(TrickleConfig(threads, 4));
+    InstallGuest(&fleet, kTrickleGuest);
+    fleet.RunQuanta(64);
+    return std::make_pair(fleet.FleetDigest(), fleet.VerifierRx(0));
+  };
+  const auto one = run(1);
+  const auto many = run(4);
+  EXPECT_EQ(one.first, many.first);
+  EXPECT_EQ(one.second, many.second);
+}
+
+TEST(FleetBatchingTest, HaltFlushesHeldBurst) {
+  // A burst held back by the horizon must still drain when the guest halts
+  // (no further bytes can ever arrive) — nothing may stay pending forever.
+  Fleet fleet(TrickleConfig(1, 1'000));  // Horizon far beyond the run.
+  InstallGuest(&fleet, kTrickleGuest);
+  fleet.RunQuanta(64);
+  EXPECT_TRUE(fleet.AllHalted());
+  EXPECT_EQ(fleet.node(0).pending_tx_bytes(), 0u);
+  EXPECT_EQ(fleet.VerifierRx(0), "abcdefghijklmnopqrstuvwxyz");
 }
 
 // --- Fleet-wide remote attestation ---------------------------------------

@@ -84,6 +84,24 @@ TEST(HostileCampaignTest, AttacksActuallyFire) {
   EXPECT_GT(reflect.link_stats.reflected, 0u);
 }
 
+// Batched harvest + tight latency: the config that maximises equal-cycle
+// frame collisions (short latency packs deliveries into the same quantum;
+// the horizon turns trickles into multi-byte frames landing together).
+// The campaign must stay bit-identical across thread counts anyway.
+TEST(HostileCampaignTest, BatchedLowLatencyCampaignBitIdentical) {
+  HostileCampaignConfig config = CampaignConfig(HostileMode::kAll, 1);
+  config.latency_cycles = 100;
+  config.harvest_batch_quanta = 4;
+  HostileCampaignResult base = RunHostileAttestCampaign(config);
+  ASSERT_TRUE(base.provision_ok);
+  EXPECT_TRUE(base.verdict_ok) << base.transcript;
+  config.threads = 8;
+  HostileCampaignResult run = RunHostileAttestCampaign(config);
+  EXPECT_EQ(run.transcript, base.transcript);
+  EXPECT_EQ(run.states, base.states);
+  EXPECT_EQ(run.quanta, base.quanta);
+}
+
 // Anti-reflection: with every verifier TX echoed straight back into the
 // verifier's own RX stream, no echo may ever verify a node — echoes carry
 // no report matching any expected digest, so they are counted as noise or

@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Fleet-scale determinism gate (DESIGN.md §13): drives tlfleet at the fleet
+# sizes the due-queue fabric is built for and enforces the headline
+# property — bit-identical fleet digests and attestation transcripts at
+# --threads 1 and --threads 8 — across three profiles:
+#  * attest: warm-boot provisioned fleet, every node must verify;
+#  * workload: bare guest on a ring (UART bursts, GPIO bridging, and the
+#    TX batching horizon armed via --batch-quanta);
+#  * hostile: challenge reflection at full rate — the always-fires attack
+#    with no retry tail, so the gate stays fast at 256 nodes. The full
+#    hostile matrix runs at 4 nodes in ci_hostile.sh and at 1k nodes in
+#    stress mode below.
+#
+# usage: ci_fleet_scale.sh <tlfleet-binary> <guest.s> <work-dir> <nodes> [stress]
+#
+# With a 5th argument "stress" the gate instead runs the 1k-node hostile
+# matrix — every mode (corrupt / replay / reflect / all) at --threads 1
+# and 8, verdicts matching the tamper plan, transcripts and digests
+# bit-identical. Minutes of simulated retry traffic; nightly tier only
+# (cmake -DTRUSTLITE_STRESS_TESTS=ON).
+set -euo pipefail
+
+TLFLEET="${1:?usage: ci_fleet_scale.sh <tlfleet> <guest.s> <work-dir> <nodes> [stress]}"
+GUEST="${2:?missing guest.s}"
+WORK="${3:-$(mktemp -d)}"
+NODES="${4:-256}"
+MODE="${5:-smoke}"
+mkdir -p "$WORK"
+
+fail() { echo "ci_fleet_scale: FAIL: $*" >&2; exit 1; }
+
+# run <tag> <threads> <extra tlfleet args...>
+run() {
+  local tag="$1" threads="$2"
+  shift 2
+  "$TLFLEET" run "$GUEST" --nodes "$NODES" --seed 5 --threads "$threads" \
+      --stats "$@" > "$WORK/out_${tag}_t${threads}.txt" \
+      || fail "$tag --threads $threads exited nonzero"
+}
+
+# run_attacked <tag> <threads> <args...>: like run, but tolerates tlfleet's
+# verdict-mismatch exit (status 1) — under a full-rate compound adversary a
+# healthy node can deterministically exhaust its retry budget (availability
+# loss, not false trust); the caller pins the exact verdict instead. Any
+# other exit status (crash, signal) still fails.
+run_attacked() {
+  local tag="$1" threads="$2" status=0
+  shift 2
+  "$TLFLEET" run "$GUEST" --nodes "$NODES" --seed 5 --threads "$threads" \
+      --stats "$@" > "$WORK/out_${tag}_t${threads}.txt" || status=$?
+  [ "$status" -le 1 ] || fail "$tag --threads $threads crashed (status $status)"
+}
+
+# integrity <tag>: no tampered node may ever verify — every row flagged
+# (tampered) must be quarantined. grep -v (not -qv): -q exits on first
+# match, and under pipefail the upstream grep's SIGPIPE status would mask
+# the very violation being reported.
+integrity() {
+  if grep "(tampered)" "$WORK/out_${1}_t1.txt" | grep -v quarantined \
+      > /dev/null; then
+    fail "$1: a tampered node verified"
+  fi
+}
+
+# digests_match <tag>
+digests_match() {
+  local tag="$1"
+  [ "$(grep '^fleet-digest:' "$WORK/out_${tag}_t1.txt")" = \
+    "$(grep '^fleet-digest:' "$WORK/out_${tag}_t8.txt")" ] \
+      || fail "$tag: fleet digests differ between --threads 1 and 8"
+}
+
+# transcripts_match <tag>
+transcripts_match() {
+  cmp -s "$WORK/tx_${1}_t1.txt" "$WORK/tx_${1}_t8.txt" \
+      || fail "$1: transcripts differ between --threads 1 and 8"
+}
+
+# verdict <tag> <regex>
+verdict() {
+  grep -q "$2" "$WORK/out_${1}_t1.txt" \
+      || fail "$1: verdict mismatch (want: $2)"
+}
+
+# fired <tag> <counter name> — reads the aggregate "hostile:" line, which
+# precedes the per-link rows. grep -m1 (not "| head -1"): at 1k nodes the
+# per-link rows overflow the pipe buffer and head's early exit would kill
+# grep with SIGPIPE, which pipefail+errexit turns into a spurious gate
+# failure (exit 141).
+fired() {
+  local count
+  count="$(grep -m1 -o "$2 [0-9]*" "$WORK/out_${1}_t1.txt" | cut -d' ' -f2)"
+  [ "${count:-0}" -gt 0 ] || fail "$1: attack never fired ($2 0)"
+}
+
+if [ "$MODE" = "stress" ]; then
+  # 1k-node hostile matrix. Replay needs capture history, so replay/all
+  # tamper one node — its retry traffic populates the adversary's buffer
+  # (and exercises the quarantine path at scale). Corruption runs at a
+  # rate that keeps every healthy node inside the 4-attempt budget at
+  # this node count: with per-frame corruption odds p, a node fails all
+  # 4 attempts with probability ~(2p)^4, and at 1k nodes 100000 ppm
+  # already quarantines a couple of healthy nodes (deterministically in
+  # the seed); 50000 ppm fires ~100 corruptions and all nodes verify.
+  for threads in 1 8; do
+    run corrupt "$threads" --attest --warm-boot \
+        --transcript "$WORK/tx_corrupt_t${threads}.txt" \
+        --hostile corrupt --hostile-ppm 50000
+    run replay "$threads" --attest --warm-boot \
+        --transcript "$WORK/tx_replay_t${threads}.txt" \
+        --hostile replay --hostile-ppm 1000000 --tamper 1
+    run reflect "$threads" --attest --warm-boot \
+        --transcript "$WORK/tx_reflect_t${threads}.txt" \
+        --hostile reflect --hostile-ppm 1000000
+    # The compound stage deterministically costs one healthy node its
+    # retry budget: its first challenge is corrupted mid-frame, the
+    # byte-skip resync in the attestation trustlet's UART parser then has
+    # to re-find an 'A' at a true frame boundary, and at 100% replay rate
+    # the stale-frame companions keep the RX stream misaligned for the
+    # remaining attempts. That is availability loss under an active MITM
+    # — never false trust (the integrity check below) — and it is
+    # bit-identical in the seed, so the gate pins the exact verdict.
+    run_attacked all "$threads" --attest --warm-boot \
+        --transcript "$WORK/tx_all_t${threads}.txt" \
+        --corrupt-ppm 50000 --replay-ppm 1000000 --reflect-ppm 1000000 \
+        --tamper 1
+  done
+  verdict corrupt "attestation: $NODES verified, 0 quarantined"
+  verdict replay  "attestation: $((NODES - 1)) verified, 1 quarantined"
+  verdict reflect "attestation: $NODES verified, 0 quarantined"
+  verdict all     "attestation: $((NODES - 2)) verified, 2 quarantined"
+  integrity replay
+  integrity all
+  fired corrupt corrupted
+  fired replay replayed
+  fired reflect reflected
+  fired all corrupted
+  for tag in corrupt replay reflect all; do
+    transcripts_match "$tag"
+    digests_match "$tag"
+    echo "ci_fleet_scale: stress $tag ok"
+  done
+  echo "ci_fleet_scale: all checks passed"
+  exit 0
+fi
+
+# --- smoke: attest / workload / hostile-reflect at $NODES nodes ----------
+for threads in 1 8; do
+  run attest "$threads" --attest --warm-boot \
+      --transcript "$WORK/tx_attest_t${threads}.txt"
+  run workload "$threads" --topology ring --quanta 64 --batch-quanta 4
+  run hostile "$threads" --attest --warm-boot \
+      --transcript "$WORK/tx_hostile_t${threads}.txt" \
+      --hostile reflect --hostile-ppm 1000000
+done
+
+verdict attest "attestation: $NODES verified, 0 quarantined"
+transcripts_match attest
+digests_match attest
+echo "ci_fleet_scale: attest ok"
+
+digests_match workload
+echo "ci_fleet_scale: workload ok"
+
+verdict hostile "attestation: $NODES verified, 0 quarantined"
+fired hostile reflected
+transcripts_match hostile
+digests_match hostile
+echo "ci_fleet_scale: hostile ok"
+
+echo "ci_fleet_scale: all checks passed"

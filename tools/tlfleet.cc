@@ -4,11 +4,11 @@
 //
 //   tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]
 //               [--threads T] [--attest] [--warm-boot] [--tamper K]
-//               [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]
-//               [--reorder-ppm P] [--hostile corrupt|replay|reflect|all]
-//               [--hostile-ppm P] [--corrupt-ppm P] [--replay-ppm P]
-//               [--reflect-ppm P] [--transcript FILE] [--trace-json FILE]
-//               [--stats] [--quiet]
+//               [--quantum Q] [--quanta K] [--batch-quanta K] [--latency C]
+//               [--loss-ppm P] [--reorder-ppm P]
+//               [--hostile corrupt|replay|reflect|all] [--hostile-ppm P]
+//               [--corrupt-ppm P] [--replay-ppm P] [--reflect-ppm P]
+//               [--transcript FILE] [--trace-json FILE] [--stats] [--quiet]
 //
 // Two modes:
 //  * --attest: every node boots the remote-attestation stack (FW trustlet +
@@ -56,15 +56,18 @@ int Usage(bool help = false) {
       "usage:\n"
       "  tlfleet run [guest.s] --nodes N [--topology star|ring] [--seed S]\n"
       "              [--threads T] [--attest] [--warm-boot] [--tamper K]\n"
-      "              [--quantum Q] [--quanta K] [--latency C] [--loss-ppm P]\n"
-      "              [--reorder-ppm P] [--hostile MODE] [--hostile-ppm P]\n"
-      "              [--corrupt-ppm P] [--replay-ppm P] [--reflect-ppm P]\n"
-      "              [--transcript FILE] [--trace-json FILE] [--stats]\n"
-      "              [--quiet]\n"
+      "              [--quantum Q] [--quanta K] [--batch-quanta K]\n"
+      "              [--latency C] [--loss-ppm P] [--reorder-ppm P]\n"
+      "              [--hostile MODE] [--hostile-ppm P] [--corrupt-ppm P]\n"
+      "              [--replay-ppm P] [--reflect-ppm P] [--transcript FILE]\n"
+      "              [--trace-json FILE] [--stats] [--quiet]\n"
       "\n"
       "  --warm-boot  attest mode: Secure-Loader-boot node 0 once, then\n"
       "               provision the other nodes by snapshot restore +\n"
       "               per-device key/seed patching (DESIGN.md Sec. 14)\n"
+      "  --batch-quanta K  hold a growing TX burst up to K quanta before it\n"
+      "               enters the fabric (1 = flush every quantum); results\n"
+      "               stay bit-identical across --threads at any K\n"
       "  --hostile MODE  arm every link with an active attack\n"
       "               (corrupt|replay|reflect|all) at --hostile-ppm per\n"
       "               message; --corrupt-ppm/--replay-ppm/--reflect-ppm set\n"
@@ -106,6 +109,7 @@ struct Options {
   int tamper = 0;
   uint64_t quantum = 20'000;
   uint64_t quanta = 5'000;  // Budget; attest mode stops when resolved.
+  uint32_t batch_quanta = 1;
   uint32_t latency = 1'000;
   uint32_t loss_ppm = 0;
   uint32_t reorder_ppm = 0;
@@ -157,6 +161,8 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
       opt->quantum = value;
     } else if (arg == "--quanta" && next_u64(&value)) {
       opt->quanta = value;
+    } else if (arg == "--batch-quanta" && next_u64(&value)) {
+      opt->batch_quanta = static_cast<uint32_t>(value);
     } else if (arg == "--latency" && next_u64(&value)) {
       opt->latency = static_cast<uint32_t>(value);
     } else if (arg == "--loss-ppm" && next_u64(&value)) {
@@ -248,6 +254,7 @@ int CmdRun(const std::vector<std::string>& args) {
   config.seed = opt.seed;
   config.threads = opt.threads;
   config.quantum = opt.quantum;
+  config.harvest_batch_quanta = opt.batch_quanta;
   config.link.latency_cycles = opt.latency;
   config.link.loss_ppm = opt.loss_ppm;
   config.link.reorder_ppm = opt.reorder_ppm;
@@ -383,7 +390,7 @@ int CmdRun(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(fleet.now()));
     }
     if (opt.stats) {
-      const LinkFabric::Stats& ls = fleet.fabric().stats();
+      const LinkFabric::Stats ls = fleet.fabric().stats();
       std::printf("links: sent %llu delivered %llu dropped %llu reordered "
                   "%llu bytes %llu in-flight %zu\n",
                   static_cast<unsigned long long>(ls.sent),
