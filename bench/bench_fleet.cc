@@ -14,9 +14,12 @@
 
 #include <memory>
 
+#include "src/fleet/attest.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/provision.h"
+#include "src/fleet/update.h"
 #include "src/isa/assembler.h"
+#include "src/update/fw_container.h"
 
 namespace trustlite {
 namespace {
@@ -206,6 +209,74 @@ void BM_FleetProvisionWarm(benchmark::State& state) {
 
 BENCHMARK(BM_FleetProvisionCold)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FleetProvisionWarm)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Staged firmware rollout end-to-end (DESIGN.md §16): warm-provision N
+// nodes, resolve the initial attestation round (both untimed), then time
+// the full campaign — per-node container signing, chunked transfer over
+// the links, trial apply, re-attestation against the new golden and
+// commit, canary wave first. Args: {nodes, canary_pct}.
+void BM_UpdateCampaign(benchmark::State& state) {
+  FirmwareContainerSpec spec;
+  spec.fw_version = 2;
+  spec.payload.resize(1024);
+  for (size_t i = 0; i < spec.payload.size(); ++i) {
+    spec.payload[i] = static_cast<uint8_t>(0x40 + 11 * i);
+  }
+  const Result<std::vector<uint8_t>> container = PackFirmware(spec);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    FleetConfig config;
+    config.nodes = static_cast<int>(state.range(0));
+    config.seed = 7;
+    config.quantum = 20'000;
+    config.link.latency_cycles = 1'000;
+    auto fleet = std::make_unique<Fleet>(config);
+    FleetProvisionConfig prov;
+    prov.warm_boot = true;
+    prov.payload_capacity = static_cast<uint32_t>(spec.payload.size());
+    Result<std::vector<NodeProvision>> provisions =
+        ProvisionAttestationFleet(fleet.get(), prov);
+    if (!provisions.ok()) {
+      state.SkipWithError(provisions.status().ToString().c_str());
+      return;
+    }
+    FleetAttestor attestor(fleet.get(), *provisions, AttestPolicy{});
+    attestor.Begin();
+    while (!attestor.Done()) {
+      fleet->RunQuantum();
+      attestor.OnQuantumBoundary();
+    }
+    UpdateCampaignConfig ucfg;
+    ucfg.canary_pct = static_cast<int>(state.range(1));
+    state.ResumeTiming();
+
+    UpdateCampaign campaign(fleet.get(), &attestor, *container, ucfg);
+    if (!campaign.Start().ok()) {
+      state.SkipWithError("campaign start failed");
+      return;
+    }
+    while (!campaign.Done()) {
+      fleet->RunQuantum();
+      campaign.OnQuantumBoundary();
+    }
+    if (!campaign.Succeeded()) {
+      state.SkipWithError("campaign did not succeed");
+      return;
+    }
+    benchmark::DoNotOptimize(campaign.transcript().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["canary_pct"] = static_cast<double>(state.range(1));
+}
+
+BENCHMARK(BM_UpdateCampaign)
+    ->Args({64, 10})
+    ->Args({64, 100})
+    ->Args({256, 10})
+    ->Args({256, 100})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace trustlite

@@ -16,7 +16,9 @@ void SysCtl::Reset() {
   scratch_ = 0;
   reset_requested_ = false;
   // The cycle counter keeps running across reset (free-running hardware
-  // counter), which lets benches measure reset cost itself.
+  // counter), which lets benches measure reset cost itself. The FW_VERSION
+  // anti-rollback counter models non-volatile monotonic hardware: reset
+  // must never hand an attacker a fresh rollback window.
 }
 
 AccessResult SysCtl::Read(uint32_t offset, uint32_t width, uint32_t* value) {
@@ -39,6 +41,9 @@ AccessResult SysCtl::Read(uint32_t offset, uint32_t width, uint32_t* value) {
       return AccessResult::kOk;
     case kSysCtlRegScratch:
       *value = scratch_;
+      return AccessResult::kOk;
+    case kSysCtlRegFwVersion:
+      *value = fw_version_;
       return AccessResult::kOk;
     default:
       return AccessResult::kBusError;
@@ -65,6 +70,14 @@ AccessResult SysCtl::Write(uint32_t offset, uint32_t width, uint32_t value) {
     case kSysCtlRegScratch:
       scratch_ = value;
       return AccessResult::kOk;
+    case kSysCtlRegFwVersion:
+      // Hardware-monotonic: only strictly increasing values latch. A write
+      // of anything <= the current counter is silently ignored, so no bus
+      // master — not even a compromised OS — can open a rollback window.
+      if (value > fw_version_) {
+        fw_version_ = value;
+      }
+      return AccessResult::kOk;
     default:
       return AccessResult::kBusError;
   }
@@ -83,6 +96,7 @@ void SysCtl::SerializeState(std::vector<uint8_t>* out) const {
     AppendLe32(*out, handler);
   }
   AppendLe32(*out, scratch_);
+  AppendLe32(*out, fw_version_);
   AppendLe64(*out, cycle_counter_);
   out->push_back(reset_requested_ ? 1 : 0);
 }
@@ -91,12 +105,14 @@ Status SysCtl::RestoreState(const uint8_t* data, size_t size) {
   ByteReader reader(data, size);
   std::array<uint32_t, kSysCtlNumHandlers> handlers{};
   uint32_t scratch = 0;
+  uint32_t fw_version = 0;
   uint64_t cycle_counter = 0;
   uint8_t reset_requested = 0;
   for (uint32_t& handler : handlers) {
     reader.ReadU32(&handler);
   }
   reader.ReadU32(&scratch);
+  reader.ReadU32(&fw_version);
   reader.ReadU64(&cycle_counter);
   reader.ReadU8(&reset_requested);
   if (!reader.Done()) {
@@ -104,6 +120,7 @@ Status SysCtl::RestoreState(const uint8_t* data, size_t size) {
   }
   handlers_ = handlers;
   scratch_ = scratch;
+  fw_version_ = fw_version;
   cycle_counter_ = cycle_counter;
   reset_requested_ = reset_requested != 0;
   return OkStatus();

@@ -12,6 +12,11 @@
 //   0x44        CYCLES_LO       free-running cycle counter (RO)
 //   0x48        CYCLES_HI       (RO)
 //   0x4C        SCRATCH         general purpose r/w word
+//   0x50        FW_VERSION      monotonic anti-rollback counter: reads
+//               return the highest committed firmware version; writes latch
+//               only values strictly greater than the current one (the
+//               hardware guarantee of mcuboot/TF-M-style NV counters).
+//               Survives platform reset and snapshot/restore.
 
 #ifndef TRUSTLITE_SRC_DEV_SYSCTL_H_
 #define TRUSTLITE_SRC_DEV_SYSCTL_H_
@@ -39,6 +44,7 @@ inline constexpr uint32_t kSysCtlRegReset = 0x40;
 inline constexpr uint32_t kSysCtlRegCyclesLo = 0x44;
 inline constexpr uint32_t kSysCtlRegCyclesHi = 0x48;
 inline constexpr uint32_t kSysCtlRegScratch = 0x4C;
+inline constexpr uint32_t kSysCtlRegFwVersion = 0x50;
 
 class SysCtl : public Device {
  public:
@@ -55,6 +61,7 @@ class SysCtl : public Device {
   bool reset_requested() const { return reset_requested_; }
   void ClearResetRequest() { reset_requested_ = false; }
   uint64_t cycle_counter() const { return cycle_counter_; }
+  uint32_t fw_version() const { return fw_version_; }
 
  protected:
   void SerializeState(std::vector<uint8_t>* out) const override;
@@ -63,6 +70,7 @@ class SysCtl : public Device {
  private:
   std::array<uint32_t, kSysCtlNumHandlers> handlers_{};
   uint32_t scratch_ = 0;
+  uint32_t fw_version_ = 0;
   uint64_t cycle_counter_ = 0;
   bool reset_requested_ = false;
 };

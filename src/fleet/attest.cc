@@ -113,6 +113,14 @@ void FleetAttestor::Begin() {
   }
 }
 
+void FleetAttestor::Begin(const std::vector<int>& subset) {
+  ++rounds_;
+  for (int node : subset) {
+    nodes_[static_cast<size_t>(node)].attempts = 0;
+    SendChallenge(node);
+  }
+}
+
 void FleetAttestor::PumpNode(int node) {
   NodeState& state = nodes_[static_cast<size_t>(node)];
   const uint64_t now = fleet_->now();

@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/crypto/sha256.h"
@@ -89,6 +90,11 @@ class FleetAttestor {
   // round can never verify a node again.
   void Begin();
 
+  // Subset round (update campaigns): fresh challenges for `subset` only.
+  // Other nodes keep their state and verdicts; nonce freshness and the
+  // retire-on-reissue rule are identical to a full round.
+  void Begin(const std::vector<int>& subset);
+
   // Pumps every per-node state machine; call once after each RunQuantum.
   void OnQuantumBoundary();
 
@@ -114,6 +120,23 @@ class FleetAttestor {
   int rounds() const { return rounds_; }
   std::vector<int> Verified() const;
   std::vector<int> Quarantined() const;
+
+  // Provisioned identity of a node (device key, FW geometry, golden code)
+  // — update campaigns re-sign containers and locate the payload window
+  // through this.
+  const NodeProvision& provision(int node) const {
+    return provisions_[static_cast<size_t>(node)];
+  }
+  const std::vector<uint8_t>& golden_code(int node) const {
+    return provisions_[static_cast<size_t>(node)].fw_code;
+  }
+  // Replaces the golden code a node must attest to from now on (a firmware
+  // update landed). Takes effect on the node's next challenge; reports for
+  // already-issued challenges still verify against the code they were
+  // issued for (each expected digest is precomputed at issue time).
+  void SetGoldenCode(int node, std::vector<uint8_t> code) {
+    provisions_[static_cast<size_t>(node)].fw_code = std::move(code);
+  }
 
   // Deterministic event log ("@cycle node=i event ..." lines) — compared
   // verbatim across thread counts by the fleet determinism tests.

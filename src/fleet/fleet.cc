@@ -16,6 +16,7 @@ Fleet::Fleet(const FleetConfig& config)
       fabric_(config.seed),
       pool_(config.threads),
       verifier_rx_(static_cast<size_t>(config.nodes)),
+      update_rx_(static_cast<size_t>(config.nodes)),
       deliver_scratch_(static_cast<size_t>(config.nodes)),
       burst_scratch_(static_cast<size_t>(config.nodes)),
       gpio_out_scratch_(static_cast<size_t>(config.nodes)) {
@@ -57,7 +58,17 @@ void Fleet::RunQuantum() {
             deliver_scratch_[static_cast<size_t>(i)];
         fabric_.DeliverInto(i, now_, &due);
         for (FleetMessage& message : due) {
-          node.PushRx(message.payload);
+          // Update transfer frames go to the staging stream, not the guest
+          // UART (marker comment in fleet.h). Only verifier-sourced frames
+          // qualify: a reflected/echoed frame from another node still hits
+          // the UART as noise. A corrupted first byte re-routes the frame —
+          // either way the campaign's CRC check catches it.
+          if (message.src == kVerifierPort && !message.payload.empty() &&
+              static_cast<uint8_t>(message.payload[0]) == kUpdateFrameMarker) {
+            update_rx_[static_cast<size_t>(i)] += message.payload;
+          } else {
+            node.PushRx(message.payload);
+          }
         }
         node.RunQuantum(target);
         burst_scratch_[static_cast<size_t>(i)] =
@@ -124,6 +135,13 @@ bool Fleet::SendToNode(int node, std::string payload) {
 
 size_t Fleet::ConsumeVerifierRx(int node, size_t upto) {
   std::string& rx = verifier_rx_[static_cast<size_t>(node)];
+  upto = std::min(upto, rx.size());
+  rx.erase(0, upto);
+  return upto;
+}
+
+size_t Fleet::ConsumeUpdateRx(int node, size_t upto) {
+  std::string& rx = update_rx_[static_cast<size_t>(node)];
   upto = std::min(upto, rx.size());
   rx.erase(0, upto);
   return upto;

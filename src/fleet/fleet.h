@@ -40,6 +40,14 @@
 
 namespace trustlite {
 
+// First byte of a firmware-update transfer frame (src/fleet/update.h). The
+// fleet routes verifier-sourced frames starting with this marker into the
+// node's update staging stream instead of its UART: the update agent reads
+// staged chunks out-of-band of the guest firmware, while the frames still
+// traverse the same links (latency, loss and hostile modes all apply).
+// 0xD5 never begins an attestation challenge (those start with 'A').
+inline constexpr uint8_t kUpdateFrameMarker = 0xD5;
+
 struct FleetConfig {
   int nodes = 4;
   Topology topology = Topology::kStar;
@@ -91,6 +99,14 @@ class Fleet {
   // memory even when a hostile link floods the stream with garbage.
   size_t ConsumeVerifierRx(int node, size_t upto);
 
+  // Node-side update staging stream: verifier-sourced frames that begin
+  // with kUpdateFrameMarker land here instead of the node's UART (see the
+  // marker's comment). Same consumer contract as VerifierRx.
+  const std::string& UpdateRx(int node) const {
+    return update_rx_[static_cast<size_t>(node)];
+  }
+  size_t ConsumeUpdateRx(int node, size_t upto);
+
   // Digest over every node's StateDigest, in node order — one hash pinning
   // the architectural state of the whole fleet.
   Sha256Digest FleetDigest() const;
@@ -107,6 +123,8 @@ class Fleet {
   std::vector<std::unique_ptr<FleetNode>> nodes_;
   QuantumPool pool_;
   std::vector<std::string> verifier_rx_;
+  // update_rx_[i] is appended only by the phase-2 shard running node i.
+  std::vector<std::string> update_rx_;
   // Per-quantum scratch, sized once in the constructor and reused every
   // round so a 10k-node fleet does not churn thousands of vector
   // allocations per quantum. deliver_scratch_[i] and burst_scratch_[i] are

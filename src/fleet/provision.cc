@@ -28,15 +28,25 @@ constexpr uint64_t kTamperSalt = 0x74616D7065720000ull;  // "tamper"
 constexpr uint32_t kAttnCodeAddr = 0x15000;
 constexpr uint32_t kAttnDataAddr = 0x16000;
 
-std::string PayloadDirectives(const std::vector<uint8_t>& payload) {
-  if (payload.empty()) {
+// Word-granular size of the FW payload window: large enough for the
+// provisioned payload, grown to the requested capacity headroom.
+uint32_t PaddedPayloadCapacity(const FleetProvisionConfig& config) {
+  const uint32_t payload_words =
+      (static_cast<uint32_t>(config.payload.size()) + 3) / 4;
+  const uint32_t capacity_words = (config.payload_capacity + 3) / 4;
+  return 4 * std::max(payload_words, capacity_words);
+}
+
+std::string PayloadDirectives(const std::vector<uint8_t>& payload,
+                              uint32_t capacity_bytes) {
+  if (capacity_bytes == 0) {
     return "";
   }
   std::string body = "tl_payload:\n";
   char line[32];
-  for (size_t i = 0; i < payload.size(); i += 4) {
+  for (uint32_t i = 0; i < capacity_bytes; i += 4) {
     uint32_t word = 0;
-    for (size_t b = 0; b < 4 && i + b < payload.size(); ++b) {
+    for (uint32_t b = 0; b < 4 && i + b < payload.size(); ++b) {
       word |= static_cast<uint32_t>(payload[i + b]) << (8 * b);
     }
     std::snprintf(line, sizeof(line), "    .word 0x%08X\n", word);
@@ -45,15 +55,20 @@ std::string PayloadDirectives(const std::vector<uint8_t>& payload) {
   return body;
 }
 
-TrustletBuildSpec FirmwareSpec(const std::vector<uint8_t>& payload) {
+TrustletBuildSpec FirmwareSpec(const FleetProvisionConfig& config) {
   TrustletBuildSpec spec;
   spec.name = "FW";
   spec.code_addr = 0x11000;
   spec.data_addr = 0x12000;
   spec.data_size = 0x400;
   spec.stack_size = 0x100;
-  spec.body = "tl_main:\n    swi 0\n    jmp tl_main\n";
-  spec.body += PayloadDirectives(payload);
+  // tl_handle_call is spelled out (instead of relying on the builder's
+  // appended default) so the payload window is the exact tail of the code
+  // region — update campaigns overwrite [code_end - capacity, code_end).
+  spec.body =
+      "tl_main:\n    swi 0\n    jmp tl_main\n"
+      "tl_handle_call:\n    jr lr\n";
+  spec.body += PayloadDirectives(config.payload, PaddedPayloadCapacity(config));
   return spec;
 }
 
@@ -66,7 +81,7 @@ struct NodeImage {
 Result<NodeImage> BuildNodeImage(const FleetProvisionConfig& config,
                                  const std::array<uint8_t, 32>& key) {
   NodeImage built;
-  Result<TrustletMeta> firmware = BuildTrustlet(FirmwareSpec(config.payload));
+  Result<TrustletMeta> firmware = BuildTrustlet(FirmwareSpec(config));
   if (!firmware.ok()) {
     return firmware.status();
   }
@@ -122,6 +137,10 @@ Status ColdProvisionNode(FleetNode& node, const FleetProvisionConfig& config,
   provision->fw_id = MakeTrustletId("FW");
   provision->fw_code_addr = built->firmware.code_addr;
   provision->fw_code = built->firmware.code;
+  provision->fw_payload_capacity = PaddedPayloadCapacity(config);
+  provision->fw_payload_offset =
+      static_cast<uint32_t>(built->firmware.code.size()) -
+      provision->fw_payload_capacity;
 
   Status installed = node.platform().InstallImage(built->image);
   if (!installed.ok()) {
@@ -347,6 +366,8 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
       provision.fw_id = provisions[0].fw_id;
       provision.fw_code_addr = provisions[0].fw_code_addr;
       provision.fw_code = provisions[0].fw_code;
+      provision.fw_payload_offset = provisions[0].fw_payload_offset;
+      provision.fw_payload_capacity = provisions[0].fw_payload_capacity;
     }
 
     if (tampered.count(i) != 0) {

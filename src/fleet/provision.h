@@ -29,6 +29,12 @@ struct FleetProvisionConfig {
   // guest image): emitted as .word data after the idle loop, so a byte
   // change anywhere in it changes every node's attestation report.
   std::vector<uint8_t> payload;
+  // Reserved capacity of the FW payload window, in bytes. The window is the
+  // never-executed data tail of the FW code region; update campaigns swap
+  // its contents (src/update/). Rounded up to whole words; when smaller
+  // than `payload`, the payload size wins. Zero keeps the window exactly
+  // payload-sized (no headroom for larger updates).
+  uint32_t payload_capacity = 0;
   // Number of nodes to tamper post-boot (deterministic choice from the
   // fleet seed; one code bit flipped in FW's never-executed tail word).
   int tamper_count = 0;
@@ -48,6 +54,11 @@ struct NodeProvision {
   uint32_t fw_id = 0;                // MakeTrustletId("FW").
   uint32_t fw_code_addr = 0;
   std::vector<uint8_t> fw_code;      // Golden (pre-tamper) code bytes.
+  // FW payload window (tail of the code region; see
+  // FleetProvisionConfig::payload_capacity). Offsets are relative to
+  // fw_code_addr; capacity 0 means no window was reserved.
+  uint32_t fw_payload_offset = 0;
+  uint32_t fw_payload_capacity = 0;
   bool tampered = false;
 };
 

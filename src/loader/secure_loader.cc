@@ -32,6 +32,25 @@ const LoadedTrustlet* LoadReport::FindById(uint32_t id) const {
 SecureLoader::SecureLoader(Bus* bus, EaMpu* mpu, const LoaderConfig& config)
     : bus_(bus), mpu_(mpu), config_(config) {}
 
+Result<FirmwareUpdateReport> SecureLoader::ApplyUpdate(
+    const FirmwareImage& image, const FirmwareUpdateTarget& target) {
+  if (config_.device_key.size() != 32) {
+    return FailedPrecondition(
+        "update: loader has no 32-byte device key provisioned");
+  }
+  std::array<uint8_t, 32> key{};
+  std::copy(config_.device_key.begin(), config_.device_key.end(), key.begin());
+  FirmwareUpdateTarget resolved = target;
+  if (resolved.table_addr == 0) {
+    resolved.table_addr = config_.table_addr;
+  }
+  return ApplyFirmwareUpdate(bus_, key, image, resolved);
+}
+
+Status SecureLoader::CommitUpdate(uint32_t version) {
+  return CommitFirmwareUpdate(bus_, version);
+}
+
 Status SecureLoader::WriteMpu(uint32_t offset, uint32_t value) {
   if (!bus_->HostWriteWord(mpu_->base() + offset, value)) {
     return Internal("MPU register write failed at offset " + Hex32(offset));

@@ -33,6 +33,7 @@
 #include "src/mpu/ea_mpu.h"
 #include "src/trustlet/metadata.h"
 #include "src/trustlet/trustlet_table.h"
+#include "src/update/apply.h"
 
 namespace trustlite {
 
@@ -98,6 +99,15 @@ class SecureLoader {
   // Runs the full boot flow. On success the MPU is armed (per config) and
   // the report names the OS entry point.
   Result<LoadReport> Boot();
+
+  // Firmware update entry (src/update/apply.h): trial-applies `image`
+  // against this loader's device key — signature, measurement and
+  // anti-rollback checks, then payload swap + Trustlet Table re-measure.
+  // Requires a 32-byte device key in the config. The counter advances only
+  // on CommitUpdate.
+  Result<FirmwareUpdateReport> ApplyUpdate(const FirmwareImage& image,
+                                           const FirmwareUpdateTarget& target);
+  Status CommitUpdate(uint32_t version);
 
   const LoaderConfig& config() const { return config_; }
 

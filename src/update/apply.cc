@@ -1,0 +1,156 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+
+#include "src/update/apply.h"
+
+#include <utility>
+
+#include "src/mem/layout.h"
+#include "src/dev/sysctl.h"
+#include "src/trustlet/trustlet_table.h"
+
+namespace trustlite {
+namespace {
+
+// Re-measures the live code region and rewrites the Trustlet Table row for
+// `fw_id`. Returns the new live measurement.
+Result<Sha256Digest> RemeasureAndPublish(Bus* bus,
+                                         const FirmwareUpdateTarget& target,
+                                         std::vector<uint8_t>* live_out) {
+  std::vector<uint8_t> live;
+  if (!bus->HostReadBytes(target.code_addr, target.code_size, &live)) {
+    return Internal("update: cannot read live code region");
+  }
+  const Sha256Digest measurement = Sha256Hash(live);
+  TrustletTableView table(bus, target.table_addr);
+  std::optional<int> row_index = table.FindById(target.fw_id);
+  if (!row_index.has_value()) {
+    return NotFound("update: firmware id not in trustlet table");
+  }
+  std::optional<TrustletTableRow> row = table.ReadRow(*row_index);
+  if (!row.has_value()) {
+    return Internal("update: trustlet table row unreadable");
+  }
+  row->measurement = measurement;
+  if (!table.WriteRow(*row_index, *row)) {
+    return Internal("update: trustlet table row unwritable");
+  }
+  if (live_out != nullptr) {
+    *live_out = std::move(live);
+  }
+  return measurement;
+}
+
+}  // namespace
+
+Result<uint32_t> ReadAntiRollbackCounter(Bus* bus) {
+  uint32_t value = 0;
+  if (!bus->HostReadWord(kSysCtlBase + kSysCtlRegFwVersion, &value)) {
+    return Internal("update: anti-rollback counter unreadable");
+  }
+  return value;
+}
+
+Result<FirmwareUpdateReport> ApplyFirmwareUpdate(
+    Bus* bus, const std::array<uint8_t, 32>& device_key,
+    const FirmwareImage& image, const FirmwareUpdateTarget& target) {
+  // 1. Authenticity: the container must carry a valid HMAC under this
+  //    device's update key. ParseFirmware already pinned measurement ==
+  //    SHA-256(payload), so a valid MAC covers exactly the bytes we write.
+  const std::array<uint8_t, 32> update_key = DeriveUpdateKey(device_key);
+  TL_RETURN_IF_ERROR(VerifyFirmwareSignature(image, update_key));
+
+  // 2. Anti-rollback: version must be strictly newer than the committed
+  //    counter. Equal means "already running this or better" — replaying
+  //    the current image is as rejected as an older one.
+  Result<uint32_t> counter = ReadAntiRollbackCounter(bus);
+  if (!counter.ok()) {
+    return counter.status();
+  }
+  if (image.fw_version <= *counter) {
+    return PermissionDenied(
+        "update: anti-rollback: image version " +
+        std::to_string(image.fw_version) + " <= committed counter " +
+        std::to_string(*counter));
+  }
+
+  // 3. Geometry: the payload must fit the provisioned window.
+  if (target.payload_capacity == 0 ||
+      target.payload_offset + target.payload_capacity > target.code_size) {
+    return InvalidArgument("update: malformed target window");
+  }
+  if (image.payload.size() > target.payload_capacity) {
+    return InvalidArgument("update: payload exceeds window capacity (" +
+                           std::to_string(image.payload.size()) + " > " +
+                           std::to_string(target.payload_capacity) + ")");
+  }
+
+  FirmwareUpdateReport report;
+  report.old_version = *counter;
+  report.new_version = image.fw_version;
+
+  // Capture the pre-apply window for rollback, and the pre-apply
+  // measurement for the report.
+  const uint32_t window_addr = target.code_addr + target.payload_offset;
+  if (!bus->HostReadBytes(window_addr, target.payload_capacity,
+                          &report.old_window)) {
+    return Internal("update: cannot read payload window");
+  }
+  std::vector<uint8_t> old_live;
+  if (!bus->HostReadBytes(target.code_addr, target.code_size, &old_live)) {
+    return Internal("update: cannot read live code region");
+  }
+  report.old_measurement = Sha256Hash(old_live);
+
+  // 4. Swap: write the payload, zero-padded to the window capacity so
+  //    stale tail bytes of a longer previous payload cannot survive.
+  std::vector<uint8_t> window(image.payload);
+  window.resize(target.payload_capacity, 0);
+  if (!bus->HostWriteBytes(window_addr, window)) {
+    return Internal("update: cannot write payload window");
+  }
+
+  // 5. Re-derive the golden measurement from the LIVE region — not from
+  //    the container — so what attestation later checks is what actually
+  //    landed on the bus.
+  Result<Sha256Digest> measurement =
+      RemeasureAndPublish(bus, target, &report.new_code);
+  if (!measurement.ok()) {
+    return measurement.status();
+  }
+  report.new_measurement = *measurement;
+  return report;
+}
+
+Status CommitFirmwareUpdate(Bus* bus, uint32_t version) {
+  if (!bus->HostWriteWord(kSysCtlBase + kSysCtlRegFwVersion, version)) {
+    return Internal("update: anti-rollback counter unwritable");
+  }
+  Result<uint32_t> counter = ReadAntiRollbackCounter(bus);
+  if (!counter.ok()) {
+    return counter.status();
+  }
+  if (*counter != version) {
+    // The register only latches strictly greater values, so a readback
+    // above `version` means the floor already passed it — the rollback
+    // rejection surfacing at commit time. (Equal re-commits are idempotent:
+    // the ignored write still reads back as `version`.)
+    return PermissionDenied(
+        "update: anti-rollback counter refused to latch version");
+  }
+  return OkStatus();
+}
+
+Result<Sha256Digest> RollbackFirmwareUpdate(
+    Bus* bus, const FirmwareUpdateTarget& target,
+    const std::vector<uint8_t>& old_window) {
+  if (old_window.size() != target.payload_capacity) {
+    return InvalidArgument("update: rollback window size mismatch");
+  }
+  if (!bus->HostWriteBytes(target.code_addr + target.payload_offset,
+                           old_window)) {
+    return Internal("update: cannot restore payload window");
+  }
+  return RemeasureAndPublish(bus, target, nullptr);
+}
+
+}  // namespace trustlite

@@ -1,0 +1,83 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Loader-side firmware update application: the trial/commit/rollback model
+// of mcuboot-style bootloaders, expressed over the simulated bus.
+//
+//   trial    ApplyFirmwareUpdate — verify signature + measurement, enforce
+//            the anti-rollback counter (SysCtl FW_VERSION, monotonic in
+//            hardware), write the payload into the firmware's payload
+//            window, re-measure the LIVE code region and rewrite the
+//            Trustlet Table measurement row. The counter is NOT advanced:
+//            a reset before commit boots the old version's counter state.
+//   commit   CommitFirmwareUpdate — latch the new version into the
+//            monotonic counter. After this, the previous image can never
+//            be applied again on this device.
+//   rollback RollbackFirmwareUpdate — restore a saved copy of the code
+//            window and re-derive the measurement. Only meaningful before
+//            commit (the counter still admits the old version — rollback
+//            after commit would brick attestation, which is the point).
+//
+// All accesses use the host (pre-protection) bus path: this models the
+// Secure Loader / update agent running from ROM with the MPU disarmed,
+// exactly like the boot flow in secure_loader.cc.
+
+#ifndef TRUSTLITE_SRC_UPDATE_APPLY_H_
+#define TRUSTLITE_SRC_UPDATE_APPLY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+#include "src/mem/bus.h"
+#include "src/update/fw_container.h"
+
+namespace trustlite {
+
+// Where the update lands. The payload window is the tail of the firmware
+// code region reserved by provisioning (`FleetProvisionConfig
+// .payload_capacity`); the scaffold and dispatch code before it never
+// changes across updates, so the golden measurement moves only because the
+// window contents move.
+struct FirmwareUpdateTarget {
+  uint32_t fw_id = 0;          // Trustlet Table row to re-measure.
+  uint32_t table_addr = 0;     // Trustlet Table base.
+  uint32_t code_addr = 0;      // Firmware code region base.
+  uint32_t code_size = 0;      // Full code region size (measured extent).
+  uint32_t payload_offset = 0;  // Window start, relative to code_addr.
+  uint32_t payload_capacity = 0;  // Window size; payload is zero-padded.
+};
+
+struct FirmwareUpdateReport {
+  uint32_t old_version = 0;  // Counter value at apply time.
+  uint32_t new_version = 0;  // The image's version (committed later).
+  Sha256Digest old_measurement{};
+  Sha256Digest new_measurement{};  // Of the LIVE code region post-apply.
+  std::vector<uint8_t> old_window;  // Pre-apply window bytes, for rollback.
+  std::vector<uint8_t> new_code;    // Full live code region post-apply.
+};
+
+// Reads the monotonic anti-rollback counter over the bus.
+Result<uint32_t> ReadAntiRollbackCounter(Bus* bus);
+
+// Trial application (see header note). Fail-closed: any verification
+// failure leaves the device untouched.
+Result<FirmwareUpdateReport> ApplyFirmwareUpdate(
+    Bus* bus, const std::array<uint8_t, 32>& device_key,
+    const FirmwareImage& image, const FirmwareUpdateTarget& target);
+
+// Latches `version` into the monotonic counter and verifies the latch took
+// (a lower-than-current version cannot latch — that is the rollback
+// rejection surfacing at commit time for callers that skipped the trial).
+Status CommitFirmwareUpdate(Bus* bus, uint32_t version);
+
+// Restores `old_window` into the payload window and rewrites the Trustlet
+// Table measurement. Returns the restored live measurement.
+Result<Sha256Digest> RollbackFirmwareUpdate(
+    Bus* bus, const FirmwareUpdateTarget& target,
+    const std::vector<uint8_t>& old_window);
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_UPDATE_APPLY_H_

@@ -283,6 +283,7 @@ TEST(SnapshotPropertyTest, RoundTripHoldsAcrossPlatformConfigMatrix) {
   for (bool with_mpu : {true, false}) {
     for (bool secure_exceptions : {true, false}) {
       for (int dma = 0; dma < 3; ++dma) {
+      for (uint32_t wait_states : {0u, 3u}) {
         PlatformConfig config;
         config.with_mpu = with_mpu;
         config.secure_exceptions = secure_exceptions;
@@ -290,9 +291,10 @@ TEST(SnapshotPropertyTest, RoundTripHoldsAcrossPlatformConfigMatrix) {
         if (config.with_dma) {
           config.dma_mode = kDmaModes[dma - 1];
         }
+        config.dram_wait_states = wait_states;
         SCOPED_TRACE(testing::Message()
                      << "mpu=" << with_mpu << " sec-exc=" << secure_exceptions
-                     << " dma=" << dma);
+                     << " dma=" << dma << " waits=" << wait_states);
 
         Platform live(config);
         LoadAt(live, kBusyGuest, 0x00030000);
@@ -314,6 +316,7 @@ TEST(SnapshotPropertyTest, RoundTripHoldsAcrossPlatformConfigMatrix) {
         clone.Run(20'000);
         EXPECT_EQ(PlatformStateDigest(live), PlatformStateDigest(clone));
         EXPECT_EQ(live.uart().output(), clone.uart().output());
+      }
       }
     }
   }

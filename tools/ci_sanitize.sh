@@ -27,15 +27,18 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# TSan stage: fleet executor + RNG tests, the tlfleet smoke runs, and the
-# hostile-link campaigns — multi-threaded quanta with mid-run host-port
-# tampering and an active link adversary are exactly where a data race
-# would hide (ctest regex covers the gtest-discovered Fleet*/QuantumPool*/
-# HostileCampaign*/ReplayWindow* cases plus the ci_hostile gate).
+# TSan stage: fleet executor + RNG tests, the tlfleet smoke runs, the
+# hostile-link campaigns, and the update-campaign suites — multi-threaded
+# quanta with mid-run host-port tampering, an active link adversary, and
+# host-side apply/commit/rollback between quanta are exactly where a data
+# race would hide (ctest regex covers the gtest-discovered Fleet*/
+# QuantumPool*/HostileCampaign*/ReplayWindow*/FleetUpdate* cases plus the
+# ci_hostile and ci_update gates).
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target fleet_test hostile_attest_test rng_test tlfleet
+  --target fleet_test hostile_attest_test fleet_update_test rng_test \
+  tlfleet tlfw
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet|Hostile|ReplayWindow|ci_hostile'
+  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet|Hostile|ReplayWindow|ci_hostile|ci_update'

@@ -76,6 +76,25 @@ if [[ -x "$FLEET_BIN" ]]; then
       }
     }
   ' "$FLEET_OUT"
+
+  # Update-campaign summary (BM_UpdateCampaign at 256 nodes): staged
+  # canary-first rollout vs single-stage, wall-clock per full campaign
+  # (DESIGN.md §16).
+  awk '
+    /"name": "BM_UpdateCampaign\/256\/10"/  { want = 1 }
+    /"name": "BM_UpdateCampaign\/256\/100"/ { want = 2 }
+    /"real_time"/ && want {
+      gsub(/[^0-9.e+]/, "", $2)
+      ms[want] = $2 + 0
+      want = 0
+    }
+    END {
+      if (ms[1] > 0 && ms[2] > 0) {
+        printf "update 256 nodes: canary-10%% %.1f ms   single-stage %.1f ms\n",
+               ms[1], ms[2]
+      }
+    }
+  ' "$FLEET_OUT"
 else
   echo "note: $FLEET_BIN not built; skipping BENCH_fleet.json" >&2
 fi

@@ -8,6 +8,8 @@
 //               [--loss-ppm P] [--reorder-ppm P]
 //               [--hostile corrupt|replay|reflect|all] [--hostile-ppm P]
 //               [--corrupt-ppm P] [--replay-ppm P] [--reflect-ppm P]
+//               [--update-image FILE]... [--canary-pct P]
+//               [--halt-on-quarantine] [--update-tamper-canary]
 //               [--transcript FILE] [--trace-json FILE] [--stats] [--quiet]
 //
 // Two modes:
@@ -22,6 +24,14 @@
 //    every node; UART bytes travel the fabric to topology neighbours (and
 //    ring fleets bridge GPIO at quantum boundaries).
 //
+// Update campaigns (attest mode): each --update-image FILE names a .tlfw
+// container (tools/tlfw) rolled out after the initial attestation round —
+// canary subset first, chunked transfer over the links, post-update
+// re-attestation against the new golden measurement, commit of the
+// anti-rollback counter only after the canaries verify. Multiple
+// --update-image flags run campaigns in order, sharing the monotonic
+// counter — replaying an older signed image is rejected fleet-wide.
+//
 // Results are bit-identical for a fixed --seed regardless of --threads; the
 // fleet digest printed at the end pins the architectural state of every
 // node, so two runs can be compared with string equality.
@@ -31,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +50,7 @@
 #include "src/fleet/fleet.h"
 #include "src/fleet/link.h"
 #include "src/fleet/provision.h"
+#include "src/fleet/update.h"
 #include "src/harness/fleet_campaign.h"
 #include "src/isa/assembler.h"
 #include "src/platform/observe/fleet_trace.h"
@@ -59,8 +71,11 @@ int Usage(bool help = false) {
       "              [--quantum Q] [--quanta K] [--batch-quanta K]\n"
       "              [--latency C] [--loss-ppm P] [--reorder-ppm P]\n"
       "              [--hostile MODE] [--hostile-ppm P] [--corrupt-ppm P]\n"
-      "              [--replay-ppm P] [--reflect-ppm P] [--transcript FILE]\n"
-      "              [--trace-json FILE] [--stats] [--quiet]\n"
+      "              [--replay-ppm P] [--reflect-ppm P]\n"
+      "              [--update-image FILE]... [--canary-pct P]\n"
+      "              [--halt-on-quarantine] [--update-tamper-canary]\n"
+      "              [--transcript FILE] [--trace-json FILE] [--stats]\n"
+      "              [--quiet]\n"
       "\n"
       "  --warm-boot  attest mode: Secure-Loader-boot node 0 once, then\n"
       "               provision the other nodes by snapshot restore +\n"
@@ -72,8 +87,20 @@ int Usage(bool help = false) {
       "               (corrupt|replay|reflect|all) at --hostile-ppm per\n"
       "               message; --corrupt-ppm/--replay-ppm/--reflect-ppm set\n"
       "               individual rates (DESIGN.md Sec. 13)\n"
-      "  --transcript FILE  attest mode: write the verifier transcript\n"
-      "               (bit-identical across --threads for a fixed seed)\n");
+      "  --update-image FILE  attest mode: roll out this .tlfw firmware\n"
+      "               container after the initial attestation round;\n"
+      "               repeatable — campaigns run in order and share the\n"
+      "               monotonic anti-rollback counter\n"
+      "  --canary-pct P  percent of verified nodes updated first (default\n"
+      "               10; 100 = single-stage rollout)\n"
+      "  --halt-on-quarantine  abort a campaign when a re-attestation\n"
+      "               quarantines, rolling back uncommitted nodes\n"
+      "  --update-tamper-canary  test hook: flip one FW code bit on the\n"
+      "               first canary as its re-attestation starts (MVAM-style\n"
+      "               mid-campaign tamper)\n"
+      "  --transcript FILE  attest mode: write the verifier transcript and\n"
+      "               any campaign transcripts (bit-identical across\n"
+      "               --threads for a fixed seed)\n");
   return help ? 0 : 2;
 }
 
@@ -118,6 +145,10 @@ struct Options {
   uint32_t corrupt_ppm = 0;
   uint32_t replay_ppm = 0;
   uint32_t reflect_ppm = 0;
+  std::vector<std::string> update_images;
+  int canary_pct = 10;
+  bool halt_on_quarantine = false;
+  bool update_tamper_canary = false;
   std::string transcript;
   std::string trace_json;
   bool stats = false;
@@ -192,6 +223,14 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
       opt->replay_ppm = static_cast<uint32_t>(value);
     } else if (arg == "--reflect-ppm" && next_u64(&value)) {
       opt->reflect_ppm = static_cast<uint32_t>(value);
+    } else if (arg == "--update-image" && i + 1 < args.size()) {
+      opt->update_images.push_back(args[++i]);
+    } else if (arg == "--canary-pct" && next_u64(&value)) {
+      opt->canary_pct = static_cast<int>(value);
+    } else if (arg == "--halt-on-quarantine") {
+      opt->halt_on_quarantine = true;
+    } else if (arg == "--update-tamper-canary") {
+      opt->update_tamper_canary = true;
     } else if (arg == "--transcript" && i + 1 < args.size()) {
       opt->transcript = args[++i];
     } else if (arg == "--trace-json" && i + 1 < args.size()) {
@@ -213,6 +252,19 @@ bool ParseOptions(const std::vector<std::string>& args, Options* opt) {
   }
   if (opt->warm_boot && !opt->attest) {
     std::fprintf(stderr, "tlfleet: --warm-boot requires --attest\n");
+    return false;
+  }
+  if (!opt->update_images.empty() && !opt->attest) {
+    std::fprintf(stderr, "tlfleet: --update-image requires --attest\n");
+    return false;
+  }
+  if (opt->update_tamper_canary && opt->update_images.empty()) {
+    std::fprintf(stderr,
+                 "tlfleet: --update-tamper-canary requires --update-image\n");
+    return false;
+  }
+  if (opt->canary_pct < 1 || opt->canary_pct > 100) {
+    std::fprintf(stderr, "tlfleet: --canary-pct must be in [1, 100]\n");
     return false;
   }
   if (!opt->attest && opt->guest.empty()) {
@@ -248,6 +300,30 @@ int CmdRun(const std::vector<std::string>& args) {
     guest_image = guest->Flatten(&base);
   }
 
+  // Load and validate every update container up front: a malformed file
+  // fails before the fleet spins up, and the provisioner sizes each node's
+  // payload window to hold the largest image.
+  std::vector<std::vector<uint8_t>> update_containers;
+  uint32_t update_capacity = 0;
+  for (const std::string& path : opt.update_images) {
+    Result<std::vector<uint8_t>> bytes = ReadFirmwareFile(path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "tlfleet: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    Result<FirmwareImage> image = ParseFirmware(*bytes);
+    if (!image.ok()) {
+      std::fprintf(stderr, "tlfleet: %s: %s\n", path.c_str(),
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    if (image->payload.size() > update_capacity) {
+      update_capacity = static_cast<uint32_t>(image->payload.size());
+    }
+    update_containers.push_back(std::move(*bytes));
+  }
+
   FleetConfig config;
   config.nodes = opt.nodes;
   config.topology = opt.topology;
@@ -274,6 +350,7 @@ int CmdRun(const std::vector<std::string>& args) {
   if (opt.attest) {
     FleetProvisionConfig prov;
     prov.payload = guest_image;
+    prov.payload_capacity = update_capacity;
     prov.tamper_count = opt.tamper;
     prov.warm_boot = opt.warm_boot;
     Result<std::vector<NodeProvision>> provisioned =
@@ -348,6 +425,47 @@ int CmdRun(const std::vector<std::string>& args) {
       break;
     }
   }
+
+  // Update campaigns run in flag order after the initial attestation round
+  // resolves, sharing the global quanta budget and the fleet's monotonic
+  // anti-rollback counters (so an older image in a later campaign is
+  // rejected by every node).
+  std::vector<std::unique_ptr<UpdateCampaign>> campaigns;
+  bool campaigns_started_ok = true;
+  if (opt.attest && attestor.Done()) {
+    UpdateCampaignConfig ucfg;
+    ucfg.canary_pct = opt.canary_pct;
+    ucfg.halt_on_quarantine = opt.halt_on_quarantine;
+    for (size_t k = 0; k < update_containers.size(); ++k) {
+      auto campaign = std::make_unique<UpdateCampaign>(
+          &fleet, &attestor, update_containers[k], ucfg);
+      const Status started = campaign->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "tlfleet: update[%zu]: %s\n", k,
+                     started.ToString().c_str());
+        campaigns_started_ok = false;
+        campaigns.push_back(std::move(campaign));
+        continue;
+      }
+      bool tampered_canary = false;
+      for (; quanta < opt.quanta && !campaign->Done(); ++quanta) {
+        fleet.RunQuantum();
+        campaign->OnQuantumBoundary();
+        if (opt.update_tamper_canary && k == 0 && !tampered_canary &&
+            campaign->phase() == UpdatePhase::kCanaryVerify) {
+          // MVAM-style mid-campaign tamper: flip one code bit on the first
+          // canary just as its re-attestation starts. The challenge beats
+          // the tamper to the wire but not to the node, so the report is
+          // computed over the flipped code and never verifies.
+          const int victim = campaign->canaries().front();
+          (void)TamperNode(fleet.node(victim),
+                           &provisions[static_cast<size_t>(victim)]);
+          tampered_canary = true;
+        }
+      }
+      campaigns.push_back(std::move(campaign));
+    }
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -419,6 +537,17 @@ int CmdRun(const std::vector<std::string>& args) {
       }
     }
   }
+  for (size_t k = 0; k < campaigns.size(); ++k) {
+    const UpdateCampaign& campaign = *campaigns[k];
+    std::printf("update[%zu]: version=%u phase=%s committed=%d "
+                "rolledback=%d quarantined=%d rejected=%d canaries=%zu\n",
+                k, campaign.fw_version(), UpdatePhaseName(campaign.phase()),
+                campaign.CountInState(UpdateNodeState::kCommitted),
+                campaign.CountInState(UpdateNodeState::kRolledBack),
+                campaign.CountInState(UpdateNodeState::kQuarantined),
+                campaign.CountInState(UpdateNodeState::kRejected),
+                campaign.canaries().size());
+  }
   std::printf("fleet-digest: %s\n", DigestHex(fleet.FleetDigest()).c_str());
 
   if (!opt.transcript.empty()) {
@@ -428,10 +557,18 @@ int CmdRun(const std::vector<std::string>& args) {
                    opt.transcript.c_str());
       return 1;
     }
-    out << attestor.transcript();
+    std::string full = attestor.transcript();
+    for (size_t k = 0; k < campaigns.size(); ++k) {
+      char header[48];
+      std::snprintf(header, sizeof(header), "--- update campaign %zu ---\n",
+                    k);
+      full += header;
+      full += campaigns[k]->transcript();
+    }
+    out << full;
     if (!opt.quiet) {
       std::printf("transcript: wrote %s (%zu bytes)\n",
-                  opt.transcript.c_str(), attestor.transcript().size());
+                  opt.transcript.c_str(), full.size());
     }
   }
 
@@ -463,7 +600,17 @@ int CmdRun(const std::vector<std::string>& args) {
                    static_cast<unsigned long long>(opt.quanta));
       return 1;
     }
-    return plan_ok ? 0 : 1;
+    // Every campaign must resolve inside the budget; an aborted campaign is
+    // a failure unless the run deliberately tampered a canary to watch the
+    // halt-and-rollback path fire.
+    bool updates_ok = campaigns_started_ok &&
+                      campaigns.size() == update_containers.size();
+    for (const std::unique_ptr<UpdateCampaign>& campaign : campaigns) {
+      updates_ok =
+          updates_ok && campaign->Done() &&
+          (campaign->Succeeded() || opt.update_tamper_canary);
+    }
+    return (plan_ok && updates_ok) ? 0 : 1;
   }
   return 0;
 }
