@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "src/fleet/attest.h"
+#include "src/fleet/control.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/provision.h"
 #include "src/fleet/update.h"
@@ -276,6 +277,102 @@ BENCHMARK(BM_UpdateCampaign)
     ->Args({64, 100})
     ->Args({256, 10})
     ->Args({256, 100})
+    ->Unit(benchmark::kMillisecond);
+
+// One tlfleetd re-attestation epoch over an admitted fleet (DESIGN.md
+// §17): the idle window with health beacons flowing, a fresh challenge
+// round over the roster, and the per-node verdict fold — the steady-state
+// cost of the control plane. Warm provisioning and admission are untimed.
+// Args: {nodes, host threads}.
+void BM_FleetdReattestEpoch(benchmark::State& state) {
+  FleetConfig config;
+  config.nodes = static_cast<int>(state.range(0));
+  config.seed = 7;
+  config.threads = static_cast<int>(state.range(1));
+  config.quantum = 20'000;
+  config.link.latency_cycles = 1'000;
+  auto fleet = std::make_unique<Fleet>(config);
+  FleetProvisionConfig prov;
+  prov.warm_boot = true;
+  Result<std::vector<NodeProvision>> provisions =
+      ProvisionAttestationFleet(fleet.get(), prov);
+  if (!provisions.ok()) {
+    state.SkipWithError(provisions.status().ToString().c_str());
+    return;
+  }
+  FleetdPolicy policy;
+  policy.epoch_idle_quanta = 8;
+  policy.beacon_every_quanta = 4;
+  FleetController controller(fleet.get(), std::move(*provisions), policy);
+  if (!controller.RunAdmission().ok()) {
+    state.SkipWithError("admission failed");
+    return;
+  }
+  for (auto _ : state) {
+    const Status status = controller.RunReattestEpoch();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(config.threads);
+}
+
+BENCHMARK(BM_FleetdReattestEpoch)
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Snapshot-elasticity scale-up (DESIGN.md §17): clone K new nodes from a
+// running admitted fleet — snapshot save, restore onto the new id, in-place
+// re-key (attn code + PROM + Trustlet-Table measurement), re-attest, admit.
+// Args: {base nodes, clones}.
+void BM_NodeCloneScaleUp(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    FleetConfig config;
+    config.nodes = static_cast<int>(state.range(0));
+    config.seed = 7;
+    config.quantum = 20'000;
+    config.link.latency_cycles = 1'000;
+    auto fleet = std::make_unique<Fleet>(config);
+    FleetProvisionConfig prov;
+    prov.warm_boot = true;
+    Result<std::vector<NodeProvision>> provisions =
+        ProvisionAttestationFleet(fleet.get(), prov);
+    if (!provisions.ok()) {
+      state.SkipWithError(provisions.status().ToString().c_str());
+      return;
+    }
+    FleetController controller(fleet.get(), std::move(*provisions),
+                               FleetdPolicy{});
+    if (!controller.RunAdmission().ok()) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    state.ResumeTiming();
+
+    const Status status =
+        controller.ScaleUp(static_cast<int>(state.range(1)));
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(controller.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["clones"] = static_cast<double>(state.range(1));
+}
+
+BENCHMARK(BM_NodeCloneScaleUp)
+    ->Args({64, 8})
+    ->Args({256, 8})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

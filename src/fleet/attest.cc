@@ -37,6 +37,20 @@ std::string RejectSummary(uint64_t mismatches, uint64_t stale_hits,
 
 }  // namespace
 
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNone:
+      return "none";
+    case QuarantineReason::kTimeout:
+      return "timeout";
+    case QuarantineReason::kMismatch:
+      return "mismatch";
+    case QuarantineReason::kStaleReplay:
+      return "stale";
+  }
+  return "?";
+}
+
 const char* AttestNodeStateName(AttestNodeState state) {
   switch (state) {
     case AttestNodeState::kIdle:
@@ -96,6 +110,7 @@ void FleetAttestor::SendChallenge(int node) {
     ++state.retired_dropped;
   }
   state.state = AttestNodeState::kAwaitingResponse;
+  state.quarantine_reason = QuarantineReason::kNone;
   state.deadline = fleet_->now() + policy_.timeout_cycles;
   const bool routed = fleet_->SendToNode(
       node, EncodeAttestationRequest(provision.fw_id, challenge));
@@ -180,6 +195,7 @@ void FleetAttestor::PumpNode(int node) {
       }
       if (fresh || (stale && policy_.accept_stale_reports)) {
         state.state = AttestNodeState::kVerified;
+        state.last_verified_cycle = now;
         std::string event = fresh ? "verified" : "verified (STALE REPORT "
                                                  "honored: vulnerable mode)";
         event += RejectSummary(state.mismatches, state.stale_hits,
@@ -210,7 +226,16 @@ void FleetAttestor::PumpNode(int node) {
         now >= state.deadline) {
       if (state.attempts >= policy_.max_attempts) {
         state.state = AttestNodeState::kQuarantined;
-        Log(node, "quarantined" +
+        // Cause classification, most-specific evidence first (see the enum
+        // comment in attest.h): mismatching reports prove divergent
+        // measurement; otherwise stale hits prove a replaying adversary;
+        // otherwise nothing decodable ever arrived.
+        state.quarantine_reason =
+            state.mismatches > 0 ? QuarantineReason::kMismatch
+            : state.stale_hits > 0 ? QuarantineReason::kStaleReplay
+                                   : QuarantineReason::kTimeout;
+        Log(node, std::string("quarantined reason=") +
+                      QuarantineReasonName(state.quarantine_reason) +
                       RejectSummary(state.mismatches, state.stale_hits,
                                     state.noise_bytes,
                                     state.retired_dropped));
@@ -229,6 +254,12 @@ void FleetAttestor::PumpNode(int node) {
   if (state.state == AttestNodeState::kBackoff && now >= state.resume) {
     SendChallenge(node);
   }
+}
+
+int FleetAttestor::AddNode(NodeProvision provision) {
+  provisions_.push_back(std::move(provision));
+  nodes_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
 }
 
 void FleetAttestor::OnQuantumBoundary() {

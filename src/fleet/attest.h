@@ -75,6 +75,27 @@ enum class AttestNodeState {
 
 const char* AttestNodeStateName(AttestNodeState state);
 
+// Why a node was quarantined — a STABLE enum: values are part of the
+// status-output contract (`tlfleetd --status-json`, docs/FLEET.md) and the
+// quarantine transcript line; append new reasons at the end, never renumber.
+// Classification at quarantine time, most-specific evidence first:
+//   kMismatch    — at least one well-formed report arrived but matched no
+//                  challenge ever issued: the node's measurement diverges
+//                  from the golden code (tamper, failed update).
+//   kStaleReplay — no mismatching report, but reports matching *retired*
+//                  challenges were seen: an adversary is replaying captured
+//                  frames while fresh reports never arrive.
+//   kTimeout     — nothing decodable ever arrived: the node is unreachable
+//                  (dead link, total loss) or never responds.
+enum class QuarantineReason {
+  kNone = 0,         // Not quarantined.
+  kTimeout = 1,
+  kMismatch = 2,
+  kStaleReplay = 3,
+};
+
+const char* QuarantineReasonName(QuarantineReason reason);
+
 class FleetAttestor {
  public:
   // `provisions` must come from ProvisionAttestationFleet on this fleet
@@ -107,6 +128,16 @@ class FleetAttestor {
   int attempts(int node) const {
     return nodes_[static_cast<size_t>(node)].attempts;
   }
+  // Quarantine cause (kNone unless state(node) == kQuarantined). Cleared
+  // when a later round re-challenges the node.
+  QuarantineReason quarantine_reason(int node) const {
+    return nodes_[static_cast<size_t>(node)].quarantine_reason;
+  }
+  // Global cycle of the node's most recent fresh verified report (0 =
+  // never verified) — the controller's per-node health row.
+  uint64_t last_verified_cycle(int node) const {
+    return nodes_[static_cast<size_t>(node)].last_verified_cycle;
+  }
   // Hostile-link telemetry (all per node, cumulative across rounds).
   uint64_t mismatches(int node) const {
     return nodes_[static_cast<size_t>(node)].mismatches;
@@ -138,6 +169,12 @@ class FleetAttestor {
     provisions_[static_cast<size_t>(node)].fw_code = std::move(code);
   }
 
+  // Registers a node admitted after construction (snapshot-clone
+  // scale-up): appends its provision and a fresh idle state machine.
+  // The index must match the fleet's id for the node (the controller adds
+  // fleet node and attestor entry in lockstep). Returns that index.
+  int AddNode(NodeProvision provision);
+
   // Deterministic event log ("@cycle node=i event ..." lines) — compared
   // verbatim across thread counts by the fleet determinism tests.
   const std::string& transcript() const { return transcript_; }
@@ -163,6 +200,9 @@ class FleetAttestor {
     uint64_t noise_bytes = 0;      // Unframeable bytes skipped and reclaimed.
     uint64_t retired_dropped = 0;  // Retired digests evicted by the cap.
     int reject_logs = 0;           // Lines logged against max_reject_logs.
+    // Health/status surface (accessors above).
+    QuarantineReason quarantine_reason = QuarantineReason::kNone;
+    uint64_t last_verified_cycle = 0;
   };
 
   void SendChallenge(int node);

@@ -1,0 +1,280 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+//
+// Fleet control plane (DESIGN.md §17): a long-running controller that owns
+// a fleet across its whole lifecycle — the "k3s for trustlets" layer on top
+// of the one-shot attest/update passes of tlfleet. Where tlfleet runs one
+// round and exits, FleetController keeps a roster:
+//
+//   * Attestation-gated admission: a node joins the roster only after a
+//     fresh verified report; failures land in quarantine with a stable
+//     QuarantineReason (attest.h).
+//   * Periodic re-attestation epochs over the admitted roster, with
+//     per-node health rows (last-verified cycle, node-reported beacon
+//     counters, config generation) surfaced as newline-delimited JSON
+//     status epochs and a human watch summary.
+//   * Config push: ConfigMap-style key/value blobs delivered over the link
+//     fabric as CRC-framed 0xC6 frames into a node-side config region in
+//     DRAM, acknowledged by the node's config agent with a SHA-256 digest
+//     of the applied region (0xC7), then re-measured by a re-attestation
+//     round. Integrity split: the ack digest pins the config content, the
+//     attestation report pins the code that will consume it.
+//   * Live elasticity: snapshot a running admitted node, restore onto a
+//     new node id (Fleet::AddNode), re-key it in place (RekeyClonedNode),
+//     re-attest, admit.
+//
+// Node-side agents (config apply + ack, periodic health beacons) are
+// simulated by the controller at quantum boundaries, in node-id order, on
+// node-local state only — the same idiom as the update agent's staging
+// stream (src/fleet/update.h). Every frame still crosses the real link
+// fabric, so latency, loss and the PR7 hostile modes all apply to the
+// control plane too.
+//
+// Determinism: the controller acts only at quantum boundaries, serially,
+// in node-id order. Its transcript, status epochs and the fleet digest are
+// bit-identical across host thread counts for a fixed seed.
+
+#ifndef TRUSTLITE_SRC_FLEET_CONTROL_H_
+#define TRUSTLITE_SRC_FLEET_CONTROL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/fleet/attest.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/provision.h"
+#include "src/mem/layout.h"
+
+namespace trustlite {
+
+// --- Node-side config region ---------------------------------------------
+//
+// Pushed config lives in a fixed window at the base of DRAM (untrusted bulk
+// memory — the paper's integrity-protected-data story, Sec. 4.1, is exactly
+// why the ack carries a digest). Layout:
+//   +0  generation  (4, LE)   +4  length (4, LE)   +8  blob bytes
+// zero-padded to the region size; the ack digest is SHA-256 over the whole
+// region, padding included.
+inline constexpr uint32_t kNodeConfigRegionAddr = kDramBase;
+inline constexpr uint32_t kNodeConfigRegionSize = 1024;
+inline constexpr uint32_t kMaxConfigBlobBytes = kNodeConfigRegionSize - 8;
+
+// Serializes ConfigMap-style entries as "key=value\n" lines (the blob
+// format the config agent writes verbatim into the region).
+std::string EncodeConfigBlob(
+    const std::vector<std::pair<std::string, std::string>>& entries);
+
+// SHA-256 of the config region image holding (generation, blob) — what a
+// correct ack must report.
+Sha256Digest ConfigRegionDigest(uint32_t generation, const std::string& blob);
+
+// --- Control-plane wire frames (docs/WIRE_PROTOCOL.md) -------------------
+//
+// All three families are CRC-32-framed like the 0xD5 update chunks; the
+// scanners below resync on CRC failure, so corrupted or misrouted frames
+// cost O(new bytes) and are never fatal.
+//
+//   config push (0xC6, verifier -> node):
+//     marker(1) push_id(4) generation(4) len(2) blob(len) crc(4)
+//   config ack (0xC7, node -> verifier):
+//     marker(1) push_id(4) generation(4) digest(32) crc(4)
+//   health beacon (0xC8, node -> verifier):
+//     marker(1) cycle(8) instructions(8) tx(8) rx(8) config_gen(4)
+//     halted(1) crc(4)
+
+std::string EncodeConfigFrame(uint32_t push_id, uint32_t generation,
+                              const std::string& blob);
+std::string EncodeConfigAck(uint32_t push_id, uint32_t generation,
+                            const Sha256Digest& digest);
+
+// Node-reported health counters (node-local state only; see header note).
+struct HealthBeacon {
+  uint64_t cycle = 0;         // Node CPU cycle at emission.
+  uint64_t instructions = 0;  // Retired instructions.
+  uint64_t tx_bytes = 0;      // Fabric bytes harvested from the node.
+  uint64_t rx_bytes = 0;      // Fabric bytes delivered into the node.
+  uint32_t config_generation = 0;  // Generation applied in the region.
+  bool halted = false;
+};
+std::string EncodeHealthFrame(const HealthBeacon& beacon);
+
+enum class ControlScan { kFrame, kNeedMore, kNoFrame };
+
+// Node-side scanner over Fleet::ConfigRx (0xC6 frames only).
+ControlScan ScanConfigFrame(const std::string& rx, size_t offset,
+                            size_t* frame_start, size_t* next_offset,
+                            uint32_t* push_id, uint32_t* generation,
+                            std::string* blob);
+
+// Verifier-side scanner over Fleet::ControlRx: either frame family.
+struct ControlFrame {
+  enum class Kind { kConfigAck, kHealth };
+  Kind kind = Kind::kConfigAck;
+  // kConfigAck fields.
+  uint32_t push_id = 0;
+  uint32_t generation = 0;
+  Sha256Digest digest{};
+  // kHealth fields.
+  HealthBeacon beacon;
+};
+ControlScan ScanControlFrame(const std::string& rx, size_t offset,
+                             size_t* frame_start, size_t* next_offset,
+                             ControlFrame* frame);
+
+// --- Controller ----------------------------------------------------------
+
+struct FleetdPolicy {
+  AttestPolicy attest;
+  // Budget (quanta) for the admission round and for each re-attestation /
+  // config-push / scale-up verify phase. A phase that fails to resolve
+  // inside its budget is an error, never a hang.
+  uint64_t phase_quanta = 4'000;
+  // Idle quanta run between epochs — the re-attestation period.
+  uint64_t epoch_idle_quanta = 32;
+  // Node health agents emit a beacon every this many quanta (0 = off).
+  uint32_t beacon_every_quanta = 8;
+  // Config push: per-node retransmit deadline and retry cap.
+  uint64_t config_timeout_cycles = 400'000;
+  int max_config_retries = 25;
+  // Stop a phase with an error as soon as it quarantines a node (operator
+  // halt-the-line policy; the node stays quarantined either way).
+  bool halt_on_quarantine = false;
+};
+
+// Roster membership, gated on attestation.
+enum class RosterState {
+  kPending,      // Never admitted (admission not run or still unresolved).
+  kAdmitted,     // Verified by the latest round that challenged it.
+  kQuarantined,  // Removed from the roster; reason in NodeHealth.
+};
+const char* RosterStateName(RosterState state);
+
+struct NodeHealth {
+  RosterState roster = RosterState::kPending;
+  QuarantineReason reason = QuarantineReason::kNone;
+  uint64_t last_verified_cycle = 0;  // From the attestor.
+  uint64_t beacon_seen_cycle = 0;    // Global cycle the last beacon arrived.
+  HealthBeacon beacon;               // Last beacon contents (node-reported).
+  uint32_t config_generation = 0;    // Highest generation the node acked.
+  int cloned_from = -1;              // Source node id, -1 = provisioned.
+};
+
+class FleetController {
+ public:
+  // `provisions` must cover fleet->num_nodes() nodes (from
+  // ProvisionAttestationFleet). The controller does not own the fleet but
+  // drives it exclusively: no other code may call RunQuantum while a
+  // controller phase is active.
+  FleetController(Fleet* fleet, std::vector<NodeProvision> provisions,
+                  const FleetdPolicy& policy);
+
+  // Initial attestation round; verified nodes join the roster. Emits an
+  // "admission" status epoch. Fails when the round does not resolve in
+  // phase_quanta (and with halt_on_quarantine, when any node quarantines).
+  Status RunAdmission();
+
+  // One re-attestation epoch: idle-runs epoch_idle_quanta (beacons keep
+  // flowing), challenges the admitted roster, waits for resolution,
+  // demotes newly quarantined nodes. Emits a "reattest" epoch.
+  Status RunReattestEpoch();
+
+  // Pushes key/value config to every admitted node: 0xC6 frame per node
+  // with stop-and-wait retransmit, digest-checked 0xC7 acks, then a
+  // re-attestation round over the pushed nodes ("re-measured"). Emits a
+  // "config-push" epoch.
+  Status PushConfig(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
+  // Clones `count` new nodes from admitted sources (round-robin): snapshot
+  // -> Fleet::AddNode -> restore -> RekeyClonedNode -> re-attest -> admit.
+  // Emits a "scale-up" epoch. Star topologies only (Fleet::AddNode).
+  Status ScaleUp(int count);
+
+  // Runs until the fabric is empty (or the phase budget ends). Emits a
+  // "drain" epoch.
+  void Drain();
+
+  int num_nodes() const { return static_cast<int>(health_.size()); }
+  const NodeHealth& health(int node) const {
+    return health_[static_cast<size_t>(node)];
+  }
+  std::vector<int> Admitted() const;
+  std::vector<int> Quarantined() const;
+  uint32_t config_generation() const { return config_generation_; }
+  int epochs() const { return epochs_; }
+  uint64_t quanta_run() const { return quanta_run_; }
+  Fleet& fleet() { return *fleet_; }
+  FleetAttestor& attestor() { return attestor_; }
+
+  // Controller event log ("@cycle fleetd ..." lines), deterministic across
+  // thread counts like the attestor's.
+  const std::string& transcript() const { return transcript_; }
+
+  // One JSON object per completed phase, in order (newline-delimited when
+  // written to a file). Validated by observe/json.h JsonParses in tests.
+  const std::vector<std::string>& status_epochs() const {
+    return status_epochs_;
+  }
+
+  // Human one-liner for --watch: roster counts + beacon/config summary.
+  std::string WatchSummary() const;
+
+ private:
+  // Node-side agent state (config apply cursor, beacon countdown).
+  struct NodeAgent {
+    size_t config_rx_offset = 0;
+    uint32_t applied_generation = 0;
+    uint32_t applied_push_id = 0;
+    Sha256Digest applied_digest{};
+    bool has_applied = false;
+    uint32_t beacon_countdown = 1;  // Quanta until the next beacon.
+    uint64_t config_noise_bytes = 0;
+  };
+  // Controller-side view of one node's progress through the active push.
+  struct PushState {
+    bool target = false;
+    bool acked = false;
+    uint64_t deadline = 0;
+    int retries = 0;
+  };
+
+  // One quantum: RunQuantum -> node agents -> control-stream processing ->
+  // attestor pump. The only way the fleet advances under a controller.
+  void Pump();
+  void RunIdle(uint64_t quanta);
+  // Pumps until `done` or the phase budget; returns false on budget
+  // exhaustion.
+  template <typename DoneFn>
+  bool PumpUntil(DoneFn done);
+  void PumpNodeAgents();
+  void ProcessControlRx();
+  // Folds the attestor's verdicts for `subset` into the roster. Returns
+  // the number of nodes newly quarantined.
+  int RefreshRoster(const std::vector<int>& subset);
+  void EmitEpoch(const char* phase);
+  void Log(const std::string& event);
+
+  Fleet* fleet_;
+  FleetAttestor attestor_;
+  FleetdPolicy policy_;
+  std::vector<NodeHealth> health_;
+  std::vector<NodeAgent> agents_;
+  std::vector<size_t> control_rx_offset_;  // Verifier-side scan cursors.
+  // Active config push (one at a time).
+  uint32_t config_generation_ = 0;
+  uint32_t active_push_id_ = 0;
+  std::string active_blob_;
+  Sha256Digest active_digest_{};
+  std::vector<PushState> push_;
+  int scale_up_round_robin_ = 0;
+  int epochs_ = 0;
+  uint64_t quanta_run_ = 0;
+  std::string transcript_;
+  std::vector<std::string> status_epochs_;
+};
+
+}  // namespace trustlite
+
+#endif  // TRUSTLITE_SRC_FLEET_CONTROL_H_

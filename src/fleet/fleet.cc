@@ -17,6 +17,8 @@ Fleet::Fleet(const FleetConfig& config)
       pool_(config.threads),
       verifier_rx_(static_cast<size_t>(config.nodes)),
       update_rx_(static_cast<size_t>(config.nodes)),
+      config_rx_(static_cast<size_t>(config.nodes)),
+      control_rx_(static_cast<size_t>(config.nodes)),
       deliver_scratch_(static_cast<size_t>(config.nodes)),
       burst_scratch_(static_cast<size_t>(config.nodes)),
       gpio_out_scratch_(static_cast<size_t>(config.nodes)) {
@@ -41,7 +43,18 @@ void Fleet::RunQuantum() {
   fabric_.DeliverInto(kVerifierPort, now_, &verifier_scratch_);
   for (FleetMessage& message : verifier_scratch_) {
     if (message.src >= 0 && message.src < n) {
-      verifier_rx_[static_cast<size_t>(message.src)] += message.payload;
+      // Control-plane frames (config acks, health beacons) are split into
+      // their own stream so the attestation scanner and the controller each
+      // consume exactly one stream. Attestation reports start with 'R';
+      // a corrupted marker misroutes a frame into CRC rejection.
+      const uint8_t marker = message.payload.empty()
+                                 ? 0
+                                 : static_cast<uint8_t>(message.payload[0]);
+      if (marker == kConfigAckMarker || marker == kHealthFrameMarker) {
+        control_rx_[static_cast<size_t>(message.src)] += message.payload;
+      } else {
+        verifier_rx_[static_cast<size_t>(message.src)] += message.payload;
+      }
     }
   }
 
@@ -63,9 +76,15 @@ void Fleet::RunQuantum() {
           // qualify: a reflected/echoed frame from another node still hits
           // the UART as noise. A corrupted first byte re-routes the frame —
           // either way the campaign's CRC check catches it.
-          if (message.src == kVerifierPort && !message.payload.empty() &&
-              static_cast<uint8_t>(message.payload[0]) == kUpdateFrameMarker) {
+          const uint8_t marker =
+              message.payload.empty()
+                  ? 0
+                  : static_cast<uint8_t>(message.payload[0]);
+          if (message.src == kVerifierPort && marker == kUpdateFrameMarker) {
             update_rx_[static_cast<size_t>(i)] += message.payload;
+          } else if (message.src == kVerifierPort &&
+                     marker == kConfigFrameMarker) {
+            config_rx_[static_cast<size_t>(i)] += message.payload;
           } else {
             node.PushRx(message.payload);
           }
@@ -133,6 +152,36 @@ bool Fleet::SendToNode(int node, std::string payload) {
   return fabric_.Send(kVerifierPort, node, now_, std::move(payload));
 }
 
+bool Fleet::SendToVerifier(int node, std::string payload) {
+  return fabric_.Send(node, kVerifierPort, now_, std::move(payload));
+}
+
+int Fleet::AddNode() {
+  if (config_.topology != Topology::kStar) {
+    return -1;
+  }
+  const int id = num_nodes();
+  if (id > kMaxFleetPort) {
+    return -1;
+  }
+  nodes_.push_back(std::make_unique<FleetNode>(id, config_.seed,
+                                               config_.platform));
+  verifier_rx_.emplace_back();
+  update_rx_.emplace_back();
+  config_rx_.emplace_back();
+  control_rx_.emplace_back();
+  deliver_scratch_.emplace_back();
+  burst_scratch_.emplace_back();
+  gpio_out_scratch_.push_back(0);
+  // Fresh verifier links: the per-link RNG streams are seeded from
+  // (fleet_seed, src, dst), so a node added at cycle C draws the same
+  // impairment pattern as one wired at construction — growth does not
+  // perturb any existing link's stream.
+  fabric_.Connect(kVerifierPort, id, config_.link);
+  fabric_.Connect(id, kVerifierPort, config_.link);
+  return id;
+}
+
 size_t Fleet::ConsumeVerifierRx(int node, size_t upto) {
   std::string& rx = verifier_rx_[static_cast<size_t>(node)];
   upto = std::min(upto, rx.size());
@@ -142,6 +191,20 @@ size_t Fleet::ConsumeVerifierRx(int node, size_t upto) {
 
 size_t Fleet::ConsumeUpdateRx(int node, size_t upto) {
   std::string& rx = update_rx_[static_cast<size_t>(node)];
+  upto = std::min(upto, rx.size());
+  rx.erase(0, upto);
+  return upto;
+}
+
+size_t Fleet::ConsumeConfigRx(int node, size_t upto) {
+  std::string& rx = config_rx_[static_cast<size_t>(node)];
+  upto = std::min(upto, rx.size());
+  rx.erase(0, upto);
+  return upto;
+}
+
+size_t Fleet::ConsumeControlRx(int node, size_t upto) {
+  std::string& rx = control_rx_[static_cast<size_t>(node)];
   upto = std::min(upto, rx.size());
   rx.erase(0, upto);
   return upto;

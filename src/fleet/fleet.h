@@ -48,6 +48,17 @@ namespace trustlite {
 // 0xD5 never begins an attestation challenge (those start with 'A').
 inline constexpr uint8_t kUpdateFrameMarker = 0xD5;
 
+// Control-plane frame markers (src/fleet/control.h, docs/WIRE_PROTOCOL.md).
+// Verifier-sourced 0xC6 frames are staged into the node's config stream the
+// same way 0xD5 frames reach the update stream; node-sourced 0xC7/0xC8
+// frames are split out of the verifier drain into a per-node control stream
+// so the attestation scanner (the other verifier-side consumer) never races
+// the controller for bytes. A corrupted marker misroutes the frame, and the
+// frame's CRC then rejects it wherever it lands — same contract as 0xD5.
+inline constexpr uint8_t kConfigFrameMarker = 0xC6;  // verifier -> node
+inline constexpr uint8_t kConfigAckMarker = 0xC7;    // node -> verifier
+inline constexpr uint8_t kHealthFrameMarker = 0xC8;  // node -> verifier
+
 struct FleetConfig {
   int nodes = 4;
   Topology topology = Topology::kStar;
@@ -83,10 +94,26 @@ class Fleet {
 
   bool AllHalted() const;
 
+  // Live elasticity (DESIGN.md §17): appends a fresh node with the next id
+  // and wires its verifier links. Star topologies only — splicing a node
+  // into a ring would re-route frames already in flight; the controller
+  // fails scale-up closed on rings instead. Call only at a quantum
+  // boundary; the new node first executes in the following quantum. The
+  // caller restores/patches the platform state (snapshot cloning,
+  // RekeyClonedNode) before that. Returns the new node id, or -1 when the
+  // topology does not support growth or the port space is exhausted.
+  int AddNode();
+
   // --- Verifier-side transport (host remote party) ---
   // Sends `payload` from the verifier port toward `node` at the current
   // global cycle. Returns false when the link lost the message.
   bool SendToNode(int node, std::string payload);
+  // Node-originated control traffic (config acks, health beacons): sends
+  // `payload` from `node` toward the verifier port at the current global
+  // cycle. Serial-only, like SendToNode — the controller's node agents call
+  // it in node-id order at quantum boundaries, which keeps the per-link RNG
+  // consumption order thread-independent.
+  bool SendToVerifier(int node, std::string payload);
   // Byte stream received from `node` at the verifier. Grows as frames are
   // delivered; the (single) consumer tracks its own scan offset and hands
   // consumed bytes back via ConsumeVerifierRx.
@@ -107,6 +134,23 @@ class Fleet {
   }
   size_t ConsumeUpdateRx(int node, size_t upto);
 
+  // Node-side config staging stream (verifier-sourced kConfigFrameMarker
+  // frames; the node's config agent consumes it). Same contract as
+  // UpdateRx.
+  const std::string& ConfigRx(int node) const {
+    return config_rx_[static_cast<size_t>(node)];
+  }
+  size_t ConsumeConfigRx(int node, size_t upto);
+
+  // Verifier-side control stream from `node`: config acks and health
+  // beacons (kConfigAckMarker / kHealthFrameMarker), split out of the
+  // verifier drain so the attestation scanner and the controller each own
+  // exactly one stream. Same consumer contract as VerifierRx.
+  const std::string& ControlRx(int node) const {
+    return control_rx_[static_cast<size_t>(node)];
+  }
+  size_t ConsumeControlRx(int node, size_t upto);
+
   // Digest over every node's StateDigest, in node order — one hash pinning
   // the architectural state of the whole fleet.
   Sha256Digest FleetDigest() const;
@@ -123,8 +167,11 @@ class Fleet {
   std::vector<std::unique_ptr<FleetNode>> nodes_;
   QuantumPool pool_;
   std::vector<std::string> verifier_rx_;
-  // update_rx_[i] is appended only by the phase-2 shard running node i.
+  // update_rx_[i] / config_rx_[i] are appended only by the phase-2 shard
+  // running node i; control_rx_[i] only by the serial phase-1 drain.
   std::vector<std::string> update_rx_;
+  std::vector<std::string> config_rx_;
+  std::vector<std::string> control_rx_;
   // Per-quantum scratch, sized once in the constructor and reused every
   // round so a 10k-node fleet does not churn thousands of vector
   // allocations per quantum. deliver_scratch_[i] and burst_scratch_[i] are

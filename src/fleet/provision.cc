@@ -141,6 +141,8 @@ Status ColdProvisionNode(FleetNode& node, const FleetProvisionConfig& config,
   provision->fw_payload_offset =
       static_cast<uint32_t>(built->firmware.code.size()) -
       provision->fw_payload_capacity;
+  provision->attn_code_addr = built->attn.code_addr;
+  provision->attn_code_size = static_cast<uint32_t>(built->attn.code.size());
 
   Status installed = node.platform().InstallImage(built->image);
   if (!installed.ok()) {
@@ -293,6 +295,90 @@ Status TamperNode(FleetNode& node, NodeProvision* provision) {
   return OkStatus();
 }
 
+Result<NodeProvision> RekeyClonedNode(FleetNode& node,
+                                      const NodeProvision& source,
+                                      uint64_t fleet_seed) {
+  if (source.attn_code_size == 0) {
+    return Internal("source provision lacks attestation code geometry");
+  }
+  NodeProvision provision = source;
+  provision.tampered = false;
+  provision.key = DeriveDeviceKey(fleet_seed, node.id());
+
+  Bus& bus = node.platform().bus();
+  const std::vector<uint8_t> old_key(source.key.begin(), source.key.end());
+  const std::vector<uint8_t> new_key(provision.key.begin(),
+                                     provision.key.end());
+
+  // Locate every patch site BEFORE mutating anything: the restored clone is
+  // a byte-exact copy of the source, so the source key appears exactly once
+  // in the live attestation code, once in the PROM image, and the Trustlet
+  // Table holds SHA-256 of that live code in exactly one row.
+  std::vector<uint8_t> attn_code;
+  if (!bus.HostReadBytes(source.attn_code_addr, source.attn_code_size,
+                         &attn_code)) {
+    return Internal("cannot read clone attestation code");
+  }
+  auto key_it = std::search(attn_code.begin(), attn_code.end(),
+                            old_key.begin(), old_key.end());
+  if (key_it == attn_code.end()) {
+    return Internal("source key not found in clone attestation code");
+  }
+  const size_t key_offset =
+      static_cast<size_t>(std::distance(attn_code.begin(), key_it));
+  if (std::search(key_it + 1, attn_code.end(), old_key.begin(),
+                  old_key.end()) != attn_code.end()) {
+    return Internal("multiple live key copies in clone attestation code");
+  }
+
+  const std::vector<uint8_t>& rom = node.platform().prom().data();
+  auto rom_it = std::search(rom.begin(), rom.end(), old_key.begin(),
+                            old_key.end());
+  if (rom_it == rom.end()) {
+    return Internal("source key not found in clone PROM image");
+  }
+  const uint32_t prom_key_offset =
+      static_cast<uint32_t>(std::distance(rom.begin(), rom_it));
+
+  const Sha256Digest old_measurement = Sha256Hash(attn_code);
+  std::vector<uint8_t> table;
+  if (!bus.HostReadBytes(kTrustletTableBase, 0x1000, &table)) {
+    return Internal("cannot read clone Trustlet Table");
+  }
+  auto tt_it = std::search(table.begin(), table.end(),
+                           old_measurement.begin(), old_measurement.end());
+  if (tt_it == table.end()) {
+    return Internal("attestation measurement not found in clone Trustlet "
+                    "Table");
+  }
+  const uint32_t tt_row_addr =
+      kTrustletTableBase +
+      static_cast<uint32_t>(std::distance(table.begin(), tt_it));
+
+  // Patch: live SRAM key, PROM key (a re-boot reloads it), then — last, so
+  // a failure above leaves the clone attesting as a plain source copy
+  // rather than a half-keyed chimera — the Trustlet-Table measurement row.
+  if (!bus.HostWriteBytes(source.attn_code_addr +
+                              static_cast<uint32_t>(key_offset),
+                          new_key)) {
+    return Internal("cannot patch clone live key copy");
+  }
+  node.platform().prom().LoadBytes(prom_key_offset, new_key);
+  bus.NoteHostMutation();
+  std::copy(new_key.begin(), new_key.end(), attn_code.begin() + key_offset);
+  const Sha256Digest new_measurement = Sha256Hash(attn_code);
+  if (!bus.HostWriteBytes(tt_row_addr,
+                          std::vector<uint8_t>(new_measurement.begin(),
+                                               new_measurement.end()))) {
+    return Internal("cannot patch clone Trustlet-Table measurement");
+  }
+
+  // The clone draws randomness from its own derived stream from here on.
+  node.platform().trng().Reseed(node.device_seed());
+  node.platform().ReleaseThreadAffinity();
+  return provision;
+}
+
 std::array<uint8_t, 32> DeriveDeviceKey(uint64_t fleet_seed, int node) {
   Xoshiro256 rng(
       DeriveDeviceSeed(fleet_seed ^ kKeySalt, static_cast<uint32_t>(node)));
@@ -368,6 +454,8 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
       provision.fw_code = provisions[0].fw_code;
       provision.fw_payload_offset = provisions[0].fw_payload_offset;
       provision.fw_payload_capacity = provisions[0].fw_payload_capacity;
+      provision.attn_code_addr = provisions[0].attn_code_addr;
+      provision.attn_code_size = provisions[0].attn_code_size;
     }
 
     if (tampered.count(i) != 0) {

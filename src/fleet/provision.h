@@ -59,6 +59,11 @@ struct NodeProvision {
   // fw_code_addr; capacity 0 means no window was reserved.
   uint32_t fw_payload_offset = 0;
   uint32_t fw_payload_capacity = 0;
+  // Attestation-trustlet code geometry — mid-run snapshot cloning
+  // (RekeyClonedNode) locates the embedded device key and the Trustlet-
+  // Table measurement row through this.
+  uint32_t attn_code_addr = 0;
+  uint32_t attn_code_size = 0;
   bool tampered = false;
 };
 
@@ -79,6 +84,20 @@ Result<std::vector<NodeProvision>> ProvisionAttestationFleet(
 // tamper nodes after their first verified report this way) as well as at
 // provision time. Marks the provision tampered.
 Status TamperNode(FleetNode& node, NodeProvision* provision);
+
+// Mid-run re-key of a snapshot-restored clone (DESIGN.md §17): `node` holds
+// a byte-exact restore of the platform whose identity is `source`. Derives
+// the clone's own device key from (fleet_seed, node.id()), splices it over
+// the source key in the live attestation code and the PROM image, rewrites
+// the Trustlet-Table measurement row for the re-keyed code, and reseeds the
+// TRNG with the clone's derived stream — the same patch-site machinery warm
+// provisioning applies at boot time (§14), extended to a node that has
+// already been running. Fails closed (no partial patch is observable via
+// attestation: the measurement row is rewritten last). Returns the clone's
+// provision: `source` with the new key, tampered cleared.
+Result<NodeProvision> RekeyClonedNode(FleetNode& node,
+                                      const NodeProvision& source,
+                                      uint64_t fleet_seed);
 
 }  // namespace trustlite
 

@@ -1,0 +1,300 @@
+// Copyright 2026 The TrustLite Reproduction Authors.
+// Fleet control-plane tests (DESIGN.md §17): the control wire codecs
+// (config push / ack / health), the FleetController lifecycle — attestation-
+// gated admission, re-attestation epochs, digest-checked config push,
+// snapshot scale-up with in-place re-key — and the headline properties:
+// quarantine reasons are stable and correct, a restored clone attests as
+// ITSELF (new key, distinct digest stream), and whole sessions are
+// bit-identical from --threads 1 to --threads 8, hostile links included.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/attest.h"
+#include "src/fleet/control.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/link.h"
+#include "src/fleet/provision.h"
+#include "src/harness/fleet_campaign.h"
+#include "src/platform/observe/json.h"
+#include "src/snapshot/snapshot.h"
+
+namespace trustlite {
+namespace {
+
+// --- Wire codecs ---------------------------------------------------------
+
+TEST(ControlWireTest, ConfigFrameRoundTrip) {
+  const std::string frame = EncodeConfigFrame(0xDEADBEEF, 7, "mode=eco\n");
+  size_t frame_start = 0;
+  size_t next_offset = 0;
+  uint32_t push_id = 0;
+  uint32_t generation = 0;
+  std::string blob;
+  ASSERT_EQ(ScanConfigFrame(frame, 0, &frame_start, &next_offset, &push_id,
+                            &generation, &blob),
+            ControlScan::kFrame);
+  EXPECT_EQ(push_id, 0xDEADBEEFu);
+  EXPECT_EQ(generation, 7u);
+  EXPECT_EQ(blob, "mode=eco\n");
+  EXPECT_EQ(next_offset, frame.size());
+}
+
+TEST(ControlWireTest, ConfigScannerSkipsNoiseAndCorruption) {
+  std::string stream = "garbage";
+  std::string corrupted = EncodeConfigFrame(1, 1, "k=v\n");
+  corrupted[5] ^= 0x40;  // Body flip: CRC must reject.
+  stream += corrupted;
+  stream += EncodeConfigFrame(2, 2, "k=w\n");
+  size_t frame_start = 0;
+  size_t next_offset = 0;
+  uint32_t push_id = 0;
+  uint32_t generation = 0;
+  std::string blob;
+  ASSERT_EQ(ScanConfigFrame(stream, 0, &frame_start, &next_offset, &push_id,
+                            &generation, &blob),
+            ControlScan::kFrame);
+  EXPECT_EQ(push_id, 2u);
+  EXPECT_EQ(blob, "k=w\n");
+}
+
+TEST(ControlWireTest, AckAndHealthShareOneScanner) {
+  HealthBeacon beacon;
+  beacon.cycle = 123'456'789;
+  beacon.instructions = 42;
+  beacon.tx_bytes = 7;
+  beacon.rx_bytes = 9;
+  beacon.config_generation = 3;
+  beacon.halted = true;
+  const Sha256Digest digest = ConfigRegionDigest(3, "a=b\n");
+  std::string stream = EncodeHealthFrame(beacon);
+  stream += "noise";
+  stream += EncodeConfigAck(55, 3, digest);
+
+  size_t frame_start = 0;
+  size_t next_offset = 0;
+  ControlFrame frame;
+  ASSERT_EQ(ScanControlFrame(stream, 0, &frame_start, &next_offset, &frame),
+            ControlScan::kFrame);
+  ASSERT_EQ(frame.kind, ControlFrame::Kind::kHealth);
+  EXPECT_EQ(frame.beacon.cycle, beacon.cycle);
+  EXPECT_EQ(frame.beacon.instructions, beacon.instructions);
+  EXPECT_EQ(frame.beacon.tx_bytes, beacon.tx_bytes);
+  EXPECT_EQ(frame.beacon.rx_bytes, beacon.rx_bytes);
+  EXPECT_EQ(frame.beacon.config_generation, beacon.config_generation);
+  EXPECT_TRUE(frame.beacon.halted);
+
+  ASSERT_EQ(ScanControlFrame(stream, next_offset, &frame_start, &next_offset,
+                             &frame),
+            ControlScan::kFrame);
+  ASSERT_EQ(frame.kind, ControlFrame::Kind::kConfigAck);
+  EXPECT_EQ(frame.push_id, 55u);
+  EXPECT_EQ(frame.generation, 3u);
+  EXPECT_EQ(frame.digest, digest);
+  EXPECT_EQ(next_offset, stream.size());
+}
+
+TEST(ControlWireTest, BlobAndRegionDigest) {
+  const std::string blob =
+      EncodeConfigBlob({{"log", "debug"}, {"rate", "50"}});
+  EXPECT_EQ(blob, "log=debug\nrate=50\n");
+  // The digest pins the generation too: same blob, new generation, new
+  // digest (an old ack can never settle a newer push).
+  EXPECT_NE(ConfigRegionDigest(1, blob), ConfigRegionDigest(2, blob));
+}
+
+// --- Controller lifecycle ------------------------------------------------
+
+struct Session {
+  std::unique_ptr<Fleet> fleet;
+  std::unique_ptr<FleetController> controller;
+};
+
+Session MakeSession(int nodes, uint64_t seed, int threads,
+                    const FleetdPolicy& policy, int tamper = 0,
+                    HostileMode hostile = HostileMode::kNone,
+                    uint32_t loss_ppm = 0) {
+  FleetConfig config;
+  config.nodes = nodes;
+  config.topology = Topology::kStar;
+  config.seed = seed;
+  config.threads = threads;
+  config.link.latency_cycles = 1'000;
+  config.link.loss_ppm = loss_ppm;
+  config.link = ApplyHostileMode(config.link, hostile, 150'000);
+  Session session;
+  session.fleet = std::make_unique<Fleet>(config);
+  FleetProvisionConfig prov;
+  prov.tamper_count = tamper;
+  auto provisions = ProvisionAttestationFleet(session.fleet.get(), prov);
+  EXPECT_TRUE(provisions.ok()) << provisions.status().ToString();
+  session.controller = std::make_unique<FleetController>(
+      session.fleet.get(), std::move(*provisions), policy);
+  return session;
+}
+
+TEST(FleetControllerTest, AdmissionConfigPushAndHealth) {
+  FleetdPolicy policy;
+  policy.beacon_every_quanta = 4;
+  Session s = MakeSession(4, 3, 1, policy);
+  ASSERT_TRUE(s.controller->RunAdmission().ok());
+  EXPECT_EQ(s.controller->Admitted().size(), 4u);
+
+  ASSERT_TRUE(s.controller->RunReattestEpoch().ok());
+  ASSERT_TRUE(
+      s.controller->PushConfig({{"mode", "eco"}, {"rate", "9600"}}).ok());
+  EXPECT_EQ(s.controller->config_generation(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    const NodeHealth& health = s.controller->health(i);
+    EXPECT_EQ(health.roster, RosterState::kAdmitted);
+    EXPECT_EQ(health.config_generation, 1u);
+    EXPECT_GT(health.last_verified_cycle, 0u);
+    // Beacons flowed during the idle window and carry real counters.
+    EXPECT_GT(health.beacon_seen_cycle, 0u);
+    EXPECT_GT(health.beacon.instructions, 0u);
+  }
+  // A second push bumps the generation on the same region.
+  ASSERT_TRUE(s.controller->PushConfig({{"mode", "perf"}}).ok());
+  EXPECT_EQ(s.controller->health(0).config_generation, 2u);
+
+  // Every status epoch is valid JSON.
+  ASSERT_GE(s.controller->status_epochs().size(), 4u);
+  for (const std::string& epoch : s.controller->status_epochs()) {
+    std::string error;
+    EXPECT_TRUE(JsonParses(epoch, &error)) << error << "\n" << epoch;
+  }
+}
+
+TEST(FleetControllerTest, TamperedNodeQuarantinesWithMismatchReason) {
+  Session s = MakeSession(4, 3, 1, FleetdPolicy{}, /*tamper=*/1);
+  ASSERT_TRUE(s.controller->RunAdmission().ok());
+  ASSERT_EQ(s.controller->Quarantined().size(), 1u);
+  const int victim = s.controller->Quarantined()[0];
+  EXPECT_EQ(s.controller->health(victim).reason,
+            QuarantineReason::kMismatch);
+  EXPECT_EQ(s.controller->health(victim).roster, RosterState::kQuarantined);
+  // The stable reason name lands in the attestor transcript.
+  EXPECT_NE(
+      s.controller->attestor().transcript().find("quarantined reason=mismatch"),
+      std::string::npos);
+  // Quarantined nodes are excluded from pushes but the roster still works.
+  ASSERT_TRUE(s.controller->PushConfig({{"k", "v"}}).ok());
+  EXPECT_EQ(s.controller->health(victim).config_generation, 0u);
+}
+
+TEST(FleetControllerTest, DeadLinksQuarantineWithTimeoutReason) {
+  FleetdPolicy policy;
+  policy.attest.timeout_cycles = 100'000;
+  policy.attest.backoff_base_cycles = 20'000;
+  Session s = MakeSession(2, 3, 1, policy, /*tamper=*/0, HostileMode::kNone,
+                          /*loss_ppm=*/1'000'000);
+  ASSERT_TRUE(s.controller->RunAdmission().ok());
+  EXPECT_EQ(s.controller->Admitted().size(), 0u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(s.controller->health(i).reason, QuarantineReason::kTimeout);
+  }
+}
+
+TEST(FleetControllerTest, HaltOnQuarantineFailsThePhase) {
+  FleetdPolicy policy;
+  policy.halt_on_quarantine = true;
+  Session s = MakeSession(4, 3, 1, policy, /*tamper=*/1);
+  const Status status = s.controller->RunAdmission();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("halt-on-quarantine"), std::string::npos);
+}
+
+// --- Snapshot scale-up (mid-run node cloning) ----------------------------
+
+TEST(FleetControllerTest, ScaleUpClonesRekeyAndDiverge) {
+  FleetdPolicy policy;
+  Session s = MakeSession(4, 5, 1, policy);
+  ASSERT_TRUE(s.controller->RunAdmission().ok());
+  ASSERT_TRUE(s.controller->ScaleUp(2).ok());
+  ASSERT_EQ(s.fleet->num_nodes(), 6);
+  EXPECT_EQ(s.controller->Admitted().size(), 6u);
+
+  // The clone carries its OWN derived key, not its source's.
+  for (int clone = 4; clone < 6; ++clone) {
+    const int src = s.controller->health(clone).cloned_from;
+    ASSERT_GE(src, 0);
+    EXPECT_NE(s.controller->attestor().provision(clone).key,
+              s.controller->attestor().provision(src).key);
+    EXPECT_EQ(s.controller->attestor().provision(clone).key,
+              DeriveDeviceKey(s.fleet->config().seed, clone));
+  }
+
+  // Mid-run state diverges: after more quanta the clone's digest stream is
+  // distinct from its source's (different key material and TRNG stream).
+  ASSERT_TRUE(s.controller->RunReattestEpoch().ok());
+  for (int clone = 4; clone < 6; ++clone) {
+    const int src = s.controller->health(clone).cloned_from;
+    EXPECT_NE(s.fleet->node(clone).StateDigest(),
+              s.fleet->node(src).StateDigest());
+  }
+}
+
+TEST(FleetControllerTest, ScaleUpRequiresAStarTopology) {
+  FleetConfig config;
+  config.nodes = 4;
+  config.topology = Topology::kRing;
+  config.seed = 5;
+  Fleet fleet(config);
+  FleetProvisionConfig prov;
+  auto provisions = ProvisionAttestationFleet(&fleet, prov);
+  ASSERT_TRUE(provisions.ok());
+  FleetController controller(&fleet, std::move(*provisions), FleetdPolicy{});
+  ASSERT_TRUE(controller.RunAdmission().ok());
+  EXPECT_FALSE(controller.ScaleUp(1).ok());
+}
+
+// --- Thread-count invariance (hostile matrix) ----------------------------
+
+struct SessionResult {
+  std::string attestor_transcript;
+  std::string controller_transcript;
+  std::vector<std::string> status_epochs;
+  Sha256Digest digest{};
+  size_t admitted = 0;
+};
+
+SessionResult RunFullSession(int threads, HostileMode hostile) {
+  FleetdPolicy policy;
+  policy.epoch_idle_quanta = 8;
+  policy.beacon_every_quanta = 4;
+  Session s = MakeSession(8, 11, threads, policy, /*tamper=*/0, hostile);
+  EXPECT_TRUE(s.controller->RunAdmission().ok());
+  EXPECT_TRUE(s.controller->RunReattestEpoch().ok());
+  EXPECT_TRUE(s.controller->PushConfig({{"mode", "eco"}}).ok());
+  EXPECT_TRUE(s.controller->ScaleUp(2).ok());
+  s.controller->Drain();
+  SessionResult result;
+  result.attestor_transcript = s.controller->attestor().transcript();
+  result.controller_transcript = s.controller->transcript();
+  result.status_epochs = s.controller->status_epochs();
+  result.digest = s.fleet->FleetDigest();
+  result.admitted = s.controller->Admitted().size();
+  return result;
+}
+
+TEST(FleetControllerTest, SessionsAreBitIdenticalAcrossThreadsHostileMatrix) {
+  for (HostileMode hostile :
+       {HostileMode::kNone, HostileMode::kCorrupt, HostileMode::kReplay,
+        HostileMode::kReflect}) {
+    const SessionResult t1 = RunFullSession(1, hostile);
+    const SessionResult t8 = RunFullSession(8, hostile);
+    EXPECT_EQ(t1.attestor_transcript, t8.attestor_transcript);
+    EXPECT_EQ(t1.controller_transcript, t8.controller_transcript);
+    EXPECT_EQ(t1.status_epochs, t8.status_epochs);
+    EXPECT_EQ(t1.digest, t8.digest);
+    // Hostile links may not defeat the control plane: everyone (8 originals
+    // + 2 clones) ends up admitted.
+    EXPECT_EQ(t1.admitted, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace trustlite

@@ -8,6 +8,8 @@
 #      named in README.md unless allowlisted below.
 #   3. ROADMAP.md freshness: the "Open items" section must be non-empty
 #      (the re-anchor contract; a placeholder list fails).
+#   4. docs/README.md index completeness: every docs/*.md spec must be
+#      linked from the docs index (a new spec that nobody can find fails).
 #
 # usage: tools/ci_docs.sh [src-dir] [tools-bin-dir]
 set -uo pipefail
@@ -39,7 +41,7 @@ done
 flags_of() { grep -oE '(^|[^-[:alnum:]])--[a-z][a-z0-9-]*' | grep -oE -- '--[a-z][a-z0-9-]*' | sort -u; }
 
 HELP_FLAGS=""
-for tool in tlsim tlfleet tlsnap tlfw; do
+for tool in tlsim tlfleet tlfleetd tlsnap tlfw; do
   if [[ ! -x "$BIN/$tool" ]]; then
     note "$BIN/$tool not built (needed for the --help drift check)"
     continue
@@ -56,7 +58,8 @@ README_ALLOW="--build --test-dir"
 HELP_ALLOW="--origin --entry --sp --max --uart-in --no-mpu
             --quantum --quanta --latency --quiet
             --corrupt-ppm --replay-ppm --reflect-ppm
-            --chunk-bytes --payload-file --update-tamper-canary"
+            --chunk-bytes --payload-file --update-tamper-canary
+            --idle-quanta --beacon-quanta --phase-quanta"
 
 for f in $README_FLAGS; do
   if ! grep -qxF -- "$f" <<<"$HELP_FLAGS" && ! grep -qwF -- "$f" <<<"$README_ALLOW"; then
@@ -69,7 +72,20 @@ for f in $HELP_FLAGS; do
   fi
 done
 
-# --- 3. ROADMAP Open items non-empty --------------------------------------
+# --- 3. docs/README.md index completeness ---------------------------------
+if [[ -f "$SRC/docs/README.md" ]]; then
+  for spec in "$SRC"/docs/*.md; do
+    name="$(basename "$spec")"
+    [[ "$name" == "README.md" ]] && continue
+    if ! grep -q "($name" "$SRC/docs/README.md"; then
+      note "docs/README.md does not link $name — add it to the index"
+    fi
+  done
+else
+  note "docs/README.md index is missing"
+fi
+
+# --- 4. ROADMAP Open items non-empty --------------------------------------
 open_items="$(awk '/^## Open items/{grab=1; next} /^## /{grab=0} grab' "$SRC/ROADMAP.md" \
               | grep -cE '^- ' || true)"
 if [[ "${open_items:-0}" -lt 1 ]]; then

@@ -28,17 +28,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # TSan stage: fleet executor + RNG tests, the tlfleet smoke runs, the
-# hostile-link campaigns, and the update-campaign suites — multi-threaded
-# quanta with mid-run host-port tampering, an active link adversary, and
-# host-side apply/commit/rollback between quanta are exactly where a data
-# race would hide (ctest regex covers the gtest-discovered Fleet*/
-# QuantumPool*/HostileCampaign*/ReplayWindow*/FleetUpdate* cases plus the
-# ci_hostile and ci_update gates).
+# hostile-link campaigns, the update-campaign suites, and the tlfleetd
+# control-plane suite — multi-threaded quanta with mid-run host-port
+# tampering, an active link adversary, host-side apply/commit/rollback, and
+# controller agents writing node DRAM between quanta are exactly where a
+# data race would hide (ctest regex covers the gtest-discovered Fleet*/
+# QuantumPool*/HostileCampaign*/ReplayWindow*/FleetUpdate*/FleetController*
+# cases plus the ci_hostile, ci_update and ci_fleetd gates).
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target fleet_test hostile_attest_test fleet_update_test rng_test \
-  tlfleet tlfw
+  --target fleet_test hostile_attest_test fleet_update_test fleetd_test \
+  rng_test tlfleet tlfleetd tlfw
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet|Hostile|ReplayWindow|ci_hostile|ci_update'
+  -R 'Fleet|QuantumPool|LinkFabric|DeriveDeviceSeed|SplitMix|tlfleet|Hostile|ReplayWindow|ControlWire|ci_hostile|ci_update|ci_fleetd'
